@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark target regenerates one of the paper's tables/figures via the
+same ``repro.experiments.*`` entry points the CLI uses, so the timed code
+paths and the reported numbers are identical.  Shape assertions live here
+too: a benchmark run fails if the reproduced shape no longer matches the
+paper's claims.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def size():
+    """Workload size for all benchmark runs."""
+    return "small"

@@ -1,0 +1,56 @@
+"""Ablation — whole-array vs per-launch transfer granularity.
+
+§III-B argues for coarse-grained (whole-array) coherence: fewer, larger
+transfers beat frequent fine-grained ones because each transfer pays a
+fixed PCIe latency.  CFD's uncaught redundancy is the flip side of that
+choice.  This ablation quantifies the latency-vs-payload trade-off with the
+cost model directly, plus the benchmark-level consequence: the CFD monitor
+transfer shipped whole vs as a one-element array.
+"""
+
+import pytest
+
+from repro.bench import get
+from repro.device.transfer import CostModel
+from repro.experiments.harness import run_variant
+
+
+class TestCostModelTradeoff:
+    def test_one_big_transfer_beats_many_small(self):
+        costs = CostModel()
+        elements = 1024
+        whole = costs.transfer_time(elements * 8)
+        per_element = elements * costs.transfer_time(8)
+        assert whole < per_element / 3  # per-transfer latency dominates
+
+    def test_fine_grained_wins_only_when_payload_tiny(self):
+        costs = CostModel()
+        # Shipping 1 useful element out of N: fine-grained wins once the
+        # whole-array payload dwarfs the latency.
+        n_small, n_large = 4, 4096
+        assert costs.transfer_time(8) > 0.5 * costs.transfer_time(n_small * 8)
+        assert costs.transfer_time(8) < 0.05 * costs.transfer_time(n_large * 8)
+
+
+class TestCFDMonitorConsequence:
+    def test_whole_array_monitor_costs_more(self, size):
+        # Manual CFD ships the 1-element res0; the unoptimized variant ships
+        # the whole residual field: the uncaught redundancy of Table III.
+        manual = run_variant(get("CFD"), "optimized", size)
+        unopt = run_variant(get("CFD"), "unoptimized", size)
+        res0_bytes = sum(
+            e.nbytes for e in manual.runtime.device.events
+            if e.kind in ("h2d", "d2h") and e.name == "res0"
+        )
+        residual_bytes = sum(
+            e.nbytes for e in unopt.runtime.device.events
+            if e.kind in ("h2d", "d2h") and e.name == "residual"
+        )
+        assert residual_bytes > 10 * res0_bytes
+
+
+def test_granularity_benchmark(benchmark, size):
+    result = benchmark.pedantic(
+        run_variant, args=(get("CFD"), "optimized", size), rounds=1, iterations=1
+    )
+    assert result.runtime.device.total_transferred_bytes() > 0

@@ -1,0 +1,48 @@
+"""Ablation — interleaved vs sequential thread schedule for race detection.
+
+Table II's active-error detection depends on the device engine actually
+interleaving threads: under a sequential schedule the unrecognized-reduction
+race cannot manifest and kernel verification goes blind.
+"""
+
+import pytest
+
+from repro.bench import get
+from repro.compiler.driver import CompilerOptions, compile_ast
+from repro.compiler.faults import drop_reduction_clauses
+from repro.device.engine import Schedule
+from repro.verify.kernelverify import KernelVerifier, VerificationOptions
+
+
+def _verify_with(schedule, size):
+    bench = get("CG")
+    clean = bench.compile("optimized")
+    faulty = compile_ast(
+        drop_reduction_clauses(clean.program),
+        CompilerOptions(auto_reduction=False, strict_validation=False),
+    )
+    options = VerificationOptions(schedule=schedule)
+    return KernelVerifier(faulty, params=bench.params(size), options=options).run()
+
+
+def test_interleaving_reveals_reduction_race(size):
+    report = _verify_with(Schedule.round_robin(), size)
+    assert report.failed_kernels(), "round-robin interleaving must expose the race"
+
+
+def test_sequential_schedule_hides_race(size):
+    report = _verify_with(Schedule.sequential(), size)
+    assert report.all_passed, "without interleaving the race cannot manifest"
+
+
+def test_random_schedule_deterministic(size):
+    first = _verify_with(Schedule.random(seed=11), size)
+    second = _verify_with(Schedule.random(seed=11), size)
+    assert first.failed_kernels() == second.failed_kernels()
+
+
+def test_schedule_benchmark(benchmark, size):
+    report = benchmark.pedantic(
+        _verify_with, args=(Schedule.round_robin(), size), rounds=1, iterations=1
+    )
+    assert report.failed_kernels()

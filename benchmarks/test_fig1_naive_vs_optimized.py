@@ -1,0 +1,30 @@
+"""Figure 1 — default (naive) vs manually optimized memory management.
+
+Regenerates the normalized execution-time and transferred-bytes series and
+asserts the paper's shape: the naive scheme always loses, by an order of
+magnitude or more for the iteration-heavy benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import fig1
+
+
+def _check_shape(rows):
+    assert len(rows) == 12
+    for row in rows:
+        assert row.norm_time >= 1.0, f"{row.benchmark}: naive should never win"
+        assert row.norm_bytes >= 1.0, f"{row.benchmark}: naive moves at least as much data"
+    # The iteration-heavy codes are an order of magnitude (or more) worse.
+    heavy = {r.benchmark: r for r in rows}
+    for name in ("CG", "LUD", "NW", "SRAD", "CFD"):
+        assert heavy[name].norm_bytes > 5.0, f"{name}: expected large transfer blowup"
+
+
+def test_fig1_shape(size):
+    _check_shape(fig1.run(size))
+
+
+def test_fig1_benchmark(benchmark, size):
+    rows = benchmark.pedantic(fig1.run, args=(size,), rounds=1, iterations=1)
+    _check_shape(rows)

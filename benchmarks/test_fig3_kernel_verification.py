@@ -1,0 +1,44 @@
+"""Figure 3 — kernel-verification execution-time breakdown.
+
+Asserts the paper's shape: verification costs a few x the sequential run;
+Mem Transfer and Result-Comp dominate the overhead; Async-Wait is small
+(transfers overlap the reference execution); there is a deep-loop outlier
+(the paper's CFD at 2915x; here NW, whose wavefront kernels launch ~2N
+times).
+"""
+
+import pytest
+
+from repro.experiments import fig3
+from repro.runtime.profiler import CAT_ASYNC_WAIT, CAT_RESULT_COMP, CAT_TRANSFER
+
+
+def _check_shape(rows):
+    assert len(rows) == 12
+    for row in rows:
+        assert row.all_passed, f"{row.benchmark}: verification must pass on correct code"
+        assert row.total_normalized > 1.0
+        # Transfers + comparison constitute most of the overhead in the
+        # aggregate (per benchmark they at least rival alloc/free, which
+        # dominates only for the small-array, launch-heavy codes).
+        added = row.total_normalized - 1.0
+        dominant = row.normalized[CAT_TRANSFER] + row.normalized[CAT_RESULT_COMP]
+        assert dominant > 0.25 * added, f"{row.benchmark}: breakdown shape off"
+        assert row.normalized[CAT_ASYNC_WAIT] < row.normalized[CAT_TRANSFER]
+    total_added = sum(r.total_normalized - 1.0 for r in rows)
+    total_dominant = sum(
+        r.normalized[CAT_TRANSFER] + r.normalized[CAT_RESULT_COMP] for r in rows
+    )
+    assert total_dominant > 0.5 * total_added
+    totals = {r.benchmark: r.total_normalized for r in rows}
+    assert max(totals.values()) == totals["NW"]  # the deep-loop outlier
+    assert totals["NW"] > 5 * sorted(totals.values())[len(totals) // 2]
+
+
+def test_fig3_shape(size):
+    _check_shape(fig3.run(size))
+
+
+def test_fig3_benchmark(benchmark, size):
+    rows = benchmark.pedantic(fig3.run, args=(size,), rounds=1, iterations=1)
+    _check_shape(rows)

@@ -1,0 +1,27 @@
+"""Figure 4 — memory-transfer-verification overhead.
+
+The optimized check placement keeps the §III-B instrumentation within a few
+percent of the uninstrumented run (the paper reports -1%..5%; the model is
+deterministic so ours is non-negative)."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def _check_shape(rows):
+    assert len(rows) == 12
+    for row in rows:
+        assert -1.0 <= row.overhead_pct <= 6.0, (
+            f"{row.benchmark}: overhead {row.overhead_pct:.2f}% outside the paper's band"
+        )
+        assert row.check_calls > 0
+
+
+def test_fig4_shape(size):
+    _check_shape(fig4.run(size))
+
+
+def test_fig4_benchmark(benchmark, size):
+    rows = benchmark.pedantic(fig4.run, args=(size,), rounds=1, iterations=1)
+    _check_shape(rows)

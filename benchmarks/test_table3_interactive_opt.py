@@ -1,0 +1,35 @@
+"""Table III — interactive memory-transfer verification and optimization.
+
+Asserts the paper's row shape: every benchmark converges within a handful
+of verification rounds; only BACKPROP (1) and LUD (3) hit incorrect
+suggestions; only CFD retains an uncaught redundancy.
+"""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def _check(rows):
+    by_name = {r.benchmark: r for r in rows}
+    assert len(rows) == 12
+    for row in rows:
+        assert 1 <= row.total_iterations <= 6, f"{row.benchmark}: did not converge quickly"
+    assert by_name["BACKPROP"].incorrect_iterations == 1
+    assert by_name["LUD"].incorrect_iterations == 3
+    for name, row in by_name.items():
+        if name not in ("BACKPROP", "LUD"):
+            assert row.incorrect_iterations == 0, f"{name}: unexpected incorrect iteration"
+    assert by_name["CFD"].uncaught_redundancy == 1
+    for name, row in by_name.items():
+        if name != "CFD":
+            assert row.uncaught_redundancy == 0, f"{name}: unexpected uncaught redundancy"
+
+
+def test_table3_shape(size):
+    _check(table3.run(size))
+
+
+def test_table3_benchmark(benchmark, size):
+    rows = benchmark.pedantic(table3.run, args=(size,), rounds=1, iterations=1)
+    _check(rows)

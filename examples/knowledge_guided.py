@@ -1,0 +1,73 @@
+"""Application knowledge-guided debugging (§III-C).
+
+Floating-point kernels rarely match the CPU bit-for-bit: reductions combine
+in tree order, float32 rounds at every step.  Instead of fighting false
+positives, the user supplies application knowledge:
+
+* ``#pragma repro bound(v, lo, hi)`` — accept a differing GPU value of v
+  when it lies in a known-valid range;
+* ``#pragma repro assert(expr)`` — a program invariant checked against the
+  GPU results right after the kernel (``checksum(a)`` sums an array), which
+  catches bugs automatically without any CPU comparison.
+
+Run:  python examples/knowledge_guided.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_source
+from repro.verify.kernelverify import KernelVerifier, VerificationOptions
+
+# A float32 normalization kernel: results legitimately differ from the CPU
+# in the last bits, but every output must land in [0, 1].
+SOURCE = """
+int N;
+float v[N], out[N];
+float total;
+
+void main()
+{
+    total = 0.0;
+    #pragma acc kernels loop reduction(+:total)
+    for (int i = 0; i < N; i++) {
+        total = total + v[i];
+    }
+    #pragma repro bound(out, 0.0, 1.0)
+    #pragma repro assert(checksum(out) > 0.0)
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < N; i++) {
+        out[i] = v[i] / total;
+    }
+}
+"""
+
+
+def run(label: str, options: VerificationOptions, source: str = SOURCE) -> None:
+    compiled = compile_source(source)
+    params = {"N": 4096, "v": np.random.default_rng(3).random(4096)}
+    report = KernelVerifier(compiled, params=params, options=options).run()
+    print(f"=== {label} ===")
+    print(report.summary())
+    print()
+
+
+def main() -> None:
+    strict = VerificationOptions()
+    strict.policy.error_margin = 0.0
+    run("zero error margin: float32 tree reduction flagged (false positive)", strict)
+
+    tolerant = VerificationOptions.from_string("errorMargin=1e-9,relativeMargin=1e-5")
+    run("paper-style error margin: rounding accepted", tolerant)
+
+    # The bound() directive covers `out` even under a strict margin: the
+    # normalized values differ in low bits but stay in [0, 1].
+    run("bound() directive absorbs in-range deviations", strict)
+
+    # The assert() API catches real corruption without any CPU comparison:
+    # flip the kernel to produce garbage and watch the invariant fail.
+    broken = SOURCE.replace("out[i] = v[i] / total;", "out[i] = 0.0 - v[i];")
+    run("assert(checksum(out) > 0.0) catches a real bug", tolerant, broken)
+
+
+if __name__ == "__main__":
+    main()

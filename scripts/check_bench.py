@@ -1,0 +1,49 @@
+"""Development helper: validate one benchmark module end to end.
+
+Usage: python scripts/check_bench.py <module-name> [size]
+"""
+
+import importlib
+import sys
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.interp import run_compiled, run_sequential
+
+
+def check(mod_name: str, size: str = "tiny") -> None:
+    mod = importlib.import_module(f"repro.bench.programs.{mod_name}")
+    params = mod.make_params(size)
+    for variant in ("OPTIMIZED", "UNOPTIMIZED"):
+        src = getattr(mod, variant)
+        compiled = compile_source(src)
+        seq = run_sequential(compiled, params=params)
+        acc = run_compiled(compiled, params=params)
+        for out in mod.OUTPUTS:
+            ref = seq.env.load(out)
+            got = acc.env.load(out)
+            if isinstance(ref, np.ndarray):
+                ok = np.allclose(ref, got, rtol=1e-6, atol=1e-9)
+            else:
+                ok = np.isclose(float(ref), float(got), rtol=1e-6, atol=1e-9)
+            status = "OK " if ok else "FAIL"
+            print(f"  [{status}] {variant:12s} {out}")
+            if not ok:
+                print("    ref:", np.asarray(ref).ravel()[:8])
+                print("    got:", np.asarray(got).ravel()[:8])
+        kplans = compiled.kernels
+        priv = sum(1 for p in kplans.values() if p.private_decls and any(
+            v not in () for v in p.private_decls))
+        red = sum(1 for p in kplans.values() if p.reductions)
+        if variant == "OPTIMIZED":
+            print(f"  kernels={len(kplans)} with-private-clause="
+                  f"{sum(1 for r in compiled.regions.compute if r.directive.clause('private'))} "
+                  f"with-reduction={red} warnings={compiled.warnings}")
+        xfer = acc.runtime.device.total_transferred_bytes()
+        print(f"  {variant}: transferred {xfer} bytes, "
+              f"{len(acc.runtime.transfer_log)} transfers")
+
+
+if __name__ == "__main__":
+    check(sys.argv[1], sys.argv[2] if len(sys.argv) > 2 else "tiny")

@@ -1,0 +1,13 @@
+"""OpenACC semantic layer: directive model, region extraction, validation."""
+
+from repro.acc.directives import Clause, Directive, VarRef
+from repro.acc.regions import ComputeRegion, DataRegion, collect_regions
+
+__all__ = [
+    "Clause",
+    "Directive",
+    "VarRef",
+    "ComputeRegion",
+    "DataRegion",
+    "collect_regions",
+]

@@ -1,0 +1,261 @@
+"""Data model for ``#pragma acc`` directives and clauses (OpenACC 1.0).
+
+A :class:`Directive` is attached to the statement it precedes (the statement's
+``pragmas`` list).  Clause argument lists hold :class:`VarRef` objects (a
+variable name plus an optional subarray section, which the coherence runtime
+ignores because it tracks whole arrays — §III-B of the paper) or expression
+ASTs for value-bearing clauses like ``async(1)``.
+
+The ``repro`` namespace carries the paper's §III-C extensions:
+``#pragma repro bound(var, lo, hi)`` and ``#pragma repro assert(expr)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+# Directive names (after normalization; combined forms keep both words).
+DATA_DIRECTIVES = frozenset({"data"})
+COMPUTE_DIRECTIVES = frozenset({"kernels", "parallel", "kernels loop", "parallel loop"})
+EXEC_DIRECTIVES = frozenset({"update", "wait", "enter data", "exit data"})
+LOOP_DIRECTIVES = frozenset({"loop"})
+OTHER_DIRECTIVES = frozenset({"declare", "cache", "host_data"})
+ALL_ACC_DIRECTIVES = (
+    DATA_DIRECTIVES | COMPUTE_DIRECTIVES | EXEC_DIRECTIVES | LOOP_DIRECTIVES | OTHER_DIRECTIVES
+)
+
+# Clause name -> canonical name (OpenACC 1.0 aliases).
+CLAUSE_ALIASES = {
+    "pcopy": "present_or_copy",
+    "pcopyin": "present_or_copyin",
+    "pcopyout": "present_or_copyout",
+    "pcreate": "present_or_create",
+}
+
+DATA_CLAUSES = frozenset(
+    {
+        "copy",
+        "copyin",
+        "copyout",
+        "create",
+        "present",
+        "present_or_copy",
+        "present_or_copyin",
+        "present_or_copyout",
+        "present_or_create",
+        "deviceptr",
+        "delete",  # exit data only (OpenACC 2.0)
+    }
+)
+
+VAR_LIST_CLAUSES = DATA_CLAUSES | frozenset(
+    {"private", "firstprivate", "host", "device", "self", "use_device"}
+)
+
+VALUE_CLAUSES = frozenset(
+    {"if", "async", "num_gangs", "num_workers", "vector_length", "collapse", "gang", "worker", "vector", "wait"}
+)
+
+FLAG_CLAUSES = frozenset({"seq", "independent"})
+
+REDUCTION_OPS = frozenset({"+", "*", "max", "min", "&", "|", "^", "&&", "||"})
+
+# Which data a clause moves at region entry / exit (whole-array model).
+CLAUSE_COPIES_IN = frozenset({"copy", "copyin", "present_or_copy", "present_or_copyin"})
+CLAUSE_COPIES_OUT = frozenset({"copy", "copyout", "present_or_copy", "present_or_copyout"})
+CLAUSE_ALLOCATES = DATA_CLAUSES - frozenset({"present", "deviceptr"})
+
+
+class VarRef:
+    """A variable mentioned in a clause, optionally with a subarray section
+    ``name[start:length]`` (sections are parsed but tracked whole-array)."""
+
+    __slots__ = ("name", "section")
+
+    def __init__(self, name: str, section: Optional[Tuple[object, object]] = None):
+        self.name = name
+        self.section = section
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, VarRef)
+            and self.name == other.name
+            and self.section == other.section
+        )
+
+    def __hash__(self):
+        return hash((self.name, bool(self.section)))
+
+    def __repr__(self):
+        if self.section:
+            return f"VarRef({self.name}[{self.section[0]}:{self.section[1]}])"
+        return f"VarRef({self.name})"
+
+    def to_source(self) -> str:
+        if self.section:
+            from repro.lang.printer import expr_to_source
+
+            start, length = self.section
+            return f"{self.name}[{expr_to_source(start)}:{expr_to_source(length)}]"
+        return self.name
+
+
+class Clause:
+    """One clause of a directive.
+
+    * var-list clauses: ``args`` is a list of :class:`VarRef`.
+    * value clauses: ``args`` is a list with one expression AST (possibly
+      empty, e.g. bare ``async`` or bare ``gang``).
+    * ``reduction``: ``op`` holds the operator, ``args`` the VarRefs.
+    """
+
+    __slots__ = ("name", "args", "op")
+
+    def __init__(self, name: str, args: Optional[Sequence] = None, op: Optional[str] = None):
+        self.name = CLAUSE_ALIASES.get(name, name)
+        self.args = list(args) if args else []
+        self.op = op
+
+    def var_names(self) -> List[str]:
+        """Names of all VarRef arguments."""
+        return [a.name for a in self.args if isinstance(a, VarRef)]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Clause)
+            and self.name == other.name
+            and self.args == other.args
+            and self.op == other.op
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.op, len(self.args)))
+
+    def __repr__(self):
+        inner = ", ".join(map(repr, self.args))
+        if self.op:
+            inner = f"{self.op}: {inner}"
+        return f"Clause({self.name}({inner}))" if inner else f"Clause({self.name})"
+
+    def to_source(self) -> str:
+        if not self.args and self.op is None:
+            return self.name
+        parts = []
+        for a in self.args:
+            if isinstance(a, VarRef):
+                parts.append(a.to_source())
+            else:
+                from repro.lang.printer import expr_to_source
+
+                parts.append(expr_to_source(a))
+        inner = ", ".join(parts)
+        if self.op is not None:
+            inner = f"{self.op}:{inner}"
+        return f"{self.name}({inner})" if inner else self.name
+
+
+class Directive:
+    """A whole ``#pragma <namespace> <name> <clauses...>`` line."""
+
+    __slots__ = ("namespace", "name", "clauses", "line")
+
+    def __init__(
+        self,
+        name: str,
+        clauses: Optional[Sequence[Clause]] = None,
+        namespace: str = "acc",
+        line: int = 0,
+    ):
+        self.namespace = namespace
+        self.name = name
+        self.clauses = list(clauses) if clauses else []
+        self.line = line
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def is_compute(self) -> bool:
+        return self.namespace == "acc" and self.name in COMPUTE_DIRECTIVES
+
+    @property
+    def is_data(self) -> bool:
+        return self.namespace == "acc" and self.name in DATA_DIRECTIVES
+
+    @property
+    def is_loop(self) -> bool:
+        return self.namespace == "acc" and (
+            self.name in LOOP_DIRECTIVES or self.name.endswith("loop")
+        )
+
+    def clause(self, name: str) -> Optional[Clause]:
+        """First clause with the given canonical name, or None."""
+        name = CLAUSE_ALIASES.get(name, name)
+        for c in self.clauses:
+            if c.name == name:
+                return c
+        return None
+
+    def clauses_named(self, *names: str) -> List[Clause]:
+        wanted = {CLAUSE_ALIASES.get(n, n) for n in names}
+        return [c for c in self.clauses if c.name in wanted]
+
+    def has_clause(self, name: str) -> bool:
+        return self.clause(name) is not None
+
+    def data_clause_vars(self) -> List[Tuple[str, str]]:
+        """All (clause_name, var_name) pairs over the data clauses."""
+        out = []
+        for c in self.clauses:
+            if c.name in DATA_CLAUSES:
+                for v in c.var_names():
+                    out.append((c.name, v))
+        return out
+
+    def remove_clauses(self, *names: str) -> None:
+        wanted = {CLAUSE_ALIASES.get(n, n) for n in names}
+        self.clauses = [c for c in self.clauses if c.name not in wanted]
+
+    def add_clause(self, clause: Clause) -> None:
+        self.clauses.append(clause)
+
+    def clone(self) -> "Directive":
+        return Directive(
+            self.name,
+            [Clause(c.name, list(c.args), c.op) for c in self.clauses],
+            namespace=self.namespace,
+            line=self.line,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Directive)
+            and self.namespace == other.namespace
+            and self.name == other.name
+            and self.clauses == other.clauses
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self):
+        return f"Directive(#pragma {self.namespace} {self.name} {self.clauses})"
+
+    def to_source(self) -> str:
+        # `wait(queue)` carries the queue in a clause also named "wait";
+        # print it in the directive-argument position.
+        if self.name == "wait" and len(self.clauses) == 1 and self.clauses[0].name == "wait":
+            from repro.lang.printer import expr_to_source
+
+            return f"#pragma {self.namespace} wait({expr_to_source(self.clauses[0].args[0])})"
+        parts = [f"#pragma {self.namespace} {self.name}"]
+        parts.extend(c.to_source() for c in self.clauses)
+        return " ".join(parts)
+
+
+def merge_var_lists(clauses: Iterable[Clause]) -> List[str]:
+    """Union of var names across a clause iterable, order-preserving."""
+    seen = []
+    for c in clauses:
+        for name in c.var_names():
+            if name not in seen:
+                seen.append(name)
+    return seen

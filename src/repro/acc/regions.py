@@ -1,0 +1,156 @@
+"""Extraction of OpenACC regions from an annotated AST.
+
+A *compute region* is a statement annotated with ``kernels``/``parallel``
+(possibly combined with ``loop``); it becomes one GPU kernel named
+``<function>_kernel<N>`` in textual order, matching OpenARC's naming (the
+paper's ``main_kernel0``).  A *data region* is a statement annotated with
+``data``; data regions nest and each compute region records its enclosing
+data regions innermost-first (the demotion pass walks that chain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.acc.directives import Directive
+from repro.lang import ast
+
+
+class DataRegion:
+    """A ``#pragma acc data`` region."""
+
+    def __init__(self, stmt: ast.Stmt, directive: Directive, parent: Optional["DataRegion"]):
+        self.stmt = stmt
+        self.directive = directive
+        self.parent = parent
+
+    def chain(self) -> List["DataRegion"]:
+        """This region and its ancestors, innermost first."""
+        out = []
+        region: Optional[DataRegion] = self
+        while region is not None:
+            out.append(region)
+            region = region.parent
+        return out
+
+    def __repr__(self):
+        return f"DataRegion({self.directive.to_source()!r})"
+
+
+class ComputeRegion:
+    """A ``kernels``/``parallel`` compute region (one GPU kernel)."""
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        stmt: ast.Stmt,
+        directive: Directive,
+        enclosing_data: List[DataRegion],
+        func: ast.FuncDef,
+    ):
+        self.name = name
+        self.index = index
+        self.stmt = stmt
+        self.directive = directive
+        self.enclosing_data = enclosing_data  # innermost first
+        self.func = func
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.directive.name.startswith("parallel")
+
+    def __repr__(self):
+        return f"ComputeRegion({self.name})"
+
+
+class UpdatePoint:
+    """A ``#pragma acc update`` executable directive site."""
+
+    def __init__(self, stmt: ast.Stmt, directive: Directive, index: int):
+        self.stmt = stmt
+        self.directive = directive
+        self.index = index
+        self.name = f"update{index}"
+
+    def __repr__(self):
+        return f"UpdatePoint({self.name}: {self.directive.to_source()!r})"
+
+
+class RegionTable:
+    """All regions of one function, in textual order."""
+
+    def __init__(self, func: ast.FuncDef):
+        self.func = func
+        self.compute: List[ComputeRegion] = []
+        self.data: List[DataRegion] = []
+        self.updates: List[UpdatePoint] = []
+
+    def kernel(self, name: str) -> ComputeRegion:
+        for region in self.compute:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def kernel_names(self) -> List[str]:
+        return [r.name for r in self.compute]
+
+    def region_for_stmt(self, stmt: ast.Stmt) -> Optional[ComputeRegion]:
+        for region in self.compute:
+            if region.stmt is stmt:
+                return region
+        return None
+
+
+def collect_regions(func: ast.FuncDef) -> RegionTable:
+    """Walk a function body and build its :class:`RegionTable`."""
+    table = RegionTable(func)
+
+    def walk(stmt: ast.Stmt, data_parent: Optional[DataRegion]) -> None:
+        current_data = data_parent
+        compute_directive = None
+        for directive in stmt.pragmas:
+            if directive.is_data:
+                region = DataRegion(stmt, directive, current_data)
+                table.data.append(region)
+                current_data = region
+            elif directive.is_compute:
+                compute_directive = directive
+            elif directive.namespace == "acc" and directive.name == "update":
+                table.updates.append(UpdatePoint(stmt, directive, len(table.updates)))
+        if compute_directive is not None:
+            index = len(table.compute)
+            region = ComputeRegion(
+                name=f"{func.name}_kernel{index}",
+                index=index,
+                stmt=stmt,
+                directive=compute_directive,
+                enclosing_data=current_data.chain() if current_data else [],
+                func=func,
+            )
+            table.compute.append(region)
+            return  # compute regions do not nest
+        for child in _child_statements(stmt):
+            walk(child, current_data)
+
+    for top in func.body.body:
+        walk(top, None)
+    return table
+
+
+def _child_statements(stmt: ast.Stmt):
+    if isinstance(stmt, ast.Block):
+        yield from stmt.body
+    elif isinstance(stmt, ast.If):
+        yield stmt.then
+        if stmt.orelse is not None:
+            yield stmt.orelse
+    elif isinstance(stmt, ast.For):
+        yield stmt.body
+    elif isinstance(stmt, ast.While):
+        yield stmt.body
+
+
+def collect_program_regions(program: ast.Program) -> Dict[str, RegionTable]:
+    """Region tables for every function in the program."""
+    return {f.name: collect_regions(f) for f in program.funcs}

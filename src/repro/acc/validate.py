@@ -1,0 +1,164 @@
+"""Directive legality checks.
+
+These run right after parsing (part of the compiler frontend) and catch the
+directive-misuse class of bugs *statically*: unknown variables in clauses,
+a variable in two conflicting data clauses of one directive, ``loop``
+directives outside compute regions, ``update`` naming data not covered by any
+enclosing data clause, and malformed reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.acc.directives import DATA_CLAUSES, Directive
+from repro.acc.regions import RegionTable, collect_regions
+from repro.errors import SemanticError
+from repro.lang import ast
+from repro.lang.ctypes import CType
+
+
+class ValidationReport:
+    """Accumulated directive diagnostics; ``raise_if_errors`` fails fast."""
+
+    def __init__(self):
+        self.errors: List[str] = []
+        self.warnings: List[str] = []
+
+    def error(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        self.errors.append(prefix + message)
+
+    def warn(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        self.warnings.append(prefix + message)
+
+    def raise_if_errors(self) -> None:
+        if self.errors:
+            raise SemanticError("; ".join(self.errors))
+
+    def __repr__(self):
+        return f"ValidationReport(errors={self.errors}, warnings={self.warnings})"
+
+
+def declared_names(func: ast.FuncDef, program: ast.Program) -> Dict[str, CType]:
+    """All names visible in ``func``: globals, params, local declarations."""
+    names: Dict[str, CType] = {}
+    for decl in program.decls:
+        names[decl.name] = decl.ctype
+    for param in func.params:
+        names[param.name] = param.ctype
+    for node in func.body.walk():
+        if isinstance(node, ast.VarDecl):
+            names[node.name] = node.ctype
+    return names
+
+
+def validate_function(func: ast.FuncDef, program: ast.Program) -> ValidationReport:
+    """Validate every directive in one function."""
+    report = ValidationReport()
+    names = declared_names(func, program)
+    table = collect_regions(func)
+
+    for node in func.body.walk():
+        if not isinstance(node, ast.Stmt):
+            continue
+        for directive in node.pragmas:
+            if directive.namespace != "acc":
+                continue
+            _check_clause_vars(directive, names, report)
+            _check_conflicting_data_clauses(directive, report)
+            if directive.name == "loop":
+                if not _inside_compute(node, table):
+                    report.error(
+                        "orphan '#pragma acc loop' outside any compute region",
+                        directive.line,
+                    )
+                if not isinstance(node, ast.For):
+                    report.error(
+                        "'#pragma acc loop' must annotate a for statement",
+                        directive.line,
+                    )
+            if directive.is_compute and directive.name.endswith("loop"):
+                if not isinstance(node, ast.For):
+                    report.error(
+                        f"'#pragma acc {directive.name}' must annotate a for statement",
+                        directive.line,
+                    )
+            for clause in directive.clauses_named("reduction"):
+                if clause.op is None:
+                    report.error("reduction clause missing operator", directive.line)
+
+    _check_update_coverage(table, report)
+    return report
+
+
+def validate_program(program: ast.Program) -> ValidationReport:
+    """Validate all functions; merged report."""
+    merged = ValidationReport()
+    for func in program.funcs:
+        rep = validate_function(func, program)
+        merged.errors.extend(rep.errors)
+        merged.warnings.extend(rep.warnings)
+    return merged
+
+
+def _check_clause_vars(directive: Directive, names: Dict[str, CType], report) -> None:
+    for clause in directive.clauses:
+        for var in clause.var_names():
+            if var not in names:
+                report.error(
+                    f"clause '{clause.name}' names undeclared variable '{var}'",
+                    directive.line,
+                )
+
+
+def _check_conflicting_data_clauses(directive: Directive, report) -> None:
+    seen: Dict[str, str] = {}
+    for clause in directive.clauses:
+        if clause.name not in DATA_CLAUSES:
+            continue
+        for var in clause.var_names():
+            if var in seen and seen[var] != clause.name:
+                report.error(
+                    f"variable '{var}' appears in both '{seen[var]}' and "
+                    f"'{clause.name}' clauses",
+                    directive.line,
+                )
+            seen[var] = clause.name
+
+
+def _inside_compute(node: ast.Stmt, table: RegionTable) -> bool:
+    for region in table.compute:
+        if any(n is node for n in region.stmt.walk()):
+            return True
+    return False
+
+
+def _check_update_coverage(table: RegionTable, report) -> None:
+    """``update host/device(v)`` requires v under some enclosing data clause.
+
+    We approximate "enclosing" as: v is named by any data clause of any data
+    region or compute region of the function (the runtime present-table does
+    the exact dynamic check)."""
+    covered: Set[str] = set()
+    for region in table.data:
+        for _, var in region.directive.data_clause_vars():
+            covered.add(var)
+    for region in table.compute:
+        for _, var in region.directive.data_clause_vars():
+            covered.add(var)
+    for node in table.func.body.walk():
+        for directive in getattr(node, "pragmas", []):
+            if directive.namespace == "acc" and directive.name == "enter data":
+                for _, var in directive.data_clause_vars():
+                    covered.add(var)
+    for point in table.updates:
+        for clause in point.directive.clauses_named("host", "device", "self"):
+            for var in clause.var_names():
+                if var not in covered:
+                    report.warn(
+                        f"update of '{var}' which no data clause covers; the "
+                        "runtime will fault if it is not device-resident",
+                        point.directive.line,
+                    )

@@ -1,0 +1,14 @@
+"""The twelve OpenACC benchmarks of the paper's evaluation (§IV-A).
+
+Two kernel benchmarks (JACOBI, SPMUL), two NAS Parallel Benchmarks (EP, CG)
+and eight Rodinia benchmarks (BACKPROP, BFS, CFD, SRAD, HOTSPOT, KMEANS,
+LUD, NW), re-ported to the mini-C language.  Each benchmark ships a
+*manually optimized* variant (tuned data regions and deferred updates — the
+paper's baseline for Figure 1 and the target of Table III) and an
+*unoptimized* variant (conservative per-iteration transfers — the starting
+point of the §IV-C interactive-optimization study).
+"""
+
+from repro.bench.suite import Benchmark, all_names, get
+
+__all__ = ["Benchmark", "all_names", "get"]

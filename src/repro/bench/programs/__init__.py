@@ -1,0 +1,1 @@
+"""The twelve benchmark program sources (mini-C with OpenACC directives)."""

@@ -1,0 +1,138 @@
+"""BACKPROP — Rodinia neural-net training step.
+
+Five kernels: two matrix-vector forward passes (private accumulators), the
+output/hidden delta computations, and a 2D weight-adjust.  The hidden layer
+keeps its bias unit in ``hidden[0]``, written by the *host*; the GPU kernels
+only ever write ``hidden[1..]``.  That partial-write pattern makes the
+compiler's GPU-side deadness analysis conclude ``hidden`` is *may-dead* at
+the host write, so the (required!) ``update device(hidden)`` is reported
+may-redundant — the incorrect suggestion the paper attributes to BACKPROP in
+Table III, which the output check then catches.
+"""
+
+from repro.bench.workloads import dense_matrix, dense_vector
+
+NAME = "BACKPROP"
+
+_COMMON = """
+int IN1, HID1, OUT1, EPOCHS;
+double input[IN1], target[OUT1];
+double w_ih[IN1][HID1], w_ho[HID1][OUT1];
+double hidden[HID1], output[OUT1];
+double delta_o[OUT1], delta_h[HID1];
+double err, lr, wchk;
+"""
+
+_KERNELS = """
+            #pragma acc kernels loop gang worker private(sum)
+            for (int j = 1; j < HID1; j++) {
+                sum = 0.0;
+                for (int i = 0; i < IN1; i++) {
+                    sum = sum + input[i] * w_ih[i][j];
+                }
+                hidden[j] = 1.0 / (1.0 + exp(-sum));
+            }
+            #pragma acc kernels loop gang worker private(sum)
+            for (int k = 1; k < OUT1; k++) {
+                sum = 0.0;
+                for (int j = 0; j < HID1; j++) {
+                    sum = sum + hidden[j] * w_ho[j][k];
+                }
+                output[k] = 1.0 / (1.0 + exp(-sum));
+            }
+            #pragma acc kernels loop gang worker
+            for (int k = 1; k < OUT1; k++) {
+                delta_o[k] = output[k] * (1.0 - output[k]) * (target[k] - output[k]);
+            }
+            #pragma acc kernels loop gang worker
+            for (int j = 1; j < HID1; j++) {
+                double s = 0.0;
+                for (int k = 1; k < OUT1; k++) {
+                    s = s + delta_o[k] * w_ho[j][k];
+                }
+                delta_h[j] = hidden[j] * (1.0 - hidden[j]) * s;
+            }
+            #pragma acc kernels loop collapse(2)
+            for (int j = 0; j < HID1; j++) {
+                for (int k = 1; k < OUT1; k++) {
+                    w_ho[j][k] = w_ho[j][k] + lr * delta_o[k] * hidden[j];
+                }
+            }
+"""
+
+OPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double sum;
+    hidden[0] = 1.0;
+    #pragma acc data copyin(input, target, w_ih) copy(w_ho) \\
+                     create(hidden, delta_o, delta_h, output)
+    {
+        #pragma acc update device(hidden)
+        for (int e = 0; e < EPOCHS; e++) {
+"""
+    + _KERNELS
+    + """
+            #pragma acc update host(output)
+            err = 0.0;
+            for (int k = 1; k < OUT1; k++) {
+                err = err + (target[k] - output[k]) * (target[k] - output[k]);
+            }
+        }
+    }
+    wchk = 0.0;
+    for (int j = 0; j < HID1; j++) {
+        for (int k = 0; k < OUT1; k++) { wchk = wchk + w_ho[j][k]; }
+    }
+}
+"""
+)
+
+UNOPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double sum;
+    hidden[0] = 1.0;
+    #pragma acc data copy(input, target, w_ih, w_ho, hidden, delta_o, delta_h, output)
+    {
+        #pragma acc update device(hidden)
+        for (int e = 0; e < EPOCHS; e++) {
+"""
+    + _KERNELS
+    + """
+            #pragma acc update host(output, hidden, delta_o, delta_h)
+            err = 0.0;
+            for (int k = 1; k < OUT1; k++) {
+                err = err + (target[k] - output[k]) * (target[k] - output[k]);
+            }
+        }
+    }
+    wchk = 0.0;
+    for (int j = 0; j < HID1; j++) {
+        for (int k = 0; k < OUT1; k++) { wchk = wchk + w_ho[j][k]; }
+    }
+}
+"""
+)
+
+SIZES = {
+    "tiny": {"IN1": 5, "HID1": 5, "OUT1": 3, "EPOCHS": 2},
+    "small": {"IN1": 17, "HID1": 9, "OUT1": 3, "EPOCHS": 3},
+    "large": {"IN1": 65, "HID1": 17, "OUT1": 5, "EPOCHS": 5},
+}
+
+OUTPUTS = ["w_ho", "err", "wchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    cfg["lr"] = 0.3
+    cfg["input"] = dense_vector(cfg["IN1"], seed=seed)
+    cfg["target"] = dense_vector(cfg["OUT1"], seed=seed + 1)
+    cfg["w_ih"] = dense_matrix(cfg["IN1"], cfg["HID1"], seed=seed + 2) * 0.1
+    cfg["w_ho"] = dense_matrix(cfg["HID1"], cfg["OUT1"], seed=seed + 3) * 0.1
+    return cfg

@@ -1,0 +1,133 @@
+"""BFS — Rodinia breadth-first search over a CSR graph.
+
+Level-synchronous frontier expansion; the host inspects the stop flag each
+wave (a mandatory one-element transfer).  The unoptimized variant also
+ships the whole level/frontier arrays back every wave.
+"""
+
+from repro.bench.workloads import random_graph_csr
+
+NAME = "BFS"
+
+_COMMON = """
+int NODES, NODES1, EDGES, MAXDEPTH;
+long offsets[NODES1], edges[EDGES];
+long levels[NODES];
+long f1[NODES], f2[NODES];
+long stop[1];
+int depth, cont;
+long lvlchk;
+"""
+
+_KERNELS = """
+        #pragma acc kernels loop gang worker private(jstart, jend)
+        for (int i = 0; i < NODES; i++) {
+            if (f1[i] == 1) {
+                jstart = (int)offsets[i];
+                jend = (int)offsets[i + 1];
+                for (int j = jstart; j < jend; j++) {
+                    if (levels[(int)edges[j]] < 0) {
+                        levels[(int)edges[j]] = depth + 1;
+                        f2[(int)edges[j]] = 1;
+                    }
+                }
+            }
+        }
+        #pragma acc kernels loop gang worker
+        for (int i = 0; i < NODES; i++) {
+            f1[i] = f2[i];
+            f2[i] = 0;
+            if (f1[i] == 1) {
+                stop[0] = stop[0] + 1;
+            }
+        }
+"""
+
+OPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    int jstart, jend;
+    for (int i = 0; i < NODES; i++) {
+        levels[i] = -1;
+        f1[i] = 0;
+        f2[i] = 0;
+    }
+    levels[0] = 0;
+    f1[0] = 1;
+    depth = 0;
+    cont = 1;
+    #pragma acc data copyin(offsets, edges, f1, f2, stop) copy(levels)
+    {
+        while (cont == 1 && depth < MAXDEPTH) {
+            stop[0] = 0;
+            #pragma acc update device(stop)
+"""
+    + _KERNELS
+    + """
+            #pragma acc update host(stop)
+            cont = (int)stop[0];
+            depth = depth + 1;
+        }
+    }
+    lvlchk = 0;
+    for (int i = 0; i < NODES; i++) { lvlchk = lvlchk + levels[i]; }
+}
+"""
+)
+
+UNOPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    int jstart, jend;
+    for (int i = 0; i < NODES; i++) {
+        levels[i] = -1;
+        f1[i] = 0;
+        f2[i] = 0;
+    }
+    levels[0] = 0;
+    f1[0] = 1;
+    depth = 0;
+    cont = 1;
+    #pragma acc data copy(offsets, edges, f1, f2, levels, stop)
+    {
+        while (cont == 1 && depth < MAXDEPTH) {
+            stop[0] = 0;
+            #pragma acc update device(stop)
+"""
+    + _KERNELS
+    + """
+            #pragma acc update host(stop, levels, f1, f2)
+            cont = (int)stop[0];
+            depth = depth + 1;
+        }
+    }
+    lvlchk = 0;
+    for (int i = 0; i < NODES; i++) { lvlchk = lvlchk + levels[i]; }
+}
+"""
+)
+
+SIZES = {
+    "tiny": {"NODES": 16, "MAXDEPTH": 20},
+    "small": {"NODES": 64, "MAXDEPTH": 70},
+    "large": {"NODES": 512, "MAXDEPTH": 520},
+}
+
+OUTPUTS = ["levels", "depth", "lvlchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    n = cfg["NODES"]
+    offsets, edges = random_graph_csr(n, degree=3, seed=seed)
+    cfg.update(
+        NODES1=n + 1,
+        EDGES=len(edges),
+        offsets=offsets,
+        edges=edges,
+    )
+    return cfg

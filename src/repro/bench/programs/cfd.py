@@ -1,0 +1,145 @@
+"""CFD — Rodinia Euler solver, reduced to a 1D ring of cells.
+
+Six kernels in the manually optimized version: field init, old-state copy,
+step factor (private), flux (private), time step, and a one-element monitor
+extraction that feeds the host's convergence check.  The *unoptimized*
+variant instead ships the whole residual field to the host every iteration;
+because the host genuinely reads (one element of) it each time, whole-array
+coherence tracking can never call that transfer redundant — the one
+redundancy the tool cannot catch in the paper's Table III (CFD row).
+"""
+
+from repro.bench.workloads import dense_vector
+
+NAME = "CFD"
+
+_COMMON = """
+int NC, ITER;
+double dens[NC], mom[NC], ener[NC];
+double dens_old[NC], mom_old[NC], ener_old[NC];
+double step[NC], flux_d[NC], flux_m[NC], flux_e[NC];
+double residual[NC];
+double res0[1];
+double cfl, monitor, fchk;
+"""
+
+_INIT_KERNEL = """
+        #pragma acc kernels loop gang worker
+        for (int i = 0; i < NC; i++) {
+            mom[i] = dens[i] * 0.1;
+            ener[i] = dens[i] * 2.5;
+            residual[i] = 0.0;
+        }
+"""
+
+_ITER_KERNELS = """
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < NC; i++) {
+                dens_old[i] = dens[i];
+                mom_old[i] = mom[i];
+                ener_old[i] = ener[i];
+            }
+            #pragma acc kernels loop gang worker private(vel, pres, spd)
+            for (int i = 0; i < NC; i++) {
+                vel = mom_old[i] / dens_old[i];
+                pres = 0.4 * (ener_old[i] - 0.5 * dens_old[i] * vel * vel);
+                spd = sqrt(1.4 * pres / dens_old[i]);
+                step[i] = cfl / (fabs(vel) + spd);
+            }
+            #pragma acc kernels loop gang worker private(il, ir)
+            for (int i = 0; i < NC; i++) {
+                il = (i + NC - 1) % NC;
+                ir = (i + 1) % NC;
+                flux_d[i] = 0.5 * (mom_old[il] - mom_old[ir]);
+                flux_m[i] = 0.5 * (mom_old[il] * mom_old[il] / dens_old[il]
+                                 - mom_old[ir] * mom_old[ir] / dens_old[ir]);
+                flux_e[i] = 0.5 * (ener_old[il] * mom_old[il] / dens_old[il]
+                                 - ener_old[ir] * mom_old[ir] / dens_old[ir]);
+            }
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < NC; i++) {
+                dens[i] = dens_old[i] + step[i] * flux_d[i];
+                mom[i] = mom_old[i] + step[i] * flux_m[i];
+                ener[i] = ener_old[i] + step[i] * flux_e[i];
+                residual[i] = fabs(dens[i] - dens_old[i]);
+            }
+"""
+
+OPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double vel, pres, spd;
+    int il, ir;
+    #pragma acc data copy(dens, mom, ener) \\
+                     create(dens_old, mom_old, ener_old) \\
+                     create(step, flux_d, flux_m, flux_e, residual, res0)
+    {
+"""
+    + _INIT_KERNEL
+    + """
+        for (int it = 0; it < ITER; it++) {
+"""
+    + _ITER_KERNELS
+    + """
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < 1; i++) {
+                res0[0] = residual[0];
+            }
+            #pragma acc update host(res0)
+            monitor = res0[0];
+        }
+    }
+    fchk = 0.0;
+    for (int i = 0; i < NC; i++) {
+        fchk = fchk + dens[i] + mom[i] + ener[i];
+    }
+}
+"""
+)
+
+UNOPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double vel, pres, spd;
+    int il, ir;
+    #pragma acc data copy(dens, mom, ener, dens_old, mom_old, ener_old) \\
+                     copy(step, flux_d, flux_m, flux_e, residual, res0)
+    {
+"""
+    + _INIT_KERNEL
+    + """
+        for (int it = 0; it < ITER; it++) {
+"""
+    + _ITER_KERNELS
+    + """
+            #pragma acc update host(residual)
+            monitor = residual[0];
+            #pragma acc update host(dens, mom, ener)
+        }
+    }
+    fchk = 0.0;
+    for (int i = 0; i < NC; i++) {
+        fchk = fchk + dens[i] + mom[i] + ener[i];
+    }
+}
+"""
+)
+
+SIZES = {
+    "tiny": {"NC": 16, "ITER": 2},
+    "small": {"NC": 48, "ITER": 4},
+    "large": {"NC": 192, "ITER": 8},
+}
+
+OUTPUTS = ["dens", "mom", "ener", "monitor", "fchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    cfg["dens"] = dense_vector(cfg["NC"], seed=seed, lo=0.8, hi=1.2)
+    cfg["cfl"] = 0.05
+    return cfg

@@ -1,0 +1,129 @@
+"""CG — NAS conjugate-gradient benchmark (CSR sparse).
+
+The paper's Listing 1 comes from this port: ``q`` and ``p`` live only on
+the GPU (``create``) for the whole solve, and the inner cgit loop runs
+matvec + two dot-product reduction kernels + axpy updates.  The unoptimized
+variant copies the GPU-only vectors around every iteration.
+"""
+
+from repro.bench.workloads import csr_laplacian_like, dense_vector
+
+NAME = "CG"
+
+_BODY = """
+        for (int it = 0; it < NITER; it++) {
+            for (int cgit = 0; cgit < CGITMAX; cgit++) {
+                #pragma acc kernels loop gang worker private(sum)
+                for (int i = 0; i < N; i++) {
+                    sum = 0.0;
+                    for (int j = (int)rowptr[i]; j < (int)rowptr[i + 1]; j++) {
+                        sum = sum + vals[j] * p[(int)colidx[j]];
+                    }
+                    q[i] = sum;
+                }
+                d = 0.0;
+                #pragma acc kernels loop reduction(+:d)
+                for (int i = 0; i < N; i++) {
+                    d = d + p[i] * q[i];
+                }
+                alpha = rho / d;
+                rho0 = rho;
+                #pragma acc kernels loop gang worker
+                for (int i = 0; i < N; i++) {
+                    z[i] = z[i] + alpha * p[i];
+                    r[i] = r[i] - alpha * q[i];
+                }
+                rho = 0.0;
+                #pragma acc kernels loop reduction(+:rho)
+                for (int i = 0; i < N; i++) {
+                    rho = rho + r[i] * r[i];
+                }
+                beta = rho / rho0;
+                #pragma acc kernels loop gang worker
+                for (int i = 0; i < N; i++) {
+                    p[i] = r[i] + beta * p[i];
+                }
+%EXTRA%
+            }
+        }
+"""
+
+_PROLOG = """
+int N, NNZ, NITER, CGITMAX;
+long rowptr[N1], colidx[NNZ];
+double vals[NNZ];
+double x[N], z[N], r[N], p[N], q[N];
+double rho, rho0, alpha, beta, d;
+double znorm;
+
+void main()
+{
+    double sum;
+    for (int i = 0; i < N; i++) {
+        z[i] = 0.0;
+        r[i] = x[i];
+        p[i] = x[i];
+    }
+    rho = 0.0;
+    for (int i = 0; i < N; i++) { rho = rho + r[i] * r[i]; }
+"""
+
+_EPILOG = """
+    znorm = 0.0;
+    for (int i = 0; i < N; i++) { znorm = znorm + z[i] * z[i]; }
+}
+"""
+
+OPTIMIZED = (
+    _PROLOG
+    + """
+    #pragma acc data copyin(rowptr, colidx, vals, p, r) create(q) copy(z)
+    {
+"""
+    + _BODY.replace("%EXTRA%", "")
+    + """
+    }
+"""
+    + _EPILOG
+)
+
+UNOPTIMIZED = (
+    _PROLOG
+    + """
+    #pragma acc data copy(rowptr, colidx, vals, p, q, z, r)
+    {
+"""
+    + _BODY.replace(
+        "%EXTRA%",
+        """
+                #pragma acc update host(q, z, r, p)
+""",
+    )
+    + """
+    }
+"""
+    + _EPILOG
+)
+
+SIZES = {
+    "tiny": {"N": 16, "NITER": 1, "CGITMAX": 2},
+    "small": {"N": 48, "NITER": 1, "CGITMAX": 4},
+    "large": {"N": 128, "NITER": 2, "CGITMAX": 8},
+}
+
+OUTPUTS = ["z", "znorm", "rho"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    n = cfg["N"]
+    rowptr, colidx, vals = csr_laplacian_like(n, nnz_per_row=4, seed=seed)
+    cfg.update(
+        N1=n + 1,
+        NNZ=len(colidx),
+        rowptr=rowptr,
+        colidx=colidx,
+        vals=vals,
+        x=dense_vector(n, seed=seed + 2, lo=0.5, hi=1.0),
+    )
+    return cfg

@@ -1,0 +1,111 @@
+"""EP — NAS "embarrassingly parallel" Gaussian-deviate benchmark.
+
+Each index derives two pseudo-random uniforms from a per-thread LCG stream,
+applies the acceptance test, and accumulates the deviate sums (a reduction
+kernel).  A separate kernel bins the deviates into concentric squares.
+"""
+
+NAME = "EP"
+
+# 2*M samples; q[] counts deviates per ring, sx/sy are the deviate sums.
+OPTIMIZED = """
+int M, NQ;
+double gx[M], gy[M];
+double q[NQ];
+double sx, sy, qchk;
+
+void main()
+{
+    double t1, t2, t3, t4, x1, x2;
+    #pragma acc data create(gx, gy) copy(q)
+    {
+        #pragma acc kernels loop gang worker private(t1, t2, t3, t4, x1, x2)
+        for (int i = 0; i < M; i++) {
+            t1 = (double)(((i + 1) * 62089911 + 12345) % 2147483647) / 2147483647.0;
+            t2 = (double)(((i + 1) * 93419407 + 54321) % 2147483647) / 2147483647.0;
+            x1 = 2.0 * t1 - 1.0;
+            x2 = 2.0 * t2 - 1.0;
+            t3 = x1 * x1 + x2 * x2;
+            if (t3 <= 1.0 && t3 > 0.0) {
+                t4 = sqrt(-2.0 * log(t3) / t3);
+                gx[i] = x1 * t4;
+                gy[i] = x2 * t4;
+            } else {
+                gx[i] = 0.0;
+                gy[i] = 0.0;
+            }
+        }
+        sx = 0.0;
+        sy = 0.0;
+        #pragma acc kernels loop gang worker reduction(+:sx, sy)
+        for (int i = 0; i < M; i++) {
+            int l = (int)fmax(fabs(gx[i]), fabs(gy[i]));
+            if (l < NQ) {
+                q[l] = q[l] + 1.0;
+            }
+            sx = sx + gx[i];
+            sy = sy + gy[i];
+        }
+    }
+    qchk = 0.0;
+    for (int l2 = 0; l2 < NQ; l2++) { qchk = qchk + q[l2]; }
+}
+"""
+
+UNOPTIMIZED = """
+int M, NQ;
+double gx[M], gy[M];
+double q[NQ];
+double sx, sy, qchk;
+
+void main()
+{
+    double t1, t2, t3, t4, x1, x2;
+    #pragma acc data copy(gx, gy, q)
+    {
+        #pragma acc kernels loop gang worker private(t1, t2, t3, t4, x1, x2)
+        for (int i = 0; i < M; i++) {
+            t1 = (double)(((i + 1) * 62089911 + 12345) % 2147483647) / 2147483647.0;
+            t2 = (double)(((i + 1) * 93419407 + 54321) % 2147483647) / 2147483647.0;
+            x1 = 2.0 * t1 - 1.0;
+            x2 = 2.0 * t2 - 1.0;
+            t3 = x1 * x1 + x2 * x2;
+            if (t3 <= 1.0 && t3 > 0.0) {
+                t4 = sqrt(-2.0 * log(t3) / t3);
+                gx[i] = x1 * t4;
+                gy[i] = x2 * t4;
+            } else {
+                gx[i] = 0.0;
+                gy[i] = 0.0;
+            }
+        }
+        #pragma acc update host(gx, gy)
+        sx = 0.0;
+        sy = 0.0;
+        #pragma acc kernels loop gang worker reduction(+:sx, sy)
+        for (int i = 0; i < M; i++) {
+            int l = (int)fmax(fabs(gx[i]), fabs(gy[i]));
+            if (l < NQ) {
+                q[l] = q[l] + 1.0;
+            }
+            sx = sx + gx[i];
+            sy = sy + gy[i];
+        }
+        #pragma acc update host(q)
+    }
+    qchk = 0.0;
+    for (int l2 = 0; l2 < NQ; l2++) { qchk = qchk + q[l2]; }
+}
+"""
+
+SIZES = {
+    "tiny": {"M": 32, "NQ": 10},
+    "small": {"M": 256, "NQ": 10},
+    "large": {"M": 2048, "NQ": 10},
+}
+
+OUTPUTS = ["q", "sx", "sy", "qchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    return dict(SIZES[size])

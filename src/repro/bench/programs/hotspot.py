@@ -1,0 +1,108 @@
+"""HOTSPOT — Rodinia thermal simulation (2D stencil).
+
+One 2D stencil kernel (private neighbor temporaries) plus a grid copy per
+time step.  The unoptimized variant drags the temperature field back to the
+host every step.
+"""
+
+from repro.bench.workloads import heat_grid
+
+NAME = "HOTSPOT"
+
+_COMMON = """
+int N, STEPS;
+double temp[N][N], power[N][N], tnew[N][N];
+double cap, rx, ry, rz, amb;
+double tchk;
+"""
+
+_EPILOG = """
+    tchk = 0.0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) { tchk = tchk + temp[i][j]; }
+    }
+}
+"""
+
+_KERNELS = """
+            #pragma acc kernels loop collapse(2) private(tc, tn, ts, te, tw)
+            for (int i = 0; i < N; i++) {
+                for (int j = 0; j < N; j++) {
+                    tc = temp[i][j];
+                    tn = i > 0 ? temp[i - 1][j] : tc;
+                    ts = i < N - 1 ? temp[i + 1][j] : tc;
+                    tw = j > 0 ? temp[i][j - 1] : tc;
+                    te = j < N - 1 ? temp[i][j + 1] : tc;
+                    tnew[i][j] = tc + cap * (power[i][j]
+                        + (tn + ts - 2.0 * tc) / ry
+                        + (te + tw - 2.0 * tc) / rx
+                        + (amb - tc) / rz);
+                }
+            }
+            #pragma acc kernels loop collapse(2)
+            for (int i = 0; i < N; i++) {
+                for (int j = 0; j < N; j++) {
+                    temp[i][j] = tnew[i][j];
+                }
+            }
+"""
+
+OPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double tc, tn, ts, te, tw;
+    #pragma acc data copyin(power) copy(temp) create(tnew)
+    {
+        for (int s = 0; s < STEPS; s++) {
+"""
+    + _KERNELS
+    + """
+        }
+    }
+"""
+    + _EPILOG
+)
+
+UNOPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double tc, tn, ts, te, tw;
+    #pragma acc data copy(power, temp, tnew)
+    {
+        for (int s = 0; s < STEPS; s++) {
+"""
+    + _KERNELS
+    + """
+            #pragma acc update host(temp)
+        }
+    }
+"""
+    + _EPILOG
+)
+
+SIZES = {
+    "tiny": {"N": 8, "STEPS": 2},
+    "small": {"N": 16, "STEPS": 4},
+    "large": {"N": 64, "STEPS": 8},
+}
+
+OUTPUTS = ["temp", "tchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    temp, power = heat_grid(cfg["N"], seed=seed)
+    cfg.update(
+        temp=temp,
+        power=power,
+        cap=0.5,
+        rx=1.0,
+        ry=1.0,
+        rz=4.0,
+        amb=80.0,
+    )
+    return cfg

@@ -1,0 +1,77 @@
+"""JACOBI — 1D Jacobi-style relaxation (kernel benchmark).
+
+Two kernels per iteration (stencil + copy-back).  The unoptimized variant
+carries the paper's Listing-3 pattern: an eager ``update host`` of the
+solution every iteration, plus a conservative ``copy`` data region; the tool
+should defer the update past the iteration loop and demote the dead
+copyouts (Listing 4's suggestions).
+"""
+
+from repro.bench.workloads import dense_vector
+
+NAME = "JACOBI"
+
+OPTIMIZED = """
+int N, ITER;
+double a[N], anew[N], b[N];
+double resid;
+
+void main()
+{
+    #pragma acc data copyin(b) copy(a) create(anew)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop gang worker
+            for (int i = 1; i < N - 1; i++) {
+                anew[i] = 0.5 * (a[i - 1] + a[i + 1]) + b[i];
+            }
+            #pragma acc kernels loop gang worker
+            for (int i = 1; i < N - 1; i++) {
+                a[i] = anew[i];
+            }
+        }
+    }
+    resid = a[N / 2];
+}
+"""
+
+UNOPTIMIZED = """
+int N, ITER;
+double a[N], anew[N], b[N];
+double resid;
+
+void main()
+{
+    #pragma acc data copy(a, b) create(anew)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop gang worker
+            for (int i = 1; i < N - 1; i++) {
+                anew[i] = 0.5 * (a[i - 1] + a[i + 1]) + b[i];
+            }
+            #pragma acc kernels loop gang worker
+            for (int i = 1; i < N - 1; i++) {
+                a[i] = anew[i];
+            }
+            #pragma acc update host(a)
+        }
+    }
+    resid = a[N / 2];
+}
+"""
+
+SIZES = {
+    "tiny": {"N": 16, "ITER": 3},
+    "small": {"N": 64, "ITER": 5},
+    "large": {"N": 256, "ITER": 10},
+}
+
+OUTPUTS = ["a", "resid"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    n = cfg["N"]
+    cfg["a"] = dense_vector(n, seed=seed)
+    cfg["b"] = dense_vector(n, seed=seed + 1, lo=-0.1, hi=0.1)
+    return cfg

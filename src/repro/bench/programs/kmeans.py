@@ -1,0 +1,144 @@
+"""KMEANS — Rodinia k-means clustering.
+
+The GPU assigns points to the nearest centroid (private distance
+accumulators); centroid recomputation stays on the host (like the Rodinia
+OpenACC port), so memberships come back and new centroids go down every
+iteration — both transfers genuinely needed.  The unoptimized variant also
+re-ships the (GPU-resident, read-only) feature matrix every iteration.
+"""
+
+from repro.bench.workloads import cluster_points
+
+NAME = "KMEANS"
+
+_COMMON = """
+int NPTS, NF, K, ITER;
+double feat[NPTS][NF], featscaled[NPTS][NF];
+double cent[K][NF];
+long assign[NPTS], oldassign[NPTS], changed[NPTS];
+double scale;
+int delta;
+"""
+
+_ASSIGN_KERNELS = """
+            #pragma acc kernels loop gang worker private(best, mind, dist)
+            for (int i = 0; i < NPTS; i++) {
+                best = 0;
+                mind = 1.0e30;
+                for (int c = 0; c < K; c++) {
+                    dist = 0.0;
+                    for (int f = 0; f < NF; f++) {
+                        dist = dist + (featscaled[i][f] - cent[c][f])
+                                    * (featscaled[i][f] - cent[c][f]);
+                    }
+                    if (dist < mind) {
+                        mind = dist;
+                        best = c;
+                    }
+                }
+                assign[i] = best;
+            }
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < NPTS; i++) {
+                changed[i] = assign[i] != oldassign[i] ? 1 : 0;
+            }
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < NPTS; i++) {
+                oldassign[i] = assign[i];
+            }
+"""
+
+_HOST_UPDATE = """
+            delta = 0;
+            for (int i = 0; i < NPTS; i++) {
+                delta = delta + (int)changed[i];
+            }
+            for (int c = 0; c < K; c++) {
+                for (int f = 0; f < NF; f++) { cent[c][f] = 0.0; }
+            }
+            for (int i = 0; i < NPTS; i++) {
+                for (int f = 0; f < NF; f++) {
+                    cent[(int)assign[i]][f] = cent[(int)assign[i]][f] + feat[i][f] * scale;
+                }
+            }
+"""
+
+OPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    int best;
+    double mind, dist, sc;
+    #pragma acc data copyin(feat, oldassign) create(featscaled, assign, changed) copyin(cent)
+    {
+        #pragma acc kernels loop collapse(2) private(sc)
+        for (int i = 0; i < NPTS; i++) {
+            for (int f = 0; f < NF; f++) {
+                sc = feat[i][f] * scale;
+                featscaled[i][f] = sc;
+            }
+        }
+        for (int it = 0; it < ITER; it++) {
+"""
+    + _ASSIGN_KERNELS
+    + """
+            #pragma acc update host(assign, changed)
+"""
+    + _HOST_UPDATE
+    + """
+            #pragma acc update device(cent)
+        }
+    }
+}
+"""
+)
+
+UNOPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    int best;
+    double mind, dist, sc;
+    #pragma acc data copy(feat, featscaled, assign, oldassign, changed, cent)
+    {
+        #pragma acc kernels loop collapse(2) private(sc)
+        for (int i = 0; i < NPTS; i++) {
+            for (int f = 0; f < NF; f++) {
+                sc = feat[i][f] * scale;
+                featscaled[i][f] = sc;
+            }
+        }
+        #pragma acc update host(featscaled)
+        for (int it = 0; it < ITER; it++) {
+"""
+    + _ASSIGN_KERNELS
+    + """
+            #pragma acc update host(assign, changed, oldassign)
+"""
+    + _HOST_UPDATE
+    + """
+            #pragma acc update device(cent)
+        }
+    }
+}
+"""
+)
+
+SIZES = {
+    "tiny": {"NPTS": 16, "NF": 2, "K": 2, "ITER": 2},
+    "small": {"NPTS": 48, "NF": 3, "K": 3, "ITER": 3},
+    "large": {"NPTS": 256, "NF": 8, "K": 5, "ITER": 5},
+}
+
+OUTPUTS = ["cent", "assign", "delta"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    pts = cluster_points(cfg["NPTS"], cfg["NF"], cfg["K"], seed=seed)
+    cfg["feat"] = pts
+    cfg["cent"] = pts[: cfg["K"]].copy()
+    cfg["scale"] = 1.0
+    return cfg

@@ -1,0 +1,125 @@
+"""LUD — Rodinia LU decomposition (in-place, unblocked).
+
+Three kernels per elimination step: pivot/scaling extraction, column scale,
+and trailing-submatrix update.  Three auxiliary vectors (``diag``, ``piv``,
+``scl``) are *seeded by the host* at element 0 and extended by the GPU one
+element per step.  Each host seed is followed by a required ``update
+device``; the compiler's whole-array deadness sees the GPU's write-first
+access and calls all three may-dead, so the tool issues three wrong
+may-redundant suggestions — the paper's Table III LUD row (4 iterations, 3
+incorrect).
+"""
+
+from repro.bench.workloads import spd_matrix
+
+NAME = "LUD"
+
+_COMMON = """
+int N, NM1;
+double m[N][N];
+double diag[N], piv[N], scl[N];
+double checksum;
+"""
+
+_KERNELS = """
+            #pragma acc kernels loop gang worker
+            for (int i = k; i < N - 1; i++) {
+                if (i == k) {
+                    diag[k + 1] = 0.0;
+                    piv[k + 1] = 1.0;
+                    scl[k + 1] = 1.0;
+                }
+            }
+            #pragma acc kernels loop gang worker
+            for (int i = k + 1; i < N; i++) {
+                m[i][k] = m[i][k] / (diag[k] * scl[k]);
+            }
+            #pragma acc kernels loop collapse(2) private(contrib)
+            for (int i = k + 1; i < N; i++) {
+                for (int j = k + 1; j < N; j++) {
+                    contrib = m[i][k] * m[k][j] * piv[k];
+                    m[i][j] = m[i][j] - contrib;
+                    if (i == k + 1 && j == k + 1) {
+                        diag[k + 1] = m[k + 1][k + 1];
+                    }
+                }
+            }
+"""
+
+_SEED = """
+    diag[0] = m[0][0];
+    piv[0] = 1.0;
+    scl[0] = 1.0;
+"""
+
+_EPILOG = """
+    checksum = 0.0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) { checksum = checksum + m[i][j]; }
+    }
+}
+"""
+
+OPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double contrib;
+"""
+    + _SEED
+    + """
+    #pragma acc data copy(m) create(diag, piv, scl)
+    {
+        #pragma acc update device(diag)
+        #pragma acc update device(piv)
+        #pragma acc update device(scl)
+        for (int k = 0; k < NM1; k++) {
+"""
+    + _KERNELS
+    + """
+        }
+    }
+"""
+    + _EPILOG
+)
+
+UNOPTIMIZED = (
+    _COMMON
+    + """
+void main()
+{
+    double contrib;
+"""
+    + _SEED
+    + """
+    #pragma acc data copy(m) create(diag, piv, scl)
+    {
+        #pragma acc update device(diag)
+        #pragma acc update device(piv)
+        #pragma acc update device(scl)
+        for (int k = 0; k < NM1; k++) {
+"""
+    + _KERNELS
+    + """
+        }
+    }
+"""
+    + _EPILOG
+)
+
+SIZES = {
+    "tiny": {"N": 8},
+    "small": {"N": 16},
+    "large": {"N": 48},
+}
+
+OUTPUTS = ["m", "checksum"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    n = cfg["N"]
+    cfg["NM1"] = n - 1
+    cfg["m"] = spd_matrix(n, seed=seed)
+    return cfg

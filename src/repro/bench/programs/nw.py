@@ -1,0 +1,119 @@
+"""NW — Rodinia Needleman-Wunsch sequence alignment.
+
+The DP score matrix fills along anti-diagonal wavefronts: cells on one
+diagonal are independent, so each wave is a kernel launch whose bounds the
+host computes.  Four kernels: first-row init, first-column init, and the
+two wavefront phases (upper-left and lower-right triangles).
+"""
+
+from repro.bench.workloads import blosum_like, sequences
+
+NAME = "NW"
+
+_COMMON = """
+int N, N1, PENALTY;
+long s1[N], s2[N];
+double sub[4][4];
+double score[N1][N1];
+double best;
+"""
+
+_WAVE_UP = """
+            #pragma acc kernels loop gang worker private(up, left, diagv)
+            for (int i = ilo; i <= ihi; i++) {
+                up = score[i - 1][w - i] - (double)PENALTY;
+                left = score[i][w - i - 1] - (double)PENALTY;
+                diagv = score[i - 1][w - i - 1]
+                      + sub[(int)s1[i - 1]][(int)s2[w - i - 1]];
+                score[i][w - i] = fmax(diagv, fmax(up, left));
+            }
+"""
+
+_BODY = """
+    #pragma acc kernels loop gang worker
+    for (int j = 0; j <= N; j++) {
+        score[0][j] = (double)(-j * PENALTY);
+    }
+    #pragma acc kernels loop gang worker
+    for (int i = 1; i <= N; i++) {
+        score[i][0] = (double)(-i * PENALTY);
+    }
+    for (int w = 2; w <= N; w++) {
+        ilo = 1;
+        ihi = w - 1;
+"""
+
+_BODY2 = """
+    }
+    for (int w = N + 1; w <= 2 * N; w++) {
+        ilo = w - N;
+        ihi = N;
+"""
+
+_EPILOG = """
+    }
+"""
+
+
+_WAVE_DOWN = """
+            #pragma acc kernels loop gang worker private(up2, left2, diag2)
+            for (int i = ilo; i <= ihi; i++) {
+                up2 = score[i - 1][w - i] - (double)PENALTY;
+                left2 = score[i][w - i - 1] - (double)PENALTY;
+                diag2 = score[i - 1][w - i - 1]
+                      + sub[(int)s1[i - 1]][(int)s2[w - i - 1]];
+                score[i][w - i] = fmax(diag2, fmax(up2, left2));
+            }
+"""
+
+
+def _program(data_pragma: str, extra_updates: str) -> str:
+    wave_lower = _WAVE_DOWN
+    return (
+        _COMMON
+        + """
+void main()
+{
+    int ilo, ihi;
+    double up, left, diagv, up2, left2, diag2;
+"""
+        + f"    {data_pragma}\n    {{\n"
+        + _BODY
+        + _WAVE_UP
+        + extra_updates
+        + _BODY2
+        + wave_lower
+        + extra_updates
+        + _EPILOG
+        + """
+    }
+    best = score[N][N];
+}
+"""
+    )
+
+
+OPTIMIZED = _program(
+    "#pragma acc data copyin(s1, s2, sub) copy(score)", ""
+)
+
+UNOPTIMIZED = _program(
+    "#pragma acc data copy(s1, s2, sub, score)",
+    "        #pragma acc update host(score)\n",
+)
+
+SIZES = {
+    "tiny": {"N": 8, "PENALTY": 2},
+    "small": {"N": 24, "PENALTY": 2},
+    "large": {"N": 64, "PENALTY": 2},
+}
+
+OUTPUTS = ["score", "best"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    n = cfg["N"]
+    a, b = sequences(n, seed=seed)
+    cfg.update(N1=n + 1, s1=a, s2=b, sub=blosum_like(seed=seed + 1))
+    return cfg

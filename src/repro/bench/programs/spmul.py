@@ -1,0 +1,110 @@
+"""SPMUL — repeated sparse matrix-vector multiply (kernel benchmark).
+
+CSR storage; each iteration computes y = A*x, the norm of y (reduction
+kernel), and renormalizes x = y / norm.  The sparse arrays are GPU-only
+after the initial copyin; the unoptimized variant re-updates them and the
+iterate every round.
+"""
+
+from repro.bench.workloads import csr_laplacian_like, dense_vector
+
+NAME = "SPMUL"
+
+OPTIMIZED = """
+int N, NNZ, ITER;
+long rowptr[N1], colidx[NNZ];
+double vals[NNZ], x[N], y[N];
+double norm, xchk;
+
+void main()
+{
+    double sum;
+    #pragma acc data copyin(rowptr, colidx, vals) copy(x) create(y)
+    {
+        for (int it = 0; it < ITER; it++) {
+            #pragma acc kernels loop gang worker private(sum)
+            for (int i = 0; i < N; i++) {
+                sum = 0.0;
+                for (int j = (int)rowptr[i]; j < (int)rowptr[i + 1]; j++) {
+                    sum = sum + vals[j] * x[(int)colidx[j]];
+                }
+                y[i] = sum;
+            }
+            norm = 0.0;
+            #pragma acc kernels loop reduction(+:norm)
+            for (int i = 0; i < N; i++) {
+                norm = norm + y[i] * y[i];
+            }
+            norm = sqrt(norm);
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < N; i++) {
+                x[i] = y[i] / norm;
+            }
+        }
+    }
+    xchk = 0.0;
+    for (int i = 0; i < N; i++) { xchk = xchk + x[i]; }
+}
+"""
+
+UNOPTIMIZED = """
+int N, NNZ, ITER;
+long rowptr[N1], colidx[NNZ];
+double vals[NNZ], x[N], y[N];
+double norm, xchk;
+
+void main()
+{
+    double sum;
+    #pragma acc data copy(rowptr, colidx, vals, x, y)
+    {
+        for (int it = 0; it < ITER; it++) {
+            #pragma acc update device(x)
+            #pragma acc kernels loop gang worker private(sum)
+            for (int i = 0; i < N; i++) {
+                sum = 0.0;
+                for (int j = (int)rowptr[i]; j < (int)rowptr[i + 1]; j++) {
+                    sum = sum + vals[j] * x[(int)colidx[j]];
+                }
+                y[i] = sum;
+            }
+            norm = 0.0;
+            #pragma acc kernels loop reduction(+:norm)
+            for (int i = 0; i < N; i++) {
+                norm = norm + y[i] * y[i];
+            }
+            norm = sqrt(norm);
+            #pragma acc kernels loop gang worker
+            for (int i = 0; i < N; i++) {
+                x[i] = y[i] / norm;
+            }
+            #pragma acc update host(x, y)
+        }
+    }
+    xchk = 0.0;
+    for (int i = 0; i < N; i++) { xchk = xchk + x[i]; }
+}
+"""
+
+SIZES = {
+    "tiny": {"N": 16, "ITER": 2},
+    "small": {"N": 64, "ITER": 4},
+    "large": {"N": 256, "ITER": 8},
+}
+
+OUTPUTS = ["x", "norm", "xchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    n = cfg["N"]
+    rowptr, colidx, vals = csr_laplacian_like(n, nnz_per_row=4, seed=seed)
+    cfg.update(
+        N1=n + 1,
+        NNZ=len(colidx),
+        rowptr=rowptr,
+        colidx=colidx,
+        vals=vals,
+        x=dense_vector(n, seed=seed + 1, lo=0.5, hi=1.5),
+    )
+    return cfg

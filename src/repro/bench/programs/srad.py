@@ -1,0 +1,151 @@
+"""SRAD — Rodinia speckle-reducing anisotropic diffusion.
+
+Eight kernels: log-compress, boundary-coefficient init, gradient stack
+(private temporaries), diffusion coefficient (private), coefficient clamp,
+image update, exp-expand, and ROI extraction.  The ROI statistics (mean and
+variance feeding q0²) are computed on the *host* each iteration, like the
+Rodinia OpenACC port, so the image comes back every iteration even in the
+manually optimized version.
+"""
+
+from repro.bench.workloads import speckled_image
+
+NAME = "SRAD"
+
+_COMMON = """
+int N, ITER, ROI;
+double img[N][N], dn[N][N], ds[N][N], de[N][N], dw[N][N], c[N][N];
+double roi_sum, roi_sum2, q0sqr, lambda;
+double roivals[RN];
+double imgchk;
+"""
+
+_ITER_KERNELS = """
+            #pragma acc kernels loop collapse(2)
+            for (int i = 0; i < N; i++) {
+                for (int j = 0; j < N; j++) {
+                    dn[i][j] = (i > 0 ? img[i - 1][j] : img[i][j]) - img[i][j];
+                    ds[i][j] = (i < N - 1 ? img[i + 1][j] : img[i][j]) - img[i][j];
+                    dw[i][j] = (j > 0 ? img[i][j - 1] : img[i][j]) - img[i][j];
+                    de[i][j] = (j < N - 1 ? img[i][j + 1] : img[i][j]) - img[i][j];
+                }
+            }
+            #pragma acc kernels loop collapse(2) private(g2, l, num, den, qsq)
+            for (int i = 0; i < N; i++) {
+                for (int j = 0; j < N; j++) {
+                    g2 = (dn[i][j] * dn[i][j] + ds[i][j] * ds[i][j]
+                        + dw[i][j] * dw[i][j] + de[i][j] * de[i][j])
+                        / (img[i][j] * img[i][j]);
+                    l = (dn[i][j] + ds[i][j] + dw[i][j] + de[i][j]) / img[i][j];
+                    num = 0.5 * g2 - 0.0625 * l * l;
+                    den = 1.0 + 0.25 * l;
+                    qsq = num / (den * den);
+                    c[i][j] = 1.0 / (1.0 + (qsq - q0sqr) / (q0sqr * (1.0 + q0sqr)));
+                }
+            }
+            #pragma acc kernels loop collapse(2)
+            for (int i = 0; i < N; i++) {
+                for (int j = 0; j < N; j++) {
+                    if (c[i][j] < 0.0) { c[i][j] = 0.0; }
+                    if (c[i][j] > 1.0) { c[i][j] = 1.0; }
+                }
+            }
+            #pragma acc kernels loop collapse(2) private(cn, cs, cw, ce, dval)
+            for (int i = 0; i < N; i++) {
+                for (int j = 0; j < N; j++) {
+                    cn = c[i][j];
+                    cs = i < N - 1 ? c[i + 1][j] : c[i][j];
+                    cw = c[i][j];
+                    ce = j < N - 1 ? c[i][j + 1] : c[i][j];
+                    dval = cn * dn[i][j] + cs * ds[i][j]
+                         + cw * dw[i][j] + ce * de[i][j];
+                    img[i][j] = img[i][j] + 0.25 * lambda * dval;
+                }
+            }
+"""
+
+
+def _program(data_pragma: str, extra_updates: str) -> str:
+    return (
+        _COMMON
+        + """
+void main()
+{
+    double g2, l, num, den, qsq, cn, cs, cw, ce, dval, mean, var;
+"""
+        + f"    {data_pragma}\n    {{\n"
+        + """
+        #pragma acc kernels loop collapse(2)
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < N; j++) {
+                img[i][j] = exp(img[i][j] / 255.0);
+            }
+        }
+        #pragma acc kernels loop collapse(2)
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < N; j++) {
+                c[i][j] = 1.0;
+            }
+        }
+        for (int it = 0; it < ITER; it++) {
+            #pragma acc kernels loop collapse(2)
+            for (int i = 0; i < ROI; i++) {
+                for (int j = 0; j < ROI; j++) {
+                    roivals[i * ROI + j] = img[i][j];
+                }
+            }
+            #pragma acc update host(roivals)
+            roi_sum = 0.0;
+            roi_sum2 = 0.0;
+            for (int i = 0; i < ROI * ROI; i++) {
+                roi_sum = roi_sum + roivals[i];
+                roi_sum2 = roi_sum2 + roivals[i] * roivals[i];
+            }
+            mean = roi_sum / (double)(ROI * ROI);
+            var = roi_sum2 / (double)(ROI * ROI) - mean * mean;
+            q0sqr = var / (mean * mean);
+"""
+        + _ITER_KERNELS
+        + extra_updates
+        + """
+        }
+        #pragma acc kernels loop collapse(2)
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < N; j++) {
+                img[i][j] = log(img[i][j]) * 255.0;
+            }
+        }
+    }
+    imgchk = 0.0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) { imgchk = imgchk + img[i][j]; }
+    }
+}
+"""
+    )
+
+
+OPTIMIZED = _program(
+    "#pragma acc data copy(img) create(dn, ds, de, dw, c, roivals)", ""
+)
+
+UNOPTIMIZED = _program(
+    "#pragma acc data copy(img, dn, ds, de, dw, c, roivals)",
+    "            #pragma acc update host(img, c)\n",
+)
+
+SIZES = {
+    "tiny": {"N": 8, "ITER": 2, "ROI": 4},
+    "small": {"N": 16, "ITER": 3, "ROI": 8},
+    "large": {"N": 48, "ITER": 4, "ROI": 16},
+}
+
+OUTPUTS = ["img", "imgchk"]
+
+
+def make_params(size: str = "small", seed: int = 0):
+    cfg = dict(SIZES[size])
+    cfg["RN"] = cfg["ROI"] * cfg["ROI"]
+    cfg["img"] = speckled_image(cfg["N"], seed=seed) * 100.0
+    cfg["lambda"] = 0.5
+    return cfg

@@ -1,0 +1,91 @@
+"""Benchmark registry.
+
+Each entry wraps one program module (name, the two source variants, input
+generator, output variables) and convenience compile/run helpers used by the
+experiments and tests.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler import CompiledProgram, CompilerOptions, compile_source
+
+_MODULES = [
+    "backprop",
+    "bfs",
+    "cfd",
+    "cg",
+    "ep",
+    "hotspot",
+    "jacobi",
+    "kmeans",
+    "lud",
+    "nw",
+    "spmul",
+    "srad",
+]
+
+
+@dataclass
+class Benchmark:
+    name: str
+    optimized_source: str
+    unoptimized_source: str
+    outputs: List[str]
+    sizes: Dict[str, dict]
+    module: object
+
+    def params(self, size: str = "small", seed: int = 0) -> dict:
+        return self.module.make_params(size, seed)
+
+    def compile(self, variant: str = "optimized",
+                options: Optional[CompilerOptions] = None) -> CompiledProgram:
+        source = (
+            self.optimized_source if variant == "optimized" else self.unoptimized_source
+        )
+        return compile_source(source, options)
+
+    def naive_program(self):
+        """The OpenACC-default-scheme variant (Figure 1 baseline): the
+        optimized source with every manual memory-management construct
+        stripped."""
+        from repro.compiler.faults import strip_data_management
+        from repro.lang.parser import parse_program
+
+        return strip_data_management(parse_program(self.optimized_source))
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def _load() -> None:
+    if _REGISTRY:
+        return
+    for mod_name in _MODULES:
+        try:
+            mod = importlib.import_module(f"repro.bench.programs.{mod_name}")
+        except ModuleNotFoundError:
+            continue
+        bench = Benchmark(
+            name=mod.NAME,
+            optimized_source=mod.OPTIMIZED,
+            unoptimized_source=mod.UNOPTIMIZED,
+            outputs=list(mod.OUTPUTS),
+            sizes=dict(mod.SIZES),
+            module=mod,
+        )
+        _REGISTRY[bench.name] = bench
+
+
+def all_names() -> List[str]:
+    """Benchmark names in the paper's (alphabetical) Figure order."""
+    _load()
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Benchmark:
+    _load()
+    return _REGISTRY[name.upper()]

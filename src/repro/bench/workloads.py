@@ -1,0 +1,114 @@
+"""Deterministic input generators for the benchmark suite.
+
+Every generator takes a seed so experiment runs are reproducible.  Sizes are
+deliberately small: the device is an interpreter, and the evaluation cares
+about *relative* shapes, not absolute scale.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def dense_vector(n: int, seed: int = 0, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
+    return rng_for(seed).uniform(lo, hi, size=n)
+
+
+def dense_matrix(rows: int, cols: int, seed: int = 0) -> np.ndarray:
+    return rng_for(seed).uniform(-1.0, 1.0, size=(rows, cols))
+
+
+def spd_matrix(n: int, seed: int = 0) -> np.ndarray:
+    """Symmetric positive-definite dense matrix (for LUD / CG)."""
+    m = rng_for(seed).uniform(0.0, 1.0, size=(n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+def csr_laplacian_like(n: int, nnz_per_row: int = 4, seed: int = 0):
+    """A diagonally dominant sparse matrix in CSR form (SPMUL, CG).
+
+    Returns (rowptr[n+1], colidx[nnz], values[nnz]).
+    """
+    rng = rng_for(seed)
+    rowptr = np.zeros(n + 1, dtype=np.int64)
+    cols = []
+    vals = []
+    for i in range(n):
+        offs = sorted(set([i] + list(rng.integers(0, n, size=nnz_per_row - 1))))
+        row_vals = []
+        for j in offs:
+            if j == i:
+                row_vals.append(float(nnz_per_row + 1))
+            else:
+                row_vals.append(float(rng.uniform(-1.0, 0.0)))
+        cols.extend(offs)
+        vals.extend(row_vals)
+        rowptr[i + 1] = len(cols)
+    return rowptr, np.array(cols, dtype=np.int64), np.array(vals, dtype=np.float64)
+
+
+def random_graph_csr(nodes: int, degree: int = 3, seed: int = 0):
+    """Connected-ish random digraph in CSR adjacency form (BFS).
+
+    Returns (offsets[nodes+1], edges[sum degree]).  Node i always links to
+    (i+1) % nodes so every node is reachable from 0.
+    """
+    rng = rng_for(seed)
+    offsets = np.zeros(nodes + 1, dtype=np.int64)
+    edges = []
+    for i in range(nodes):
+        targets = {(i + 1) % nodes}
+        while len(targets) < degree:
+            targets.add(int(rng.integers(0, nodes)))
+        targets.discard(i)
+        edges.extend(sorted(targets))
+        offsets[i + 1] = len(edges)
+    return offsets, np.array(edges, dtype=np.int64)
+
+
+def heat_grid(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Initial temperature and power maps (HOTSPOT)."""
+    rng = rng_for(seed)
+    temp = 323.0 + rng.uniform(-1.0, 1.0, size=(n, n))
+    power = rng.uniform(0.0, 0.01, size=(n, n))
+    return temp, power
+
+
+def speckled_image(n: int, seed: int = 0) -> np.ndarray:
+    """Positive image with multiplicative speckle (SRAD)."""
+    rng = rng_for(seed)
+    base = 1.0 + 0.2 * np.sin(np.add.outer(np.arange(n), np.arange(n)) / 4.0)
+    noise = rng.gamma(shape=16.0, scale=1.0 / 16.0, size=(n, n))
+    return base * noise
+
+
+def cluster_points(n: int, features: int, clusters: int, seed: int = 0) -> np.ndarray:
+    """Gaussian blobs around `clusters` centers (KMEANS)."""
+    rng = rng_for(seed)
+    centers = rng.uniform(-5.0, 5.0, size=(clusters, features))
+    labels = rng.integers(0, clusters, size=n)
+    return centers[labels] + rng.normal(0.0, 0.3, size=(n, features))
+
+
+def sequences(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Two integer 'DNA' sequences (NW), alphabet {0..3}."""
+    rng = rng_for(seed)
+    return (
+        rng.integers(0, 4, size=n).astype(np.int64),
+        rng.integers(0, 4, size=n).astype(np.int64),
+    )
+
+
+def blosum_like(alphabet: int = 4, seed: int = 0) -> np.ndarray:
+    """Symmetric substitution score matrix (NW)."""
+    rng = rng_for(seed)
+    m = rng.integers(-3, 3, size=(alphabet, alphabet)).astype(np.float64)
+    m = (m + m.T) / 2.0
+    np.fill_diagonal(m, 4.0)
+    return m

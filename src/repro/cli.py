@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+The tools a downstream user would actually run, mirroring the paper's
+workflow (Figure 2):
+
+    python -m repro compile prog.c               # kernel summary + warnings
+    python -m repro run prog.c -p N=64           # execute, show device stats
+    python -m repro verify prog.c -p N=64 \\
+        --options "errorMargin=1e-6,kernels=main_kernel0"   # §III-A
+    python -m repro memcheck prog.c -p N=64      # §III-B findings/suggestions
+    python -m repro optimize prog.c -p N=64 --outputs a,r -o prog_opt.c
+    python -m repro experiments table3 --size small
+
+Program parameters (`-p NAME=VALUE`) bind symbolic array dimensions and
+scalar inputs; arrays must be initialized by the program itself when run
+from the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.interp import run_compiled, run_sequential
+from repro.lang import parse_program, to_source
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"bad -p value {pair!r}: expected NAME=VALUE")
+        name, value = pair.split("=", 1)
+        try:
+            params[name] = int(value)
+        except ValueError:
+            try:
+                params[name] = float(value)
+            except ValueError:
+                raise SystemExit(f"bad -p value {pair!r}: VALUE must be numeric")
+    return params
+
+
+def _load(path: str, args) -> "CompiledProgram":
+    with open(path) as handle:
+        source = handle.read()
+    options = CompilerOptions(
+        auto_privatize=not getattr(args, "no_auto_privatize", False),
+        auto_reduction=not getattr(args, "no_auto_reduction", False),
+    )
+    return compile_source(source, options)
+
+
+def cmd_compile(args) -> int:
+    compiled = _load(args.file, args)
+    print(f"{len(compiled.kernels)} kernel(s):")
+    for name, plan in compiled.kernels.items():
+        bits = [f"arrays={plan.arrays}", f"scalars={plan.scalars}"]
+        if plan.private_decls:
+            bits.append(f"private={sorted(plan.private_decls)}")
+        if plan.firstprivate:
+            bits.append(f"firstprivate={plan.firstprivate}")
+        if plan.reductions:
+            bits.append(f"reduction={[(v, op) for v, op, _ in plan.reductions]}")
+        if plan.cached_vars or plan.split_vars:
+            bits.append(f"RACY shared={plan.cached_vars + plan.split_vars}")
+        print(f"  {name}: {' '.join(bits)}")
+    for warning in compiled.warnings:
+        print(f"warning: {warning}")
+    if args.show_source:
+        print()
+        print(compiled.to_source())
+    return 0
+
+
+def cmd_run(args) -> int:
+    compiled = _load(args.file, args)
+    params = _parse_params(args.param)
+    run = run_compiled(compiled, params=params)
+    for line in run.env.stdout:
+        sys.stdout.write(line)
+    profiler = run.runtime.profiler
+    device = run.runtime.device
+    print(f"\n-- modeled time: {profiler.total() * 1e3:.3f} ms")
+    print(f"-- transfers: {len(run.runtime.transfer_log)} "
+          f"({device.total_transferred_bytes()} bytes)")
+    for cat, seconds in profiler.breakdown().items():
+        if seconds:
+            print(f"   {cat:15s} {seconds * 1e6:12.1f} us")
+    if args.compare_sequential:
+        seq = run_sequential(compiled, params=params)
+        import numpy as np
+
+        bad = []
+        for decl in compiled.program.decls:
+            a, b = seq.env.load(decl.name), run.env.load(decl.name)
+            same = (
+                np.allclose(a, b, rtol=1e-6, atol=1e-9)
+                if isinstance(a, np.ndarray)
+                else np.isclose(float(a), float(b), rtol=1e-6, atol=1e-9)
+            )
+            if not same:
+                bad.append(decl.name)
+        print(f"-- sequential comparison: {'MISMATCH in ' + str(bad) if bad else 'OK'}")
+        return 1 if bad else 0
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.verify.kernelverify import KernelVerifier, VerificationOptions
+
+    compiled = _load(args.file, args)
+    options = (
+        VerificationOptions.from_string(args.options)
+        if args.options
+        else VerificationOptions()
+    )
+    report = KernelVerifier(
+        compiled, params=_parse_params(args.param), options=options
+    ).run()
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+def cmd_memcheck(args) -> int:
+    from repro.verify.memverify import MemVerifier
+
+    compiled = _load(args.file, args)
+    report = MemVerifier(compiled, params=_parse_params(args.param)).run()
+    print(report.summary())
+    print(f"\n{report.inserted_checks} check sites, "
+          f"{report.check_calls} dynamic coherence checks")
+    if args.show_instrumented:
+        print()
+        print(report.instrumented_source)
+    return 0 if not report.errors else 1
+
+
+def cmd_optimize(args) -> int:
+    from repro.verify.interactive import InteractiveOptimizer
+
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    outputs = args.outputs.split(",") if args.outputs else None
+    trace = InteractiveOptimizer(
+        program, params=_parse_params(args.param), outputs=outputs
+    ).run()
+    print(trace.summary())
+    optimized = to_source(trace.final_program)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(optimized)
+        print(f"optimized program written to {args.output}")
+    else:
+        print()
+        print(optimized)
+    print(f"final transfers: {trace.final_transfer_count} "
+          f"({trace.final_transfer_bytes} bytes)")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    import importlib
+
+    names = (
+        ["fig1", "fig3", "fig4", "table2", "table3"]
+        if args.which == "all"
+        else [args.which]
+    )
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        module.main(size=args.size)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OpenARC-reproduction toolchain (Lee, Li & Vetter, IPDPS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, params=True):
+        p.add_argument("file", help="mini-C source file with #pragma acc")
+        if params:
+            p.add_argument("-p", "--param", action="append", metavar="NAME=VALUE",
+                           help="program parameter (repeatable)")
+        p.add_argument("--no-auto-privatize", action="store_true")
+        p.add_argument("--no-auto-reduction", action="store_true")
+
+    p = sub.add_parser("compile", help="compile and show the kernel summary")
+    add_common(p, params=False)
+    p.add_argument("--show-source", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute on the simulated GPU")
+    add_common(p)
+    p.add_argument("--compare-sequential", action="store_true",
+                   help="also run sequentially and compare all globals "
+                        "(device-scratch arrays never copied out will "
+                        "legitimately differ)")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("verify", help="kernel verification (paper §III-A)")
+    add_common(p)
+    p.add_argument("--options", metavar="STRING",
+                   help='e.g. "complement=0,kernels=main_kernel0,errorMargin=1e-6"')
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("memcheck", help="memory-transfer verification (paper §III-B)")
+    add_common(p)
+    p.add_argument("--show-instrumented", action="store_true")
+    p.set_defaults(func=cmd_memcheck)
+
+    p = sub.add_parser("optimize", help="interactive transfer optimization (Figure 2)")
+    add_common(p)
+    p.add_argument("--outputs", metavar="A,B,...",
+                   help="observable output variables the edits must preserve")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the optimized program here")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument("which", choices=["fig1", "fig3", "fig4", "table2", "table3", "all"])
+    p.add_argument("--size", default="small", choices=["tiny", "small", "large"])
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

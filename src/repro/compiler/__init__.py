@@ -1,0 +1,19 @@
+"""The OpenARC-like research compiler.
+
+Pipeline (driven by :mod:`repro.compiler.driver`):
+
+1. frontend — parse, validate directives, collect regions, alias analysis;
+2. privatize / reduction — automatic recognition of private scalars and
+   reduction patterns inside compute regions (can be disabled, which is how
+   Table II's fault-injection study runs);
+3. kernelgen — each compute region becomes a :class:`KernelPlan` (bytecode,
+   partitioned iteration space, private/reduction treatment);
+4. memgen — each region gets entry/exit memory actions: explicit data
+   clauses where given, the naive default scheme (§II-C) otherwise;
+5. checkinsert (optional) — §III-B coherence instrumentation;
+6. demotion + resultcomp (optional) — §III-A kernel verification transform.
+"""
+
+from repro.compiler.driver import CompiledProgram, CompilerOptions, compile_source
+
+__all__ = ["CompiledProgram", "CompilerOptions", "compile_source"]

@@ -1,0 +1,496 @@
+"""Runtime-check insertion with optimized placement (§III-B).
+
+Instruments a program with ``__check_read`` / ``__check_write`` /
+``__reset_status`` intrinsic calls that the interpreter routes to the
+coherence tracker.  Placement follows the paper's optimizations:
+
+* GPU-side checks only at kernel boundaries;
+* CPU-side checks only at first-read / first-write sites along some path
+  from the program entry or from each kernel call
+  (:mod:`repro.ir.firstaccess`);
+* checks inside kernel-free loops hoist out of the loop;
+* GPU write-checks hoist above an enclosing loop under the two Listing-3
+  conditions — (i) the loop contains no CPU access of the variable and
+  (ii) no transfer of the variable precedes the check inside the loop —
+  which is what exposes cross-iteration redundant transfers;
+* ``reset_status`` for a dead remote copy goes at CPU last-write sites
+  (:mod:`repro.ir.lastwrite`, gated by :mod:`repro.ir.deadness`) and, for
+  dead CPU copies, right after the kernel call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.driver import CompiledProgram, compile_ast
+from repro.ir.cfg import BRANCH, KERNEL, STMT, build_cfg
+from repro.ir.deadness import analyze_deadness
+from repro.ir.defuse import annotate
+from repro.ir.firstaccess import analyze_firstaccess
+from repro.ir.lastwrite import analyze_lastwrite
+from repro.lang import ast
+from repro.lang.ctypes import Array, Pointer
+from repro.lang.visitor import clone_tree, parent_map
+from repro.runtime.coherence import MAYSTALE, NOTSTALE
+
+
+@dataclass(frozen=True)
+class InsertedCheck:
+    kind: str        # "check_read" | "check_write" | "reset_status"
+    var: str
+    side: str
+    site: str
+    position: str    # "before" | "after"
+    anchor_line: int
+    status: Optional[str] = None  # reset_status only
+
+
+@dataclass
+class InstrumentationResult:
+    program: ast.Program
+    compiled: CompiledProgram
+    universe: Set[str]
+    checks: List[InsertedCheck] = field(default_factory=list)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return sum(1 for c in self.checks if kind is None or c.kind == kind)
+
+
+def shared_universe(compiled: CompiledProgram) -> Set[str]:
+    """Arrays shared between CPU and GPU: everything any kernel touches
+    (pointer accesses expanded through the alias analysis) plus everything a
+    data clause names."""
+    arrays = {
+        name for name, ctype in compiled.symbols.items() if isinstance(ctype, Array)
+    }
+    universe: Set[str] = set()
+    for plan in compiled.kernels.values():
+        universe |= compiled.aliases.expand(set(plan.arrays)) & arrays
+    for region in compiled.regions.data:
+        for _, var in region.directive.data_clause_vars():
+            if var in arrays:
+                universe.add(var)
+    for region in compiled.regions.compute:
+        for _, var in region.directive.data_clause_vars():
+            if var in arrays:
+                universe.add(var)
+    for point in compiled.regions.updates:
+        for clause in point.directive.clauses_named("host", "device", "self"):
+            for var in clause.var_names():
+                if var in arrays:
+                    universe.add(var)
+    return universe
+
+
+def instrument_for_memverify(compiled: CompiledProgram,
+                             optimize_placement: bool = True) -> InstrumentationResult:
+    """Clone, analyze, and instrument the program for a verification run.
+
+    ``optimize_placement=False`` disables the §III-B placement optimizations
+    (first-access filtering and loop hoisting): every tracked access gets a
+    check — the ablation baseline for the Figure-4 overhead study."""
+    cloned_ast = clone_tree(compiled.program)
+    clone = compile_ast(cloned_ast, compiled.options.copy(strict_validation=False))
+    universe = shared_universe(clone)
+
+    func = clone.main
+    cfg = build_cfg(func, clone.regions)
+    aliases = clone.aliases.alias_map()
+    annotate(cfg, aliases)
+
+    first_cpu = analyze_firstaccess(cfg, "cpu", universe)
+    last_cpu = analyze_lastwrite(cfg, "cpu", universe)
+    # Value view (transfers transparent): gates write-site resets.
+    dead_cpu = analyze_deadness(cfg, "cpu", universe)
+    dead_gpu = analyze_deadness(cfg, "gpu", universe)
+    # Location view (transfers overwrite): gates transfer-site pins.
+    dead_cpu_loc = analyze_deadness(cfg, "cpu", universe, transfers_as_defs=True)
+    dead_gpu_loc = analyze_deadness(cfg, "gpu", universe, transfers_as_defs=True)
+
+    parents = parent_map(func.body)
+    inserter = _Inserter(func, parents, clone)
+    pointer_names = {
+        name for name, ctype in clone.symbols.items() if isinstance(ctype, Pointer)
+    }
+
+    def in_universe(var: str) -> bool:
+        if var in universe:
+            return True
+        if var in pointer_names:
+            return bool(clone.aliases.aliases_of(var) & universe)
+        return False
+
+    for node in cfg.nodes:
+        if node.kind in (STMT, BRANCH) and node.stmt is not None:
+            anchor = inserter.anchor_for(node)
+            if anchor is None:
+                continue
+            site = f"line {anchor.line}"
+            reads = (
+                first_cpu.first_reads(node) if optimize_placement
+                else node.cpu_use & universe
+            )
+            writes = (
+                first_cpu.first_writes(node) if optimize_placement
+                else node.cpu_def & universe
+            )
+            for var in sorted(reads):
+                if in_universe(var):
+                    inserter.insert_check(
+                        "check_read", var, "cpu", site, anchor,
+                        hoist=optimize_placement,
+                    )
+            for var in sorted(writes):
+                if in_universe(var):
+                    inserter.insert_check(
+                        "check_write", var, "cpu", site, anchor,
+                        hoist=optimize_placement,
+                    )
+            # reset_status at CPU last-writes whose GPU copy is dead.
+            for var in sorted(last_cpu.last_writes(node)):
+                if var not in universe:
+                    continue
+                verdict = dead_gpu.classify_out(node, var)
+                if verdict == "must-dead":
+                    inserter.insert_reset(var, "gpu", NOTSTALE, site, anchor)
+                elif verdict == "may-dead":
+                    inserter.insert_reset(var, "gpu", MAYSTALE, site, anchor)
+        elif node.kind == KERNEL:
+            anchor = node.stmt
+            kernel_name = node.region.name
+            for var in sorted(node.gpu_use):
+                if in_universe(var):
+                    inserter.insert_check(
+                        "check_read", var, "gpu", kernel_name, anchor, hoist=False
+                    )
+            for var in sorted(node.gpu_def):
+                if in_universe(var):
+                    hoist_to = (
+                        inserter.gpu_write_hoist_target(node, var)
+                        if optimize_placement else None
+                    )
+                    inserter.insert_check(
+                        "check_write", var, "gpu", kernel_name,
+                        hoist_to if hoist_to is not None else anchor,
+                        hoist=False,
+                    )
+            # reset_status after kernels whose CPU copy is dead.
+            for var in sorted(node.gpu_def):
+                if var not in universe:
+                    continue
+                verdict = dead_cpu.classify_out(node, var)
+                if verdict == "must-dead":
+                    inserter.insert_reset(var, "cpu", NOTSTALE, kernel_name, anchor, after=True)
+                elif verdict == "may-dead":
+                    inserter.insert_reset(var, "cpu", MAYSTALE, kernel_name, anchor, after=True)
+
+    # Dead-target pins for region-entry copyins (h2d whose GPU destination
+    # the analysis proves (may-)dead at the region entrance).  The pin is
+    # applied by the runtime *after* the buffer's allocation, which would
+    # otherwise reset the fresh buffer to stale and mask the verdict.
+    enter_nodes = {
+        id(n.data_directive): n for n in cfg.nodes if n.kind == "data_enter"
+    }
+    for data_region in clone.regions.data:
+        plan = clone.data_mem.get(id(data_region.directive))
+        anchor_node = enter_nodes.get(id(data_region.directive))
+        if plan is None or anchor_node is None:
+            continue
+        for action in plan.entries:
+            if not action.copyin or action.var not in universe:
+                continue
+            # OUT of the enter node: deadness just after the copyins ran.
+            verdict = dead_gpu_loc.classify_out(anchor_node, action.var)
+            if verdict == "must-dead":
+                inserter.insert_pin(action.var, "gpu", NOTSTALE, action.site,
+                                    data_region.stmt)
+            elif verdict == "may-dead":
+                inserter.insert_pin(action.var, "gpu", MAYSTALE, action.site,
+                                    data_region.stmt)
+    for region in clone.regions.compute:
+        plan = clone.kernel_mem.get(region.name)
+        node = cfg.node_for_stmt(region.stmt)
+        if plan is None or node is None:
+            continue
+        for action in plan.entries:
+            if not action.copyin or action.var not in universe:
+                continue
+            verdict = dead_gpu_loc.classify_in(node, action.var)
+            if verdict == "must-dead":
+                inserter.insert_pin(action.var, "gpu", NOTSTALE, action.site, region.stmt)
+            elif verdict == "may-dead":
+                inserter.insert_pin(action.var, "gpu", MAYSTALE, action.site, region.stmt)
+    # ... and for `update` directives: the destination copy's deadness just
+    # after the transfer (OUT of the node — the transfer itself must not
+    # count as its own overwrite) gates the pin.
+    for point in clone.regions.updates:
+        node = cfg.node_for_stmt(point.stmt)
+        if node is None:
+            continue
+        for clause, side, dead in (
+            *((c, "gpu", dead_gpu_loc) for c in point.directive.clauses_named("device")),
+            *((c, "cpu", dead_cpu_loc) for c in point.directive.clauses_named("host", "self")),
+        ):
+            for var in clause.var_names():
+                if var not in universe:
+                    continue
+                verdict = dead.classify_out(node, var)
+                if verdict == "must-dead":
+                    inserter.insert_pin(var, side, NOTSTALE, point.name, point.stmt)
+                elif verdict == "may-dead":
+                    inserter.insert_pin(var, side, MAYSTALE, point.name, point.stmt)
+
+    inserter.apply()
+    # Recompile: region tables keep statement identity, but kernel plans are
+    # unaffected by inserted ExprStmts outside regions.
+    final = compile_ast(cloned_ast, compiled.options.copy(strict_validation=False))
+    return InstrumentationResult(cloned_ast, final, universe, inserter.report)
+
+
+
+class _Inserter:
+    """Collects insertions keyed by anchor statement, then rewrites blocks."""
+
+    def __init__(self, func: ast.FuncDef, parents, compiled: CompiledProgram):
+        self.func = func
+        self.parents = parents
+        self.compiled = compiled
+        self.before: Dict[int, List[ast.Stmt]] = {}
+        self.after: Dict[int, List[ast.Stmt]] = {}
+        self.report: List[InsertedCheck] = []
+        self._seen: Set[Tuple] = set()
+        self._anchors: Dict[int, ast.Stmt] = {}
+
+    # -- anchoring -----------------------------------------------------------
+    def anchor_for(self, node) -> Optional[ast.Stmt]:
+        """Nearest enclosing statement that sits in a Block's body list."""
+        stmt = node.stmt
+        while stmt is not None and not isinstance(self.parents.get(id(stmt)), ast.Block):
+            parent = self.parents.get(id(stmt))
+            if parent is None:
+                return None
+            if isinstance(parent, ast.Stmt):
+                stmt = parent
+            else:
+                return None
+        return stmt
+
+    def enclosing_loops(self, stmt: ast.Stmt) -> List[ast.Stmt]:
+        chain: List[ast.Stmt] = []
+        node = self.parents.get(id(stmt))
+        while node is not None:
+            if isinstance(node, (ast.For, ast.While)):
+                chain.append(node)
+            node = self.parents.get(id(node))
+        return chain  # innermost first
+
+    def _loop_has_kernel(self, loop: ast.Stmt) -> bool:
+        regions = self.compiled.regions
+        return any(
+            any(n is inner for n in loop.walk())
+            for inner in (r.stmt for r in regions.compute)
+        )
+
+    def hoist_anchor(self, anchor: ast.Stmt) -> ast.Stmt:
+        """Move a CPU check above every enclosing kernel-free loop."""
+        target = anchor
+        for loop in self.enclosing_loops(anchor):
+            if self._loop_has_kernel(loop):
+                break
+            target = loop
+        return target
+
+    # -- GPU write-check hoisting (Listing 3) --------------------------------
+    def gpu_write_hoist_target(self, kernel_node, var: str) -> Optional[ast.Stmt]:
+        region_stmt = kernel_node.stmt
+        aliases = self.compiled.aliases
+        var_objects = aliases.aliases_of(var)
+        target: Optional[ast.Stmt] = None
+        for loop in self.enclosing_loops(region_stmt):
+            if self._loop_cpu_accesses(loop, var_objects):
+                break  # condition (i) violated
+            if self._loop_transfers_before(loop, region_stmt, var_objects):
+                break  # condition (ii) violated
+            target = loop
+        return target
+
+    def _loop_cpu_accesses(self, loop: ast.Stmt, var_objects: Set[str]) -> bool:
+        """Does CPU code inside the loop touch any of the objects?"""
+        from repro.ir.defuse import stmt_access
+
+        region_stmts = [r.stmt for r in self.compiled.regions.compute]
+
+        def rec(stmt: ast.Stmt) -> bool:
+            if any(stmt is r for r in region_stmts):
+                return False  # kernel code is not CPU code
+            if isinstance(stmt, ast.Block):
+                return any(rec(s) for s in stmt.body)
+            if isinstance(stmt, ast.If):
+                from repro.ir.defuse import expr_uses
+
+                if expr_uses(stmt.cond) & var_objects:
+                    return True
+                return rec(stmt.then) or (stmt.orelse is not None and rec(stmt.orelse))
+            if isinstance(stmt, (ast.For, ast.While)):
+                from repro.ir.defuse import expr_uses
+
+                if isinstance(stmt, ast.While) and expr_uses(stmt.cond) & var_objects:
+                    return True
+                if isinstance(stmt, ast.For):
+                    for part in (stmt.init, stmt.step):
+                        if part is not None and rec(part):
+                            return True
+                    if stmt.cond is not None and expr_uses(stmt.cond) & var_objects:
+                        return True
+                return rec(stmt.body)
+            acc = stmt_access(stmt, self.compiled.aliases.alias_map())
+            return bool((acc.use | acc.defs) & var_objects)
+
+        body = loop.body if isinstance(loop, (ast.For, ast.While)) else loop
+        return rec(body)
+
+    def _loop_transfers_before(
+        self, loop: ast.Stmt, region_stmt: ast.Stmt, var_objects: Set[str]
+    ) -> bool:
+        """Listing 3's condition (ii): a transfer of the variable that
+        executes *before the write check* within the loop body disqualifies
+        hoisting.  The check sits right before the region, so we scan the
+        loop body in statement order up to the region statement; the
+        region's own entry copyins also count (they run with the launch,
+        i.e. at the check position every iteration)."""
+        expand = self.compiled.aliases.expand
+        region_by_stmt = {
+            id(r.stmt): r for r in self.compiled.regions.compute
+        }
+
+        def region_entry_copies(region) -> bool:
+            plan = self.compiled.kernel_mem.get(region.name)
+            if plan is None:
+                return False
+            return any(
+                action.copyin and expand({action.var}) & var_objects
+                for action in plan.entries
+            )
+
+        def stmt_transfers(stmt: ast.Stmt) -> bool:
+            for directive in getattr(stmt, "pragmas", []):
+                if directive.namespace != "acc":
+                    continue
+                if directive.name == "update":
+                    for clause in directive.clauses_named("host", "device", "self"):
+                        if expand(set(clause.var_names())) & var_objects:
+                            return True
+                elif directive.is_data:
+                    for clause_name, var in directive.data_clause_vars():
+                        from repro.acc.directives import CLAUSE_COPIES_IN, CLAUSE_COPIES_OUT
+
+                        if clause_name in (CLAUSE_COPIES_IN | CLAUSE_COPIES_OUT):
+                            if expand({var}) & var_objects:
+                                return True
+            return False
+
+        found = False
+
+        def rec(stmt: ast.Stmt) -> bool:
+            """True once the region statement has been reached."""
+            nonlocal found
+            if stmt is region_stmt:
+                if region_entry_copies(region_by_stmt[id(stmt)]):
+                    found = True
+                return True
+            if stmt_transfers(stmt):
+                found = True
+            if id(stmt) in region_by_stmt:
+                # A different kernel before ours: its transfers count.
+                if region_entry_copies(region_by_stmt[id(stmt)]):
+                    found = True
+                plan = self.compiled.kernel_mem.get(region_by_stmt[id(stmt)].name)
+                if plan is not None and any(
+                    action.copyout and expand({action.var}) & var_objects
+                    for action in plan.exits
+                ):
+                    found = True
+                return False
+            if isinstance(stmt, ast.Block):
+                return any(rec(s) for s in stmt.body)
+            if isinstance(stmt, ast.If):
+                hit = rec(stmt.then)
+                if stmt.orelse is not None:
+                    hit = rec(stmt.orelse) or hit
+                return hit
+            if isinstance(stmt, (ast.For, ast.While)):
+                return rec(stmt.body)
+            return False
+
+        body = loop.body if isinstance(loop, (ast.For, ast.While)) else loop
+        rec(body)
+        return found
+
+    # -- recording / applying --------------------------------------------------
+    def insert_check(self, kind: str, var: str, side: str, site: str,
+                     anchor: ast.Stmt, hoist: bool) -> None:
+        if hoist and side == "cpu":
+            anchor = self.hoist_anchor(anchor)
+        key = (kind, var, side, id(anchor))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        func = "__check_read" if kind == "check_read" else "__check_write"
+        call = _intrinsic(func, [var, side, site], anchor.line)
+        self.before.setdefault(id(anchor), []).append(call)
+        self._anchors[id(anchor)] = anchor
+        self.report.append(
+            InsertedCheck(kind, var, side, site, "before", anchor.line)
+        )
+
+    def insert_reset(self, var: str, side: str, status: str, site: str,
+                     anchor: ast.Stmt, after: bool = True) -> None:
+        key = ("reset", var, side, status, id(anchor))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        call = _intrinsic("__reset_status", [var, side, status, site], anchor.line)
+        table = self.after if after else self.before
+        table.setdefault(id(anchor), []).append(call)
+        self._anchors[id(anchor)] = anchor
+        self.report.append(
+            InsertedCheck("reset_status", var, side, site,
+                          "after" if after else "before", anchor.line, status)
+        )
+
+    def insert_pin(self, var: str, side: str, status: str, site: str,
+                   anchor: ast.Stmt) -> None:
+        key = ("pin", var, side, status, id(anchor))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        call = _intrinsic("__pin_after_alloc", [var, side, status, site], anchor.line)
+        self.before.setdefault(id(anchor), []).append(call)
+        self._anchors[id(anchor)] = anchor
+        self.report.append(
+            InsertedCheck("pin_after_alloc", var, side, site, "before",
+                          anchor.line, status)
+        )
+
+    def apply(self) -> None:
+        if not (self.before or self.after):
+            return
+
+        def rewrite(block: ast.Block) -> None:
+            new_body: List[ast.Stmt] = []
+            for stmt in block.body:
+                new_body.extend(self.before.get(id(stmt), ()))
+                new_body.append(stmt)
+                new_body.extend(self.after.get(id(stmt), ()))
+            block.body = new_body
+
+        for node in self.func.body.walk():
+            if isinstance(node, ast.Block):
+                rewrite(node)
+
+
+def _intrinsic(func: str, args: List[str], line: int) -> ast.ExprStmt:
+    return ast.ExprStmt(
+        ast.Call(func, [ast.StrLit(a, line) for a in args], line), line
+    )

@@ -1,0 +1,119 @@
+"""Memory-transfer demotion (§III-A).
+
+For each *target* kernel the pass rewrites the program so the kernel always
+consumes reference CPU data (Listing 1 -> Listing 2 of the paper):
+
+* data clauses in enclosing ``data`` regions are *demoted* onto the target
+  compute region — read-only data lands in ``copyin``, modified data in
+  ``copy`` (the copy-back goes to a temporary, handled by the
+  result-comparison transformation);
+* the kernel and its transfers become asynchronous (``async(q)``) so they
+  overlap with the sequential CPU execution;
+* every directive unrelated to a target kernel is removed, so unrelated
+  compute regions execute sequentially on the CPU — no error propagation
+  from earlier GPU translations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.acc.directives import Clause, VarRef
+from repro.acc.regions import collect_regions
+from repro.ir.defuse import region_access
+from repro.lang import ast
+from repro.lang.visitor import clone_tree
+
+# The async queue the verification harness uses (paper's Listing 2 uses 1).
+VERIFY_QUEUE = 1
+
+
+def demote_for_verification(
+    program: ast.Program,
+    target_kernels: Set[str],
+    main_function: str = "main",
+) -> ast.Program:
+    """Return a clone of ``program`` rewritten for kernel verification."""
+    cloned = clone_tree(program)
+    func = cloned.func(main_function)
+    regions = collect_regions(func)
+    known = {r.name for r in regions.compute}
+    unknown = target_kernels - known
+    if unknown:
+        from repro.errors import CompileError
+
+        raise CompileError(f"unknown verification targets: {sorted(unknown)}")
+
+    target_stmts: Dict[int, str] = {}
+    for region in regions.compute:
+        if region.name in target_kernels:
+            target_stmts[id(region.stmt)] = region.name
+            _demote_region(region)
+
+    _strip_unrelated(func, target_stmts)
+    return cloned
+
+
+def _demote_region(region) -> None:
+    """Rewrite the region's directive with demoted data clauses + async."""
+    directive = region.directive
+    acc = region_access(region.stmt)
+    # Locals / privates are excluded the same way kernelgen does it: only
+    # names that look like shared arrays matter, but at this level we cannot
+    # consult types, so we demote everything the enclosing data regions or
+    # the directive itself named, plus everything the region accesses that
+    # an enclosing region covered.
+    covered: List[str] = []
+    for data_region in region.enclosing_data:
+        for _, var in data_region.directive.data_clause_vars():
+            if var not in covered:
+                covered.append(var)
+    own: List[str] = [v for _, v in directive.data_clause_vars()]
+
+    demoted = [v for v in covered + own if v in (acc.use | acc.defs)]
+    read_only = [v for v in demoted if v not in acc.defs]
+    written = [v for v in demoted if v in acc.defs]
+
+    directive.remove_clauses(
+        "copy", "copyin", "copyout", "create", "present",
+        "present_or_copy", "present_or_copyin", "present_or_copyout",
+        "present_or_create",
+    )
+    if written:
+        directive.add_clause(Clause("copy", [VarRef(v) for v in written]))
+    if read_only:
+        directive.add_clause(Clause("copyin", [VarRef(v) for v in read_only]))
+    if not directive.has_clause("async"):
+        directive.add_clause(Clause("async", [ast.IntLit(VERIFY_QUEUE)]))
+
+
+def _strip_unrelated(func: ast.FuncDef, target_stmts: Dict[int, str]) -> None:
+    """Remove every acc directive not belonging to a target kernel."""
+    for node in func.body.walk():
+        if not isinstance(node, ast.Stmt) or not node.pragmas:
+            continue
+        if id(node) in target_stmts:
+            # Keep the (rewritten) compute directive and loop directives.
+            node.pragmas = [
+                p for p in node.pragmas
+                if p.namespace != "acc" or p.is_compute or p.is_loop
+            ]
+            continue
+        if _inside_target(node, target_stmts, func):
+            continue  # inner `loop` directives of a target region survive
+        node.pragmas = [p for p in node.pragmas if p.namespace != "acc"]
+
+
+def _inside_target(node: ast.Stmt, target_stmts: Dict[int, str], func: ast.FuncDef) -> bool:
+    for stmt_id in target_stmts:
+        stmt = _find_by_id(func, stmt_id)
+        if stmt is not None and any(n is node for n in stmt.walk()):
+            return True
+    return False
+
+
+def _find_by_id(func: ast.FuncDef, stmt_id: int) -> Optional[ast.Stmt]:
+    for node in func.body.walk():
+        if id(node) == stmt_id:
+            return node
+    return None

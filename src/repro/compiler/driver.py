@@ -1,0 +1,111 @@
+"""Compiler driver: source text -> :class:`CompiledProgram`.
+
+A compiled program bundles the (possibly transformed) AST with the per-region
+kernel plans and memory plans plus the analysis artifacts later passes and
+the interpreter need.  ``compile_source`` is the one-stop entry point; passes
+that rewrite the AST (demotion, check insertion, fault injection) recompile
+via :func:`compile_ast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.acc.regions import RegionTable, collect_regions
+from repro.acc.validate import declared_names, validate_program
+from repro.compiler.kernelgen import KernelPlan, generate_kernel
+from repro.compiler.memgen import RegionMemPlan, plan_compute_region, plan_data_region
+from repro.errors import CompileError
+from repro.ir.alias import AliasInfo, analyze_aliases
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+@dataclass
+class CompilerOptions:
+    """Knobs the evaluation studies turn."""
+
+    auto_privatize: bool = True
+    auto_reduction: bool = True
+    default_data_management: bool = True
+    main_function: str = "main"
+    strict_validation: bool = True
+
+    def copy(self, **overrides) -> "CompilerOptions":
+        data = {**self.__dict__, **overrides}
+        return CompilerOptions(**data)
+
+
+class CompiledProgram:
+    """Result of running the pipeline over one translation unit."""
+
+    def __init__(self, program: ast.Program, options: CompilerOptions):
+        self.program = program
+        self.options = options
+        self.main = program.func(options.main_function)
+        self.regions: RegionTable = collect_regions(self.main)
+        self.symbols = declared_names(self.main, program)
+        self.aliases: AliasInfo = analyze_aliases(program, self.main)
+        self.kernels: Dict[str, KernelPlan] = {}
+        self.kernel_mem: Dict[str, RegionMemPlan] = {}
+        self.data_mem: Dict[int, RegionMemPlan] = {}  # id(directive) -> plan
+        self.warnings: List[str] = []
+
+    def kernel_for_stmt(self, stmt: ast.Stmt) -> Optional[KernelPlan]:
+        region = self.regions.region_for_stmt(stmt)
+        if region is None:
+            return None
+        return self.kernels[region.name]
+
+    def kernel_names(self) -> List[str]:
+        return [r.name for r in self.regions.compute]
+
+    def to_source(self) -> str:
+        from repro.lang.printer import to_source
+
+        return to_source(self.program)
+
+
+def compile_ast(program: ast.Program, options: Optional[CompilerOptions] = None) -> CompiledProgram:
+    """Run the pipeline over an already-parsed (possibly transformed) AST."""
+    options = options or CompilerOptions()
+    try:
+        program.func(options.main_function)
+    except KeyError:
+        raise CompileError(f"program has no '{options.main_function}' function")
+    if options.strict_validation:
+        validate_program(program).raise_if_errors()
+    compiled = CompiledProgram(program, options)
+    # Variables with an unstructured device lifetime (`enter data`): they
+    # opt out of the naive default scheme like data-region coverage does.
+    unstructured = set()
+    for node in compiled.main.body.walk():
+        for directive in getattr(node, "pragmas", []):
+            if directive.namespace == "acc" and directive.name == "enter data":
+                for _, var in directive.data_clause_vars():
+                    unstructured.add(var)
+    for region in compiled.regions.compute:
+        plan = generate_kernel(
+            region,
+            compiled.symbols,
+            auto_privatize=options.auto_privatize,
+            auto_reduction=options.auto_reduction,
+        )
+        compiled.kernels[region.name] = plan
+        compiled.warnings.extend(plan.warnings)
+        compiled.kernel_mem[region.name] = plan_compute_region(
+            region, plan,
+            default_data_management=options.default_data_management,
+            unstructured_covered=unstructured,
+        )
+    for data_region in compiled.regions.data:
+        compiled.data_mem[id(data_region.directive)] = plan_data_region(
+            data_region.directive, region_label=f"data@{data_region.directive.line}"
+        )
+    return compiled
+
+
+def compile_source(source: str, options: Optional[CompilerOptions] = None) -> CompiledProgram:
+    """Parse and compile mini-C source text."""
+    return compile_ast(parse_program(source), options)

@@ -1,0 +1,92 @@
+"""Fault injection for the evaluation studies.
+
+Table II removes ``private``/``reduction`` clauses and disables the automatic
+recognitions, then asks the kernel-verification scheme to find the resulting
+races.  Figure 1 strips all manual memory management so the default scheme
+kicks in.  All injectors clone the program; the input AST is never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.lang import ast
+from repro.lang.visitor import clone_tree
+
+
+def _edit_pragmas(program: ast.Program, editor) -> ast.Program:
+    """Clone the program and run ``editor(stmt, pragmas) -> new_pragmas``
+    over every statement."""
+    cloned = clone_tree(program)
+    for func in cloned.funcs:
+        for node in func.body.walk():
+            if isinstance(node, ast.Stmt) and node.pragmas:
+                node.pragmas = editor(node, list(node.pragmas))
+    return cloned
+
+
+def drop_private_clauses(program: ast.Program, kernels: Optional[Set[str]] = None) -> ast.Program:
+    """Remove every ``private``/``firstprivate`` clause (Table II study)."""
+
+    def editor(stmt, pragmas):
+        for d in pragmas:
+            if d.namespace == "acc":
+                d.remove_clauses("private", "firstprivate")
+        return pragmas
+
+    return _edit_pragmas(program, editor)
+
+
+def drop_reduction_clauses(program: ast.Program, kernels: Optional[Set[str]] = None) -> ast.Program:
+    """Remove every ``reduction`` clause (Table II study)."""
+
+    def editor(stmt, pragmas):
+        for d in pragmas:
+            if d.namespace == "acc":
+                d.remove_clauses("reduction")
+        return pragmas
+
+    return _edit_pragmas(program, editor)
+
+
+def strip_data_management(program: ast.Program) -> ast.Program:
+    """Remove every manual memory-management construct: ``data`` regions,
+    ``update`` directives, and data clauses on compute directives.  What
+    remains relies entirely on the naive default scheme (Figure 1's
+    baseline)."""
+    from repro.acc.directives import DATA_CLAUSES
+
+    def editor(stmt, pragmas):
+        kept = []
+        for d in pragmas:
+            if d.namespace != "acc":
+                kept.append(d)
+                continue
+            if d.name in ("data", "update"):
+                continue
+            d.clauses = [c for c in d.clauses if c.name not in DATA_CLAUSES]
+            kept.append(d)
+        return kept
+
+    return _edit_pragmas(program, editor)
+
+
+def strip_all_acc(program: ast.Program) -> ast.Program:
+    """Remove every acc directive: the sequential reference program."""
+
+    def editor(stmt, pragmas):
+        return [d for d in pragmas if d.namespace != "acc"]
+
+    return _edit_pragmas(program, editor)
+
+
+def list_clause_sites(program: ast.Program, clause_names: Set[str]) -> List[str]:
+    """Directive lines carrying any of the named clauses (study bookkeeping)."""
+    sites = []
+    for func in program.funcs:
+        for node in func.body.walk():
+            if isinstance(node, ast.Stmt):
+                for d in node.pragmas:
+                    if any(d.clause(name) for name in clause_names):
+                        sites.append(f"{func.name}:{d.line}:{d.name}")
+    return sites

@@ -1,0 +1,119 @@
+"""Memory-transfer code generation.
+
+Produces per-region entry/exit *memory actions*:
+
+* data regions: one action pair per data-clause variable (present-or
+  semantics; copyin/copyout as the clause dictates);
+* compute regions: variables covered by a clause on the compute directive or
+  an enclosing data region follow those clauses; every *uncovered* array the
+  kernel touches falls back to OpenACC's **default scheme** (§II-C): copy
+  everything accessed to the GPU right before the launch and everything
+  modified back right after — the naive baseline of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.acc.directives import (
+    CLAUSE_COPIES_IN,
+    CLAUSE_COPIES_OUT,
+    DATA_CLAUSES,
+    Directive,
+)
+from repro.acc.regions import ComputeRegion
+from repro.compiler.kernelgen import KernelPlan
+
+
+@dataclass(frozen=True)
+class EntryAction:
+    """At region entry: ensure present (alloc if absent), then maybe copyin."""
+
+    var: str
+    copyin: bool
+    site: str
+
+
+@dataclass(frozen=True)
+class ExitAction:
+    """At region exit: maybe copyout, then release (free when last ref)."""
+
+    var: str
+    copyout: bool
+    site: str
+
+
+@dataclass
+class RegionMemPlan:
+    entries: List[EntryAction]
+    exits: List[ExitAction]
+
+    def entry_vars(self) -> List[str]:
+        return [a.var for a in self.entries]
+
+
+def plan_data_region(directive: Directive, region_label: str = "data") -> RegionMemPlan:
+    """Memory actions of a ``#pragma acc data`` directive."""
+    entries: List[EntryAction] = []
+    exits: List[ExitAction] = []
+    for clause in directive.clauses:
+        if clause.name not in DATA_CLAUSES or clause.name == "deviceptr":
+            continue
+        for var in clause.var_names():
+            entries.append(EntryAction(var, clause.name in CLAUSE_COPIES_IN,
+                                       site=f"{region_label}.enter({var})"))
+            exits.append(ExitAction(var, clause.name in CLAUSE_COPIES_OUT,
+                                    site=f"{region_label}.exit({var})"))
+    # Copyouts run in reverse declaration order (LIFO, like region teardown).
+    exits.reverse()
+    return RegionMemPlan(entries, exits)
+
+
+def plan_compute_region(
+    region: ComputeRegion,
+    kernel: KernelPlan,
+    default_data_management: bool = True,
+    unstructured_covered: Optional[set] = None,
+) -> RegionMemPlan:
+    """Memory actions around one kernel launch.
+
+    ``unstructured_covered`` names variables given a device lifetime by an
+    ``enter data`` directive somewhere in the function: like data-region
+    coverage, they opt out of the default per-launch scheme (the runtime's
+    present table does the exact dynamic check)."""
+    label = kernel.name
+    covered_by_data: Dict[str, str] = {}
+    for data_region in region.enclosing_data:
+        for clause_name, var in data_region.directive.data_clause_vars():
+            covered_by_data.setdefault(var, clause_name)
+    for var in unstructured_covered or ():
+        covered_by_data.setdefault(var, "present")
+
+    clause_here: Dict[str, str] = {}
+    for clause_name, var in region.directive.data_clause_vars():
+        clause_here[var] = clause_name
+
+    entries: List[EntryAction] = []
+    exits: List[ExitAction] = []
+    written = set(kernel.written_arrays)
+    for var in kernel.arrays:
+        if var in clause_here:
+            name = clause_here[var]
+            entries.append(EntryAction(var, name in CLAUSE_COPIES_IN,
+                                       site=f"{label}.entry({var})"))
+            exits.append(ExitAction(var, name in CLAUSE_COPIES_OUT,
+                                    site=f"{label}.exit({var})"))
+        elif var in covered_by_data:
+            continue  # device-resident for the data region's duration
+        elif default_data_management:
+            # Naive default: copy accessed data in, modified data out, with
+            # a per-launch allocation lifetime.
+            entries.append(EntryAction(var, True, site=f"{label}.default-in({var})"))
+            exits.append(ExitAction(var, var in written, site=f"{label}.default-out({var})"))
+        else:
+            # Treated as present (trust the programmer); the runtime faults
+            # if it is not.
+            continue
+    exits.reverse()
+    return RegionMemPlan(entries, exits)

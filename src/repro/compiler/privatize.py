@@ -1,0 +1,77 @@
+"""Automatic privatization analysis.
+
+A scalar written inside a compute region's partitioned body can safely be
+made thread-private when no execution path through one iteration reads it
+before writing it (no loop-carried flow through the scalar).  Scalars that
+fail the test (or everything, when auto-privatization is disabled — the
+Table II study) are *falsely shared*: kernelgen register-caches them with a
+dump-back, reproducing the paper's latent-race behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.ir.cfg import CFG, build_cfg
+from repro.ir.defuse import annotate
+from repro.ir.liveness import analyze_liveness
+from repro.lang import ast
+
+
+def _body_cfg(stmts: Sequence[ast.Stmt]) -> CFG:
+    """CFG over a loop body treated as a standalone function."""
+    wrapper = ast.FuncDef("__body", None, [], ast.Block(list(stmts)))
+    cfg = build_cfg(wrapper)
+    annotate(cfg)
+    return cfg
+
+
+def written_scalars(stmts: Sequence[ast.Stmt], array_names: Set[str]) -> Set[str]:
+    """Scalars assigned anywhere in the body (arrays and declared locals
+    excluded — locals are private by construction)."""
+    declared = {
+        node.name for stmt in stmts for node in stmt.walk() if isinstance(node, ast.VarDecl)
+    }
+    written: Set[str] = set()
+    for stmt in stmts:
+        for node in stmt.walk():
+            if isinstance(node, ast.Assign):
+                base = ast.base_name(node.target)
+                if (
+                    base is not None
+                    and not isinstance(node.target, ast.Subscript)
+                    and not (isinstance(node.target, ast.Unary) and node.target.op == "*")
+                ):
+                    written.add(base)
+            elif isinstance(node, ast.Unary) and node.op in ("++", "--", "p++", "p--"):
+                base = ast.base_name(node.operand)
+                if base is not None:
+                    written.add(base)
+    return written - declared - array_names
+
+
+def privatizable_scalars(
+    stmts: Sequence[ast.Stmt],
+    array_names: Set[str],
+    loop_indices: Set[str],
+) -> Set[str]:
+    """Scalars safe to privatize: written in the body and never read before
+    written within one iteration (i.e. not live at body entry)."""
+    candidates = written_scalars(stmts, array_names) - loop_indices
+    if not candidates:
+        return set()
+    cfg = _body_cfg(stmts)
+    live = analyze_liveness(cfg, side="cpu")
+    live_at_entry = set(live.in_of(cfg.entry))
+    return {v for v in candidates if v not in live_at_entry}
+
+
+def unprivatizable_scalars(
+    stmts: Sequence[ast.Stmt],
+    array_names: Set[str],
+    loop_indices: Set[str],
+) -> Set[str]:
+    """Written scalars that carry a value *into* an iteration — candidates
+    for reduction recognition; racy if left shared."""
+    candidates = written_scalars(stmts, array_names) - loop_indices
+    return candidates - privatizable_scalars(stmts, array_names, loop_indices)

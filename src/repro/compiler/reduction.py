@@ -1,0 +1,173 @@
+"""Reduction pattern recognition.
+
+Recognizes, inside a compute region body, scalars updated exclusively by one
+of the classic reduction shapes:
+
+* ``s = s + e`` / ``s += e``   (also ``*``)
+* ``s = e + s``
+* ``if (e > m) { m = e; }``    (max; ``<`` gives min)
+* ``m = fmax(m, e)`` / ``fmin``
+
+where ``e`` never mentions ``s``.  Any other read or write of the scalar in
+the body disqualifies it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.ir.defuse import expr_uses
+from repro.lang import ast
+
+
+def _match_accumulate(stmt: ast.Assign, var: str) -> Optional[str]:
+    """Return the reduction op if stmt is `var = var ⊕ e` (or compound)."""
+    if not isinstance(stmt.target, ast.Name) or stmt.target.id != var:
+        return None
+    if stmt.op in ("+", "*"):
+        return stmt.op if var not in expr_uses(stmt.value) else None
+    if stmt.op:
+        return None
+    value = stmt.value
+    if isinstance(value, ast.Binary) and value.op in ("+", "*"):
+        left, right = value.left, value.right
+        if isinstance(left, ast.Name) and left.id == var and var not in expr_uses(right):
+            return value.op
+        if (
+            value.op == "+"
+            and isinstance(right, ast.Name)
+            and right.id == var
+            and var not in expr_uses(left)
+        ):
+            return "+"
+    if isinstance(value, ast.Call) and value.func in ("fmax", "fmin", "max", "min"):
+        names = [a.id for a in value.args if isinstance(a, ast.Name)]
+        if var in names and len(value.args) == 2:
+            other = value.args[1] if names and names[0] == var else value.args[0]
+            if var not in expr_uses(other):
+                return "max" if value.func in ("fmax", "max") else "min"
+    return None
+
+
+def _match_minmax_if(stmt: ast.If, var: str) -> Optional[str]:
+    """`if (e > m) { m = e; }` / `if (e < m) ...` (either comparison order)."""
+    if stmt.orelse is not None or not isinstance(stmt.cond, ast.Binary):
+        return None
+    body = stmt.then.body if isinstance(stmt.then, ast.Block) else [stmt.then]
+    if len(body) != 1 or not isinstance(body[0], ast.Assign):
+        return None
+    inner = body[0]
+    if not isinstance(inner.target, ast.Name) or inner.target.id != var or inner.op:
+        return None
+    if var in expr_uses(inner.value):
+        return None
+    cond = stmt.cond
+    sides = (cond.left, cond.right)
+    var_on_left = isinstance(sides[0], ast.Name) and sides[0].id == var
+    var_on_right = isinstance(sides[1], ast.Name) and sides[1].id == var
+    if not (var_on_left or var_on_right):
+        return None
+    op = cond.op
+    if op not in ("<", ">", "<=", ">="):
+        return None
+    # `if (e > m) m = e` keeps the max; `if (m < e) m = e` too.
+    bigger_wins = (op in (">", ">=")) != var_on_left
+    return "max" if bigger_wins else "min"
+
+
+def recognize_reductions(
+    stmts: Sequence[ast.Stmt], candidates: Set[str]
+) -> Dict[str, str]:
+    """Map candidate scalars to their reduction op where every access in the
+    body is one reduction-shaped update."""
+    verdict: Dict[str, Optional[str]] = {v: None for v in candidates}
+
+    def visit(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                visit(inner)
+            return
+        if isinstance(stmt, ast.For):
+            for part in (stmt.init, stmt.step):
+                if part is not None:
+                    _disqualify_uses(part, verdict)
+            if stmt.cond is not None:
+                _disqualify_expr(stmt.cond, verdict)
+            visit(stmt.body)
+            return
+        if isinstance(stmt, ast.While):
+            _disqualify_expr(stmt.cond, verdict)
+            visit(stmt.body)
+            return
+        if isinstance(stmt, ast.If):
+            matched = set()
+            for var in list(verdict):
+                if verdict[var] is False:
+                    continue
+                op = _match_minmax_if(stmt, var)
+                if op is not None:
+                    _note(verdict, var, op)
+                    matched.add(var)
+            if matched:
+                # condition may mention the matched var; others must not.
+                for var in verdict:
+                    if var not in matched and verdict[var] is not False:
+                        if var in expr_uses(stmt.cond):
+                            verdict[var] = False
+                for inner_var in verdict:
+                    if inner_var in matched:
+                        continue
+                _check_subtree_excluding(stmt.then, verdict, matched)
+                return
+            _disqualify_expr(stmt.cond, verdict)
+            visit(stmt.then)
+            if stmt.orelse is not None:
+                visit(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Assign):
+            for var in list(verdict):
+                if verdict[var] is False:
+                    continue
+                op = _match_accumulate(stmt, var)
+                if op is not None:
+                    _note(verdict, var, op)
+                else:
+                    touched = expr_uses(stmt.value) | expr_uses(stmt.target)
+                    base = ast.base_name(stmt.target)
+                    if var in touched or base == var:
+                        verdict[var] = False
+            return
+        _disqualify_uses(stmt, verdict)
+
+    for stmt in stmts:
+        visit(stmt)
+    return {v: op for v, op in verdict.items() if isinstance(op, str)}
+
+
+def _note(verdict, var, op) -> None:
+    current = verdict[var]
+    if current is None:
+        verdict[var] = op
+    elif current != op:
+        verdict[var] = False  # mixed ops: not a reduction
+
+
+def _disqualify_expr(expr: ast.Expr, verdict) -> None:
+    used = expr_uses(expr)
+    for var in verdict:
+        if var in used and verdict[var] is not False:
+            verdict[var] = False
+
+
+def _disqualify_uses(stmt: ast.Stmt, verdict) -> None:
+    for node in stmt.walk():
+        if isinstance(node, ast.Name) and node.id in verdict:
+            if verdict[node.id] is not False:
+                verdict[node.id] = False
+
+
+def _check_subtree_excluding(stmt: ast.Stmt, verdict, exclude: Set[str]) -> None:
+    for node in stmt.walk():
+        if isinstance(node, ast.Name) and node.id in verdict and node.id not in exclude:
+            if verdict[node.id] is not False:
+                verdict[node.id] = False

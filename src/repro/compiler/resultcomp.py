@@ -1,0 +1,130 @@
+"""Result-comparison transformation (§III-A).
+
+Runs after :mod:`repro.compiler.demotion` and turns every target region
+
+    #pragma acc kernels loop copy(q) copyin(w) async(1)
+    for (...) { ... }
+
+into the Listing-2 shape:
+
+    __verify_begin("main_kernel0");
+    #pragma acc kernels loop copy(q) copyin(w) async(1)
+    for (...) { ... }                  // GPU, outputs land in temp space
+    for (...) { ... }                  // sequential CPU reference
+    #pragma acc wait(1)
+    __verify_compare("main_kernel0", "q");
+    __verify_end("main_kernel0");
+
+The interpreter routes ``__verify_*`` calls to the verification session,
+which owns the temporary buffers and the user-configurable comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.acc.directives import Clause, Directive
+from repro.acc.regions import collect_regions
+from repro.compiler.demotion import VERIFY_QUEUE
+from repro.ir.defuse import region_access
+from repro.lang import ast
+from repro.lang.visitor import clone_tree
+
+
+def insert_result_comparison(
+    program: ast.Program,
+    target_kernels: Set[str],
+    main_function: str = "main",
+) -> ast.Program:
+    """Wrap each target region with reference execution + comparison.
+
+    ``program`` must already be demoted; the pass mutates and returns it
+    (demotion already cloned the user's AST)."""
+    func = program.func(main_function)
+    regions = collect_regions(func)
+    replacements: Dict[int, List[ast.Stmt]] = {}
+    for region in regions.compute:
+        if region.name not in target_kernels:
+            continue
+        replacements[id(region.stmt)] = _wrap_region(region)
+    _apply_replacements(func.body, replacements)
+    return program
+
+
+def _wrap_region(region) -> List[ast.Stmt]:
+    name = region.name
+    stmt = region.stmt
+
+    seq = clone_tree(stmt)
+    for node in seq.walk():
+        if isinstance(node, ast.Stmt):
+            node.pragmas = [p for p in node.pragmas if p.namespace != "acc"]
+
+    wait_carrier = ast.Block([], stmt.line)
+    wait_carrier.pragmas = [
+        Directive("wait", [Clause("wait", [ast.IntLit(VERIFY_QUEUE)])], line=stmt.line)
+    ]
+
+    compares = [
+        _call_stmt("__verify_compare", [name, var], stmt.line)
+        for var in _output_vars(region)
+    ]
+    return [
+        _call_stmt("__verify_begin", [name], stmt.line),
+        stmt,
+        seq,
+        wait_carrier,
+        *compares,
+        _call_stmt("__verify_end", [name], stmt.line),
+    ]
+
+
+def _output_vars(region) -> List[str]:
+    """Everything the region writes, minus region-local names."""
+    acc = region_access(region.stmt)
+    local: Set[str] = set()
+    for node in region.stmt.walk():
+        if isinstance(node, ast.VarDecl):
+            local.add(node.name)
+        elif isinstance(node, ast.For):
+            if isinstance(node.init, ast.Assign) and isinstance(node.init.target, ast.Name):
+                local.add(node.init.target.id)
+    for directive in _all_directives(region):
+        for clause in directive.clauses_named("private", "firstprivate"):
+            local |= set(clause.var_names())
+    return sorted(acc.defs - local)
+
+
+def _all_directives(region):
+    out = [region.directive]
+    for node in region.stmt.walk():
+        if isinstance(node, ast.Stmt):
+            out.extend(p for p in node.pragmas if p.namespace == "acc")
+    return out
+
+
+def _call_stmt(func: str, args: List[str], line: int) -> ast.ExprStmt:
+    return ast.ExprStmt(
+        ast.Call(func, [ast.StrLit(a, line) for a in args], line), line
+    )
+
+
+def _apply_replacements(block: ast.Stmt, replacements: Dict[int, List[ast.Stmt]]) -> None:
+    """Replace statements (by identity) inside every statement list."""
+    for name in block._fields:
+        value = getattr(block, name)
+        if isinstance(value, list):
+            new_list: List[ast.Stmt] = []
+            for item in value:
+                if isinstance(item, ast.Node) and id(item) in replacements:
+                    new_list.extend(replacements.pop(id(item)))
+                else:
+                    if isinstance(item, ast.Node):
+                        _apply_replacements(item, replacements)
+                    new_list.append(item)
+            setattr(block, name, new_list)
+        elif isinstance(value, ast.Node):
+            if id(value) in replacements:
+                setattr(block, name, ast.Block(replacements.pop(id(value)), value.line))
+            else:
+                _apply_replacements(value, replacements)

@@ -1,0 +1,15 @@
+"""Simulated GPU device.
+
+A :class:`repro.device.device.Device` owns a separate address space
+(:mod:`memory`), a PCIe transfer cost model (:mod:`transfer`), and a kernel
+execution engine (:mod:`engine`) that runs statement-level bytecode
+(:mod:`bytecode`, :mod:`compile`) over many logical threads with a
+configurable interleaving schedule — which is what lets the toolchain
+*deterministically* reproduce the races and floating-point reordering
+effects the paper's verification schemes detect.
+"""
+
+from repro.device.device import Device, DeviceConfig
+from repro.device.engine import Schedule
+
+__all__ = ["Device", "DeviceConfig", "Schedule"]

@@ -1,0 +1,114 @@
+"""Statement-level kernel bytecode.
+
+A kernel body compiles to a flat instruction list.  One instruction is the
+unit of atomicity under the interleaving scheduler: races that real GPUs
+expose at memory-operation granularity appear here at statement granularity,
+which is both deterministic and sufficient to reproduce the two error
+classes of the paper's Table II:
+
+* an unrecognized *reduction* compiles its read-modify-write into two
+  instructions (``TmpEval`` + ``TmpStore``), so interleaved threads lose
+  updates — an **active** error;
+* an unrecognized *private* variable is register-cached with a ``Dump``
+  back to the shared copy at the end of each iteration — the shared value
+  is schedule-dependent, but when nothing reads it afterwards the output is
+  unaffected — a **latent** error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+
+
+class Instr:
+    __slots__ = ()
+
+
+class Simple(Instr):
+    """Execute one simple statement atomically."""
+
+    __slots__ = ("stmt",)
+
+    def __init__(self, stmt: ast.Stmt):
+        self.stmt = stmt
+
+    def __repr__(self):
+        from repro.lang.printer import to_source
+
+        return f"Simple({to_source(self.stmt).strip()})"
+
+
+class TmpEval(Instr):
+    """reg = eval(expr): the read half of a split read-modify-write."""
+
+    __slots__ = ("reg", "expr")
+
+    def __init__(self, reg: str, expr: ast.Expr):
+        self.reg = reg
+        self.expr = expr
+
+    def __repr__(self):
+        from repro.lang.printer import expr_to_source
+
+        return f"TmpEval({self.reg} = {expr_to_source(self.expr)})"
+
+
+class TmpStore(Instr):
+    """store(target, reg): the write half of a split read-modify-write."""
+
+    __slots__ = ("target", "reg")
+
+    def __init__(self, target: ast.Expr, reg: str):
+        self.target = target
+        self.reg = reg
+
+    def __repr__(self):
+        from repro.lang.printer import expr_to_source
+
+        return f"TmpStore({expr_to_source(self.target)} = {self.reg})"
+
+
+class Branch(Instr):
+    """Jump to ``target`` when the condition is false."""
+
+    __slots__ = ("cond", "target")
+
+    def __init__(self, cond: Optional[ast.Expr], target: int):
+        self.cond = cond
+        self.target = target
+
+    def __repr__(self):
+        return f"Branch(!cond -> {self.target})"
+
+
+class Jump(Instr):
+    __slots__ = ("target",)
+
+    def __init__(self, target: int):
+        self.target = target
+
+    def __repr__(self):
+        return f"Jump({self.target})"
+
+
+class Dump(Instr):
+    """Write a register-cached (falsely shared) variable back to the shared
+    copy — the paper's latent-race dump-back."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"Dump({self.name})"
+
+
+Program = List[Instr]
+
+
+def disassemble(instrs: Program) -> str:
+    """Human-readable listing (debugging aid)."""
+    return "\n".join(f"{i:4d}: {instr!r}" for i, instr in enumerate(instrs))

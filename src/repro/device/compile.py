@@ -1,0 +1,132 @@
+"""Lowering of kernel-body ASTs to device bytecode.
+
+``compile_body`` flattens structured control flow into Branch/Jump
+instructions.  Assignments that read-modify-write a variable in
+``split_vars`` (unrecognized reductions / falsely shared scalars) are split
+into TmpEval + TmpStore pairs so the scheduler can interleave between the
+read and the write.  ``dump_vars`` get a Dump instruction at the end of each
+thread's iteration (register-cached falsely-private variables).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.device.bytecode import Branch, Dump, Jump, Program, Simple, TmpEval, TmpStore
+from repro.errors import CompileError
+from repro.ir.defuse import expr_uses
+from repro.lang import ast
+
+
+class _Lowerer:
+    def __init__(self, split_vars: Set[str]):
+        self.split_vars = split_vars
+        self.instrs: Program = []
+        self.break_patches: List[List[int]] = []
+        self.continue_patches: List[List[int]] = []
+        self._tmp_ids = count()
+
+    def emit(self, instr) -> int:
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self.lower_stmt(inner)
+        elif isinstance(stmt, (ast.VarDecl, ast.ExprStmt)):
+            self.emit(Simple(stmt))
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.break_patches:
+                raise CompileError("break outside loop in kernel body")
+            self.break_patches[-1].append(self.emit(Jump(-1)))
+        elif isinstance(stmt, ast.Continue):
+            if not self.continue_patches:
+                raise CompileError("continue outside loop in kernel body")
+            self.continue_patches[-1].append(self.emit(Jump(-1)))
+        elif isinstance(stmt, ast.Return):
+            raise CompileError("return inside a compute region is unsupported")
+        else:
+            raise CompileError(f"cannot lower {type(stmt).__name__} in kernel body")
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        base = ast.base_name(stmt.target)
+        reads_target = bool(stmt.op) or (base in expr_uses(stmt.value))
+        if base in self.split_vars and reads_target:
+            reg = f"%t{next(self._tmp_ids)}"
+            value = stmt.value
+            if stmt.op:
+                value = ast.Binary(stmt.op, stmt.target, stmt.value, stmt.line)
+            self.emit(TmpEval(reg, value))
+            self.emit(TmpStore(stmt.target, reg))
+        else:
+            self.emit(Simple(stmt))
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        branch_at = self.emit(Branch(stmt.cond, -1))
+        self.lower_stmt(stmt.then)
+        if stmt.orelse is not None:
+            jump_at = self.emit(Jump(-1))
+            self.instrs[branch_at] = Branch(stmt.cond, len(self.instrs))
+            self.lower_stmt(stmt.orelse)
+            self.instrs[jump_at] = Jump(len(self.instrs))
+        else:
+            self.instrs[branch_at] = Branch(stmt.cond, len(self.instrs))
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        top = len(self.instrs)
+        branch_at = self.emit(Branch(stmt.cond, -1)) if stmt.cond is not None else None
+        self.break_patches.append([])
+        self.continue_patches.append([])
+        self.lower_stmt(stmt.body)
+        step_at = len(self.instrs)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.emit(Jump(top))
+        end = len(self.instrs)
+        if branch_at is not None:
+            self.instrs[branch_at] = Branch(stmt.cond, end)
+        for at in self.break_patches.pop():
+            self.instrs[at] = Jump(end)
+        for at in self.continue_patches.pop():
+            self.instrs[at] = Jump(step_at)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        top = len(self.instrs)
+        branch_at = self.emit(Branch(stmt.cond, -1))
+        self.break_patches.append([])
+        self.continue_patches.append([])
+        self.lower_stmt(stmt.body)
+        self.emit(Jump(top))
+        end = len(self.instrs)
+        self.instrs[branch_at] = Branch(stmt.cond, end)
+        for at in self.break_patches.pop():
+            self.instrs[at] = Jump(end)
+        for at in self.continue_patches.pop():
+            self.instrs[at] = Jump(top)
+
+
+def compile_body(
+    stmts: Sequence[ast.Stmt],
+    split_vars: Optional[Iterable[str]] = None,
+    dump_vars: Optional[Iterable[str]] = None,
+) -> Program:
+    """Lower a kernel body (the statements one thread executes for its
+    iteration) to bytecode."""
+    lowerer = _Lowerer(set(split_vars or ()))
+    for stmt in stmts:
+        lowerer.lower_stmt(stmt)
+    for name in dump_vars or ():
+        lowerer.emit(Dump(name))
+    return lowerer.instrs

@@ -1,0 +1,160 @@
+"""Device facade: the simulated GPU the runtime talks to.
+
+Bundles the allocator, the cost model, and the kernel engine, and logs every
+operation as a :class:`DeviceEvent` with its *modeled* duration.  The
+profiler folds these events into the Figure-1/3/4 breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.device.engine import KernelEngine, LaunchResult, LaunchSpec, Schedule
+from repro.device.memory import DeviceMemory
+from repro.device.transfer import CostModel, DEFAULT_COSTS
+from repro.errors import DeviceError
+
+# Event kinds (profiler categories key off these).
+EV_ALLOC = "alloc"
+EV_FREE = "free"
+EV_H2D = "h2d"
+EV_D2H = "d2h"
+EV_LAUNCH = "launch"
+
+
+@dataclass
+class DeviceEvent:
+    kind: str
+    name: str
+    nbytes: int = 0
+    steps: int = 0
+    seconds: float = 0.0
+    async_queue: Optional[int] = None
+
+
+@dataclass
+class DeviceConfig:
+    capacity_bytes: int = 6 * 1024**3
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    schedule: Schedule = field(default_factory=Schedule.round_robin)
+    max_kernel_steps: int = 50_000_000
+
+
+class Device:
+    """One simulated accelerator."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None):
+        self.config = config or DeviceConfig()
+        self.mem = DeviceMemory(self.config.capacity_bytes)
+        self.engine = KernelEngine(self.config.max_kernel_steps)
+        self.events: List[DeviceEvent] = []
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, shape: Tuple[int, ...], dtype) -> int:
+        allocation = self.mem.alloc(name, shape, dtype)
+        self._log(DeviceEvent(EV_ALLOC, name, nbytes=allocation.nbytes,
+                              seconds=self.config.costs.alloc_latency_s))
+        return allocation.handle
+
+    def free(self, handle: int) -> None:
+        allocation = self.mem.free(handle)
+        self._log(DeviceEvent(EV_FREE, allocation.name, nbytes=allocation.nbytes,
+                              seconds=self.config.costs.free_latency_s))
+
+    def array(self, handle: int) -> np.ndarray:
+        """Device-side view of a buffer (engine/runtime internal use)."""
+        return self.mem.get(handle).data
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def memcpy_h2d(self, handle: int, host: np.ndarray, async_queue: Optional[int] = None,
+                   section: Optional[Tuple[int, int]] = None) -> float:
+        """Copy host -> device; ``section=(start, length)`` transfers a slice
+        of the (1D-flattened) buffer, paying only its bytes."""
+        dev = self.mem.get(handle)
+        if dev.data.shape != host.shape:
+            raise DeviceError(
+                f"h2d shape mismatch for '{dev.name}': host {host.shape} vs device {dev.data.shape}"
+            )
+        if section is None:
+            np.copyto(dev.data, host, casting="same_kind")
+            nbytes = dev.nbytes
+        else:
+            sl = self._section_slice(dev, section)
+            dev.data.reshape(-1)[sl] = host.reshape(-1)[sl]
+            nbytes = (sl.stop - sl.start) * dev.data.itemsize
+        seconds = self.config.costs.transfer_time(nbytes)
+        self.bytes_h2d += nbytes
+        self._log(DeviceEvent(EV_H2D, dev.name, nbytes=nbytes, seconds=seconds,
+                              async_queue=async_queue))
+        return seconds
+
+    def memcpy_d2h(self, host: np.ndarray, handle: int, async_queue: Optional[int] = None,
+                   section: Optional[Tuple[int, int]] = None) -> float:
+        dev = self.mem.get(handle)
+        if dev.data.shape != host.shape:
+            raise DeviceError(
+                f"d2h shape mismatch for '{dev.name}': host {host.shape} vs device {dev.data.shape}"
+            )
+        if section is None:
+            np.copyto(host, dev.data, casting="same_kind")
+            nbytes = dev.nbytes
+        else:
+            sl = self._section_slice(dev, section)
+            host.reshape(-1)[sl] = dev.data.reshape(-1)[sl]
+            nbytes = (sl.stop - sl.start) * dev.data.itemsize
+        seconds = self.config.costs.transfer_time(nbytes)
+        self.bytes_d2h += nbytes
+        self._log(DeviceEvent(EV_D2H, dev.name, nbytes=nbytes, seconds=seconds,
+                              async_queue=async_queue))
+        return seconds
+
+    @staticmethod
+    def _section_slice(dev, section: Tuple[int, int]) -> slice:
+        start, length = section
+        size = dev.data.size
+        if start < 0 or length <= 0 or start + length > size:
+            raise DeviceError(
+                f"bad section [{start}:{length}] for '{dev.name}' of size {size}"
+            )
+        return slice(start, start + length)
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def launch(self, spec: LaunchSpec, schedule: Optional[Schedule] = None,
+               async_queue: Optional[int] = None) -> LaunchResult:
+        result = self.engine.launch(spec, schedule or self.config.schedule)
+        seconds = self.config.costs.kernel_time(result.total_steps)
+        self._log(DeviceEvent(EV_LAUNCH, spec.name, steps=result.total_steps,
+                              seconds=seconds, async_queue=async_queue))
+        return result
+
+    # ------------------------------------------------------------------
+    def _log(self, event: DeviceEvent) -> None:
+        self.events.append(event)
+
+    def total_seconds(self, kind: Optional[str] = None) -> float:
+        return sum(e.seconds for e in self.events if kind is None or e.kind == kind)
+
+    def total_transferred_bytes(self) -> int:
+        return self.bytes_h2d + self.bytes_d2h
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    def reset_events(self) -> None:
+        self.events.clear()
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0

@@ -1,0 +1,87 @@
+"""Device-side reductions.
+
+Recognized reductions give each thread a private partial which the engine
+combines *pairwise, tree-shaped* — the order real GPU reductions use, and
+deliberately different from the CPU's left-to-right order, so float results
+differ by rounding.  That mismatch is precisely what §III-A's configurable
+error margin exists for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+IDENTITY = {
+    "+": 0.0,
+    "*": 1.0,
+    "max": -math.inf,
+    "min": math.inf,
+    "&": ~0,
+    "|": 0,
+    "^": 0,
+    "&&": 1,
+    "||": 0,
+}
+
+_COMBINE = {
+    "+": lambda a, b: a + b,
+    "*": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def identity(op: str):
+    return IDENTITY[op]
+
+
+def combine(op: str, a, b):
+    return _COMBINE[op](a, b)
+
+
+def tree_reduce(op: str, partials: Sequence, dtype=None) -> object:
+    """Pairwise tree reduction (GPU order).
+
+    With ``dtype`` float32, intermediate results round to single precision
+    at every combine, like a real in-register reduction.
+    """
+    fn = _COMBINE[op]
+    if not partials:
+        return identity(op)
+    values: List = list(partials)
+    if dtype is not None:
+        values = [np.dtype(dtype).type(v) for v in values]
+    while len(values) > 1:
+        nxt = []
+        for i in range(0, len(values) - 1, 2):
+            v = fn(values[i], values[i + 1])
+            if dtype is not None:
+                v = np.dtype(dtype).type(v)
+            nxt.append(v)
+        if len(values) % 2:
+            nxt.append(values[-1])
+        values = nxt
+    result = values[0]
+    return result.item() if isinstance(result, np.generic) else result
+
+
+def sequential_reduce(op: str, partials: Sequence, dtype=None) -> object:
+    """Left-to-right reduction (CPU order) — the reference the tree order is
+    compared against in tests."""
+    fn = _COMBINE[op]
+    acc = identity(op)
+    if dtype is not None:
+        acc = np.dtype(dtype).type(acc)
+    for v in partials:
+        acc = fn(acc, v)
+        if dtype is not None:
+            acc = np.dtype(dtype).type(acc)
+    return acc.item() if isinstance(acc, np.generic) else acc

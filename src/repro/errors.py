@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the toolchain derives from :class:`ReproError` so that
+callers can catch toolchain failures without accidentally swallowing Python
+programming errors.  The hierarchy mirrors the pipeline stages: lexing /
+parsing, directive handling, semantic analysis, device simulation, runtime,
+and verification.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro toolchain."""
+
+
+class SourceError(ReproError):
+    """An error attributable to a location in the input source program."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Tokenizer failure (unknown character, bad literal, ...)."""
+
+
+class ParseError(SourceError):
+    """Parser failure (unexpected token, malformed declaration, ...)."""
+
+
+class PragmaError(SourceError):
+    """Malformed or unknown ``#pragma acc`` directive or clause."""
+
+
+class SemanticError(SourceError):
+    """Semantic violation (undeclared variable, type mismatch, illegal
+    directive placement, ...)."""
+
+
+class CompileError(ReproError):
+    """Failure inside a compiler pass (kernel generation, demotion, ...)."""
+
+
+class DeviceError(ReproError):
+    """Simulated-device fault (bad address, double free, launch failure)."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Device allocator fault: out of memory, bad free, bad address."""
+
+
+class RuntimeFault(ReproError):
+    """Fault raised by the OpenACC runtime (present-table misuse, bad
+    async queue id, update of data not present on the device, ...)."""
+
+
+class InterpError(ReproError):
+    """Host interpreter fault (unbound name, bad subscript, ...)."""
+
+
+class VerificationError(ReproError):
+    """Raised when a verification run itself cannot proceed (NOT raised for
+    detected program errors, which are reported as findings)."""
+
+
+class ConvergenceError(VerificationError):
+    """The interactive optimization loop failed to converge within the
+    configured iteration limit."""

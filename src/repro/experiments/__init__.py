@@ -1,0 +1,8 @@
+"""Evaluation experiments: one module per table/figure of the paper (§IV).
+
+Each module exposes ``run(size=..., seed=...)`` returning structured rows
+and a ``main()`` that renders the same rows the paper reports.  The
+pytest-benchmark targets under ``benchmarks/`` call the same ``run``
+functions, so the regenerated numbers and the benchmarked code paths are
+identical.
+"""

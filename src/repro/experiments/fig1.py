@@ -1,0 +1,69 @@
+"""Figure 1 — OpenACC default memory management vs fully optimized.
+
+For every benchmark, run the *naive* variant (manual memory management
+stripped; the default scheme copies everything accessed in before each
+kernel and everything modified back after) and the *manually optimized*
+variant, and report total modeled execution time and total transferred
+bytes, both normalized to the optimized run.  The paper's log-scale bars
+span roughly one to five decimal orders; the reproduction's shape claim is
+that every benchmark is >= 1x on both axes and the iteration-heavy codes
+are one or more orders of magnitude worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench import all_names, get
+from repro.experiments.harness import render_table, run_variant
+
+
+@dataclass
+class Fig1Row:
+    benchmark: str
+    norm_time: float          # naive time / optimized time
+    norm_bytes: float         # naive bytes / optimized bytes
+    naive_bytes: int
+    optimized_bytes: int
+    naive_time: float
+    optimized_time: float
+
+
+def run(size: str = "small", seed: int = 0) -> List[Fig1Row]:
+    rows: List[Fig1Row] = []
+    for name in all_names():
+        bench = get(name)
+        opt = run_variant(bench, "optimized", size, seed)
+        naive = run_variant(bench, "naive", size, seed)
+        opt_time = opt.runtime.profiler.total()
+        naive_time = naive.runtime.profiler.total()
+        opt_bytes = max(1, opt.runtime.device.total_transferred_bytes())
+        naive_bytes = naive.runtime.device.total_transferred_bytes()
+        rows.append(
+            Fig1Row(
+                benchmark=name,
+                norm_time=naive_time / opt_time,
+                norm_bytes=naive_bytes / opt_bytes,
+                naive_bytes=naive_bytes,
+                optimized_bytes=opt_bytes,
+                naive_time=naive_time,
+                optimized_time=opt_time,
+            )
+        )
+    return rows
+
+
+def main(size: str = "small", seed: int = 0) -> str:
+    rows = run(size, seed)
+    table = render_table(
+        ["Benchmark", "Norm. total execution time", "Norm. total transferred data size"],
+        [[r.benchmark, r.norm_time, r.norm_bytes] for r in rows],
+        title=f"Figure 1 — default vs optimized memory management (size={size})",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

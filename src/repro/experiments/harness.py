@@ -1,0 +1,72 @@
+"""Shared experiment plumbing: run helpers and text-table rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.suite import Benchmark
+from repro.compiler.driver import CompilerOptions, compile_ast
+from repro.interp import run_compiled, run_sequential
+from repro.interp.interp import Interp
+
+
+def run_variant(
+    bench: Benchmark,
+    variant: str,
+    size: str = "small",
+    seed: int = 0,
+    options: Optional[CompilerOptions] = None,
+) -> Interp:
+    """Execute one benchmark variant; returns the interpreter (profiler,
+    device, env attached).
+
+    ``variant`` is 'optimized', 'unoptimized', 'naive' (default-scheme), or
+    'sequential'.
+    """
+    params = bench.params(size, seed)
+    if variant == "sequential":
+        compiled = bench.compile("optimized", options)
+        return run_sequential(compiled, params=params)
+    if variant == "naive":
+        compiled = compile_ast(
+            bench.naive_program(),
+            (options or CompilerOptions()).copy(strict_validation=False),
+        )
+    else:
+        compiled = bench.compile(variant, options)
+    return run_compiled(compiled, params=params)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    floatfmt: str = "{:.3g}",
+) -> str:
+    """Plain-text table (the experiments print these)."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_dicts(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[Dict]:
+    return [dict(zip(headers, row)) for row in rows]

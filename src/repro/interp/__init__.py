@@ -1,0 +1,6 @@
+"""Host interpreter: executes mini-C programs against the OpenACC runtime."""
+
+from repro.interp.interp import Interp, run_compiled, run_sequential
+from repro.interp.values import HostEnv
+
+__all__ = ["Interp", "HostEnv", "run_compiled", "run_sequential"]

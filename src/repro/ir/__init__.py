@@ -1,0 +1,15 @@
+"""Intermediate representation and dataflow analyses.
+
+The host function is lowered to a statement-level control-flow graph in which
+each compute region collapses to a single *kernel node* carrying the region's
+aggregate GPU access sets.  The paper's analyses run over this CFG:
+
+* :mod:`repro.ir.deadness`   — Algorithm 1 (may-dead / may-live / must-dead)
+* :mod:`repro.ir.lastwrite`  — Algorithm 2 (last-write)
+* :mod:`repro.ir.firstaccess` — first-read / first-write placement analysis
+"""
+
+from repro.ir.cfg import CFG, CFGNode, build_cfg
+from repro.ir.dataflow import DataflowProblem, solve
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "DataflowProblem", "solve"]

@@ -1,0 +1,150 @@
+"""Conservative may-alias analysis for mini-C pointers.
+
+Flow-insensitive points-to: every assignment whose target is a pointer and
+whose source mentions an array or another pointer merges alias classes.
+``p = a;``, ``p = &a[0];``, ``p = q;``, and conditional re-assignments all
+land in the same bucket.  The result maps each pointer to the set of arrays
+it may point at, and flags *ambiguous* pointers (more than one array, or a
+pointer whose target could not be resolved at all).
+
+Ambiguity is what drives the paper's Table III: when the compiler cannot
+resolve (may-)aliased pointers, its may-dead verdicts can be wrong, the tool
+suggests an incorrect transfer deletion, and the kernel-verification pass
+catches the corruption one iteration later (BACKPROP, LUD).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.lang import ast
+from repro.lang.ctypes import Array, Pointer
+
+
+class AliasInfo:
+    """Result of the analysis."""
+
+    def __init__(self, points_to: Dict[str, Set[str]], ambiguous: Set[str]):
+        self.points_to = points_to
+        self.ambiguous = ambiguous
+
+    def aliases_of(self, name: str) -> Set[str]:
+        """Memory objects an access through ``name`` may touch (includes the
+        name itself when it is an array)."""
+        return self.points_to.get(name, {name})
+
+    def is_ambiguous(self, name: str) -> bool:
+        return name in self.ambiguous
+
+    def expand(self, names: Set[str]) -> Set[str]:
+        out: Set[str] = set()
+        for n in names:
+            out |= self.aliases_of(n)
+        return out
+
+    def alias_map(self) -> Dict[str, Set[str]]:
+        """Mapping suitable for :func:`repro.ir.defuse.annotate`."""
+        return dict(self.points_to)
+
+    def __repr__(self):
+        return f"AliasInfo(points_to={self.points_to}, ambiguous={sorted(self.ambiguous)})"
+
+
+def analyze_aliases(program: ast.Program, func: Optional[ast.FuncDef] = None) -> AliasInfo:
+    """Flow-insensitive points-to over globals plus one function's locals."""
+    pointer_names: Set[str] = set()
+    array_names: Set[str] = set()
+
+    def scan_decl(name: str, ctype) -> None:
+        if isinstance(ctype, Pointer):
+            pointer_names.add(name)
+        elif isinstance(ctype, Array):
+            array_names.add(name)
+
+    for decl in program.decls:
+        scan_decl(decl.name, decl.ctype)
+    funcs = [func] if func is not None else program.funcs
+    for f in funcs:
+        for param in f.params:
+            scan_decl(param.name, param.ctype)
+        for node in f.body.walk():
+            if isinstance(node, ast.VarDecl):
+                scan_decl(node.name, node.ctype)
+
+    points_to: Dict[str, Set[str]] = {p: set() for p in pointer_names}
+    unresolved: Set[str] = set()
+
+    def source_targets(expr: ast.Expr) -> Optional[Set[str]]:
+        """Objects the RHS of a pointer assignment may denote."""
+        if isinstance(expr, ast.Name):
+            if expr.id in array_names:
+                return {expr.id}
+            if expr.id in pointer_names:
+                return points_to.get(expr.id, set()) | {("?ptr", expr.id)}  # type: ignore[arg-type]
+            return None
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            base = ast.base_name(expr.operand)
+            if base in array_names:
+                return {base}
+            return None
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            # pointer arithmetic: p = a + k
+            return source_targets(expr.left)
+        if isinstance(expr, ast.Ternary):
+            left = source_targets(expr.then)
+            right = source_targets(expr.other)
+            if left is None or right is None:
+                return None
+            return left | right
+        if isinstance(expr, ast.Cast):
+            return source_targets(expr.operand)
+        return None
+
+    # Iterate to closure: pointer-to-pointer copies need the final sets.
+    for _ in range(len(pointer_names) + 2):
+        changed = False
+        for f in funcs:
+            for node in f.body.walk():
+                target_name = None
+                value = None
+                if isinstance(node, ast.Assign) and not node.op:
+                    target_name = ast.base_name(node.target)
+                    value = node.value
+                elif isinstance(node, ast.VarDecl) and node.init is not None:
+                    target_name = node.name
+                    value = node.init
+                if target_name not in pointer_names or value is None:
+                    continue
+                if not isinstance(node, ast.VarDecl) and not isinstance(
+                    node.target, ast.Name
+                ):
+                    continue  # *p = x writes through, not rebinding
+                targets = source_targets(value)
+                if targets is None:
+                    if target_name not in unresolved:
+                        unresolved.add(target_name)
+                        changed = True
+                    continue
+                concrete = {t for t in targets if isinstance(t, str)}
+                ptr_deps = {t[1] for t in targets if isinstance(t, tuple)}
+                for dep in ptr_deps:
+                    concrete |= points_to.get(dep, set())
+                    if dep in unresolved and target_name not in unresolved:
+                        unresolved.add(target_name)
+                        changed = True
+                if not concrete <= points_to[target_name]:
+                    points_to[target_name] |= concrete
+                    changed = True
+        if not changed:
+            break
+
+    ambiguous = set(unresolved)
+    for p, targets in points_to.items():
+        if len(targets) > 1:
+            ambiguous.add(p)
+        if not targets and p not in unresolved:
+            # Never assigned: unknown target — maximally conservative.
+            points_to[p] = set(array_names)
+            if array_names:
+                ambiguous.add(p)
+    return AliasInfo(points_to, ambiguous)

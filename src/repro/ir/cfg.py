@@ -1,0 +1,349 @@
+"""Statement-level control-flow graph.
+
+Each :class:`CFGNode` wraps one simple statement, one branch condition, one
+compute region (an entire ``kernels``/``parallel`` statement collapses into a
+single *kernel node*), or one ``update``/``wait`` carrier.  Loops are
+desugared (``for`` becomes init -> cond -> body -> step -> cond), so every
+analysis sees plain edges.
+
+Kernel nodes are opaque to the host-side analyses except for their aggregate
+access sets, which :mod:`repro.ir.defuse` fills in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.acc.regions import RegionTable
+from repro.errors import CompileError
+from repro.lang import ast
+
+# Node kinds.
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+BRANCH = "branch"
+KERNEL = "kernel"
+UPDATE = "update"
+WAIT = "wait"
+JOIN = "join"
+DATA_ENTER = "data_enter"
+DATA_EXIT = "data_exit"
+
+
+class CFGNode:
+    """One CFG vertex."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "stmt",
+        "expr",
+        "region",
+        "update_point",
+        "data_directive",
+        "succs",
+        "preds",
+        "cpu_use",
+        "cpu_def",
+        "gpu_use",
+        "gpu_def",
+        "cpu_def_full",
+        "gpu_def_full",
+        "xfer_to_cpu",
+        "xfer_to_gpu",
+        "label",
+    )
+
+    def __init__(self, id: int, kind: str, stmt=None, expr=None, label: str = ""):
+        self.id = id
+        self.kind = kind
+        self.stmt = stmt
+        self.expr = expr
+        self.region = None        # ComputeRegion for KERNEL nodes
+        self.update_point = None  # UpdatePoint for UPDATE nodes
+        self.data_directive = None  # data Directive for DATA_ENTER/EXIT nodes
+        self.succs: List["CFGNode"] = []
+        self.preds: List["CFGNode"] = []
+        # Access sets (variable names), filled by repro.ir.defuse.annotate.
+        self.cpu_use: Set[str] = set()
+        self.cpu_def: Set[str] = set()
+        self.gpu_use: Set[str] = set()
+        self.gpu_def: Set[str] = set()
+        # Defs that fully overwrite their target (scalar stores); kernel
+        # writes are conservatively partial.
+        self.cpu_def_full: Set[str] = set()
+        self.gpu_def_full: Set[str] = set()
+        # Transfer sets of UPDATE nodes.  Kept separate from the access sets
+        # so every analysis is *transfer-transparent*: transfers are what the
+        # verification optimizes, not program accesses (§III-B).
+        self.xfer_to_cpu: Set[str] = set()
+        self.xfer_to_gpu: Set[str] = set()
+        self.label = label
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.kind == KERNEL
+
+    def uses(self, side: str) -> Set[str]:
+        """Access set accessor: side is 'cpu' or 'gpu'."""
+        return self.cpu_use if side == "cpu" else self.gpu_use
+
+    def defs(self, side: str) -> Set[str]:
+        return self.cpu_def if side == "cpu" else self.gpu_def
+
+    def full_defs(self, side: str) -> Set[str]:
+        return self.cpu_def_full if side == "cpu" else self.gpu_def_full
+
+    def xfers_to(self, side: str) -> Set[str]:
+        """Variables a transfer at this node fully overwrites on ``side``."""
+        return self.xfer_to_cpu if side == "cpu" else self.xfer_to_gpu
+
+    def __repr__(self):
+        tag = self.label or (type(self.stmt).__name__ if self.stmt is not None else "")
+        return f"<{self.kind}#{self.id} {tag}>"
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, func: ast.FuncDef):
+        self.func = func
+        self.nodes: List[CFGNode] = []
+        self.entry = self.new_node(ENTRY, label="entry")
+        self.exit = self.new_node(EXIT, label="exit")
+
+    def new_node(self, kind: str, stmt=None, expr=None, label: str = "") -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt, expr, label)
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def add_edge(src: CFGNode, dst: CFGNode) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    # -- orderings ----------------------------------------------------------
+    def postorder(self) -> List[CFGNode]:
+        """Postorder over nodes reachable from entry."""
+        seen: Set[int] = set()
+        order: List[CFGNode] = []
+
+        def dfs(node: CFGNode) -> None:
+            seen.add(node.id)
+            for succ in node.succs:
+                if succ.id not in seen:
+                    dfs(succ)
+            order.append(node)
+
+        dfs(self.entry)
+        return order
+
+    def rpo(self) -> List[CFGNode]:
+        """Reverse postorder (good iteration order for forward problems)."""
+        return list(reversed(self.postorder()))
+
+    def kernel_nodes(self) -> List[CFGNode]:
+        return [n for n in self.nodes if n.kind == KERNEL]
+
+    def node_for_stmt(self, stmt: ast.Stmt) -> Optional[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node
+        return None
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests)."""
+        for node in self.nodes:
+            for succ in node.succs:
+                if node not in succ.preds:
+                    raise CompileError(f"edge {node}->{succ} missing back-pointer")
+            for pred in node.preds:
+                if node not in pred.succs:
+                    raise CompileError(f"edge {pred}->{node} missing forward-pointer")
+
+
+class _Builder:
+    """Recursive CFG construction with break/continue stacks."""
+
+    def __init__(self, cfg: CFG, regions: Optional[RegionTable]):
+        self.cfg = cfg
+        self.regions = regions
+        self.break_targets: List[CFGNode] = []
+        self.continue_targets: List[CFGNode] = []
+
+    # Returns the set of "dangling" nodes whose control falls through to
+    # whatever comes next (empty when all paths returned/broke).
+    def build_stmt(self, stmt: ast.Stmt, preds: List[CFGNode]) -> List[CFGNode]:
+        data_directives = [
+            p for p in getattr(stmt, "pragmas", [])
+            if p.namespace == "acc" and p.is_data
+        ]
+        if data_directives and self._region_for(stmt) is None:
+            # Data-region boundaries become explicit nodes: their transfers
+            # (copyin at entry, copyout at exit) participate in the
+            # transfer-aware dead analyses.
+            current = preds
+            exits: List[CFGNode] = []
+            for directive in data_directives:
+                enter = self.cfg.new_node(DATA_ENTER, stmt=stmt, label="data.enter")
+                enter.data_directive = directive
+                self._link(current, enter)
+                current = [enter]
+                exit_node = self.cfg.new_node(DATA_EXIT, stmt=stmt, label="data.exit")
+                exit_node.data_directive = directive
+                exits.append(exit_node)
+            inner_out = self._build_stmt_inner(stmt, current)
+            for exit_node in reversed(exits):
+                self._link(inner_out, exit_node)
+                inner_out = [exit_node]
+            return inner_out
+        return self._build_stmt_inner(stmt, preds)
+
+    def _build_stmt_inner(self, stmt: ast.Stmt, preds: List[CFGNode]) -> List[CFGNode]:
+        region = self._region_for(stmt)
+        if region is not None:
+            node = self.cfg.new_node(KERNEL, stmt=stmt, label=region.name)
+            node.region = region
+            self._link(preds, node)
+            return [node]
+        update = self._update_for(stmt)
+        if update is not None:
+            node = self.cfg.new_node(UPDATE, stmt=stmt, label=update.name)
+            node.update_point = update
+            self._link(preds, node)
+            return [node]
+        if self._is_wait(stmt):
+            node = self.cfg.new_node(WAIT, stmt=stmt, label="wait")
+            self._link(preds, node)
+            return [node]
+        if isinstance(stmt, ast.Block):
+            current = preds
+            for inner in stmt.body:
+                if not current:
+                    break  # unreachable code after return/break
+                current = self.build_stmt(inner, current)
+            return current
+        if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.ExprStmt)):
+            node = self.cfg.new_node(STMT, stmt=stmt)
+            self._link(preds, node)
+            return [node]
+        if isinstance(stmt, ast.If):
+            cond = self.cfg.new_node(BRANCH, stmt=stmt, expr=stmt.cond, label="if")
+            self._link(preds, cond)
+            then_out = self.build_stmt(stmt.then, [cond])
+            if stmt.orelse is not None:
+                else_out = self.build_stmt(stmt.orelse, [cond])
+            else:
+                else_out = [cond]
+            return then_out + else_out
+        if isinstance(stmt, ast.For):
+            return self._build_for(stmt, preds)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            node = self.cfg.new_node(STMT, stmt=stmt, label="return")
+            self._link(preds, node)
+            self.cfg.add_edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.cfg.new_node(STMT, stmt=stmt, label="break")
+            self._link(preds, node)
+            if not self._pending_breaks:
+                raise CompileError("break outside loop")
+            self._pending_breaks[-1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg.new_node(STMT, stmt=stmt, label="continue")
+            self._link(preds, node)
+            if not self.continue_targets:
+                raise CompileError("continue outside loop")
+            self.cfg.add_edge(node, self.continue_targets[-1])
+            return []
+        raise CompileError(f"cannot lower statement {type(stmt).__name__}")
+
+    _pending_breaks: List[List[CFGNode]]
+
+    def _build_for(self, stmt: ast.For, preds: List[CFGNode]) -> List[CFGNode]:
+        current = preds
+        if stmt.init is not None:
+            init = self.cfg.new_node(STMT, stmt=stmt.init, label="for.init")
+            self._link(current, init)
+            current = [init]
+        cond = self.cfg.new_node(BRANCH, stmt=stmt, expr=stmt.cond, label="for.cond")
+        self._link(current, cond)
+        step = self.cfg.new_node(
+            STMT, stmt=stmt.step, label="for.step"
+        ) if stmt.step is not None else cond
+        self.continue_targets.append(step)
+        self._pending_breaks.append([])
+        body_out = self.build_stmt(stmt.body, [cond])
+        self.continue_targets.pop()
+        breaks = self._pending_breaks.pop()
+        if stmt.step is not None:
+            self._link(body_out, step)
+            self.cfg.add_edge(step, cond)
+        else:
+            self._link(body_out, cond)
+        outs = breaks
+        if stmt.cond is not None:
+            outs = outs + [cond]
+        return outs
+
+    def _build_while(self, stmt: ast.While, preds: List[CFGNode]) -> List[CFGNode]:
+        cond = self.cfg.new_node(BRANCH, stmt=stmt, expr=stmt.cond, label="while.cond")
+        self._link(preds, cond)
+        self.continue_targets.append(cond)
+        self._pending_breaks.append([])
+        body_out = self.build_stmt(stmt.body, [cond])
+        self.continue_targets.pop()
+        breaks = self._pending_breaks.pop()
+        self._link(body_out, cond)
+        return breaks + [cond]
+
+    def _link(self, preds: Iterable[CFGNode], node: CFGNode) -> None:
+        for pred in preds:
+            self.cfg.add_edge(pred, node)
+
+    def _region_for(self, stmt: ast.Stmt):
+        if self.regions is None:
+            return None
+        for region in self.regions.compute:
+            if region.stmt is stmt:
+                return region
+        return None
+
+    def _update_for(self, stmt: ast.Stmt):
+        if self.regions is None:
+            return None
+        for point in self.regions.updates:
+            if point.stmt is stmt:
+                return point
+        return None
+
+    @staticmethod
+    def _is_wait(stmt: ast.Stmt) -> bool:
+        return any(
+            p.namespace == "acc" and p.name == "wait" for p in getattr(stmt, "pragmas", [])
+        )
+
+
+def build_cfg(func: ast.FuncDef, regions: Optional[RegionTable] = None) -> CFG:
+    """Build the CFG of a function; compute regions become kernel nodes."""
+    cfg = CFG(func)
+    builder = _Builder(cfg, regions)
+    builder._pending_breaks = []
+    outs = builder.build_stmt(func.body, [cfg.entry])
+    for node in outs:
+        cfg.add_edge(node, cfg.exit)
+    if not cfg.exit.preds:
+        # e.g. `while (1) {}` with no break: keep exit reachable for
+        # backward analyses by treating the infinite loop as exiting.
+        cfg.add_edge(cfg.entry, cfg.exit)
+    return cfg
+
+
+def statement_nodes(cfg: CFG) -> Dict[int, CFGNode]:
+    """Map AST statement id -> node, for passes that look nodes up."""
+    return {id(n.stmt): n for n in cfg.nodes if n.stmt is not None}

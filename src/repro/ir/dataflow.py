@@ -1,0 +1,136 @@
+"""Generic iterative dataflow solver.
+
+Problems are monotone set frameworks over the CFG: each node has a transfer
+function and values meet (union or intersection) over predecessor/successor
+edges.  The solver iterates a worklist to the (unique, by Tarski) least fixed
+point; set transfer functions of the GEN/KILL form guarantee termination.
+
+Intersection problems need a "universe" for initialization: unvisited OUT
+values start at the universe (top) so the first meet does not artificially
+drain the sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro.ir.cfg import CFG, CFGNode
+
+SetVal = FrozenSet[str]
+Transfer = Callable[[CFGNode, SetVal], SetVal]
+
+UNION = "union"
+INTERSECT = "intersect"
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """Description of one dataflow problem.
+
+    ``transfer(node, in_val) -> out_val`` must be monotone in ``in_val``.
+    For intersection problems supply ``universe`` (top element).
+    """
+
+    def __init__(
+        self,
+        direction: str,
+        meet: str,
+        transfer: Transfer,
+        boundary: SetVal = frozenset(),
+        universe: Optional[Iterable[str]] = None,
+        name: str = "",
+    ):
+        if direction not in (FORWARD, BACKWARD):
+            raise ValueError(f"bad direction {direction!r}")
+        if meet not in (UNION, INTERSECT):
+            raise ValueError(f"bad meet {meet!r}")
+        if meet == INTERSECT and universe is None:
+            raise ValueError("intersection problems require a universe")
+        self.direction = direction
+        self.meet = meet
+        self.transfer = transfer
+        self.boundary = frozenset(boundary)
+        self.universe = frozenset(universe) if universe is not None else None
+        self.name = name
+
+
+class DataflowResult:
+    """IN/OUT value per node id.
+
+    For forward problems IN is the meet over predecessors and OUT the
+    transferred value; for backward problems IN is the transferred value and
+    OUT the meet over successors (matching the paper's Algorithm 1/2
+    notation).
+    """
+
+    def __init__(self, inp: Dict[int, SetVal], out: Dict[int, SetVal], name: str = ""):
+        self._in = inp
+        self._out = out
+        self.name = name
+
+    def in_of(self, node: CFGNode) -> SetVal:
+        return self._in[node.id]
+
+    def out_of(self, node: CFGNode) -> SetVal:
+        return self._out[node.id]
+
+    def __repr__(self):
+        return f"DataflowResult({self.name}, {len(self._in)} nodes)"
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
+    """Worklist iteration to fixed point."""
+    forward = problem.direction == FORWARD
+    boundary_node = cfg.entry if forward else cfg.exit
+    top = problem.universe if problem.meet == INTERSECT else frozenset()
+
+    # meet_val[n]: value flowing *into* the transfer (IN for forward,
+    # OUT for backward).  xfer_val[n]: value after the transfer.
+    meet_val: Dict[int, SetVal] = {n.id: top for n in cfg.nodes}
+    xfer_val: Dict[int, SetVal] = {n.id: top for n in cfg.nodes}
+    meet_val[boundary_node.id] = problem.boundary
+    xfer_val[boundary_node.id] = problem.transfer(boundary_node, problem.boundary)
+
+    def neighbors_in(node: CFGNode):
+        return node.preds if forward else node.succs
+
+    def neighbors_out(node: CFGNode):
+        return node.succs if forward else node.preds
+
+    order = cfg.rpo() if forward else list(reversed(cfg.rpo()))
+    work = deque(order)
+    queued = {n.id for n in order}
+    while work:
+        node = work.popleft()
+        queued.discard(node.id)
+        sources = neighbors_in(node)
+        if node is boundary_node:
+            new_meet = problem.boundary
+        elif not sources:
+            new_meet = top if problem.meet == INTERSECT else frozenset()
+        else:
+            vals = [xfer_val[s.id] for s in sources]
+            new_meet = frozenset.intersection(*vals) if problem.meet == INTERSECT else frozenset().union(*vals)
+        new_xfer = problem.transfer(node, new_meet)
+        if new_meet != meet_val[node.id] or new_xfer != xfer_val[node.id]:
+            meet_val[node.id] = new_meet
+            xfer_val[node.id] = new_xfer
+            for dep in neighbors_out(node):
+                if dep.id not in queued:
+                    work.append(dep)
+                    queued.add(dep.id)
+
+    if forward:
+        return DataflowResult(meet_val, xfer_val, problem.name)
+    return DataflowResult(xfer_val, meet_val, problem.name)
+
+
+def gen_kill_transfer(gen: Callable[[CFGNode], SetVal], kill: Callable[[CFGNode], SetVal]) -> Transfer:
+    """Build the classic ``out = gen ∪ (in − kill)`` transfer function."""
+
+    def transfer(node: CFGNode, value: SetVal) -> SetVal:
+        return frozenset(gen(node)) | (value - frozenset(kill(node)))
+
+    return transfer

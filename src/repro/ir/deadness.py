@@ -1,0 +1,173 @@
+"""Algorithm 1 of the paper: May-Dead / May-Live variable analysis.
+
+Backward dataflow, per device side.  Three coupled set problems:
+
+* **may-live** (union meet): v is read on some following path before being
+  *fully* overwritten.  A partial (subscripted or kernel) write leaves the
+  remaining elements observable, so only full scalar stores end liveness.
+* **dead** (intersection meet, boundary = universe at exit): on every
+  following path, v is written before it is read — or never accessed again
+  (at program exit every value is trivially dead).
+* **full-dead** (intersection meet, boundary = universe): as above, but the
+  first write on every path fully overwrites v.  A partial first write
+  removes v from this set: deciding whether the unwritten elements matter
+  is exactly the array-section problem the paper declares infeasible
+  (§II-C's CG example).
+
+Classification for the §III-B dead-target gating:
+
+* ``must-dead``: v ∈ dead ∧ v ∈ full-dead — safe to pin ``notstale``
+  (transfers into v are *definitely* redundant);
+* ``may-dead``:  v ∈ dead ∧ v ∉ full-dead — pinned ``maystale``; the
+  resulting may-redundant reports are the suggestions that can be wrong
+  (Table III's BACKPROP/LUD incorrect iterations);
+* ``live``: otherwise.
+
+Deviations from the paper's literal Algorithm 1, both necessary to avoid
+false *definite* verdicts (documented in DESIGN.md): transfers are
+transparent (they move values, they are not accesses), and the remote
+side's writes (the paper's KILL set) do not terminate local liveness — a
+stale local copy is still the location a later local read observes after a
+refreshing transfer.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.ir.cfg import CFG, CFGNode
+from repro.ir.dataflow import (
+    BACKWARD,
+    DataflowProblem,
+    DataflowResult,
+    INTERSECT,
+    UNION,
+    solve,
+)
+from repro.ir.liveness import all_variables
+
+
+class DeadnessResult:
+    """Per-node classification sets for one side."""
+
+    def __init__(self, side: str, universe: FrozenSet[str],
+                 live: DataflowResult, dead: DataflowResult, fulldead: DataflowResult):
+        self.side = side
+        self.universe = universe
+        self._live = live
+        self._dead = dead
+        self._fulldead = fulldead
+
+    # -- entrance (IN) of a node -------------------------------------------
+    def may_dead_in(self, node: CFGNode) -> Set[str]:
+        return set(self._dead.in_of(node)) & self.universe
+
+    def may_live_in(self, node: CFGNode) -> Set[str]:
+        return set(self._live.in_of(node)) & self.universe
+
+    def must_dead_in(self, node: CFGNode) -> Set[str]:
+        return self.may_dead_in(node) & set(self._fulldead.in_of(node))
+
+    # -- exit (OUT) of a node ----------------------------------------------
+    def may_dead_out(self, node: CFGNode) -> Set[str]:
+        return set(self._dead.out_of(node)) & self.universe
+
+    def may_live_out(self, node: CFGNode) -> Set[str]:
+        return set(self._live.out_of(node)) & self.universe
+
+    def must_dead_out(self, node: CFGNode) -> Set[str]:
+        return self.may_dead_out(node) & set(self._fulldead.out_of(node))
+
+    def classify_out(self, node: CFGNode, var: str) -> str:
+        """'must-dead', 'may-dead', or 'live' for v just after n executes."""
+        if var in self.must_dead_out(node):
+            return "must-dead"
+        if var in self.may_dead_out(node):
+            return "may-dead"
+        return "live"
+
+    def classify_in(self, node: CFGNode, var: str) -> str:
+        """Same classification at the entrance of n."""
+        if var in self.must_dead_in(node):
+            return "must-dead"
+        if var in self.may_dead_in(node):
+            return "may-dead"
+        return "live"
+
+    def __repr__(self):
+        return f"DeadnessResult(side={self.side}, |universe|={len(self.universe)})"
+
+
+def analyze_deadness(cfg: CFG, side: str, universe: Set[str] = None,
+                     transfers_as_defs: bool = False) -> DeadnessResult:
+    """Run the (adapted) Algorithm 1 for one side ('cpu' or 'gpu').
+
+    Two views, selected by ``transfers_as_defs``:
+
+    * **value view** (False, default): transfers are transparent — "will the
+      value written *now* ever reach a reader (possibly through transfers)?"
+      This gates the write-site resets: CPU-write -> is the GPU copy dead,
+      kernel-write -> is the CPU copy dead.
+    * **location view** (True): a transfer into this side fully overwrites
+      the destination — "will the value a transfer delivers be read before
+      the next overwrite (including by another transfer)?"  This gates the
+      transfer-site pins and catches eager copyouts whose payload the next
+      copyout replaces (the SRAD/JACOBI pattern).
+    """
+    if universe is None:
+        universe = all_variables(cfg)
+    uni = frozenset(universe)
+
+    def xfer(node: CFGNode) -> FrozenSet[str]:
+        if transfers_as_defs:
+            return frozenset(node.xfers_to(side)) & uni
+        return frozenset()
+
+    def live_transfer(node: CFGNode, out_val):
+        return (
+            (out_val - frozenset(node.full_defs(side)) - xfer(node))
+            | frozenset(node.uses(side))
+        )
+
+    def dead_transfer(node: CFGNode, out_val):
+        gen = (frozenset(node.defs(side)) & uni) | xfer(node)
+        return (out_val | gen) - frozenset(node.uses(side))
+
+    def fulldead_transfer(node: CFGNode, out_val):
+        full = (frozenset(node.full_defs(side)) & uni) | xfer(node)
+        partial = (frozenset(node.defs(side)) - full) & uni
+        return ((out_val | full) - partial) - frozenset(node.uses(side))
+
+    live = solve(
+        cfg,
+        DataflowProblem(
+            direction=BACKWARD,
+            meet=UNION,
+            transfer=live_transfer,
+            boundary=frozenset(),
+            name=f"may-live[{side}]",
+        ),
+    )
+    dead = solve(
+        cfg,
+        DataflowProblem(
+            direction=BACKWARD,
+            meet=INTERSECT,
+            transfer=dead_transfer,
+            boundary=uni,
+            universe=uni,
+            name=f"dead[{side}]",
+        ),
+    )
+    fulldead = solve(
+        cfg,
+        DataflowProblem(
+            direction=BACKWARD,
+            meet=INTERSECT,
+            transfer=fulldead_transfer,
+            boundary=uni,
+            universe=uni,
+            name=f"full-dead[{side}]",
+        ),
+    )
+    return DeadnessResult(side, uni, live, dead, fulldead)

@@ -1,0 +1,228 @@
+"""DEF/USE computation at array granularity.
+
+Reads and writes are attributed to the *root variable*: ``a[i][j] = b[k]``
+defines ``a`` and uses ``b``, ``i``, ``j``, ``k``.  Writes through a
+subscript are *partial* writes; the deadness analysis (Algorithm 1) treats
+them as DEF all the same — which is exactly why its result is "may"-dead
+(§II-C's CG example).  Pointer dereferences expand to the pointer's may-alias
+set so the analyses stay conservative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.ir.cfg import BRANCH, CFG, DATA_ENTER, DATA_EXIT, KERNEL, STMT, UPDATE
+from repro.lang import ast
+
+
+class AccessSets:
+    """use/def sets; ``full`` is the subset of defs that fully overwrite
+    their target (scalar stores) — a partial (subscripted) store leaves the
+    other elements observable, which is what makes Algorithm 1 a *may*
+    analysis."""
+
+    __slots__ = ("use", "defs", "full")
+
+    def __init__(self, use: Optional[Set[str]] = None, defs: Optional[Set[str]] = None,
+                 full: Optional[Set[str]] = None):
+        self.use = use if use is not None else set()
+        self.defs = defs if defs is not None else set()
+        self.full = full if full is not None else set()
+
+    def __ior__(self, other: "AccessSets") -> "AccessSets":
+        self.use |= other.use
+        self.defs |= other.defs
+        self.full |= other.full
+        return self
+
+    def __repr__(self):
+        return (
+            f"AccessSets(use={sorted(self.use)}, defs={sorted(self.defs)}, "
+            f"full={sorted(self.full)})"
+        )
+
+
+def expr_uses(expr: ast.Expr, aliases: Optional[Dict[str, Set[str]]] = None) -> Set[str]:
+    """All variables read by evaluating ``expr``."""
+    out: Set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+        elif isinstance(node, ast.Unary) and node.op == "*":
+            base = ast.base_name(node.operand)
+            if base is not None and aliases:
+                out |= aliases.get(base, set())
+    return out
+
+
+def lvalue_target(expr: ast.Expr, aliases: Optional[Dict[str, Set[str]]] = None) -> Tuple[Set[str], Set[str]]:
+    """Split an lvalue into (defined names, names read to locate the target).
+
+    ``a[i]`` -> ({a}, {i}); ``x`` -> ({x}, {}); ``*p`` -> (alias set of p, {p}).
+    """
+    if isinstance(expr, ast.Name):
+        return {expr.id}, set()
+    if isinstance(expr, ast.Subscript):
+        reads: Set[str] = set()
+        base = expr
+        while isinstance(base, ast.Subscript):
+            reads |= expr_uses(base.index, aliases)
+            base = base.base
+        defs, extra = lvalue_target(base, aliases)
+        return defs, reads | extra
+    if isinstance(expr, ast.Unary) and expr.op == "*":
+        base = ast.base_name(expr.operand)
+        reads = expr_uses(expr.operand, aliases)
+        if base is not None:
+            targets = aliases.get(base, {base}) if aliases else {base}
+            return set(targets), reads
+        return set(), reads
+    # Fall back: treat as a read (no definable target found).
+    return set(), expr_uses(expr, aliases)
+
+
+def stmt_access(stmt: ast.Stmt, aliases: Optional[Dict[str, Set[str]]] = None) -> AccessSets:
+    """DEF/USE of one *simple* statement (no control flow inside)."""
+    acc = AccessSets()
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            acc.use |= expr_uses(stmt.init, aliases)
+            acc.defs.add(stmt.name)
+            acc.full.add(stmt.name)
+    elif isinstance(stmt, ast.Assign):
+        defs, reads = lvalue_target(stmt.target, aliases)
+        acc.defs |= defs
+        acc.use |= reads
+        acc.use |= expr_uses(stmt.value, aliases)
+        if isinstance(stmt.target, ast.Name) and len(defs) == 1:
+            acc.full |= defs  # scalar store: full overwrite
+        if stmt.op:  # compound assignment reads the target too
+            acc.use |= defs
+    elif isinstance(stmt, ast.ExprStmt):
+        acc.use |= expr_uses(stmt.expr, aliases)
+        for node in stmt.expr.walk():
+            if isinstance(node, ast.Unary) and node.op in ("++", "--", "p++", "p--"):
+                defs, reads = lvalue_target(node.operand, aliases)
+                acc.defs |= defs
+                acc.use |= reads | defs
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            acc.use |= expr_uses(stmt.value, aliases)
+    return acc
+
+
+def region_access(stmt: ast.Stmt, aliases: Optional[Dict[str, Set[str]]] = None) -> AccessSets:
+    """Aggregate DEF/USE over a whole compute region (kernel body)."""
+    acc = AccessSets()
+
+    def rec(node: ast.Stmt) -> None:
+        if isinstance(node, ast.Block):
+            for inner in node.body:
+                rec(inner)
+        elif isinstance(node, ast.If):
+            acc.use |= expr_uses(node.cond, aliases)
+            rec(node.then)
+            if node.orelse is not None:
+                rec(node.orelse)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                rec(node.init)
+            if node.cond is not None:
+                acc.use |= expr_uses(node.cond, aliases)
+            if node.step is not None:
+                rec(node.step)
+            rec(node.body)
+        elif isinstance(node, ast.While):
+            acc.use |= expr_uses(node.cond, aliases)
+            rec(node.body)
+        else:
+            inner_acc = stmt_access(node, aliases)
+            acc.use |= inner_acc.use
+            acc.defs |= inner_acc.defs
+            # Kernel writes are conservatively partial: whether a loop
+            # covers the whole array is exactly the array-section question
+            # the paper declares infeasible (§II-C).
+
+    rec(stmt)
+    return acc
+
+
+def annotate(cfg: CFG, aliases: Optional[Dict[str, Set[str]]] = None) -> None:
+    """Fill every node's cpu/gpu access sets.
+
+    * plain statements / branch conditions: CPU accesses;
+    * kernel nodes: the region's aggregate accesses on the GPU side, with
+      region-local variables (loop indices, ``private`` clause vars and
+      region-local declarations) excluded;
+    * update nodes: ``host(v)`` writes v's CPU copy reading the GPU copy,
+      ``device(v)`` the reverse.
+    """
+    for node in cfg.nodes:
+        if node.kind == STMT and node.stmt is not None:
+            acc = stmt_access(node.stmt, aliases)
+            node.cpu_use = acc.use
+            node.cpu_def = acc.defs
+            node.cpu_def_full = acc.full
+        elif node.kind == BRANCH and node.expr is not None:
+            node.cpu_use = expr_uses(node.expr, aliases)
+        elif node.kind == KERNEL:
+            acc = region_access(node.stmt, aliases)
+            local = _region_locals(node)
+            node.gpu_use = acc.use - local
+            node.gpu_def = acc.defs - local
+        elif node.kind == UPDATE:
+            # Transfers go in the xfer_* sets, NOT the access sets: for
+            # liveness they are not reads, but as full overwrites of their
+            # destination they participate in the dead analyses.
+            directive = node.update_point.directive
+            for clause in directive.clauses_named("host", "self"):
+                for var in clause.var_names():
+                    node.xfer_to_cpu.add(var)
+            for clause in directive.clauses_named("device"):
+                for var in clause.var_names():
+                    node.xfer_to_gpu.add(var)
+        elif node.kind == DATA_ENTER:
+            from repro.acc.directives import CLAUSE_COPIES_IN
+
+            for clause_name, var in node.data_directive.data_clause_vars():
+                if clause_name in CLAUSE_COPIES_IN:
+                    node.xfer_to_gpu.add(var)
+        elif node.kind == DATA_EXIT:
+            from repro.acc.directives import CLAUSE_COPIES_OUT
+
+            for clause_name, var in node.data_directive.data_clause_vars():
+                if clause_name in CLAUSE_COPIES_OUT:
+                    node.xfer_to_cpu.add(var)
+
+
+def _region_locals(node) -> Set[str]:
+    """Variables private to a compute region: declared inside it, named by a
+    ``private``/``firstprivate`` clause, or used as an annotated loop index."""
+    local: Set[str] = set()
+    region = node.region
+    directives = [region.directive] if region is not None else []
+    for sub in node.stmt.walk():
+        if isinstance(sub, ast.Stmt):
+            directives.extend(p for p in sub.pragmas if p.namespace == "acc")
+        if isinstance(sub, ast.VarDecl):
+            local.add(sub.name)
+    for directive in directives:
+        for clause in directive.clauses_named("private", "firstprivate"):
+            local |= set(clause.var_names())
+    # Loop indices of the partitioned loops (for (i = ...) under acc loop)
+    # are implicitly private.
+    for sub in node.stmt.walk():
+        if isinstance(sub, ast.For):
+            idx = _loop_index(sub)
+            if idx is not None:
+                local.add(idx)
+    return local
+
+
+def _loop_index(loop: ast.For) -> Optional[str]:
+    if isinstance(loop.init, ast.VarDecl):
+        return loop.init.name
+    if isinstance(loop.init, ast.Assign):
+        return ast.base_name(loop.init.target)
+    return None

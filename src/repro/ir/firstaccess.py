@@ -1,0 +1,78 @@
+"""First-read / first-write placement analysis (§III-B optimizations).
+
+The paper inserts ``check_read``/``check_write`` for CPU data "only for the
+first-read (first-write) accesses along some path from program entry or from
+each GPU kernel call".  We compute, per side, the forward *must* sets
+
+    READ_BEFORE(n)    — v was read on *all* paths reaching n
+    WRITTEN_BEFORE(n) — v was written on *all* paths reaching n
+
+with kernel nodes acting as barriers (they reset every variable they touch,
+because a kernel call may change the CPU copies' coherence states).  A read
+of v at n is a *first read* iff v ∉ READ_BEFORE(n): there exists a path on
+which no earlier check covered it, so a check is required; if v is on all
+paths already checked, the check is provably redundant and omitted.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.ir.cfg import CFG, CFGNode
+from repro.ir.dataflow import DataflowProblem, DataflowResult, FORWARD, INTERSECT, solve
+from repro.ir.liveness import all_variables
+
+
+class FirstAccessResult:
+    def __init__(self, side: str, read: DataflowResult, write: DataflowResult):
+        self.side = side
+        self._read = read
+        self._write = write
+
+    def first_reads(self, node: CFGNode) -> Set[str]:
+        """Variables whose read at n is a first read (check needed)."""
+        return set(node.uses(self.side)) - set(self._read.in_of(node))
+
+    def first_writes(self, node: CFGNode) -> Set[str]:
+        return set(node.defs(self.side)) - set(self._write.in_of(node))
+
+    def read_before(self, node: CFGNode) -> Set[str]:
+        return set(self._read.in_of(node))
+
+    def written_before(self, node: CFGNode) -> Set[str]:
+        return set(self._write.in_of(node))
+
+
+def _barrier_vars(node: CFGNode, side: str) -> FrozenSet[str]:
+    """Variables whose coverage resets at n: everything the other side
+    touches (a kernel call for CPU-side analysis, and vice versa)."""
+    other = "gpu" if side == "cpu" else "cpu"
+    return frozenset(node.uses(other) | node.defs(other))
+
+
+def analyze_firstaccess(cfg: CFG, side: str, universe: Set[str] = None) -> FirstAccessResult:
+    if universe is None:
+        universe = all_variables(cfg)
+    uni = frozenset(universe)
+
+    def make_transfer(access: str):
+        def transfer(node: CFGNode, in_val):
+            gen = node.uses(side) if access == "read" else node.defs(side)
+            return (in_val - _barrier_vars(node, side)) | (frozenset(gen) & uni)
+
+        return transfer
+
+    def run(access: str) -> DataflowResult:
+        return solve(
+            cfg,
+            DataflowProblem(
+                direction=FORWARD,
+                meet=INTERSECT,
+                transfer=make_transfer(access),
+                boundary=frozenset(),
+                universe=uni,
+                name=f"first-{access}[{side}]",
+            ),
+        )
+
+    return FirstAccessResult(side, run("read"), run("write"))

@@ -1,0 +1,64 @@
+"""Algorithm 2 of the paper: Last-Write analysis.
+
+Backward all-path dataflow, per device side:
+
+    OUT_Write(EXIT) = ∅
+    OUT_Write(n) = ⋂ IN_Write(s)
+    IN_Write(n)  = OUT_Write(n) + DEF(n) − KILL(n)
+    LAST_Write(n) = IN_Write(n) − OUT_Write(n)
+
+v ∈ LAST_Write(n) means n writes v and, on some following path, no later
+write of v occurs before the program exits or before the next kernel call
+(KILL: any node where the *other* side touches v acts as a barrier, so the
+write immediately preceding a kernel is "last" with respect to that kernel).
+The check-insertion pass places ``reset_status`` calls at exactly these
+sites (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.cfg import CFG, CFGNode
+from repro.ir.dataflow import BACKWARD, DataflowProblem, DataflowResult, INTERSECT, solve
+from repro.ir.liveness import all_variables
+
+
+class LastWriteResult:
+    def __init__(self, side: str, result: DataflowResult):
+        self.side = side
+        self._result = result
+
+    def in_of(self, node: CFGNode) -> Set[str]:
+        return set(self._result.in_of(node))
+
+    def out_of(self, node: CFGNode) -> Set[str]:
+        return set(self._result.out_of(node))
+
+    def last_writes(self, node: CFGNode) -> Set[str]:
+        """LAST_Write(n): variables whose write at n is a last write."""
+        return self.in_of(node) - self.out_of(node)
+
+    def is_last_write(self, node: CFGNode, var: str) -> bool:
+        return var in self.last_writes(node)
+
+
+def analyze_lastwrite(cfg: CFG, side: str, universe: Set[str] = None) -> LastWriteResult:
+    other = "gpu" if side == "cpu" else "cpu"
+    if universe is None:
+        universe = all_variables(cfg)
+    uni = frozenset(universe)
+
+    def transfer(node: CFGNode, out_val):
+        kill = frozenset(node.uses(other) | node.defs(other))
+        return (out_val | frozenset(node.defs(side) & uni)) - kill
+
+    problem = DataflowProblem(
+        direction=BACKWARD,
+        meet=INTERSECT,
+        transfer=transfer,
+        boundary=frozenset(),
+        universe=uni,
+        name=f"last-write[{side}]",
+    )
+    return LastWriteResult(side, solve(cfg, problem))

@@ -1,0 +1,51 @@
+"""Classic backward liveness (union meet).
+
+Used as a sanity baseline for the more exotic Algorithm-1 analysis (a
+must-dead variable can never be live) and by the privatization pass to decide
+whether a scalar's value escapes a loop iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ir.cfg import CFG, CFGNode
+from repro.ir.dataflow import BACKWARD, DataflowProblem, DataflowResult, UNION, solve
+
+
+def analyze_liveness(cfg: CFG, side: str = "cpu") -> DataflowResult:
+    """live-in(n) = use(n) ∪ (live-out(n) − def(n)); live-out = ∪ live-in(s).
+
+    ``side`` selects which access sets participate ('cpu' or 'gpu'); the
+    other side's writes kill (a remote write makes the local value garbage).
+    """
+    other = "gpu" if side == "cpu" else "cpu"
+
+    def transfer(node: CFGNode, out_val):
+        return frozenset(node.uses(side)) | (
+            out_val - frozenset(node.defs(side)) - frozenset(node.defs(other))
+        )
+
+    problem = DataflowProblem(
+        direction=BACKWARD,
+        meet=UNION,
+        transfer=transfer,
+        boundary=frozenset(),
+        name=f"liveness[{side}]",
+    )
+    return solve(cfg, problem)
+
+
+def live_in(result: DataflowResult, node: CFGNode) -> Set[str]:
+    return set(result.in_of(node))
+
+
+def all_variables(cfg: CFG, side: Optional[str] = None) -> Set[str]:
+    """Every variable any node accesses (optionally restricted to one side)."""
+    out: Set[str] = set()
+    for node in cfg.nodes:
+        if side in (None, "cpu"):
+            out |= node.cpu_use | node.cpu_def
+        if side in (None, "gpu"):
+            out |= node.gpu_use | node.gpu_def
+    return out

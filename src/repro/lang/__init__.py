@@ -1,0 +1,18 @@
+"""Mini-C language frontend.
+
+The toolchain consumes a C-subset language ("mini-C") that is rich enough to
+express the paper's twelve OpenACC benchmarks: scalar and array declarations,
+pointers (including aliasing assignments), ``for``/``while``/``if`` control
+flow, arithmetic expressions, calls to a small builtin library, and
+``#pragma acc`` directive lines attached to statements.
+
+Public entry points:
+
+* :func:`repro.lang.parser.parse_program` — source text to :class:`ast.Program`.
+* :func:`repro.lang.printer.to_source` — AST back to source text.
+"""
+
+from repro.lang.parser import parse_program
+from repro.lang.printer import to_source
+
+__all__ = ["parse_program", "to_source"]

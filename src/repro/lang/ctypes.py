@@ -1,0 +1,163 @@
+"""Type system for the mini-C language.
+
+Only the types the benchmarks need: ``int``/``long`` (both mapped to int64),
+``float``/``double`` (float32/float64), fixed-shape arrays, and pointers.
+Array dimensions may be integer constants or identifiers bound at program
+setup time (resolved by the interpreter from program parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+Dim = Union[int, str]  # constant extent, or a symbolic (parameter) name
+
+
+class CType:
+    """Base class for mini-C types; instances are immutable and hashable."""
+
+    __slots__ = ()
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+
+class Scalar(CType):
+    """A scalar numeric type."""
+
+    __slots__ = ("name",)
+
+    _NUMPY = {
+        "int": np.int64,
+        "long": np.int64,
+        "float": np.float32,
+        "double": np.float64,
+    }
+
+    def __init__(self, name: str):
+        if name not in self._NUMPY:
+            raise ValueError(f"unknown scalar type {name!r}")
+        self.name = name
+
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def dtype(self):
+        """Matching numpy dtype."""
+        return self._NUMPY[self.name]
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name in ("int", "long")
+
+    @property
+    def size_bytes(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+    def __eq__(self, other):
+        return isinstance(other, Scalar) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Scalar", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+INT = Scalar("int")
+LONG = Scalar("long")
+FLOAT = Scalar("float")
+DOUBLE = Scalar("double")
+
+SCALARS = {"int": INT, "long": LONG, "float": FLOAT, "double": DOUBLE}
+
+
+class Array(CType):
+    """Fixed-shape array of a scalar element type."""
+
+    __slots__ = ("elem", "dims")
+
+    def __init__(self, elem: Scalar, dims: Tuple[Dim, ...]):
+        if not isinstance(elem, Scalar):
+            raise ValueError("array element type must be scalar")
+        if not dims:
+            raise ValueError("array must have at least one dimension")
+        self.elem = elem
+        self.dims = tuple(dims)
+
+    def is_array(self) -> bool:
+        return True
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def shape(self, params: Optional[dict] = None) -> Tuple[int, ...]:
+        """Resolve symbolic dims against ``params`` to a concrete shape."""
+        out = []
+        for d in self.dims:
+            if isinstance(d, int):
+                out.append(d)
+            else:
+                if params is None or d not in params:
+                    raise KeyError(f"unbound array dimension {d!r}")
+                out.append(int(params[d]))
+        return tuple(out)
+
+    def size_bytes(self, params: Optional[dict] = None) -> int:
+        n = 1
+        for extent in self.shape(params):
+            n *= extent
+        return n * self.elem.size_bytes
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Array)
+            and self.elem == other.elem
+            and self.dims == other.dims
+        )
+
+    def __hash__(self):
+        return hash(("Array", self.elem, self.dims))
+
+    def __repr__(self):
+        dims = "".join(f"[{d}]" for d in self.dims)
+        return f"{self.elem}{dims}"
+
+
+class Pointer(CType):
+    """Pointer to a scalar element type (used for aliasing scenarios)."""
+
+    __slots__ = ("elem",)
+
+    def __init__(self, elem: Scalar):
+        if not isinstance(elem, Scalar):
+            raise ValueError("pointer element type must be scalar")
+        self.elem = elem
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, Pointer) and self.elem == other.elem
+
+    def __hash__(self):
+        return hash(("Pointer", self.elem))
+
+    def __repr__(self):
+        return f"{self.elem}*"
+
+
+def common_type(a: Scalar, b: Scalar) -> Scalar:
+    """Usual arithmetic conversion between two scalar types."""
+    rank = {"int": 0, "long": 1, "float": 2, "double": 3}
+    return a if rank[a.name] >= rank[b.name] else b

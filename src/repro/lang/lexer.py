@@ -1,0 +1,113 @@
+"""Tokenizer for the mini-C language.
+
+A single master regex scans the source.  ``#pragma`` lines are captured as
+one :data:`PRAGMA` token each (their payload is re-tokenized later by
+:mod:`repro.lang.pragma`); other ``#`` lines (``#include``, ``#define`` of
+simple constants) are skipped or recorded, keeping benchmark sources close
+to their C originals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    """
+    int long float double void
+    if else for while return break continue
+    """.split()
+)
+
+# Longest-first so multi-char operators win.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ";", ",", "?", ":", ".",
+]
+
+_TOKEN_SPEC = [
+    # Pragmas run to end of line, honouring backslash-newline continuations.
+    ("PRAGMA", r"\#\s*pragma(?:\\\n|[^\n])*"),
+    ("HASHLINE", r"\#[^\n]*"),
+    ("COMMENT", r"//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/"),
+    ("FLOAT", r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?"),
+    ("INT", r"0[xX][0-9a-fA-F]+|\d+[uUlL]*"),
+    ("STRING", r'"(?:[^"\\\n]|\\.)*"'),
+    ("CHAR", r"'(?:[^'\\\n]|\\.)'"),
+    ("ID", r"[A-Za-z_]\w*"),
+    ("OP", "|".join(re.escape(op) for op in _OPERATORS)),
+    ("NEWLINE", r"\n"),
+    ("WS", r"[ \t\r]+"),
+    ("BACKSLASH_NL", r"\\\n"),
+    ("MISMATCH", r"."),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pat})" for name, pat in _TOKEN_SPEC))
+
+
+class Token(NamedTuple):
+    kind: str  # one of: PRAGMA INT FLOAT STRING ID KEYWORD OP EOF
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-C source into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for m in _MASTER.finditer(source):
+        kind = m.lastgroup
+        text = m.group()
+        col = m.start() - line_start + 1
+        if kind in ("WS", "BACKSLASH_NL"):
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = m.start() + text.rindex("\n") + 1
+            continue
+        if kind == "NEWLINE":
+            line += 1
+            line_start = m.end()
+            continue
+        if kind == "COMMENT":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = m.start() + text.rindex("\n") + 1
+            continue
+        if kind == "HASHLINE":
+            continue  # #include / #define lines are ignored
+        if kind == "MISMATCH":
+            raise LexError(f"unexpected character {text!r}", line, col)
+        if kind == "ID" and text in KEYWORDS:
+            kind = "KEYWORD"
+        tokens.append(Token(kind, text, line, col))
+        if "\n" in text:  # pragma continuations span lines
+            line += text.count("\n")
+            line_start = m.start() + text.rindex("\n") + 1
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens
+
+
+def parse_int_literal(text: str) -> int:
+    """Parse a C integer literal (hex or decimal, suffixes stripped)."""
+    text = text.rstrip("uUlL")
+    return int(text, 16) if text.lower().startswith("0x") else int(text, 10)
+
+
+def parse_float_literal(text: str) -> float:
+    """Parse a C float literal, stripping the f/F suffix."""
+    return float(text.rstrip("fF"))
+
+
+def is_float_single(text: str) -> bool:
+    """True if the literal carries an ``f`` suffix (C ``float``)."""
+    return text.endswith(("f", "F"))

@@ -1,0 +1,474 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar highlights:
+
+* declarations: ``type declarator (, declarator)* ;`` with array and pointer
+  declarators, optional scalar initializer;
+* statements: block, ``if``/``else``, ``for``, ``while``, ``return``,
+  ``break``, ``continue``, assignment (incl. compound ``+=`` etc.),
+  expression statements (calls, ``i++``);
+* expressions: full C operator precedence for the supported operators,
+  ternary, casts, multi-dimensional subscripts, calls.
+
+``#pragma`` lines are attached to the next statement's ``pragmas`` list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.ctypes import Array, Pointer, SCALARS, Scalar
+from repro.lang.lexer import (
+    Token,
+    parse_float_literal,
+    parse_int_literal,
+    tokenize,
+)
+
+# Binary operator precedence (higher binds tighter).
+_BIN_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}", tok.line, tok.col)
+        return self.next()
+
+    @property
+    def eof(self) -> bool:
+        return self.peek().kind == "EOF"
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, source: str):
+        self.ts = TokenStream(tokenize(source))
+        self._pending_pragmas = []
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.VarDecl] = []
+        funcs: List[ast.FuncDef] = []
+        while not self.ts.eof:
+            standalone = self._collect_pragmas()
+            if standalone is not None:
+                d = standalone.pragmas[0]
+                raise ParseError(f"'{d.name}' directive outside any function", d.line, 1)
+            if self.ts.eof:
+                break
+            item = self._parse_top_item()
+            if isinstance(item, ast.FuncDef):
+                funcs.append(item)
+            else:
+                decls.extend(item)
+        if self._pending_pragmas:
+            d = self._pending_pragmas[0]
+            raise ParseError("dangling #pragma at end of file", d.line, 1)
+        return ast.Program(decls, funcs)
+
+    def _parse_top_item(self):
+        tok = self.ts.peek()
+        base = self._parse_type_keyword()
+        if base is None:
+            raise ParseError(f"expected declaration, found {tok.text!r}", tok.line, tok.col)
+        # void f(...) or T f(...) vs. T x, y;
+        if base == "void" or (
+            self.ts.at("ID") and self.ts.peek(1).kind == "OP" and self.ts.peek(1).text == "("
+        ):
+            return self._parse_funcdef(base, tok.line)
+        return self._parse_decl_stmts(base, tok.line)
+
+    def _parse_type_keyword(self) -> Optional[str]:
+        tok = self.ts.peek()
+        if tok.kind == "KEYWORD" and tok.text in ("int", "long", "float", "double", "void"):
+            self.ts.next()
+            return tok.text
+        return None
+
+    def _parse_funcdef(self, ret_name: str, line: int) -> ast.FuncDef:
+        name = self.ts.expect("ID").text
+        self.ts.expect("OP", "(")
+        params: List[ast.Param] = []
+        if not self.ts.at("OP", ")"):
+            while True:
+                pline = self.ts.peek().line
+                base = self._parse_type_keyword()
+                if base is None or base == "void":
+                    if base == "void" and self.ts.at("OP", ")"):
+                        break
+                    tok = self.ts.peek()
+                    raise ParseError("expected parameter type", tok.line, tok.col)
+                pname, ctype = self._parse_declarator(SCALARS[base])
+                params.append(ast.Param(pname, ctype, pline))
+                if not self.ts.accept("OP", ","):
+                    break
+        self.ts.expect("OP", ")")
+        body = self._parse_block()
+        ret_type = None if ret_name == "void" else SCALARS[ret_name]
+        return ast.FuncDef(name, ret_type, params, body, line)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _parse_declarator(self, base: Scalar):
+        """Parse ``[*] name ([dim])*`` and return (name, ctype)."""
+        is_ptr = bool(self.ts.accept("OP", "*"))
+        name = self.ts.expect("ID").text
+        dims = []
+        while self.ts.accept("OP", "["):
+            dims.append(self._parse_dim())
+            self.ts.expect("OP", "]")
+        if dims:
+            if is_ptr:
+                tok = self.ts.peek()
+                raise ParseError("arrays of pointers are unsupported", tok.line, tok.col)
+            return name, Array(base, tuple(dims))
+        if is_ptr:
+            return name, Pointer(base)
+        return name, base
+
+    def _parse_dim(self):
+        tok = self.ts.peek()
+        if tok.kind == "INT":
+            self.ts.next()
+            return parse_int_literal(tok.text)
+        if tok.kind == "ID":
+            self.ts.next()
+            return tok.text
+        raise ParseError("array dimension must be a constant or a name", tok.line, tok.col)
+
+    def _parse_decl_stmts(self, base_name: str, line: int) -> List[ast.VarDecl]:
+        base = SCALARS[base_name]
+        out = []
+        while True:
+            name, ctype = self._parse_declarator(base)
+            init = None
+            if self.ts.accept("OP", "="):
+                init = self.parse_expr()
+            out.append(ast.VarDecl(name, ctype, init, line))
+            if not self.ts.accept("OP", ","):
+                break
+        self.ts.expect("OP", ";")
+        return out
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    # Directives that execute on their own rather than annotating the next
+    # statement; the parser gives each an empty carrier statement.
+    _STANDALONE = frozenset({"update", "wait", "enter data", "exit data"})
+
+    def _collect_pragmas(self) -> Optional[ast.Stmt]:
+        """Buffer annotation pragmas; return a carrier statement when a
+        standalone executable directive (update/wait) is seen."""
+        from repro.lang.pragma import parse_pragma  # local: avoids import cycle
+
+        while self.ts.at("PRAGMA"):
+            tok = self.ts.next()
+            directive = parse_pragma(tok.text, tok.line)
+            if directive.namespace == "acc" and directive.name in self._STANDALONE:
+                stmt = ast.Block([], tok.line)
+                stmt.pragmas = [directive]
+                return stmt
+            self._pending_pragmas.append(directive)
+        return None
+
+    def _take_pragmas(self):
+        out = self._pending_pragmas
+        self._pending_pragmas = []
+        return out
+
+    def _parse_block(self) -> ast.Block:
+        open_tok = self.ts.expect("OP", "{")
+        body: List[ast.Stmt] = []
+        while not self.ts.at("OP", "}"):
+            if self.ts.eof:
+                raise ParseError("unterminated block", open_tok.line, open_tok.col)
+            body.extend(self._parse_stmt_list_item())
+        self.ts.expect("OP", "}")
+        return ast.Block(body, open_tok.line)
+
+    def _parse_stmt_list_item(self) -> List[ast.Stmt]:
+        """Parse one statement (possibly expanding to several VarDecls)."""
+        standalone = self._collect_pragmas()
+        if standalone is not None:
+            return [standalone]
+        pragmas = self._take_pragmas()
+        tok = self.ts.peek()
+        if tok.kind == "KEYWORD" and tok.text in ("int", "long", "float", "double"):
+            self.ts.next()
+            decls = self._parse_decl_stmts(tok.text, tok.line)
+            if pragmas:
+                decls[0].pragmas = pragmas
+            return decls
+        stmt = self._parse_stmt()
+        stmt.pragmas = pragmas
+        return [stmt]
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self.ts.peek()
+        if tok.kind == "OP" and tok.text == "{":
+            return self._parse_block()
+        if tok.kind == "KEYWORD":
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "return":
+                self.ts.next()
+                value = None if self.ts.at("OP", ";") else self.parse_expr()
+                self.ts.expect("OP", ";")
+                return ast.Return(value, tok.line)
+            if tok.text == "break":
+                self.ts.next()
+                self.ts.expect("OP", ";")
+                return ast.Break(tok.line)
+            if tok.text == "continue":
+                self.ts.next()
+                self.ts.expect("OP", ";")
+                return ast.Continue(tok.line)
+        if tok.kind == "OP" and tok.text == ";":
+            self.ts.next()
+            return ast.Block([], tok.line)  # empty statement
+        stmt = self._parse_simple_stmt()
+        self.ts.expect("OP", ";")
+        return stmt
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """Assignment or expression statement, without trailing ';'."""
+        tok = self.ts.peek()
+        expr = self.parse_expr()
+        op_tok = self.ts.peek()
+        if op_tok.kind == "OP" and op_tok.text in _ASSIGN_OPS:
+            if not ast.is_lvalue(expr):
+                raise ParseError("assignment target is not an lvalue", op_tok.line, op_tok.col)
+            self.ts.next()
+            value = self.parse_expr()
+            return ast.Assign(expr, value, _ASSIGN_OPS[op_tok.text], tok.line)
+        return ast.ExprStmt(expr, tok.line)
+
+    def _parse_body(self) -> ast.Block:
+        """Parse a control-flow body, normalizing it to a Block so that every
+        later pass sees uniform statement lists."""
+        stmt = self._parse_stmt()
+        if isinstance(stmt, ast.Block) and not stmt.pragmas:
+            return stmt
+        block = ast.Block([stmt], stmt.line)
+        return block
+
+    def _parse_if(self) -> ast.If:
+        tok = self.ts.expect("KEYWORD", "if")
+        self.ts.expect("OP", "(")
+        cond = self.parse_expr()
+        self.ts.expect("OP", ")")
+        then = self._parse_body()
+        orelse = None
+        if self.ts.accept("KEYWORD", "else"):
+            orelse = self._parse_body()
+        return ast.If(cond, then, orelse, tok.line)
+
+    def _parse_for(self) -> ast.For:
+        tok = self.ts.expect("KEYWORD", "for")
+        self.ts.expect("OP", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.ts.at("OP", ";"):
+            kw = self.ts.peek()
+            if kw.kind == "KEYWORD" and kw.text in ("int", "long", "float", "double"):
+                self.ts.next()
+                base = SCALARS[kw.text]
+                name, ctype = self._parse_declarator(base)
+                init_expr = None
+                if self.ts.accept("OP", "="):
+                    init_expr = self.parse_expr()
+                init = ast.VarDecl(name, ctype, init_expr, kw.line)
+            else:
+                init = self._parse_simple_stmt()
+        self.ts.expect("OP", ";")
+        cond = None if self.ts.at("OP", ";") else self.parse_expr()
+        self.ts.expect("OP", ";")
+        step = None if self.ts.at("OP", ")") else self._parse_simple_stmt()
+        self.ts.expect("OP", ")")
+        body = self._parse_body()
+        return ast.For(init, cond, step, body, tok.line)
+
+    def _parse_while(self) -> ast.While:
+        tok = self.ts.expect("KEYWORD", "while")
+        self.ts.expect("OP", "(")
+        cond = self.parse_expr()
+        self.ts.expect("OP", ")")
+        body = self._parse_body()
+        return ast.While(cond, body, tok.line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.ts.accept("OP", "?"):
+            then = self.parse_expr()
+            self.ts.expect("OP", ":")
+            other = self._parse_ternary()
+            return ast.Ternary(cond, then, other, cond.line)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.ts.peek()
+            prec = _BIN_PREC.get(tok.text) if tok.kind == "OP" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.ts.next()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(tok.text, left, right, tok.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.ts.peek()
+        if tok.kind == "OP" and tok.text in ("-", "+", "!", "~", "*", "&"):
+            self.ts.next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(tok.text, operand, tok.line)
+        if tok.kind == "OP" and tok.text in ("++", "--"):
+            self.ts.next()
+            operand = self._parse_unary()
+            return ast.Unary("p" + tok.text, operand, tok.line)  # prefix
+        # Cast: '(' type ')' unary
+        if tok.kind == "OP" and tok.text == "(":
+            nxt = self.ts.peek(1)
+            if nxt.kind == "KEYWORD" and nxt.text in SCALARS:
+                self.ts.next()
+                base = SCALARS[self.ts.next().text]
+                ctype = Pointer(base) if self.ts.accept("OP", "*") else base
+                self.ts.expect("OP", ")")
+                operand = self._parse_unary()
+                return ast.Cast(ctype, operand, tok.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.ts.peek()
+            if tok.kind == "OP" and tok.text == "[":
+                self.ts.next()
+                index = self.parse_expr()
+                self.ts.expect("OP", "]")
+                expr = ast.Subscript(expr, index, tok.line)
+            elif tok.kind == "OP" and tok.text in ("++", "--"):
+                self.ts.next()
+                expr = ast.Unary(tok.text, expr, tok.line)  # postfix
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.ts.peek()
+        if tok.kind == "INT":
+            self.ts.next()
+            return ast.IntLit(parse_int_literal(tok.text), tok.line)
+        if tok.kind == "FLOAT":
+            self.ts.next()
+            return ast.FloatLit(parse_float_literal(tok.text), tok.text, tok.line)
+        if tok.kind == "STRING":
+            self.ts.next()
+            # Undo simple escapes; benchmarks only use \n and \t.
+            body = tok.text[1:-1].replace("\\n", "\n").replace("\\t", "\t").replace('\\"', '"')
+            return ast.StrLit(body, tok.line)
+        if tok.kind == "CHAR":
+            self.ts.next()
+            ch = tok.text[1:-1]
+            value = ord(ch.replace("\\n", "\n").replace("\\t", "\t").replace("\\0", "\0")[0])
+            return ast.IntLit(value, tok.line)
+        if tok.kind == "ID":
+            self.ts.next()
+            if self.ts.at("OP", "("):
+                self.ts.next()
+                args = []
+                if not self.ts.at("OP", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.ts.accept("OP", ","):
+                            break
+                self.ts.expect("OP", ")")
+                return ast.Call(tok.text, args, tok.line)
+            return ast.Name(tok.text, tok.line)
+        if tok.kind == "OP" and tok.text == "(":
+            self.ts.next()
+            expr = self.parse_expr()
+            self.ts.expect("OP", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r} in expression", tok.line, tok.col)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse mini-C source text into a :class:`repro.lang.ast.Program`."""
+    return Parser(source).parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a standalone expression (used by the pragma parser and tests)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    tok = parser.ts.peek()
+    if tok.kind != "EOF":
+        raise ParseError(f"trailing input {tok.text!r} after expression", tok.line, tok.col)
+    return expr

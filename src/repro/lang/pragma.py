@@ -1,0 +1,230 @@
+"""Parser for ``#pragma`` lines.
+
+Two namespaces are understood:
+
+* ``acc`` — the OpenACC 1.0 directive set used by the benchmarks;
+* ``repro`` — the paper's §III-C extensions (``bound``, ``assert``) plus
+  tool-control directives used in tests.
+
+The pragma payload is re-tokenized with the mini-C lexer; clause argument
+expressions reuse the main expression parser.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.acc.directives import (
+    ALL_ACC_DIRECTIVES,
+    Clause,
+    Directive,
+    REDUCTION_OPS,
+    VAR_LIST_CLAUSES,
+    VarRef,
+)
+from repro.errors import PragmaError
+from repro.lang.lexer import Token, tokenize
+
+_PRAGMA_RE = re.compile(r"\#\s*pragma\s+(\w+)\s*(.*)", re.S)
+
+# Clauses that may appear with no parenthesized argument.
+_BARE_OK = frozenset({"gang", "worker", "vector", "seq", "independent", "async", "wait"})
+
+_REPRO_DIRECTIVES = frozenset({"bound", "assert"})
+
+
+class _ClauseStream:
+    """Token cursor over a pragma payload."""
+
+    def __init__(self, text: str, line: int):
+        # Re-tokenize payload; lexer line numbers restart at 1, so shift.
+        self.tokens = [t for t in tokenize(text) if t.kind != "EOF"]
+        self.tokens.append(Token("EOF", "", 1, len(text) + 1))
+        self.pos = 0
+        self.line = line
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise PragmaError(
+                f"expected {text or kind!r} in pragma, found {tok.text!r}", self.line, tok.col
+            )
+        return self.next()
+
+    @property
+    def eof(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def balanced_text(self) -> str:
+        """Consume tokens up to the matching ')' and return their raw text."""
+        depth = 0
+        parts: List[str] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "EOF":
+                raise PragmaError("unbalanced parentheses in pragma", self.line)
+            if tok.kind == "OP" and tok.text == "(":
+                depth += 1
+            elif tok.kind == "OP" and tok.text == ")":
+                if depth == 0:
+                    return " ".join(parts)
+                depth -= 1
+            parts.append(tok.text)
+            self.next()
+
+
+def parse_pragma(text: str, line: int = 0) -> Directive:
+    """Parse a full ``#pragma ...`` line into a :class:`Directive`."""
+    m = _PRAGMA_RE.match(text)
+    if not m:
+        raise PragmaError(f"malformed pragma line: {text!r}", line)
+    namespace, payload = m.group(1), m.group(2)
+    if namespace == "acc":
+        return _parse_acc(payload, line)
+    if namespace == "repro":
+        return _parse_repro(payload, line)
+    raise PragmaError(f"unknown pragma namespace {namespace!r}", line)
+
+
+def _parse_acc(payload: str, line: int) -> Directive:
+    cs = _ClauseStream(payload, line)
+    name_tok = cs.expect("ID")
+    name = name_tok.text
+    # Combined directives: "kernels loop", "parallel loop", "enter data".
+    if name in ("kernels", "parallel") and cs.peek().kind == "ID" and cs.peek().text == "loop":
+        cs.next()
+        name = f"{name} loop"
+    if name in ("enter", "exit") and cs.peek().kind == "ID" and cs.peek().text == "data":
+        cs.next()
+        name = f"{name} data"
+    if name not in ALL_ACC_DIRECTIVES:
+        raise PragmaError(f"unknown acc directive {name!r}", line)
+    directive = Directive(name, line=line)
+    if name == "wait" and cs.accept("OP", "("):
+        expr = _parse_clause_expr(cs, line)
+        cs.expect("OP", ")")
+        directive.add_clause(Clause("wait", [expr]))
+    while not cs.eof:
+        directive.add_clause(_parse_clause(cs, line))
+    return directive
+
+
+def _parse_repro(payload: str, line: int) -> Directive:
+    cs = _ClauseStream(payload, line)
+    name = cs.expect("ID").text
+    if name not in _REPRO_DIRECTIVES:
+        raise PragmaError(f"unknown repro directive {name!r}", line)
+    directive = Directive(name, namespace="repro", line=line)
+    cs.expect("OP", "(")
+    if name == "bound":
+        var = cs.expect("ID").text
+        cs.expect("OP", ",")
+        lo = _parse_clause_expr(cs, line)
+        cs.expect("OP", ",")
+        hi = _parse_clause_expr(cs, line)
+        directive.add_clause(Clause("bound", [VarRef(var), lo, hi]))
+    else:  # assert
+        expr = _parse_clause_expr(cs, line)
+        directive.add_clause(Clause("assert", [expr]))
+    cs.expect("OP", ")")
+    return directive
+
+
+def _parse_clause(cs: _ClauseStream, line: int) -> Clause:
+    tok = cs.peek()
+    if tok.kind not in ("ID", "KEYWORD"):
+        raise PragmaError(f"expected clause name, found {tok.text!r}", line, tok.col)
+    cs.next()
+    name = tok.text
+    if not cs.accept("OP", "("):
+        if name in _BARE_OK:
+            return Clause(name)
+        raise PragmaError(f"clause {name!r} requires arguments", line, tok.col)
+    if name == "reduction":
+        clause = _parse_reduction(cs, line)
+    elif name in VAR_LIST_CLAUSES:
+        clause = Clause(name, _parse_var_list(cs, line))
+    else:
+        args = [_parse_clause_expr(cs, line)]
+        clause = Clause(name, args)
+    cs.expect("OP", ")")
+    return clause
+
+
+def _parse_reduction(cs: _ClauseStream, line: int) -> Clause:
+    op_tok = cs.peek()
+    if op_tok.kind == "ID" and op_tok.text in ("max", "min"):
+        op = op_tok.text
+        cs.next()
+    elif op_tok.kind == "OP" and op_tok.text in REDUCTION_OPS:
+        op = op_tok.text
+        cs.next()
+    else:
+        raise PragmaError(f"bad reduction operator {op_tok.text!r}", line, op_tok.col)
+    cs.expect("OP", ":")
+    return Clause("reduction", _parse_var_list(cs, line), op=op)
+
+
+def _parse_var_list(cs: _ClauseStream, line: int) -> List[VarRef]:
+    out: List[VarRef] = []
+    while True:
+        name = cs.expect("ID").text
+        section = None
+        if cs.accept("OP", "["):
+            start = _parse_clause_expr(cs, line, stop={":"})
+            cs.expect("OP", ":")
+            length = _parse_clause_expr(cs, line, stop={"]"})
+            cs.expect("OP", "]")
+            section = (start, length)
+        out.append(VarRef(name, section))
+        if not cs.accept("OP", ","):
+            break
+    return out
+
+
+def _parse_clause_expr(cs: _ClauseStream, line: int, stop: Optional[set] = None):
+    """Parse one expression from the clause stream, stopping at the clause's
+    closing ')' (tracked by nesting), a top-level ',', or any ``stop`` op."""
+    from repro.lang.parser import parse_expression  # local: import cycle
+
+    stop = stop or set()
+    depth = 0
+    parts: List[str] = []
+    while True:
+        tok = cs.peek()
+        if tok.kind == "EOF":
+            break
+        if tok.kind == "OP":
+            if tok.text == "(":
+                depth += 1
+            elif tok.text == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and (tok.text == "," or tok.text in stop):
+                break
+        parts.append(tok.text)
+        cs.next()
+    text = " ".join(parts)
+    if not text:
+        raise PragmaError("empty expression in pragma clause", line)
+    try:
+        return parse_expression(text)
+    except Exception as exc:  # re-raise with pragma context
+        raise PragmaError(f"bad expression {text!r} in pragma: {exc}", line) from exc

@@ -1,0 +1,208 @@
+"""AST-to-source printer.
+
+Used to emit the translated program (the "new CUDA program" of the paper's
+Figure 2 becomes readable instrumented mini-C here), to round-trip sources in
+tests, and to render directive suggestions back to the user.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+from repro.lang.ctypes import Array, CType, Pointer, Scalar
+
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+
+
+def expr_to_source(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing only where precedence demands."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return expr.text
+    if isinstance(expr, ast.StrLit):
+        body = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{body}"'
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Subscript):
+        return f"{expr_to_source(expr.base, _UNARY_PREC)}[{expr_to_source(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(expr_to_source(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("++", "--"):  # postfix
+            return f"{expr_to_source(expr.operand, _UNARY_PREC)}{expr.op}"
+        op = expr.op[1:] if expr.op.startswith("p") and expr.op != "p" else expr.op
+        text = f"{op}{expr_to_source(expr.operand, _UNARY_PREC)}"
+        return text if parent_prec <= _UNARY_PREC else f"({text})"
+    if isinstance(expr, ast.Binary):
+        prec = _PREC[expr.op]
+        left = expr_to_source(expr.left, prec)
+        right = expr_to_source(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.Ternary):
+        text = (
+            f"{expr_to_source(expr.cond, 1)} ? {expr_to_source(expr.then)}"
+            f" : {expr_to_source(expr.other)}"
+        )
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, ast.Cast):
+        return f"({type_prefix(expr.ctype)}){expr_to_source(expr.operand, _UNARY_PREC)}"
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def type_prefix(ctype: CType) -> str:
+    """Base type text for declarations and casts."""
+    if isinstance(ctype, Scalar):
+        return ctype.name
+    if isinstance(ctype, Pointer):
+        return f"{ctype.elem.name} *"
+    if isinstance(ctype, Array):
+        return ctype.elem.name
+    raise TypeError(f"cannot print type {ctype!r}")
+
+
+def _decl_to_source(decl: ast.VarDecl) -> str:
+    ctype = decl.ctype
+    if isinstance(ctype, Array):
+        dims = "".join(f"[{d}]" for d in ctype.dims)
+        text = f"{ctype.elem.name} {decl.name}{dims}"
+    elif isinstance(ctype, Pointer):
+        text = f"{ctype.elem.name} *{decl.name}"
+    else:
+        text = f"{ctype.name} {decl.name}"
+    if decl.init is not None:
+        text += f" = {expr_to_source(decl.init)}"
+    return text + ";"
+
+
+class _Printer:
+    def __init__(self, indent: str = "    "):
+        self.indent = indent
+        self.lines: List[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append(self.indent * depth + text)
+
+    def print_pragmas(self, stmt: ast.Stmt, depth: int) -> None:
+        for directive in stmt.pragmas:
+            self.emit(depth, directive.to_source())
+
+    def print_stmt(self, stmt: ast.Stmt, depth: int) -> None:
+        self.print_pragmas(stmt, depth)
+        if isinstance(stmt, ast.VarDecl):
+            self.emit(depth, _decl_to_source(stmt))
+        elif isinstance(stmt, ast.Assign):
+            op = stmt.op + "="
+            self.emit(
+                depth,
+                f"{expr_to_source(stmt.target)} {op} {expr_to_source(stmt.value)};",
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            self.emit(depth, expr_to_source(stmt.expr) + ";")
+        elif isinstance(stmt, ast.Block):
+            if not stmt.body and stmt.pragmas and all(
+                p.namespace == "acc" and p.name in ("update", "wait", "enter data", "exit data")
+                for p in stmt.pragmas
+            ):
+                return  # carrier for standalone directives: pragma lines only
+            self.emit(depth, "{")
+            for inner in stmt.body:
+                self.print_stmt(inner, depth + 1)
+            self.emit(depth, "}")
+        elif isinstance(stmt, ast.If):
+            self.emit(depth, f"if ({expr_to_source(stmt.cond)})")
+            self.print_stmt_as_body(stmt.then, depth)
+            if stmt.orelse is not None:
+                self.emit(depth, "else")
+                self.print_stmt_as_body(stmt.orelse, depth)
+        elif isinstance(stmt, ast.For):
+            init = self._simple_stmt_text(stmt.init) if stmt.init else ""
+            cond = expr_to_source(stmt.cond) if stmt.cond else ""
+            step = self._simple_stmt_text(stmt.step) if stmt.step else ""
+            self.emit(depth, f"for ({init}; {cond}; {step})")
+            self.print_stmt_as_body(stmt.body, depth)
+        elif isinstance(stmt, ast.While):
+            self.emit(depth, f"while ({expr_to_source(stmt.cond)})")
+            self.print_stmt_as_body(stmt.body, depth)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.emit(depth, "return;")
+            else:
+                self.emit(depth, f"return {expr_to_source(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self.emit(depth, "break;")
+        elif isinstance(stmt, ast.Continue):
+            self.emit(depth, "continue;")
+        else:
+            raise TypeError(f"cannot print statement node {type(stmt).__name__}")
+
+    def print_stmt_as_body(self, stmt: ast.Stmt, depth: int) -> None:
+        """Loop/if bodies always print as blocks for readability."""
+        if isinstance(stmt, ast.Block) and not stmt.pragmas:
+            self.print_stmt(stmt, depth)
+        else:
+            self.emit(depth, "{")
+            self.print_stmt(stmt, depth + 1)
+            self.emit(depth, "}")
+
+    def _simple_stmt_text(self, stmt: ast.Stmt) -> str:
+        if isinstance(stmt, ast.Assign):
+            op = stmt.op + "="
+            return f"{expr_to_source(stmt.target)} {op} {expr_to_source(stmt.value)}"
+        if isinstance(stmt, ast.ExprStmt):
+            return expr_to_source(stmt.expr)
+        if isinstance(stmt, ast.VarDecl):
+            return _decl_to_source(stmt)[:-1]  # strip ';'
+        raise TypeError(f"bad simple statement {type(stmt).__name__}")
+
+    def print_func(self, func: ast.FuncDef) -> None:
+        ret = func.ret_type.name if func.ret_type is not None else "void"
+        params = ", ".join(self._param_text(p) for p in func.params)
+        self.emit(0, f"{ret} {func.name}({params})")
+        self.print_stmt(func.body, 0)
+
+    @staticmethod
+    def _param_text(param: ast.Param) -> str:
+        ctype = param.ctype
+        if isinstance(ctype, Array):
+            dims = "".join(f"[{d}]" for d in ctype.dims)
+            return f"{ctype.elem.name} {param.name}{dims}"
+        if isinstance(ctype, Pointer):
+            return f"{ctype.elem.name} *{param.name}"
+        return f"{ctype.name} {param.name}"
+
+
+def to_source(node) -> str:
+    """Render a Program, FuncDef, Stmt, or Expr back to mini-C source."""
+    if isinstance(node, ast.Program):
+        printer = _Printer()
+        for decl in node.decls:
+            printer.print_stmt(decl, 0)
+        for func in node.funcs:
+            if printer.lines:
+                printer.emit(0, "")
+            printer.print_func(func)
+        return "\n".join(printer.lines) + "\n"
+    if isinstance(node, ast.FuncDef):
+        printer = _Printer()
+        printer.print_func(node)
+        return "\n".join(printer.lines) + "\n"
+    if isinstance(node, ast.Stmt):
+        printer = _Printer()
+        printer.print_stmt(node, 0)
+        return "\n".join(printer.lines) + "\n"
+    if isinstance(node, ast.Expr):
+        return expr_to_source(node)
+    raise TypeError(f"cannot print node {type(node).__name__}")

@@ -1,0 +1,228 @@
+"""Expression evaluation with C semantics.
+
+Shared by the host interpreter and the device VM.  The evaluator is generic
+over an *environment* object providing name resolution and stores:
+
+    env.load(name)                 -> value (scalar, or numpy array for
+                                      arrays/pointers)
+    env.store(name, value)         -> None (scalar assignment / rebinding)
+    env.call(func, args)           -> value (builtin dispatch)
+
+Array element access goes through the numpy array returned by ``load`` so
+float32 truncation happens naturally on store.  Integer division and modulo
+follow C (truncation toward zero), not Python (floor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import InterpError
+from repro.lang import ast
+from repro.lang.ctypes import Scalar
+
+
+def c_div(a, b):
+    """C semantics: integer operands truncate toward zero."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        if b == 0:
+            raise InterpError("integer division by zero")
+        q = abs(int(a)) // abs(int(b))
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+def c_mod(a, b):
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        if b == 0:
+            raise InterpError("integer modulo by zero")
+        return int(a) - c_div(a, b) * int(b)
+    return math.fmod(a, b)
+
+
+_BINOPS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": c_div,
+    "%": c_mod,
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "<<": lambda a, b: int(a) << int(b),
+    ">>": lambda a, b: int(a) >> int(b),
+}
+
+
+def evaluate(expr: ast.Expr, env) -> object:
+    """Evaluate an expression against an environment."""
+    kind = type(expr)
+    if kind is ast.IntLit:
+        return expr.value
+    if kind is ast.FloatLit:
+        return expr.value
+    if kind is ast.StrLit:
+        return expr.value
+    if kind is ast.Name:
+        return env.load(expr.id)
+    if kind is ast.Subscript:
+        array, indices = _resolve_subscript(expr, env)
+        try:
+            value = array[indices]
+        except (IndexError, TypeError) as exc:
+            raise InterpError(f"bad subscript on line {expr.line}: {exc}") from exc
+        return value.item() if isinstance(value, np.generic) else value
+    if kind is ast.Call:
+        args = [evaluate(a, env) for a in expr.args]
+        return env.call(expr.func, args)
+    if kind is ast.Unary:
+        return _eval_unary(expr, env)
+    if kind is ast.Binary:
+        op = expr.op
+        if op == "&&":
+            return int(bool(evaluate(expr.left, env)) and bool(evaluate(expr.right, env)))
+        if op == "||":
+            return int(bool(evaluate(expr.left, env)) or bool(evaluate(expr.right, env)))
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        try:
+            return _BINOPS[op](left, right)
+        except KeyError:
+            raise InterpError(f"unknown operator {op!r}")
+    if kind is ast.Ternary:
+        if evaluate(expr.cond, env):
+            return evaluate(expr.then, env)
+        return evaluate(expr.other, env)
+    if kind is ast.Cast:
+        value = evaluate(expr.operand, env)
+        ctype = expr.ctype
+        if isinstance(ctype, Scalar):
+            if ctype.is_integer:
+                return int(value)
+            return ctype.dtype(value).item()
+        return value
+    raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_unary(expr: ast.Unary, env):
+    op = expr.op
+    if op in ("++", "--", "p++", "p--"):
+        old = evaluate(expr.operand, env)
+        delta = 1 if "+" in op else -1
+        assign(expr.operand, old + delta, env)
+        return old if op in ("++", "--") else old + delta
+    value = evaluate(expr.operand, env)
+    if op == "-":
+        return -value
+    if op == "!":
+        return int(not value)
+    if op == "~":
+        return ~int(value)
+    if op == "*":
+        # Deref: pointers are numpy arrays; *p means p[0].
+        if isinstance(value, np.ndarray):
+            return value.flat[0].item()
+        raise InterpError("dereference of non-pointer value")
+    if op == "&":
+        # Address-of an array/lvalue yields the backing array.
+        base = ast.base_name(expr.operand)
+        if base is not None:
+            return env.load(base)
+        raise InterpError("cannot take address of expression")
+    raise InterpError(f"unknown unary operator {op!r}")
+
+
+def _resolve_subscript(expr: ast.Subscript, env):
+    """Return (numpy array, index tuple) for possibly-nested subscripts."""
+    indices = []
+    node: ast.Expr = expr
+    while isinstance(node, ast.Subscript):
+        indices.append(int(evaluate(node.index, env)))
+        node = node.base
+    indices.reverse()
+    array = evaluate(node, env)
+    if not isinstance(array, np.ndarray):
+        raise InterpError(
+            f"subscript of non-array value ({ast.base_name(expr)!r}) on line {expr.line}"
+        )
+    return array, tuple(indices)
+
+
+def assign(target: ast.Expr, value, env) -> None:
+    """Store ``value`` into an lvalue."""
+    if isinstance(target, ast.Name):
+        env.store(target.id, value)
+        return
+    if isinstance(target, ast.Subscript):
+        array, indices = _resolve_subscript(target, env)
+        try:
+            array[indices] = value
+        except (IndexError, TypeError, ValueError) as exc:
+            raise InterpError(f"bad store on line {target.line}: {exc}") from exc
+        return
+    if isinstance(target, ast.Unary) and target.op == "*":
+        pointee = evaluate(target.operand, env)
+        if isinstance(pointee, np.ndarray):
+            pointee.flat[0] = value
+            return
+        raise InterpError("store through non-pointer value")
+    raise InterpError(f"cannot assign to {type(target).__name__}")
+
+
+def exec_simple(stmt: ast.Stmt, env) -> None:
+    """Execute one simple statement (Assign / VarDecl / ExprStmt)."""
+    if isinstance(stmt, ast.Assign):
+        value = evaluate(stmt.value, env)
+        if stmt.op:
+            old = evaluate(stmt.target, env)
+            value = _BINOPS[stmt.op](old, value)
+        assign(stmt.target, value, env)
+    elif isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            env.declare(stmt.name, stmt.ctype, evaluate(stmt.init, env))
+        else:
+            env.declare(stmt.name, stmt.ctype, None)
+    elif isinstance(stmt, ast.ExprStmt):
+        evaluate(stmt.expr, env)
+    else:
+        raise InterpError(f"not a simple statement: {type(stmt).__name__}")
+
+
+class Builtins:
+    """Default math builtins shared by host and device."""
+
+    TABLE: Dict[str, Callable] = {
+        "sqrt": math.sqrt,
+        "fabs": abs,
+        "abs": lambda x: abs(int(x)),
+        "exp": math.exp,
+        "log": math.log,
+        "pow": math.pow,
+        "sin": math.sin,
+        "cos": math.cos,
+        "floor": math.floor,
+        "ceil": math.ceil,
+        "fmax": max,
+        "fmin": min,
+        "max": max,
+        "min": min,
+        "sqrtf": lambda x: np.float32(math.sqrt(np.float32(x))).item(),
+        "expf": lambda x: np.float32(math.exp(np.float32(x))).item(),
+        "fabsf": lambda x: np.float32(abs(np.float32(x))).item(),
+    }
+
+    @classmethod
+    def call(cls, name: str, args: Sequence) -> object:
+        try:
+            fn = cls.TABLE[name]
+        except KeyError:
+            raise InterpError(f"unknown builtin function {name!r}")
+        return fn(*args)

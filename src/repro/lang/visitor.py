@@ -1,0 +1,153 @@
+"""Generic AST visitors and transformers.
+
+Compiler passes either walk trees read-only (:class:`Visitor`) or rebuild
+them (:class:`Transformer`, which clones nodes whose children changed so the
+original tree stays intact — passes like memory-transfer demotion must not
+mutate the user's program).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Optional
+
+from repro.lang import ast
+
+
+class Visitor:
+    """Dispatches on node class name: ``visit_Assign``, ``visit_For``, ...
+
+    Unhandled nodes fall through to :meth:`generic_visit`, which recurses
+    into children.
+    """
+
+    def visit(self, node: ast.Node):
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node):
+        for child in node.children():
+            self.visit(child)
+
+
+class Transformer:
+    """Rebuilding visitor: each ``visit_X`` returns a replacement node (or a
+    list of statements, for statement positions).  Nodes are shallow-copied
+    before their fields are replaced, so the input tree is never mutated.
+    """
+
+    def visit(self, node: ast.Node):
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node):
+        replacements = {}
+        for name in node._fields:
+            value = getattr(node, name)
+            if isinstance(value, ast.Node):
+                new = self.visit(value)
+                if new is not value:
+                    replacements[name] = new
+            elif isinstance(value, list):
+                new_list, changed = self._visit_list(value)
+                if changed:
+                    replacements[name] = new_list
+        if not replacements:
+            return node
+        clone = copy.copy(node)
+        for name, value in replacements.items():
+            setattr(clone, name, value)
+        return clone
+
+    def _visit_list(self, items: list):
+        out: List = []
+        changed = False
+        for item in items:
+            if isinstance(item, ast.Node):
+                new = self.visit(item)
+                if isinstance(new, list):
+                    out.extend(new)
+                    changed = True
+                    continue
+                if new is not item:
+                    changed = True
+                if new is not None:
+                    out.append(new)
+                else:
+                    changed = True
+            else:
+                out.append(item)
+        return out, changed
+
+
+def clone_tree(node: ast.Node) -> ast.Node:
+    """Deep-copy an AST (pragmas included)."""
+    return copy.deepcopy(node)
+
+
+def find_all(node: ast.Node, predicate: Callable[[ast.Node], bool]) -> List[ast.Node]:
+    """All descendants (preorder, including ``node``) matching ``predicate``."""
+    return [n for n in node.walk() if predicate(n)]
+
+
+def names_used(node: ast.Node) -> List[str]:
+    """All identifier names referenced anywhere under ``node`` (dedup, ordered)."""
+    seen: List[str] = []
+    for n in node.walk():
+        if isinstance(n, ast.Name) and n.id not in seen:
+            seen.append(n.id)
+    return seen
+
+
+def replace_statements(
+    block: ast.Block, target: ast.Stmt, replacement: List[ast.Stmt]
+) -> bool:
+    """Replace ``target`` (by identity) with ``replacement`` statements in the
+    first enclosing statement list under ``block``.  Returns True on success."""
+
+    def rec(node: ast.Node) -> bool:
+        for name in node._fields:
+            value = getattr(node, name)
+            if isinstance(value, list):
+                for i, item in enumerate(value):
+                    if item is target:
+                        value[i: i + 1] = replacement
+                        return True
+                    if isinstance(item, ast.Node) and rec(item):
+                        return True
+            elif isinstance(value, ast.Node):
+                if value is target:
+                    setattr(node, name, ast.Block(replacement, target.line))
+                    return True
+                if rec(value):
+                    return True
+        return False
+
+    return rec(block)
+
+
+def parent_map(root: ast.Node) -> dict:
+    """Map each node (by id) to its parent node."""
+    parents = {}
+    for node in root.walk():
+        for child in node.children():
+            parents[id(child)] = node
+    return parents
+
+
+def enclosing_loops(root: ast.Node, target: ast.Node) -> List[ast.Node]:
+    """Loop statements (For/While) enclosing ``target`` under ``root``,
+    outermost first."""
+    parents = parent_map(root)
+    chain: List[ast.Node] = []
+    node: Optional[ast.Node] = parents.get(id(target))
+    while node is not None:
+        if isinstance(node, (ast.For, ast.While)):
+            chain.append(node)
+        node = parents.get(id(node))
+    chain.reverse()
+    return chain

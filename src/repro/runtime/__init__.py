@@ -1,0 +1,8 @@
+"""OpenACC runtime: present table, async queues, coherence, profiler."""
+
+from repro.runtime.coherence import CoherenceTracker, Finding
+from repro.runtime.present import PresentTable
+from repro.runtime.profiler import Profiler
+from repro.runtime.queues import AsyncQueues
+
+__all__ = ["CoherenceTracker", "Finding", "PresentTable", "Profiler", "AsyncQueues"]

@@ -1,0 +1,228 @@
+"""OpenACC runtime API.
+
+This is the layer generated programs execute against: structured data-region
+entry/exit, ``update`` transfers, kernel launches (sync or async), and
+``wait``.  Every operation is charged to the profiler in modeled time, and —
+when a :class:`CoherenceTracker` is attached — every transfer and free runs
+the §III-B coherence hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.device import Device
+from repro.device.engine import LaunchResult, LaunchSpec, Schedule
+from repro.errors import RuntimeFault
+from repro.runtime.coherence import CPU, GPU, CoherenceTracker
+from repro.runtime.present import PresentTable
+from repro.runtime.profiler import (
+    CAT_ASYNC_WAIT,
+    CAT_CHECK,
+    CAT_CPU,
+    CAT_KERNEL,
+    CAT_MEM_ALLOC,
+    CAT_MEM_FREE,
+    CAT_RESULT_COMP,
+    CAT_TRANSFER,
+    Profiler,
+)
+from repro.runtime.queues import AsyncQueues
+
+
+class AccRuntime:
+    """One runtime instance per program execution."""
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        profiler: Optional[Profiler] = None,
+        coherence: Optional[CoherenceTracker] = None,
+    ):
+        self.device = device or Device()
+        self.profiler = profiler or Profiler()
+        self.queues = AsyncQueues(self.profiler)
+        self.present = PresentTable()
+        self.coherence = coherence
+        self.launch_log: List[LaunchResult] = []
+        # (var, site, direction) per dynamic transfer; the suggestion engine
+        # aggregates these against the coherence findings.
+        self.transfer_log: List[tuple] = []
+        # Dead-target pins to apply right after the next allocation of a
+        # variable (compiler-directed; see checkinsert).
+        self._pending_pins: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Data regions
+    # ------------------------------------------------------------------
+    def data_enter(self, var: str, host: np.ndarray, copyin: bool, site: str = "",
+                   queue: Optional[int] = None) -> bool:
+        """Enter a data clause for one variable.
+
+        Present-or semantics: if already present, just retain.  Returns True
+        when a new device buffer was created."""
+        if self.present.is_present(var):
+            entry = self.present.retain(var)
+            entry.copyout_on_exit.append(False)
+            return False
+        self.profiler.spend(CAT_MEM_ALLOC, self.device.config.costs.alloc_latency_s)
+        handle = self.device.alloc(var, host.shape, host.dtype)
+        entry = self.present.add(var, handle)
+        entry.copyout_on_exit.append(False)
+        if self.coherence is not None and self.coherence.tracked(var):
+            # A fresh device buffer holds no valid data: the GPU copy is
+            # stale until the first transfer or device write (otherwise the
+            # region's own copyin would be flagged redundant).
+            from repro.runtime.coherence import STALE
+
+            self.coherence.reset_status(var, GPU, STALE, site=site)
+            pin = self._pending_pins.pop(var, None)
+            if pin is not None:
+                side, status, pin_site = pin
+                self.coherence.reset_status(var, side, status, site=pin_site)
+        if copyin:
+            self.copy_to_device(var, host, site=site or f"enter({var})", queue=queue)
+        return True
+
+    def data_exit(self, var: str, host: np.ndarray, copyout: bool, site: str = "",
+                  queue: Optional[int] = None) -> bool:
+        """Exit a data clause.  Copyout (if requested) happens before a
+        potential free.  Returns True when the device buffer was freed."""
+        entry = self.present.lookup(var)
+        entry.copyout_on_exit.pop()
+        if copyout:
+            self.copy_to_host(var, host, site=site or f"exit({var})", queue=queue)
+        released = self.present.release(var)
+        if released is not None:
+            self.profiler.spend(CAT_MEM_FREE, self.device.config.costs.free_latency_s)
+            self.device.free(released.handle)
+            if self.coherence is not None and self.coherence.tracked(var):
+                self.coherence.on_free(var, site=site)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def copy_to_device(self, var: str, host: np.ndarray, queue: Optional[int] = None,
+                       site: str = "", section=None) -> float:
+        self._coherence_transfer(var, CPU, GPU, site, section)
+        self.transfer_log.append((var, site, "h2d"))
+        handle = self.present.handle_of(var)
+        seconds = self.device.memcpy_h2d(handle, host, async_queue=queue, section=section)
+        self._charge_transfer(seconds, queue)
+        return seconds
+
+    def copy_to_host(self, var: str, host: np.ndarray, queue: Optional[int] = None,
+                     site: str = "", section=None) -> float:
+        self._coherence_transfer(var, GPU, CPU, site, section)
+        self.transfer_log.append((var, site, "d2h"))
+        handle = self.present.handle_of(var)
+        seconds = self.device.memcpy_d2h(host, handle, async_queue=queue, section=section)
+        self._charge_transfer(seconds, queue)
+        return seconds
+
+    def _coherence_transfer(self, var: str, src: str, dst: str, site: str,
+                            section) -> None:
+        """Run the §III-B transfer hooks.  Whole-array coherence: a
+        *sectioned* transfer refreshes only part of the destination, so a
+        previously stale destination becomes may-stale instead of adopting
+        the source's state outright."""
+        if self.coherence is None or not self.coherence.tracked(var):
+            return
+        from repro.runtime.coherence import MAYSTALE, STALE
+
+        was_stale = self.coherence.state(var, dst) == STALE
+        self.coherence.on_transfer(var, src, dst, site=site)
+        if section is not None and was_stale:
+            self.coherence.reset_status(var, dst, MAYSTALE, site=site)
+
+    def update_host(self, var: str, host: np.ndarray, queue: Optional[int] = None,
+                    site: str = "", section=None) -> float:
+        if not self.present.is_present(var):
+            raise RuntimeFault(f"update host({var}): variable not present on device")
+        return self.copy_to_host(var, host, queue=queue, site=site, section=section)
+
+    def update_device(self, var: str, host: np.ndarray, queue: Optional[int] = None,
+                      site: str = "", section=None) -> float:
+        if not self.present.is_present(var):
+            raise RuntimeFault(f"update device({var}): variable not present on device")
+        return self.copy_to_device(var, host, queue=queue, site=site, section=section)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def device_array(self, var: str) -> np.ndarray:
+        return self.device.array(self.present.handle_of(var))
+
+    def launch(self, spec: LaunchSpec, queue: Optional[int] = None,
+               schedule: Optional[Schedule] = None) -> LaunchResult:
+        result = self.device.launch(spec, schedule=schedule, async_queue=queue)
+        seconds = self.device.config.costs.kernel_time(result.total_steps)
+        if queue is None:
+            self.profiler.spend(CAT_KERNEL, seconds)
+        else:
+            self.queues.issue(queue, seconds, category=CAT_ASYNC_WAIT)
+        self.launch_log.append(result)
+        return result
+
+    def wait(self, queue: Optional[int] = None) -> float:
+        if queue is None:
+            return self.queues.wait_all()
+        return self.queues.wait(queue)
+
+    # ------------------------------------------------------------------
+    # Instrumentation hooks (inserted by the check-insertion pass)
+    # ------------------------------------------------------------------
+    def check_read(self, var: str, side: str, site: str = "") -> None:
+        self._charge_check()
+        if self.coherence is not None and self.coherence.tracked(var):
+            self.coherence.check_read(var, side, site=site)
+
+    def check_write(self, var: str, side: str, site: str = "", full: bool = False) -> None:
+        self._charge_check()
+        if self.coherence is not None and self.coherence.tracked(var):
+            self.coherence.check_write(var, side, site=site, full=full)
+
+    def reset_status(self, var: str, side: str, status: str, site: str = "") -> None:
+        self._charge_check()
+        if self.coherence is not None and self.coherence.tracked(var):
+            self.coherence.reset_status(var, side, status, site=site)
+
+    def note_reduction(self, var: str, site: str = "") -> None:
+        if self.coherence is not None and self.coherence.tracked(var):
+            self.coherence.on_reduction_kernel(var, site=site)
+
+    def pin_after_alloc(self, var: str, side: str, status: str, site: str = "") -> None:
+        """Compiler-directed dead-target marking for a transfer whose
+        destination buffer may not exist yet.  Applied immediately when the
+        variable is device-resident; otherwise queued until its allocation
+        (which would otherwise clobber the pin with the fresh-buffer stale
+        state)."""
+        self._charge_check()
+        if self.coherence is None or not self.coherence.tracked(var):
+            return
+        if self.present.is_present(var):
+            self.coherence.reset_status(var, side, status, site=site)
+        else:
+            self._pending_pins[var] = (side, status, site)
+
+    # ------------------------------------------------------------------
+    # Host-side accounting used by the interpreter / verification harness
+    # ------------------------------------------------------------------
+    def charge_cpu(self, steps: int) -> None:
+        self.profiler.spend(CAT_CPU, self.device.config.costs.cpu_time(steps))
+
+    def charge_compare(self, elements: int) -> None:
+        self.profiler.spend(CAT_RESULT_COMP, self.device.config.costs.compare_time(elements))
+
+    def _charge_transfer(self, seconds: float, queue: Optional[int]) -> None:
+        if queue is None:
+            self.profiler.spend(CAT_TRANSFER, seconds)
+        else:
+            self.queues.issue(queue, seconds, category=CAT_TRANSFER)
+
+    def _charge_check(self) -> None:
+        self.profiler.spend(CAT_CHECK, self.device.config.costs.check_call_s)

@@ -1,0 +1,197 @@
+"""Runtime coherence tracking (§III-B).
+
+Each variable of interest carries one of three states per device —
+``notstale`` / ``maystale`` / ``stale`` — tracked at whole-array granularity.
+The tracker implements the paper's check calls:
+
+* ``check_read(v, dev)``  — stale ⇒ **missing transfer** error; maystale ⇒
+  **may-missing** warning.
+* ``check_write(v, dev, full)`` — applies the write transition: the local
+  copy becomes notstale on a full overwrite (a stale copy partially written
+  becomes maystale, with a **may-missing** warning, since unwritten elements
+  may later be read); the remote copy becomes stale.
+* ``reset_status(v, dev, status)`` — compiler-directed override used for
+  may-dead (→ maystale) and must-dead (→ notstale) remote copies, for
+  deallocation (→ stale) and for reduction kernels whose final value only
+  the CPU holds (GPU copy → stale).
+* ``on_transfer(v, src, dst)`` — stale source ⇒ **incorrect transfer**;
+  maystale source ⇒ **may-incorrect**; notstale destination ⇒ **redundant**;
+  maystale destination ⇒ **may-redundant**; then the destination inherits
+  the source's state (``set_status``).
+
+Findings carry a site label and the enclosing-loop iteration context so the
+report reads like the paper's Listing 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import RuntimeFault
+
+NOTSTALE = "notstale"
+MAYSTALE = "maystale"
+STALE = "stale"
+_STATES = (NOTSTALE, MAYSTALE, STALE)
+
+CPU = "cpu"
+GPU = "gpu"
+
+# Finding kinds.
+MISSING = "missing"
+MAY_MISSING = "may-missing"
+INCORRECT = "incorrect"
+MAY_INCORRECT = "may-incorrect"
+REDUNDANT = "redundant"
+MAY_REDUNDANT = "may-redundant"
+
+ERROR_KINDS = frozenset({MISSING, INCORRECT})
+WARNING_KINDS = frozenset({MAY_MISSING, MAY_INCORRECT, REDUNDANT, MAY_REDUNDANT})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected coherence issue."""
+
+    kind: str
+    var: str
+    site: str
+    context: Tuple[Tuple[str, int], ...] = ()  # ((loop_var, iteration), ...)
+
+    @property
+    def is_error(self) -> bool:
+        return self.kind in (MISSING, INCORRECT)
+
+    def message(self) -> str:
+        ctx = ", ".join(f"enclosing loop {v} index = {i}" for v, i in self.context)
+        ctx = f" ({ctx})" if ctx else ""
+        templates = {
+            MISSING: "access of stale '{v}' at {s}{c}: missing memory transfer",
+            MAY_MISSING: "access of may-stale '{v}' at {s}{c}: transfer may be missing",
+            INCORRECT: "copying stale '{v}' at {s}{c} is incorrect",
+            MAY_INCORRECT: "copying may-stale '{v}' at {s}{c} may be incorrect",
+            REDUNDANT: "copying '{v}' at {s}{c} is redundant",
+            MAY_REDUNDANT: "copying '{v}' at {s}{c} may be redundant",
+        }
+        return templates[self.kind].format(v=self.var, s=self.site, c=ctx)
+
+
+@dataclass
+class _VarState:
+    cpu: str = NOTSTALE
+    gpu: str = NOTSTALE
+
+    def get(self, side: str) -> str:
+        return self.cpu if side == CPU else self.gpu
+
+    def set(self, side: str, status: str) -> None:
+        if side == CPU:
+            self.cpu = status
+        else:
+            self.gpu = status
+
+
+def _other(side: str) -> str:
+    return GPU if side == CPU else CPU
+
+
+class CoherenceTracker:
+    """State machine + findings log; enabled only during verification runs."""
+
+    def __init__(self):
+        self._states: Dict[str, _VarState] = {}
+        self.findings: List[Finding] = []
+        self.check_calls = 0
+        # Context stack: the interpreter pushes (loop_var, iteration).
+        self._context: List[Tuple[str, int]] = []
+
+    # -- registration / context --------------------------------------------
+    def register(self, var: str) -> None:
+        self._states.setdefault(var, _VarState())
+
+    def tracked(self, var: str) -> bool:
+        return var in self._states
+
+    def state(self, var: str, side: str) -> str:
+        return self._require(var).get(side)
+
+    def push_context(self, loop_var: str, iteration: int) -> None:
+        self._context.append((loop_var, iteration))
+
+    def set_context_iteration(self, iteration: int) -> None:
+        loop_var, _ = self._context[-1]
+        self._context[-1] = (loop_var, iteration)
+
+    def pop_context(self) -> None:
+        self._context.pop()
+
+    # -- check calls ----------------------------------------------------------
+    def check_read(self, var: str, side: str, site: str = "") -> None:
+        self.check_calls += 1
+        status = self._require(var).get(side)
+        if status == STALE:
+            self._report(MISSING, var, site)
+        elif status == MAYSTALE:
+            self._report(MAY_MISSING, var, site)
+
+    def check_write(self, var: str, side: str, site: str = "", full: bool = False) -> None:
+        self.check_calls += 1
+        state = self._require(var)
+        status = state.get(side)
+        if full:
+            state.set(side, NOTSTALE)
+        elif status == STALE:
+            # Partial write to stale data: unwritten elements may be read
+            # later from the stale copy.
+            self._report(MAY_MISSING, var, site)
+            state.set(side, MAYSTALE)
+        state.set(_other(side), STALE)
+
+    def reset_status(self, var: str, side: str, status: str, site: str = "") -> None:
+        if status not in _STATES:
+            raise RuntimeFault(f"bad coherence status {status!r}")
+        self._require(var).set(side, status)
+
+    def on_transfer(self, var: str, src: str, dst: str, site: str = "") -> None:
+        self.check_calls += 1
+        state = self._require(var)
+        src_status = state.get(src)
+        dst_status = state.get(dst)
+        if src_status == STALE:
+            self._report(INCORRECT, var, site)
+        elif src_status == MAYSTALE:
+            self._report(MAY_INCORRECT, var, site)
+        if dst_status == NOTSTALE:
+            self._report(REDUNDANT, var, site)
+        elif dst_status == MAYSTALE:
+            self._report(MAY_REDUNDANT, var, site)
+        # set_status: the destination now holds whatever the source held.
+        state.set(dst, src_status)
+
+    def on_free(self, var: str, site: str = "") -> None:
+        state = self._require(var)
+        state.set(GPU, STALE)
+
+    def on_reduction_kernel(self, var: str, site: str = "") -> None:
+        """Kernel reduction whose final value only the CPU receives."""
+        self._require(var).set(GPU, STALE)
+
+    # -- reporting -----------------------------------------------------------
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.is_error]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if not f.is_error]
+
+    def findings_of(self, *kinds: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind in kinds]
+
+    def _report(self, kind: str, var: str, site: str) -> None:
+        self.findings.append(Finding(kind, var, site, tuple(self._context)))
+
+    def _require(self, var: str) -> _VarState:
+        state = self._states.get(var)
+        if state is None:
+            raise RuntimeFault(f"coherence check on untracked variable '{var}'")
+        return state

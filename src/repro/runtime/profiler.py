@@ -1,0 +1,88 @@
+"""Modeled-time profiler.
+
+Maintains a host clock in *modeled seconds* and per-category totals.  The
+categories are exactly the Figure-3 breakdown of the paper, plus a kernel
+category (synchronous launches block the host) and a coherence-check
+category (Figure-4 overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+# Figure-3 categories.
+CAT_MEM_FREE = "GPU Mem Free"
+CAT_MEM_ALLOC = "GPU Mem Alloc"
+CAT_TRANSFER = "Mem Transfer"
+CAT_ASYNC_WAIT = "Async-Wait"
+CAT_RESULT_COMP = "Result-Comp"
+CAT_CPU = "CPU Time"
+# Extra categories.
+CAT_KERNEL = "GPU Kernel"
+CAT_CHECK = "Coherence-Check"
+
+ALL_CATEGORIES = (
+    CAT_MEM_FREE,
+    CAT_MEM_ALLOC,
+    CAT_TRANSFER,
+    CAT_ASYNC_WAIT,
+    CAT_RESULT_COMP,
+    CAT_CPU,
+    CAT_KERNEL,
+    CAT_CHECK,
+)
+
+
+class Profiler:
+    """Host clock + category accounting."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.totals: Dict[str, float] = {cat: 0.0 for cat in ALL_CATEGORIES}
+        self.counters: Dict[str, int] = {}
+        self.timeline: List[Tuple[float, str, float]] = []
+        self.record_timeline = False
+
+    def spend(self, category: str, seconds: float) -> None:
+        """Advance the host clock doing ``category`` work."""
+        if seconds < 0:
+            raise ValueError("negative duration")
+        if self.record_timeline:
+            self.timeline.append((self.now, category, seconds))
+        self.now += seconds
+        self.totals[category] = self.totals.get(category, 0.0) + seconds
+
+    def advance_to(self, timestamp: float, category: str = CAT_ASYNC_WAIT) -> float:
+        """Block the host until ``timestamp`` (no-op if already past).
+        Returns the waited duration."""
+        wait = max(0.0, timestamp - self.now)
+        if wait:
+            self.spend(category, wait)
+        return wait
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def total(self) -> float:
+        return self.now
+
+    def breakdown(self, categories: Optional[Tuple[str, ...]] = None) -> Dict[str, float]:
+        cats = categories or ALL_CATEGORIES
+        return {cat: self.totals.get(cat, 0.0) for cat in cats}
+
+    def normalized_breakdown(self, baseline: float) -> Dict[str, float]:
+        """Each category divided by a baseline time (Fig. 3 uses the
+        sequential CPU execution time)."""
+        if baseline <= 0:
+            raise ValueError("baseline must be positive")
+        return {cat: val / baseline for cat, val in self.breakdown().items()}
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.totals = {cat: 0.0 for cat in ALL_CATEGORIES}
+        self.counters.clear()
+        self.timeline.clear()
+
+    def __repr__(self):
+        busy = {k: round(v, 6) for k, v in self.totals.items() if v}
+        return f"Profiler(now={self.now:.6f}, {busy})"

@@ -1,0 +1,24 @@
+"""Interactive program debugging and optimization (§III).
+
+* :mod:`kernelverify` — §III-A GPU kernel verification;
+* :mod:`memverify`    — §III-B memory-transfer verification;
+* :mod:`suggestions`  — turning coherence findings into user suggestions;
+* :mod:`interactive`  — the Figure-2 iterative loop with a scripted
+  programmer applying suggestions;
+* :mod:`knowledge`    — §III-C application-knowledge-guided debugging.
+"""
+
+from repro.verify.comparison import ComparisonPolicy, compare_arrays, compare_scalars
+from repro.verify.kernelverify import KernelVerifier, VerificationOptions
+from repro.verify.memverify import MemVerifier
+from repro.verify.interactive import InteractiveOptimizer
+
+__all__ = [
+    "ComparisonPolicy",
+    "compare_arrays",
+    "compare_scalars",
+    "KernelVerifier",
+    "VerificationOptions",
+    "MemVerifier",
+    "InteractiveOptimizer",
+]

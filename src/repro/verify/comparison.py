@@ -1,0 +1,91 @@
+"""User-configurable result comparison (§III-A).
+
+CPU and GPU cannot be compared bit-for-bit: float32 vs float64 rounding and
+tree-order reductions produce legitimate differences.  The policy exposes
+the paper's knobs:
+
+* ``error_margin`` — absolute tolerance;
+* ``relative_margin`` — additional |reference|-scaled tolerance;
+* ``min_value_to_check`` — the paper's ``minValueToCheck``: elements whose
+  reference magnitude is at or below the threshold are skipped;
+* ``bounds`` — §III-C per-variable value bounds: a differing GPU value
+  inside [lo, hi] is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ComparisonPolicy:
+    error_margin: float = 1e-9
+    relative_margin: float = 0.0
+    min_value_to_check: Optional[float] = None
+    bounds: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def tolerance(self, reference: np.ndarray) -> np.ndarray:
+        return self.error_margin + self.relative_margin * np.abs(reference)
+
+
+@dataclass
+class ComparisonResult:
+    var: str
+    checked: int
+    mismatches: int
+    max_abs_diff: float
+    first_mismatch: Optional[Tuple[int, ...]] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.mismatches == 0
+
+    def message(self) -> str:
+        if self.passed:
+            return f"'{self.var}': OK ({self.checked} values compared)"
+        where = f" first at index {self.first_mismatch}" if self.first_mismatch else ""
+        return (
+            f"'{self.var}': {self.mismatches}/{self.checked} values differ "
+            f"(max |diff| = {self.max_abs_diff:.3e}){where}"
+        )
+
+
+def compare_arrays(
+    var: str,
+    reference: np.ndarray,
+    candidate: np.ndarray,
+    policy: Optional[ComparisonPolicy] = None,
+) -> ComparisonResult:
+    """Compare a GPU output array against the CPU reference."""
+    policy = policy or ComparisonPolicy()
+    ref = np.asarray(reference, dtype=np.float64)
+    cand = np.asarray(candidate, dtype=np.float64)
+    if ref.shape != cand.shape:
+        return ComparisonResult(var, 0, max(ref.size, cand.size), float("inf"))
+    diff = np.abs(ref - cand)
+    bad = diff > policy.tolerance(ref)
+    if policy.min_value_to_check is not None:
+        bad &= np.abs(ref) > policy.min_value_to_check
+    if var in policy.bounds:
+        lo, hi = policy.bounds[var]
+        bad &= ~((cand >= lo) & (cand <= hi))
+    checked = int(ref.size)
+    mismatches = int(np.count_nonzero(bad))
+    max_diff = float(diff.max()) if diff.size else 0.0
+    first = None
+    if mismatches:
+        first = tuple(int(i) for i in np.argwhere(bad)[0])
+    return ComparisonResult(var, checked, mismatches, max_diff, first)
+
+
+def compare_scalars(
+    var: str,
+    reference: float,
+    candidate: float,
+    policy: Optional[ComparisonPolicy] = None,
+) -> ComparisonResult:
+    policy = policy or ComparisonPolicy()
+    return compare_arrays(var, np.asarray([reference]), np.asarray([candidate]), policy)

@@ -1,0 +1,472 @@
+"""The Figure-2 interactive loop with a scripted programmer.
+
+Each round:
+
+1. run memory-transfer verification (one instrumented profiling execution);
+2. the "programmer" edits the directive program per the suggestions —
+   certain suggestions all at once, speculative (``may-*``) ones cautiously,
+   one per round;
+3. the edited program's output is validated against the sequential
+   reference (the role kernel verification plays in the paper's §IV-C:
+   catching corruption caused by a wrong suggestion); a broken edit is
+   reverted, banned, and counted as an *incorrect iteration*;
+4. repeat until a round yields no applicable suggestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.acc.directives import Clause, Directive, VarRef
+from repro.acc.regions import collect_regions
+from repro.compiler.driver import CompilerOptions, compile_ast
+from repro.errors import ConvergenceError
+from repro.interp.interp import run_compiled, run_sequential
+from repro.lang import ast
+from repro.lang.ctypes import Array
+from repro.lang.visitor import clone_tree
+from repro.verify.comparison import ComparisonPolicy, compare_arrays, compare_scalars
+from repro.verify.memverify import MemVerificationReport, MemVerifier
+from repro.verify.suggestions import (
+    DEFER_TRANSFER,
+    DELETE_TRANSFER,
+    INSERT_UPDATE_DEVICE,
+    INSERT_UPDATE_HOST,
+    Suggestion,
+)
+
+# Data-clause rewrites that drop one transfer direction.
+_DROP_COPYIN = {
+    "copy": "copyout",
+    "copyin": "create",
+    "present_or_copy": "present_or_copyout",
+    "present_or_copyin": "present_or_create",
+}
+_DROP_COPYOUT = {
+    "copy": "copyin",
+    "copyout": "create",
+    "present_or_copy": "present_or_copyin",
+    "present_or_copyout": "present_or_create",
+}
+
+
+@dataclass
+class IterationRecord:
+    index: int
+    findings: int
+    suggestions: List[Suggestion]
+    applied: List[Suggestion]
+    reverted: bool
+    report: MemVerificationReport
+
+    def summary(self) -> str:
+        state = "REVERTED" if self.reverted else ("clean" if not self.suggestions else "applied")
+        return (
+            f"iteration {self.index}: {self.findings} findings, "
+            f"{len(self.applied)} edits ({state})"
+        )
+
+
+@dataclass
+class OptimizationTrace:
+    iterations: List[IterationRecord] = field(default_factory=list)
+    incorrect_iterations: int = 0
+    converged: bool = False
+    final_program: Optional[ast.Program] = None
+    final_transfer_count: int = 0
+    final_transfer_bytes: int = 0
+
+    @property
+    def total_iterations(self) -> int:
+        return len(self.iterations)
+
+    def summary(self) -> str:
+        lines = [r.summary() for r in self.iterations]
+        lines.append(
+            f"total={self.total_iterations} incorrect={self.incorrect_iterations} "
+            f"converged={self.converged}"
+        )
+        return "\n".join(lines)
+
+
+class InteractiveOptimizer:
+    """Drives the verify-edit-rerun loop to a transfer-optimal program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        params: Optional[Dict[str, object]] = None,
+        options: Optional[CompilerOptions] = None,
+        policy: Optional[ComparisonPolicy] = None,
+        max_rounds: int = 12,
+        outputs: Optional[List[str]] = None,
+    ):
+        self.original = program
+        self.params = dict(params or {})
+        self.options = (options or CompilerOptions()).copy(strict_validation=False)
+        self.policy = policy or ComparisonPolicy(error_margin=1e-9, relative_margin=1e-6)
+        self.max_rounds = max_rounds
+        # Observable outputs the edits must preserve.  Default: every
+        # global — but a copyout of *dead* data is exactly what the tool
+        # removes, so callers should name the real outputs (a benchmark's
+        # OUTPUTS list; what the original program prints/checks).
+        self.outputs = outputs
+
+    # ------------------------------------------------------------------
+    def run(self) -> OptimizationTrace:
+        # Two acceptance references: *optimization* edits must preserve the
+        # original program's OpenACC behaviour; *repair* edits (inserting a
+        # transfer the program was missing) are validated against the
+        # sequential ground truth instead — the buggy original is exactly
+        # what they are allowed to change.
+        reference = run_compiled(
+            compile_ast(clone_tree(self.original), self.options), params=self.params
+        )
+        ground_truth = run_sequential(
+            compile_ast(clone_tree(self.original), self.options), self.params
+        )
+        trace = OptimizationTrace()
+        current = clone_tree(self.original)
+        banned: Set[Tuple[str, str, str]] = set()
+
+        for index in range(1, self.max_rounds + 1):
+            compiled = compile_ast(current, self.options)
+            report = MemVerifier(compiled, self.params).run()
+            usable = [s for s in report.suggestions if s.key() not in banned]
+            certain = [s for s in usable if not s.speculative]
+            speculative = [s for s in usable if s.speculative]
+
+            if not usable:
+                trace.iterations.append(IterationRecord(
+                    index, len(report.findings), [], [], False, report))
+                trace.converged = True
+                break
+
+            batch = (
+                _resolve_conflicts(certain, report.site_directions)
+                if certain
+                else _resolve_conflicts(speculative, report.site_directions)
+            )
+            repairing = any(s.action.startswith("insert-update") for s in batch)
+            target_ref = ground_truth if repairing else reference
+            edited = self._apply(clone_tree(current), batch)
+            if edited is None or not self._outputs_match(edited, target_ref):
+                if len(batch) > 1:
+                    # A careful programmer bisects the failing round: retry
+                    # the edits one by one, keep the good ones, ban the rest.
+                    # Every banned edit cost its own revert-and-rerun cycle,
+                    # so each counts as one incorrect iteration.
+                    current, newly_banned = self._retry_individually(
+                        current, batch, target_ref
+                    )
+                    banned |= newly_banned
+                    trace.incorrect_iterations += len(newly_banned)
+                else:
+                    banned |= {s.key() for s in batch}
+                    trace.incorrect_iterations += 1
+                trace.iterations.append(IterationRecord(
+                    index, len(report.findings), usable, batch, True, report))
+                continue
+            current = edited
+            if repairing:
+                # The repaired program is the behaviour later edits preserve.
+                reference = run_compiled(
+                    compile_ast(clone_tree(current), self.options), params=self.params
+                )
+            trace.iterations.append(IterationRecord(
+                index, len(report.findings), usable, batch, False, report))
+        else:
+            raise ConvergenceError(
+                f"no convergence within {self.max_rounds} verification rounds"
+            )
+
+        trace.final_program = current
+        final_compiled = compile_ast(current, self.options)
+        final_run = run_compiled(final_compiled, params=self.params)
+        trace.final_transfer_count = len(final_run.runtime.transfer_log)
+        trace.final_transfer_bytes = final_run.runtime.device.total_transferred_bytes()
+        return trace
+
+    def _retry_individually(self, current: ast.Program, batch: List[Suggestion],
+                            reference) -> Tuple[ast.Program, Set[Tuple[str, str, str]]]:
+        """Apply the failed round's edits cumulatively one at a time,
+        banning each edit that corrupts the output."""
+        banned: Set[Tuple[str, str, str]] = set()
+        accepted = clone_tree(current)
+        for suggestion in batch:
+            trial = self._apply(clone_tree(accepted), [suggestion])
+            if trial is not None and self._outputs_match(trial, reference):
+                accepted = trial
+            else:
+                banned.add(suggestion.key())
+        return accepted, banned
+
+    # ------------------------------------------------------------------
+    # Edit application
+    # ------------------------------------------------------------------
+    def _apply(self, program: ast.Program, batch: List[Suggestion]) -> Optional[ast.Program]:
+        editor = _Editor(program, self.options.main_function)
+        for suggestion in batch:
+            if not editor.apply(suggestion):
+                return None
+        return program
+
+    def _outputs_match(self, program: ast.Program, reference) -> bool:
+        compiled = compile_ast(program, self.options)
+        try:
+            run = run_compiled(compiled, params=self.params)
+        except Exception:
+            return False
+        for decl in compiled.program.decls:
+            name = decl.name
+            if self.outputs is not None and name not in self.outputs:
+                continue
+            if isinstance(decl.ctype, Array):
+                result = compare_arrays(
+                    name, reference.env.array(name), run.env.array(name), self.policy
+                )
+            else:
+                result = compare_scalars(
+                    name, float(reference.env.load(name)),
+                    float(run.env.load(name)), self.policy,
+                )
+            if not result.passed:
+                return False
+        return True
+
+
+def _resolve_conflicts(certain: List[Suggestion], directions: Dict) -> List[Suggestion]:
+    """At most one transfer-removing edit per (variable, direction) per
+    round.
+
+    Two transfers of the same data in the same direction can each be
+    redundant *given the other* (an in-loop update and the region's exit
+    copyout); removing both in one batch removes the data path entirely.  A
+    careful programmer deletes one and re-verifies — we keep the one backed
+    by the most dynamic findings."""
+    chosen: Dict[Tuple[str, str], Suggestion] = {}
+    passthrough: List[Suggestion] = []
+    for s in certain:
+        if s.action not in (DELETE_TRANSFER, DEFER_TRANSFER):
+            passthrough.append(s)
+            continue
+        direction = directions.get((s.var, s.site), "?")
+        key = (s.var, direction)
+        current = chosen.get(key)
+        if current is None or s.occurrences > current.occurrences:
+            chosen[key] = s
+    return passthrough + list(chosen.values())
+
+
+class _Editor:
+    """Applies one suggestion to a (cloned) program AST."""
+
+    def __init__(self, program: ast.Program, main_function: str):
+        self.program = program
+        self.func = program.func(main_function)
+        self.regions = collect_regions(self.func)
+
+    def apply(self, s: Suggestion) -> bool:
+        if s.action == DELETE_TRANSFER:
+            return self._delete_transfer(s)
+        if s.action == DEFER_TRANSFER:
+            return self._defer_transfer(s)
+        if s.action == INSERT_UPDATE_HOST:
+            return self._insert_update(s, "host")
+        if s.action == INSERT_UPDATE_DEVICE:
+            return self._insert_update(s, "device")
+        return False
+
+    # -- deletes -------------------------------------------------------------
+    def _delete_transfer(self, s: Suggestion) -> bool:
+        if s.site.startswith("update"):
+            return self._drop_update_var(s.site, s.var, remove=True) is not None
+        if ".enter(" in s.site or ".entry(" in s.site or ".default-in(" in s.site:
+            return self._rewrite_clause(s, _DROP_COPYIN)
+        if ".exit(" in s.site or ".default-out(" in s.site:
+            return self._rewrite_clause(s, _DROP_COPYOUT)
+        return False
+
+    def _rewrite_clause(self, s: Suggestion, table: Dict[str, str]) -> bool:
+        directive = self._directive_for_site(s.site)
+        if directive is None:
+            return False
+        for clause in list(directive.clauses):
+            if s.var not in clause.var_names() or clause.name not in table:
+                continue
+            refs = [a for a in clause.args if isinstance(a, VarRef)]
+            keep = [r for r in refs if r.name != s.var]
+            moved = [r for r in refs if r.name == s.var]
+            clause.args = keep
+            directive.add_clause(Clause(table[clause.name], moved))
+            directive.clauses = [c for c in directive.clauses if c.args or c.name not in table.values()]
+            self._merge_empty_clauses(directive)
+            return True
+        return False
+
+    @staticmethod
+    def _merge_empty_clauses(directive: Directive) -> None:
+        directive.clauses = [
+            c for c in directive.clauses
+            if c.args or c.op is not None or c.name in ("gang", "worker", "vector", "seq", "independent", "async", "wait")
+        ]
+
+    def _directive_for_site(self, site: str) -> Optional[Directive]:
+        """Resolve 'data@LINE....' or '<kernel>.entry/exit(...)' sites."""
+        if site.startswith("data@"):
+            line = int(site[len("data@"):].split(".", 1)[0])
+            for region in self.regions.data:
+                if region.directive.line == line:
+                    return region.directive
+            return None
+        kernel_name = site.split(".", 1)[0]
+        for region in self.regions.compute:
+            if region.name == kernel_name:
+                return region.directive
+        return None
+
+    # -- update edits ----------------------------------------------------------
+    def _drop_update_var(self, update_name: str, var: str, remove: bool):
+        """Remove var from the named update point; returns (stmt, direction)
+        or None.  Deletes the directive when its clauses empty out."""
+        for point in self.regions.updates:
+            if point.name != update_name:
+                continue
+            direction = None
+            for clause in point.directive.clauses_named("host", "self", "device"):
+                if var in clause.var_names():
+                    direction = "host" if clause.name in ("host", "self") else "device"
+                    clause.args = [
+                        a for a in clause.args
+                        if not (isinstance(a, VarRef) and a.name == var)
+                    ]
+            point.directive.clauses = [
+                c for c in point.directive.clauses
+                if c.args or c.name not in ("host", "self", "device")
+            ]
+            if remove and not point.directive.clauses_named("host", "self", "device"):
+                point.stmt.pragmas = [
+                    p for p in point.stmt.pragmas if p is not point.directive
+                ]
+                if not point.stmt.pragmas and isinstance(point.stmt, ast.Block) \
+                        and not point.stmt.body:
+                    self._remove_stmt(point.stmt)
+            return (point.stmt, direction)
+        return None
+
+    def _remove_stmt(self, target: ast.Stmt) -> bool:
+        for node in self.func.body.walk():
+            if isinstance(node, ast.Block):
+                for i, stmt in enumerate(node.body):
+                    if stmt is target:
+                        del node.body[i]
+                        return True
+        return False
+
+    def _defer_transfer(self, s: Suggestion) -> bool:
+        if not s.site.startswith("update"):
+            return False
+        point = next((p for p in self.regions.updates if p.name == s.site), None)
+        if point is None:
+            return False
+        from repro.lang.visitor import enclosing_loops
+
+        # Locate the enclosing loop before the drop possibly removes the
+        # (emptied) carrier statement from the tree.
+        loops = enclosing_loops(self.func.body, point.stmt)
+        if not loops:
+            return False
+        dropped = self._drop_update_var(s.site, s.var, remove=True)
+        if dropped is None or dropped[1] is None:
+            return False
+        stmt, direction = dropped
+        target_loop = loops[-1]  # innermost enclosing loop
+        carrier = ast.Block([], stmt.line)
+        carrier.pragmas = [
+            Directive("update", [Clause(direction, [VarRef(s.var)])], line=stmt.line)
+        ]
+        return self._insert_after(target_loop, carrier)
+
+    def _insert_update(self, s: Suggestion, direction: str) -> bool:
+        if s.site.startswith("line "):
+            line = int(s.site.split()[1])
+            target = self._stmt_at_line(line)
+        else:
+            kernel_name = s.site.split(".", 1)[0]
+            target = next(
+                (r.stmt for r in self.regions.compute if r.name == kernel_name), None
+            )
+        if target is None:
+            return False
+        if not self._inside_covering_region(target, s.var):
+            # The stale access happens after the device lifetime ended: an
+            # update there would fault.  Upgrade the covering region's data
+            # clause to move the data at the boundary instead.
+            return self._upgrade_data_clause(s.var, direction)
+        carrier = ast.Block([], target.line)
+        carrier.pragmas = [
+            Directive("update", [Clause(direction, [VarRef(s.var)])], line=target.line)
+        ]
+        return self._insert_before(target, carrier)
+
+    def _inside_covering_region(self, stmt: ast.Stmt, var: str) -> bool:
+        for region in self.regions.data:
+            if any(v == var for _, v in region.directive.data_clause_vars()):
+                if any(n is stmt for n in region.stmt.walk()):
+                    return True
+        return False
+
+    # Clause upgrades that add the missing transfer direction.
+    _ADD_COPYOUT = {
+        "create": "copyout",
+        "copyin": "copy",
+        "present_or_create": "present_or_copyout",
+        "present_or_copyin": "present_or_copy",
+    }
+    _ADD_COPYIN = {
+        "create": "copyin",
+        "copyout": "copy",
+        "present_or_create": "present_or_copyin",
+        "present_or_copyout": "present_or_copy",
+    }
+
+    def _upgrade_data_clause(self, var: str, direction: str) -> bool:
+        table = self._ADD_COPYOUT if direction == "host" else self._ADD_COPYIN
+        for region in self.regions.data:
+            directive = region.directive
+            for clause in list(directive.clauses):
+                if var not in clause.var_names() or clause.name not in table:
+                    continue
+                refs = [a for a in clause.args if isinstance(a, VarRef)]
+                keep = [r for r in refs if r.name != var]
+                moved = [r for r in refs if r.name == var]
+                clause.args = keep
+                directive.add_clause(Clause(table[clause.name], moved))
+                self._merge_empty_clauses(directive)
+                return True
+        return False
+
+    def _stmt_at_line(self, line: int) -> Optional[ast.Stmt]:
+        best = None
+        for node in self.func.body.walk():
+            if isinstance(node, ast.Stmt) and node.line == line:
+                best = node
+                break
+        return best
+
+    # -- list surgery ------------------------------------------------------------
+    def _insert_before(self, target: ast.Stmt, new: ast.Stmt) -> bool:
+        return self._insert(target, new, offset=0)
+
+    def _insert_after(self, target: ast.Stmt, new: ast.Stmt) -> bool:
+        return self._insert(target, new, offset=1)
+
+    def _insert(self, target: ast.Stmt, new: ast.Stmt, offset: int) -> bool:
+        for node in self.func.body.walk():
+            if isinstance(node, ast.Block):
+                for i, stmt in enumerate(node.body):
+                    if stmt is target:
+                        node.body.insert(i + offset, new)
+                        return True
+        return False

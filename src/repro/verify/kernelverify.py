@@ -1,0 +1,239 @@
+"""GPU kernel verification (§III-A).
+
+One verification run executes the transformed program: every *target*
+kernel launches asynchronously against reference CPU data (memory-transfer
+demotion), its outputs land in temporary CPU space, the sequential reference
+executes concurrently, and the two are compared under the user's policy.
+Because non-target regions run sequentially and kernel outputs never touch
+host state, errors cannot propagate between kernels — all kernels verify in
+a single pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.compiler.demotion import demote_for_verification
+from repro.compiler.driver import CompiledProgram, compile_ast
+from repro.compiler.resultcomp import insert_result_comparison
+from repro.device.engine import Schedule
+from repro.errors import VerificationError
+from repro.interp.interp import Interp, VerifySession
+from repro.runtime.accrt import AccRuntime
+from repro.verify.comparison import ComparisonPolicy, ComparisonResult, compare_arrays, compare_scalars
+from repro.verify.knowledge import (
+    AssertEnv,
+    collect_asserts,
+    collect_bounds,
+    evaluate_assertion,
+)
+
+
+@dataclass
+class VerificationOptions:
+    """The paper's ``verificationOptions`` configuration string, parsed."""
+
+    kernels: Optional[List[str]] = None  # None -> all kernels
+    complement: bool = False             # True -> all EXCEPT `kernels`
+    policy: ComparisonPolicy = field(default_factory=ComparisonPolicy)
+    schedule: Optional[Schedule] = None
+
+    @classmethod
+    def from_string(cls, text: str) -> "VerificationOptions":
+        """Parse e.g. ``complement=0,kernels=main_kernel0+main_kernel2,
+        errorMargin=1e-6,minValueToCheck=1e-32``."""
+        opts = cls()
+        if text.startswith("verificationOptions="):
+            text = text[len("verificationOptions="):]
+        for item in filter(None, text.split(",")):
+            if "=" not in item:
+                raise VerificationError(f"bad verification option {item!r}")
+            key, value = item.split("=", 1)
+            key = key.strip()
+            if key == "complement":
+                opts.complement = value.strip() not in ("0", "false", "")
+            elif key == "kernels":
+                opts.kernels = value.split("+")
+            elif key == "errorMargin":
+                opts.policy.error_margin = float(value)
+            elif key == "relativeMargin":
+                opts.policy.relative_margin = float(value)
+            elif key == "minValueToCheck":
+                opts.policy.min_value_to_check = float(value)
+            else:
+                raise VerificationError(f"unknown verification option {key!r}")
+        return opts
+
+    def select_targets(self, all_kernels: List[str]) -> Set[str]:
+        if self.kernels is None:
+            return set(all_kernels)
+        named = set(self.kernels)
+        unknown = named - set(all_kernels)
+        if unknown:
+            raise VerificationError(f"unknown kernels: {sorted(unknown)}")
+        return set(all_kernels) - named if self.complement else named
+
+
+@dataclass
+class KernelResult:
+    kernel: str
+    comparisons: List[ComparisonResult] = field(default_factory=list)
+    assertion_failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.assertion_failures and all(c.passed for c in self.comparisons)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"[{status}] {self.kernel}"]
+        lines.extend("  " + c.message() for c in self.comparisons)
+        lines.extend(f"  assertion failed: {a}" for a in self.assertion_failures)
+        return "\n".join(lines)
+
+
+@dataclass
+class VerificationReport:
+    results: Dict[str, KernelResult] = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results.values())
+
+    def failed_kernels(self) -> List[str]:
+        return [name for name, r in self.results.items() if not r.passed]
+
+    def summary(self) -> str:
+        return "\n".join(r.summary() for r in self.results.values())
+
+
+class _Session(VerifySession):
+    """Temp-space owner + comparator; wired to the interpreter after both
+    exist (the interpreter needs the session at construction)."""
+
+    def __init__(self, policy: ComparisonPolicy, bounds, asserts, report: VerificationReport):
+        self.base_policy = policy
+        self.bounds = bounds
+        self.asserts = asserts
+        self.report = report
+        self.interp: Optional[Interp] = None
+        self._arrays: Dict[tuple, np.ndarray] = {}
+        self._scalars: Dict[tuple, object] = {}
+
+    # -- VerifySession interface ------------------------------------------
+    def begin(self, kernel: str) -> None:
+        self.report.results.setdefault(kernel, KernelResult(kernel))
+
+    def redirect(self, kernel: str, var: str, host: np.ndarray) -> np.ndarray:
+        temp = np.zeros_like(host)
+        self._arrays[(kernel, var)] = temp
+        return temp
+
+    def redirect_scalar(self, kernel: str, var: str, value) -> None:
+        self._scalars[(kernel, var)] = value
+
+    def compare(self, kernel: str, var: str) -> None:
+        env = self.interp.env
+        policy = self._policy_for(kernel)
+        result: Optional[ComparisonResult] = None
+        if (kernel, var) in self._arrays:
+            candidate = self._arrays[(kernel, var)]
+            result = compare_arrays(var, env.array(var), candidate, policy)
+        elif (kernel, var) in self._scalars:
+            result = compare_scalars(var, float(env.load(var)),
+                                     float(self._scalars[(kernel, var)]), policy)
+        if result is not None:
+            self.interp.runtime.charge_compare(result.checked)
+            self.report.results[kernel].comparisons.append(result)
+
+    def end(self, kernel: str) -> None:
+        for expr in self.asserts.get(kernel, ()):
+            gpu_arrays = {
+                var: buf for (k, var), buf in self._arrays.items() if k == kernel
+            }
+            gpu_scalars = {
+                var: val for (k, var), val in self._scalars.items() if k == kernel
+            }
+            env = AssertEnv(self.interp.env, gpu_arrays, gpu_scalars)
+            if not evaluate_assertion(expr, env):
+                from repro.lang.printer import expr_to_source
+
+                self.report.results[kernel].assertion_failures.append(
+                    expr_to_source(expr)
+                )
+
+    def _policy_for(self, kernel: str) -> ComparisonPolicy:
+        bounds = self.bounds.get(kernel)
+        if not bounds:
+            return self.base_policy
+        policy = ComparisonPolicy(
+            error_margin=self.base_policy.error_margin,
+            relative_margin=self.base_policy.relative_margin,
+            min_value_to_check=self.base_policy.min_value_to_check,
+            bounds={**self.base_policy.bounds, **bounds},
+        )
+        return policy
+
+
+class KernelVerifier:
+    """End-to-end §III-A harness."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        params: Optional[Dict[str, object]] = None,
+        options: Optional[VerificationOptions] = None,
+        runtime: Optional[AccRuntime] = None,
+    ):
+        self.compiled = compiled
+        self.params = dict(params or {})
+        self.options = options or VerificationOptions()
+        self.runtime = runtime
+
+    def transformed_program(self):
+        """The demoted + comparison-instrumented AST (inspectable)."""
+        targets = self.options.select_targets(self.compiled.kernel_names())
+        demoted = demote_for_verification(
+            self.compiled.program, targets, self.compiled.options.main_function
+        )
+        return insert_result_comparison(
+            demoted, targets, self.compiled.options.main_function
+        ), targets
+
+    def run(self) -> VerificationReport:
+        transformed, targets = self.transformed_program()
+        vcompiled = compile_ast(
+            transformed, self.compiled.options.copy(strict_validation=False)
+        )
+        report = VerificationReport()
+        session = _Session(
+            self.options.policy,
+            collect_bounds(self.compiled),
+            collect_asserts(self.compiled),
+            report,
+        )
+        interp = Interp(
+            vcompiled,
+            runtime=self.runtime,
+            params=self.params,
+            schedule=self.options.schedule,
+            verify=session,
+        )
+        session.interp = interp
+        self.runtime = interp.runtime
+        interp.run()
+        for name in targets:
+            report.results.setdefault(name, KernelResult(name))
+        return report
+
+
+def verify_kernels(
+    compiled: CompiledProgram,
+    params: Optional[Dict[str, object]] = None,
+    options: Optional[VerificationOptions] = None,
+) -> VerificationReport:
+    """Convenience wrapper: verify (all) kernels of a compiled program."""
+    return KernelVerifier(compiled, params, options).run()

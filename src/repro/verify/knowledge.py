@@ -1,0 +1,96 @@
+"""Application knowledge-guided debugging (§III-C).
+
+Two user-facing hooks, both expressed as ``#pragma repro`` directives on a
+compute region:
+
+* ``#pragma repro bound(v, lo, hi)`` — a GPU value of ``v`` that differs
+  from the CPU reference but lies within [lo, hi] is accepted (suppresses
+  false positives from acceptable nondeterminism);
+* ``#pragma repro assert(expr)`` — an invariant evaluated against the GPU
+  results right after the kernel (``checksum(a)`` sums an array); a false
+  assertion fails the kernel without any CPU comparison — the paper's
+  "program invariance-based automatic bug detection".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compiler.driver import CompiledProgram
+from repro.errors import InterpError
+from repro.lang import ast, semantics
+
+
+def collect_bounds(compiled: CompiledProgram) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """kernel name -> {var: (lo, hi)} from ``repro bound`` directives."""
+    out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for region in compiled.regions.compute:
+        bounds: Dict[str, Tuple[float, float]] = {}
+        for directive in region.stmt.pragmas:
+            if directive.namespace == "repro" and directive.name == "bound":
+                var_ref, lo, hi = directive.clause("bound").args
+                bounds[var_ref.name] = (_const(lo), _const(hi))
+        if bounds:
+            out[region.name] = bounds
+    return out
+
+
+def collect_asserts(compiled: CompiledProgram) -> Dict[str, List[ast.Expr]]:
+    """kernel name -> assertion expressions from ``repro assert``."""
+    out: Dict[str, List[ast.Expr]] = {}
+    for region in compiled.regions.compute:
+        exprs = [
+            directive.clause("assert").args[0]
+            for directive in region.stmt.pragmas
+            if directive.namespace == "repro" and directive.name == "assert"
+        ]
+        if exprs:
+            out[region.name] = exprs
+    return out
+
+
+def _const(expr: ast.Expr) -> float:
+    """Evaluate a literal (possibly negated) bound expression."""
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return float(expr.value)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_const(expr.operand)
+    raise InterpError("bound() arguments must be numeric literals")
+
+
+class AssertEnv:
+    """Expression environment for assertion checking: GPU outputs shadow the
+    host environment, and ``checksum`` is available."""
+
+    def __init__(self, host_env, gpu_arrays: Dict[str, np.ndarray],
+                 gpu_scalars: Dict[str, object]):
+        self.host_env = host_env
+        self.gpu_arrays = gpu_arrays
+        self.gpu_scalars = gpu_scalars
+
+    def load(self, name: str):
+        if name in self.gpu_arrays:
+            return self.gpu_arrays[name]
+        if name in self.gpu_scalars:
+            return self.gpu_scalars[name]
+        return self.host_env.load(name)
+
+    def store(self, name: str, value) -> None:
+        raise InterpError("assertion expressions must not assign")
+
+    def declare(self, name: str, ctype, value) -> None:
+        raise InterpError("assertion expressions must not declare variables")
+
+    def call(self, func: str, args):
+        if func == "checksum":
+            (value,) = args
+            if isinstance(value, np.ndarray):
+                return float(np.asarray(value, dtype=np.float64).sum())
+            return float(value)
+        return semantics.Builtins.call(func, args)
+
+
+def evaluate_assertion(expr: ast.Expr, env: AssertEnv) -> bool:
+    return bool(semantics.evaluate(expr, env))

@@ -1,0 +1,101 @@
+"""Memory-transfer verification (§III-B): one offline profiling run.
+
+Instruments the program (:mod:`repro.compiler.checkinsert`), executes it with
+the coherence tracker attached, and reports the three §IV-C suggestion
+classes: redundant-transfer information, missing/incorrect-transfer errors,
+and may-redundant/may-missing warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.checkinsert import InstrumentationResult, instrument_for_memverify
+from repro.compiler.driver import CompiledProgram
+from repro.device.engine import Schedule
+from repro.interp.interp import Interp
+from repro.runtime.accrt import AccRuntime
+from repro.runtime.coherence import CoherenceTracker, Finding
+from repro.verify.suggestions import Suggestion, derive_suggestions, format_report
+
+
+@dataclass
+class MemVerificationReport:
+    findings: List[Finding]
+    suggestions: List[Suggestion]
+    universe: set
+    check_calls: int
+    transfer_counts: Dict[Tuple[str, str], int]
+    site_directions: Dict[Tuple[str, str], str]  # (var, site) -> "h2d"/"d2h"
+    instrumented_source: str
+    inserted_checks: int
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.is_error]
+
+    @property
+    def clean(self) -> bool:
+        """No errors and nothing actionable.  (A partial write to a fresh
+        device buffer produces a may-missing warning — unwritten elements
+        hold no valid data — which is informational, not actionable.)"""
+        return not self.errors and not self.suggestions
+
+    def summary(self) -> str:
+        return format_report(self.findings, self.suggestions)
+
+
+class MemVerifier:
+    """Runs one instrumented profiling execution."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        params: Optional[Dict[str, object]] = None,
+        schedule: Optional[Schedule] = None,
+        optimize_placement: bool = True,
+    ):
+        self.compiled = compiled
+        self.params = dict(params or {})
+        self.schedule = schedule
+        self.optimize_placement = optimize_placement
+        self.instrumentation: Optional[InstrumentationResult] = None
+        self.runtime: Optional[AccRuntime] = None
+
+    def run(self) -> MemVerificationReport:
+        instr = instrument_for_memverify(
+            self.compiled, optimize_placement=self.optimize_placement
+        )
+        self.instrumentation = instr
+        tracker = CoherenceTracker()
+        for var in instr.universe:
+            tracker.register(var)
+        runtime = AccRuntime(coherence=tracker)
+        self.runtime = runtime
+        interp = Interp(
+            instr.compiled,
+            runtime=runtime,
+            params=self.params,
+            schedule=self.schedule,
+        )
+        interp.run()
+
+        transfer_counts: Dict[Tuple[str, str], int] = {}
+        site_directions: Dict[Tuple[str, str], str] = {}
+        for var, site, direction in runtime.transfer_log:
+            key = (var, site)
+            transfer_counts[key] = transfer_counts.get(key, 0) + 1
+            site_directions[key] = direction
+
+        suggestions = derive_suggestions(tracker.findings, transfer_counts)
+        return MemVerificationReport(
+            findings=list(tracker.findings),
+            suggestions=suggestions,
+            universe=set(instr.universe),
+            check_calls=tracker.check_calls,
+            transfer_counts=transfer_counts,
+            site_directions=site_directions,
+            instrumented_source=instr.compiled.to_source(),
+            inserted_checks=len(instr.checks),
+        )

@@ -1,0 +1,144 @@
+"""Suggestion engine: coherence findings -> actionable directive edits.
+
+Dynamic findings from one profiling run are aggregated per (kind, var,
+site).  A transfer site that was redundant on *every* execution suggests
+deleting the transfer; redundant on all-but-some iterations suggests
+deferring it out of the enclosing loop; a missing transfer at a read site
+suggests inserting an ``update`` right before it.  ``may-*`` findings
+produce the same edits flagged ``speculative`` — the scripted programmer
+applies them optimistically and the next verification round (or the
+whole-program output check) catches the wrong ones, exactly the paper's
+Table III dynamic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.runtime.coherence import (
+    Finding,
+    INCORRECT,
+    MAY_INCORRECT,
+    MAY_MISSING,
+    MAY_REDUNDANT,
+    MISSING,
+    REDUNDANT,
+)
+
+# Edit kinds the scripted programmer knows how to apply.
+DELETE_TRANSFER = "delete-transfer"
+DEFER_TRANSFER = "defer-transfer"
+INSERT_UPDATE_HOST = "insert-update-host"
+INSERT_UPDATE_DEVICE = "insert-update-device"
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    action: str
+    var: str
+    site: str           # transfer site (update name / clause site) or "line N"
+    speculative: bool   # derived from may-* findings only
+    detail: str = ""
+    occurrences: int = 0   # dynamic findings backing this suggestion
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.action, self.var, self.site)
+
+    def message(self) -> str:
+        spec = " (speculative)" if self.speculative else ""
+        return f"{self.action} {self.var} @ {self.site}{spec}: {self.detail}"
+
+
+@dataclass
+class SiteStats:
+    total: int = 0
+    redundant: int = 0
+    may_redundant: int = 0
+    incorrect: int = 0
+    may_incorrect: int = 0
+
+
+def aggregate_transfer_findings(
+    findings: List[Finding], transfer_counts: Dict[Tuple[str, str], int]
+) -> Dict[Tuple[str, str], SiteStats]:
+    """Per (var, site): how many dynamic transfers and how many were bad.
+
+    ``transfer_counts`` maps (var, site) -> number of dynamic transfers the
+    run executed at that site (collected by the runtime)."""
+    stats: Dict[Tuple[str, str], SiteStats] = {}
+    for (var, site), count in transfer_counts.items():
+        stats[(var, site)] = SiteStats(total=count)
+    for f in findings:
+        entry = stats.setdefault((f.var, f.site), SiteStats())
+        if f.kind == REDUNDANT:
+            entry.redundant += 1
+        elif f.kind == MAY_REDUNDANT:
+            entry.may_redundant += 1
+        elif f.kind == INCORRECT:
+            entry.incorrect += 1
+        elif f.kind == MAY_INCORRECT:
+            entry.may_incorrect += 1
+    return stats
+
+
+def derive_suggestions(
+    findings: List[Finding],
+    transfer_counts: Dict[Tuple[str, str], int],
+) -> List[Suggestion]:
+    """Turn one run's findings into directive-edit suggestions."""
+    out: List[Suggestion] = []
+    seen = set()
+
+    def add(s: Suggestion) -> None:
+        if s.key() not in seen:
+            seen.add(s.key())
+            out.append(s)
+
+    stats = aggregate_transfer_findings(findings, transfer_counts)
+    for (var, site), st in stats.items():
+        bad = st.redundant + st.may_redundant
+        if not bad and not st.incorrect and not st.may_incorrect:
+            continue
+        speculative = st.redundant == 0 and st.may_redundant > 0
+        if st.incorrect:
+            add(Suggestion(
+                DELETE_TRANSFER, var, site, False,
+                f"transfer copies stale data ({st.incorrect}x): wrong placement",
+                occurrences=st.incorrect,
+            ))
+            continue
+        if bad >= st.total and st.total > 0:
+            add(Suggestion(
+                DELETE_TRANSFER, var, site, speculative,
+                f"redundant on every execution ({bad}/{st.total})",
+                occurrences=bad,
+            ))
+        elif bad:
+            add(Suggestion(
+                DEFER_TRANSFER, var, site, speculative,
+                f"redundant on {bad}/{st.total} executions: move out of the loop",
+                occurrences=bad,
+            ))
+
+    for f in findings:
+        if f.kind == MISSING:
+            action = INSERT_UPDATE_HOST if f.site.startswith("line") else INSERT_UPDATE_DEVICE
+            add(Suggestion(
+                action, f.var, f.site, False,
+                "stale data accessed: a transfer is missing before this point",
+            ))
+        elif f.kind == MAY_MISSING:
+            # Partial write over stale data; not actionable automatically.
+            pass
+    return out
+
+
+def format_report(findings: List[Finding], suggestions: List[Suggestion]) -> str:
+    """Human-readable report in the spirit of the paper's Listing 4."""
+    lines = [f"- {f.message()}" for f in findings]
+    if suggestions:
+        lines.append("")
+        lines.append("Suggestions:")
+        lines.extend(f"  * {s.message()}" for s in suggestions)
+    return "\n".join(lines) if lines else "(no findings)"

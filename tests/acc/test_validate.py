@@ -1,0 +1,137 @@
+"""Directive validation tests."""
+
+import pytest
+
+from repro.acc.validate import validate_program
+from repro.errors import SemanticError
+from repro.lang import parse_program
+
+
+def report_of(src):
+    return validate_program(parse_program(src))
+
+
+class TestClauseVariables:
+    def test_valid_program_clean(self):
+        rep = report_of(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc kernels loop copyout(a)
+                for (int i = 0; i < N; i++) { a[i] = 1.0; }
+            }
+            """
+        )
+        assert not rep.errors and not rep.warnings
+
+    def test_undeclared_clause_var(self):
+        rep = report_of(
+            """
+            void main()
+            {
+                #pragma acc kernels loop copyout(ghost)
+                for (int i = 0; i < 4; i++) { int x = i; }
+            }
+            """
+        )
+        assert any("ghost" in e for e in rep.errors)
+
+    def test_conflicting_data_clauses(self):
+        rep = report_of(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc data copyin(a) copyout(a)
+                { int x = 0; }
+            }
+            """
+        )
+        assert any("both" in e for e in rep.errors)
+
+    def test_raise_if_errors(self):
+        rep = report_of(
+            """
+            void main()
+            {
+                #pragma acc data copy(ghost)
+                { int x = 0; }
+            }
+            """
+        )
+        with pytest.raises(SemanticError):
+            rep.raise_if_errors()
+
+
+class TestLoopDirectives:
+    def test_orphan_loop_outside_region(self):
+        rep = report_of(
+            """
+            void main()
+            {
+                #pragma acc loop
+                for (int i = 0; i < 4; i++) { int x = i; }
+            }
+            """
+        )
+        assert any("orphan" in e for e in rep.errors)
+
+    def test_combined_on_non_for(self):
+        rep = report_of(
+            """
+            void main()
+            {
+                #pragma acc kernels loop
+                { int x = 0; }
+            }
+            """
+        )
+        assert any("for statement" in e for e in rep.errors)
+
+    def test_loop_inside_region_ok(self):
+        rep = report_of(
+            """
+            int N; double m[N][N];
+            void main()
+            {
+                #pragma acc kernels loop gang
+                for (int i = 0; i < N; i++) {
+                    #pragma acc loop worker
+                    for (int j = 0; j < N; j++) { m[i][j] = 0.0; }
+                }
+            }
+            """
+        )
+        assert not rep.errors
+
+
+class TestUpdateCoverage:
+    def test_uncovered_update_warns(self):
+        rep = report_of(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc update host(a)
+                int x = 0;
+            }
+            """
+        )
+        assert rep.warnings and not rep.errors
+
+    def test_covered_update_clean(self):
+        rep = report_of(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc data create(a)
+                {
+                    #pragma acc update host(a)
+                    int x = 0;
+                }
+            }
+            """
+        )
+        assert not rep.warnings

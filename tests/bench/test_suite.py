@@ -1,0 +1,134 @@
+"""Benchmark suite correctness tests.
+
+Every benchmark, in every variant (manually optimized, unoptimized,
+naive-default), must produce the sequential reference results.  These are
+the substrate guarantees the evaluation experiments stand on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import all_names, get
+from repro.compiler.driver import CompilerOptions, compile_ast
+from repro.interp import run_compiled, run_sequential
+
+NAMES = all_names()
+
+
+def assert_outputs_match(bench, compiled, params):
+    seq = run_sequential(compiled, params=params)
+    acc = run_compiled(compiled, params=params)
+    for out in bench.outputs:
+        ref = seq.env.load(out)
+        got = acc.env.load(out)
+        if isinstance(ref, np.ndarray):
+            assert np.allclose(ref, got, rtol=1e-6, atol=1e-9), f"{bench.name}:{out}"
+        else:
+            assert np.isclose(float(ref), float(got), rtol=1e-6, atol=1e-9), (
+                f"{bench.name}:{out}: {ref} vs {got}"
+            )
+    return acc
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(NAMES) == 12
+
+    def test_expected_names(self):
+        assert NAMES == sorted(
+            ["BACKPROP", "BFS", "CFD", "CG", "EP", "HOTSPOT",
+             "JACOBI", "KMEANS", "LUD", "NW", "SPMUL", "SRAD"]
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert get("jacobi").name == "JACOBI"
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_sizes_available(self, name):
+        bench = get(name)
+        assert {"tiny", "small", "large"} <= set(bench.sizes)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_params_deterministic(self, name):
+        bench = get(name)
+        p1, p2 = bench.params("tiny", seed=3), bench.params("tiny", seed=3)
+        for key, val in p1.items():
+            if isinstance(val, np.ndarray):
+                assert np.array_equal(val, p2[key])
+            else:
+                assert val == p2[key]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_optimized_matches_sequential(self, name):
+        bench = get(name)
+        assert_outputs_match(bench, bench.compile("optimized"), bench.params("tiny"))
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_unoptimized_matches_sequential(self, name):
+        bench = get(name)
+        assert_outputs_match(bench, bench.compile("unoptimized"), bench.params("tiny"))
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_naive_default_scheme_matches_sequential(self, name):
+        bench = get(name)
+        compiled = compile_ast(bench.naive_program(),
+                               CompilerOptions(strict_validation=False))
+        assert_outputs_match(bench, compiled, bench.params("tiny"))
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_device_memory_released(self, name):
+        bench = get(name)
+        acc = run_compiled(bench.compile("optimized"), params=bench.params("tiny"))
+        assert acc.runtime.device.mem.live_allocations == 0
+
+
+class TestTransferBehaviour:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_unoptimized_transfers_at_least_as_much(self, name):
+        bench = get(name)
+        params = bench.params("tiny")
+        opt = run_compiled(bench.compile("optimized"), params=params)
+        unopt = run_compiled(bench.compile("unoptimized"), params=params)
+        assert (
+            unopt.runtime.device.total_transferred_bytes()
+            >= opt.runtime.device.total_transferred_bytes()
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_naive_transfers_strictly_more(self, name):
+        bench = get(name)
+        params = bench.params("tiny")
+        opt = run_compiled(bench.compile("optimized"), params=params)
+        naive_compiled = compile_ast(bench.naive_program(),
+                                     CompilerOptions(strict_validation=False))
+        naive = run_compiled(naive_compiled, params=params)
+        assert (
+            naive.runtime.device.total_transferred_bytes()
+            > opt.runtime.device.total_transferred_bytes()
+        )
+
+
+class TestTableIICensus:
+    """The kernel census must reproduce Table II's structural rows."""
+
+    def _census(self):
+        kernels = privates = reductions = 0
+        for name in NAMES:
+            compiled = get(name).compile("optimized")
+            kernels += len(compiled.kernels)
+            privates += sum(
+                1 for r in compiled.regions.compute if r.directive.clause("private")
+            )
+            reductions += sum(1 for p in compiled.kernels.values() if p.reductions)
+        return kernels, privates, reductions
+
+    def test_46_kernels(self):
+        assert self._census()[0] == 46
+
+    def test_16_kernels_with_private_data(self):
+        assert self._census()[1] == 16
+
+    def test_4_kernels_with_reduction(self):
+        assert self._census()[2] == 4

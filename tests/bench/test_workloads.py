@@ -1,0 +1,97 @@
+"""Workload-generator tests: determinism and structural invariants."""
+
+import numpy as np
+
+from repro.bench import workloads
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = workloads.dense_matrix(5, 5, seed=7)
+        b = workloads.dense_matrix(5, 5, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_data(self):
+        a = workloads.dense_vector(100, seed=1)
+        b = workloads.dense_vector(100, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestCSR:
+    def test_structure_consistent(self):
+        rowptr, colidx, vals = workloads.csr_laplacian_like(32, seed=0)
+        assert rowptr[0] == 0 and rowptr[-1] == len(colidx) == len(vals)
+        assert np.all(np.diff(rowptr) >= 1)
+        assert colidx.min() >= 0 and colidx.max() < 32
+
+    def test_diagonally_dominant(self):
+        n = 16
+        rowptr, colidx, vals = workloads.csr_laplacian_like(n, seed=3)
+        for i in range(n):
+            row = slice(rowptr[i], rowptr[i + 1])
+            diag = sum(v for c, v in zip(colidx[row], vals[row]) if c == i)
+            off = sum(abs(v) for c, v in zip(colidx[row], vals[row]) if c != i)
+            assert diag > off
+
+    def test_diagonal_present_every_row(self):
+        n = 16
+        rowptr, colidx, _ = workloads.csr_laplacian_like(n, seed=5)
+        for i in range(n):
+            assert i in colidx[rowptr[i]:rowptr[i + 1]]
+
+
+class TestGraph:
+    def test_csr_adjacency_valid(self):
+        offsets, edges = workloads.random_graph_csr(24, degree=3, seed=1)
+        assert offsets[0] == 0 and offsets[-1] == len(edges)
+        assert edges.min() >= 0 and edges.max() < 24
+
+    def test_every_node_reachable_from_zero(self):
+        n = 40
+        offsets, edges = workloads.random_graph_csr(n, seed=2)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in edges[offsets[u]:offsets[u + 1]]:
+                    if v not in seen:
+                        seen.add(int(v))
+                        nxt.append(int(v))
+            frontier = nxt
+        assert len(seen) == n
+
+    def test_no_self_loops(self):
+        offsets, edges = workloads.random_graph_csr(20, seed=4)
+        for i in range(20):
+            assert i not in edges[offsets[i]:offsets[i + 1]]
+
+
+class TestDomainInputs:
+    def test_spd_matrix_is_spd(self):
+        m = workloads.spd_matrix(12, seed=0)
+        assert np.allclose(m, m.T)
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_heat_grid_shapes(self):
+        temp, power = workloads.heat_grid(8, seed=0)
+        assert temp.shape == power.shape == (8, 8)
+        assert np.all(power >= 0)
+
+    def test_speckled_image_positive(self):
+        img = workloads.speckled_image(16, seed=0)
+        assert np.all(img > 0)
+
+    def test_cluster_points_shape(self):
+        pts = workloads.cluster_points(50, 3, 4, seed=0)
+        assert pts.shape == (50, 3)
+
+    def test_sequences_alphabet(self):
+        a, b = workloads.sequences(30, seed=0)
+        assert set(np.unique(a)) <= {0, 1, 2, 3}
+        assert len(a) == len(b) == 30
+
+    def test_blosum_symmetric_positive_diagonal(self):
+        m = workloads.blosum_like(seed=0)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) > 0)

@@ -1,0 +1,127 @@
+"""Focused unit tests for the check-insertion pass (§III-B placement)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.checkinsert import instrument_for_memverify, shared_universe
+
+LOOPED = """
+int N, ITER;
+double a[N], b[N];
+double r;
+
+void main()
+{
+    for (int i = 0; i < N; i++) { b[i] = (double)i; }
+    #pragma acc data copyin(b) create(a)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = b[i] + (double)k; }
+        }
+        #pragma acc update host(a)
+    }
+    r = a[0];
+}
+"""
+
+
+def instrument(src):
+    return instrument_for_memverify(compile_source(src))
+
+
+class TestInsertionReport:
+    def test_report_entries_have_positions(self):
+        instr = instrument(LOOPED)
+        for check in instr.checks:
+            assert check.position in ("before", "after")
+            assert check.side in ("cpu", "gpu")
+            assert check.kind in (
+                "check_read", "check_write", "reset_status", "pin_after_alloc"
+            )
+
+    def test_count_by_kind(self):
+        instr = instrument(LOOPED)
+        assert instr.count("check_read") >= 2   # b on gpu, a on cpu
+        assert instr.count() == len(instr.checks)
+
+    def test_instrumented_program_compiles_and_prints(self):
+        instr = instrument(LOOPED)
+        text = instr.compiled.to_source()
+        assert "__check_" in text
+        # The instrumented source is itself valid mini-C.
+        from repro.lang import parse_program
+
+        parse_program(text)
+
+
+class TestPlacementRules:
+    def test_gpu_read_check_stays_at_kernel_boundary_in_loop(self):
+        instr = instrument(LOOPED)
+        lines = [l.strip() for l in instr.compiled.to_source().splitlines()]
+        read_idx = next(
+            i for i, l in enumerate(lines) if l.startswith('__check_read("b", "gpu"')
+        )
+        # Appears after the k-loop header (inside the loop).
+        k_idx = next(i for i, l in enumerate(lines) if l.startswith("for (int k"))
+        assert read_idx > k_idx
+
+    def test_gpu_write_check_hoisted_out_of_transfer_free_loop(self):
+        instr = instrument(LOOPED)
+        lines = [l.strip() for l in instr.compiled.to_source().splitlines()]
+        write_idx = next(
+            i for i, l in enumerate(lines) if l.startswith('__check_write("a", "gpu"')
+        )
+        k_idx = next(i for i, l in enumerate(lines) if l.startswith("for (int k"))
+        assert write_idx < k_idx
+
+    def test_cpu_init_write_check_hoisted(self):
+        instr = instrument(LOOPED)
+        lines = [l.strip() for l in instr.compiled.to_source().splitlines()]
+        idx = next(
+            i for i, l in enumerate(lines) if l.startswith('__check_write("b", "cpu"')
+        )
+        assert lines[idx + 1].startswith("for (int i")
+
+    def test_no_duplicate_checks_at_same_anchor(self):
+        instr = instrument(LOOPED)
+        seen = set()
+        for check in instr.checks:
+            key = (check.kind, check.var, check.side, check.anchor_line, check.position)
+            assert key not in seen, f"duplicate: {key}"
+            seen.add(key)
+
+
+class TestUniverse:
+    def test_scalars_excluded(self):
+        compiled = compile_source(LOOPED)
+        universe = shared_universe(compiled)
+        assert "r" not in universe and "k" not in universe
+        assert universe == {"a", "b"}
+
+    def test_untouched_arrays_excluded(self):
+        src = LOOPED.replace("double a[N], b[N];", "double a[N], b[N], unused[N];")
+        compiled = compile_source(src)
+        assert "unused" not in shared_universe(compiled)
+
+
+class TestNaivePlacementMode:
+    def test_naive_mode_inserts_more_sites(self):
+        optimized = instrument_for_memverify(compile_source(LOOPED))
+        naive = instrument_for_memverify(
+            compile_source(LOOPED), optimize_placement=False
+        )
+        assert naive.count("check_read") + naive.count("check_write") >= (
+            optimized.count("check_read") + optimized.count("check_write")
+        )
+
+    def test_naive_mode_never_hoists_gpu_checks(self):
+        naive = instrument_for_memverify(
+            compile_source(LOOPED), optimize_placement=False
+        )
+        lines = [l.strip() for l in naive.compiled.to_source().splitlines()]
+        write_idx = next(
+            i for i, l in enumerate(lines) if l.startswith('__check_write("a", "gpu"')
+        )
+        k_idx = next(i for i, l in enumerate(lines) if l.startswith("for (int k"))
+        assert write_idx > k_idx  # stays at the kernel, inside the loop

@@ -1,0 +1,258 @@
+"""Kernel generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.compiler.driver import compile_ast
+from repro.compiler.kernelgen import canonicalize_loop
+from repro.errors import CompileError
+from repro.lang import parse_program
+
+
+def first_plan(src, **opts):
+    compiled = compile_source(src, CompilerOptions(**opts) if opts else None)
+    return compiled.kernels[compiled.kernel_names()[0]]
+
+
+BASIC = """
+int N;
+double a[N], b[N];
+void main()
+{
+    #pragma acc kernels loop gang worker
+    for (int i = 0; i < N; i++) { a[i] = b[i] * 2.0; }
+}
+"""
+
+
+class TestCanonicalLoops:
+    def parse_loop(self, text):
+        prog = parse_program(f"void main() {{ {text} }}")
+        return prog.func("main").body.body[0]
+
+    def test_simple_ascending(self):
+        loop = canonicalize_loop(self.parse_loop("for (int i = 0; i < 10; i++) { }"))
+        assert loop.var == "i" and loop.cond_op == "<" and loop.step == 1
+        assert list(loop.iteration_values(lambda e: e.value)) == list(range(10))
+
+    def test_inclusive_bound(self):
+        loop = canonicalize_loop(self.parse_loop("for (int j = 1; j <= 5; j++) { }"))
+        assert list(loop.iteration_values(lambda e: e.value)) == [1, 2, 3, 4, 5]
+
+    def test_descending(self):
+        loop = canonicalize_loop(self.parse_loop("for (int i = 9; i >= 0; i--) { }"))
+        assert list(loop.iteration_values(lambda e: e.value)) == list(range(9, -1, -1))
+
+    def test_strided(self):
+        loop = canonicalize_loop(self.parse_loop("for (int i = 0; i < 10; i += 2) { }"))
+        assert list(loop.iteration_values(lambda e: e.value)) == [0, 2, 4, 6, 8]
+
+    def test_assign_init(self):
+        loop = canonicalize_loop(self.parse_loop("for (i = 0; i < 4; i = i + 1) { }"))
+        assert loop.var == "i" and loop.step == 1
+
+    def test_reversed_condition(self):
+        loop = canonicalize_loop(self.parse_loop("for (int i = 0; 10 > i; i++) { }"))
+        assert loop.cond_op == "<"
+
+    def test_non_canonical_raises(self):
+        with pytest.raises(CompileError):
+            canonicalize_loop(self.parse_loop("for (int i = 0; i != 10; i++) { }"))
+
+    def test_conflicting_direction_raises(self):
+        with pytest.raises(CompileError):
+            canonicalize_loop(self.parse_loop("for (int i = 0; i < 10; i--) { }"))
+
+
+class TestPlanShape:
+    def test_basic_plan(self):
+        plan = first_plan(BASIC)
+        assert plan.name == "main_kernel0"
+        assert plan.index_vars == ("i",)
+        assert plan.arrays == ["a", "b"]
+        assert "N" in plan.scalars
+        assert plan.written_arrays == ["a"]
+        assert plan.read_arrays == ["b"]
+
+    def test_local_decl_not_a_param(self):
+        plan = first_plan(
+            """
+            int N; double a[N], b[N];
+            void main()
+            {
+                #pragma acc kernels loop
+                for (int i = 0; i < N; i++) { double t = b[i]; a[i] = t; }
+            }
+            """
+        )
+        assert "t" not in plan.scalars and "t" not in plan.private_decls
+
+    def test_collapse_two_loops(self):
+        plan = first_plan(
+            """
+            int N; double m[N][N];
+            void main()
+            {
+                #pragma acc kernels loop collapse(2)
+                for (int i = 0; i < N; i++)
+                    for (int j = 0; j < N; j++)
+                        m[i][j] = 0.0;
+            }
+            """
+        )
+        assert plan.index_vars == ("i", "j")
+
+    def test_nested_loop_directive_partitions_both(self):
+        plan = first_plan(
+            """
+            int N; double m[N][N];
+            void main()
+            {
+                #pragma acc kernels loop gang
+                for (int i = 0; i < N; i++) {
+                    #pragma acc loop worker
+                    for (int j = 0; j < N; j++) { m[i][j] = 1.0; }
+                }
+            }
+            """
+        )
+        assert plan.index_vars == ("i", "j")
+
+    def test_seq_inner_loop_not_partitioned(self):
+        plan = first_plan(
+            """
+            int N; double m[N][N];
+            void main()
+            {
+                #pragma acc kernels loop gang
+                for (int i = 0; i < N; i++) {
+                    #pragma acc loop seq
+                    for (int j = 0; j < N; j++) { m[i][j] = 1.0; }
+                }
+            }
+            """
+        )
+        assert plan.index_vars == ("i",)
+
+    def test_bare_kernels_with_single_loop(self):
+        plan = first_plan(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc kernels
+                {
+                    #pragma acc loop gang
+                    for (int i = 0; i < N; i++) { a[i] = 1.0; }
+                }
+            }
+            """
+        )
+        assert plan.index_vars == ("i",)
+
+    def test_async_clause_captured(self):
+        plan = first_plan(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc kernels loop async(2)
+                for (int i = 0; i < N; i++) { a[i] = 1.0; }
+            }
+            """
+        )
+        assert plan.async_queue is not None
+
+
+PRIVATE_SRC = """
+int N;
+double a[N], b[N];
+void main()
+{
+    double t;
+    #pragma acc kernels loop
+    for (int i = 0; i < N; i++) { t = b[i]; a[i] = t * 2.0; }
+}
+"""
+
+REDUCTION_SRC = """
+int N;
+double b[N];
+double s;
+void main()
+{
+    s = 0.0;
+    #pragma acc kernels loop
+    for (int i = 0; i < N; i++) { s = s + b[i]; }
+}
+"""
+
+
+class TestScalarClassification:
+    def test_auto_privatization(self):
+        plan = first_plan(PRIVATE_SRC)
+        assert "t" in plan.private_decls
+        assert plan.private_decls["t"] == np.float64
+        assert not plan.cached_vars and not plan.warnings
+
+    def test_auto_privatization_disabled_caches(self):
+        plan = first_plan(PRIVATE_SRC, auto_privatize=False)
+        assert plan.cached_vars == ["t"]
+        assert plan.warnings
+
+    def test_explicit_private_clause(self):
+        src = PRIVATE_SRC.replace("kernels loop", "kernels loop private(t)")
+        plan = first_plan(src, auto_privatize=False)
+        assert "t" in plan.private_decls and not plan.cached_vars
+
+    def test_auto_reduction(self):
+        plan = first_plan(REDUCTION_SRC)
+        assert plan.reductions == [("s", "+", np.float64)]
+
+    def test_auto_reduction_disabled_splits(self):
+        plan = first_plan(REDUCTION_SRC, auto_reduction=False)
+        assert plan.split_vars == ["s"]
+        assert not plan.reductions
+
+    def test_explicit_reduction_clause(self):
+        src = REDUCTION_SRC.replace("kernels loop", "kernels loop reduction(+:s)")
+        plan = first_plan(src, auto_reduction=False)
+        assert plan.reductions == [("s", "+", np.float64)]
+
+    def test_firstprivate(self):
+        src = PRIVATE_SRC.replace("kernels loop", "kernels loop firstprivate(t)")
+        plan = first_plan(src, auto_privatize=False)
+        assert plan.firstprivate == ["t"]
+
+
+class TestErrors:
+    def test_combined_loop_on_non_for_raises(self):
+        with pytest.raises(Exception):
+            compile_source(
+                """
+                void main()
+                {
+                    #pragma acc kernels loop
+                    { int x = 1; }
+                }
+                """
+            )
+
+    def test_bare_kernels_without_loop_raises(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                """
+                int N; double a[N];
+                void main()
+                {
+                    #pragma acc kernels
+                    { a[0] = 1.0; }
+                }
+                """,
+                CompilerOptions(strict_validation=False),
+            )
+
+    def test_missing_main_raises(self):
+        with pytest.raises(CompileError):
+            compile_source("void helper() { }")

@@ -1,0 +1,138 @@
+"""Memory-plan generation and fault-injection tests."""
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.compiler.driver import compile_ast
+from repro.compiler.faults import (
+    drop_private_clauses,
+    drop_reduction_clauses,
+    strip_all_acc,
+    strip_data_management,
+)
+from repro.lang import parse_program, to_source
+
+COVERED = """
+int N;
+double a[N], b[N];
+void main()
+{
+    #pragma acc data copyin(b) copyout(a)
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) { a[i] = b[i]; }
+    }
+}
+"""
+
+UNCOVERED = """
+int N;
+double a[N], b[N];
+void main()
+{
+    #pragma acc kernels loop
+    for (int i = 0; i < N; i++) { a[i] = b[i]; }
+}
+"""
+
+
+class TestComputeRegionPlans:
+    def test_covered_vars_have_no_kernel_actions(self):
+        compiled = compile_source(COVERED)
+        plan = compiled.kernel_mem["main_kernel0"]
+        assert not plan.entries and not plan.exits
+
+    def test_uncovered_vars_get_default_scheme(self):
+        compiled = compile_source(UNCOVERED)
+        plan = compiled.kernel_mem["main_kernel0"]
+        entry_vars = {a.var for a in plan.entries}
+        assert entry_vars == {"a", "b"}
+        assert all(a.copyin for a in plan.entries)  # everything accessed goes in
+        copyouts = {a.var for a in plan.exits if a.copyout}
+        assert copyouts == {"a"}  # only modified data comes back
+
+    def test_default_management_disabled(self):
+        compiled = compile_source(UNCOVERED, CompilerOptions(default_data_management=False))
+        plan = compiled.kernel_mem["main_kernel0"]
+        assert not plan.entries
+
+    def test_clause_on_compute_directive(self):
+        src = UNCOVERED.replace("kernels loop", "kernels loop copyin(b) copy(a)")
+        compiled = compile_source(src)
+        plan = compiled.kernel_mem["main_kernel0"]
+        by_var = {a.var: a for a in plan.entries}
+        assert by_var["b"].copyin and by_var["a"].copyin
+        out_by_var = {a.var: a for a in plan.exits}
+        assert out_by_var["a"].copyout and not out_by_var["b"].copyout
+
+
+class TestDataRegionPlans:
+    def test_clause_actions(self):
+        compiled = compile_source(COVERED)
+        (plan,) = compiled.data_mem.values()
+        by_var = {a.var: a for a in plan.entries}
+        assert by_var["b"].copyin and not by_var["a"].copyin
+        out = {a.var: a for a in plan.exits}
+        assert out["a"].copyout and not out["b"].copyout
+
+    def test_create_clause_no_transfers(self):
+        src = COVERED.replace("copyin(b) copyout(a)", "create(a, b)")
+        compiled = compile_source(src)
+        (plan,) = compiled.data_mem.values()
+        assert not any(a.copyin for a in plan.entries)
+        assert not any(a.copyout for a in plan.exits)
+
+
+FAULTY = """
+int N;
+double a[N], b[N];
+double s;
+void main()
+{
+    double t;
+    #pragma acc data copyin(b) copyout(a)
+    {
+        #pragma acc kernels loop private(t)
+        for (int i = 0; i < N; i++) { t = b[i]; a[i] = t; }
+        #pragma acc kernels loop reduction(+:s)
+        for (int i = 0; i < N; i++) { s = s + a[i]; }
+    }
+    #pragma acc update host(a)
+}
+"""
+
+
+class TestFaultInjection:
+    def test_drop_private_clauses(self):
+        prog = parse_program(FAULTY)
+        faulty = drop_private_clauses(prog)
+        assert "private" not in to_source(faulty)
+        assert "reduction" in to_source(faulty)
+
+    def test_drop_reduction_clauses(self):
+        faulty = drop_reduction_clauses(parse_program(FAULTY))
+        assert "reduction" not in to_source(faulty)
+        assert "private" in to_source(faulty)
+
+    def test_strip_data_management(self):
+        stripped = strip_data_management(parse_program(FAULTY))
+        text = to_source(stripped)
+        assert "acc data" not in text and "update" not in text
+        assert "copyin" not in text and "copyout" not in text
+        assert "private(t)" in text and "reduction(+:s)" in text
+
+    def test_strip_all_acc(self):
+        text = to_source(strip_all_acc(parse_program(FAULTY)))
+        assert "#pragma acc" not in text
+
+    def test_injection_does_not_mutate_original(self):
+        prog = parse_program(FAULTY)
+        before = to_source(prog)
+        drop_private_clauses(prog)
+        strip_data_management(prog)
+        assert to_source(prog) == before
+
+    def test_stripped_program_recompiles(self):
+        prog = parse_program(FAULTY)
+        compiled = compile_ast(strip_data_management(prog))
+        assert compiled.kernel_names() == ["main_kernel0", "main_kernel1"]
+        plan = compiled.kernel_mem["main_kernel0"]
+        assert {a.var for a in plan.entries} == {"a", "b"}

@@ -1,0 +1,94 @@
+"""Auto-privatization and reduction-recognition tests."""
+
+from repro.compiler.privatize import privatizable_scalars, written_scalars
+from repro.compiler.reduction import recognize_reductions
+from repro.lang import parse_program
+
+
+def body(src):
+    prog = parse_program(f"void main() {{ for (int i = 0; i < 10; i++) {{ {src} }} }}")
+    return prog.func("main").body.body[0].body.body
+
+
+class TestWrittenScalars:
+    def test_simple_write(self):
+        assert written_scalars(body("t = 1.0;"), set()) == {"t"}
+
+    def test_array_writes_excluded(self):
+        assert written_scalars(body("a[i] = 1.0;"), {"a"}) == set()
+
+    def test_locals_excluded(self):
+        assert written_scalars(body("double t = 1.0; t = 2.0;"), set()) == set()
+
+    def test_increment_counts(self):
+        assert written_scalars(body("n++;"), set()) == {"n"}
+
+
+class TestPrivatizable:
+    def test_write_then_read_is_privatizable(self):
+        stmts = body("t = b[i]; a[i] = t * 2.0;")
+        assert privatizable_scalars(stmts, {"a", "b"}, {"i"}) == {"t"}
+
+    def test_read_before_write_not_privatizable(self):
+        stmts = body("a[i] = t; t = b[i];")
+        assert privatizable_scalars(stmts, {"a", "b"}, {"i"}) == set()
+
+    def test_accumulator_not_privatizable(self):
+        stmts = body("s = s + b[i];")
+        assert privatizable_scalars(stmts, {"b"}, {"i"}) == set()
+
+    def test_conditional_write_path_not_privatizable(self):
+        # On the else path t is read without a preceding write.
+        stmts = body("if (b[i] > 0.0) { t = 1.0; } a[i] = t;")
+        assert privatizable_scalars(stmts, {"a", "b"}, {"i"}) == set()
+
+    def test_both_branches_write_is_privatizable(self):
+        stmts = body("if (b[i] > 0.0) { t = 1.0; } else { t = 2.0; } a[i] = t;")
+        assert privatizable_scalars(stmts, {"a", "b"}, {"i"}) == {"t"}
+
+    def test_loop_index_excluded(self):
+        stmts = body("t = b[i]; a[i] = t;")
+        assert "i" not in privatizable_scalars(stmts, {"a", "b"}, {"i"})
+
+
+class TestReductionRecognition:
+    def test_sum(self):
+        assert recognize_reductions(body("s = s + b[i];"), {"s"}) == {"s": "+"}
+
+    def test_compound_sum(self):
+        assert recognize_reductions(body("s += b[i];"), {"s"}) == {"s": "+"}
+
+    def test_commuted_sum(self):
+        assert recognize_reductions(body("s = b[i] + s;"), {"s"}) == {"s": "+"}
+
+    def test_product(self):
+        assert recognize_reductions(body("p = p * b[i];"), {"p"}) == {"p": "*"}
+
+    def test_max_via_if(self):
+        got = recognize_reductions(body("if (b[i] > m) { m = b[i]; }"), {"m"})
+        assert got == {"m": "max"}
+
+    def test_min_via_if(self):
+        got = recognize_reductions(body("if (b[i] < m) { m = b[i]; }"), {"m"})
+        assert got == {"m": "min"}
+
+    def test_max_via_fmax(self):
+        got = recognize_reductions(body("m = fmax(m, b[i]);"), {"m"})
+        assert got == {"m": "max"}
+
+    def test_mixed_ops_rejected(self):
+        stmts = body("s = s + b[i]; s = s * 2.0;")
+        assert recognize_reductions(stmts, {"s"}) == {}
+
+    def test_other_read_rejected(self):
+        stmts = body("s = s + b[i]; a[i] = s;")
+        assert recognize_reductions(stmts, {"s"}) == {}
+
+    def test_rhs_mentions_var_rejected(self):
+        stmts = body("s = s + s * b[i];")
+        assert recognize_reductions(stmts, {"s"}) == {}
+
+    def test_multiple_reductions(self):
+        stmts = body("s = s + b[i]; if (b[i] > m) { m = b[i]; }")
+        got = recognize_reductions(stmts, {"s", "m"})
+        assert got == {"s": "+", "m": "max"}

@@ -1,0 +1,112 @@
+"""Kernel bytecode lowering tests."""
+
+import pytest
+
+from repro.device.bytecode import Branch, Dump, Jump, Simple, TmpEval, TmpStore, disassemble
+from repro.device.compile import compile_body
+from repro.errors import CompileError
+from repro.lang import parse_program
+
+
+def body_of(src):
+    prog = parse_program(f"void main() {{ {src} }}")
+    return prog.func("main").body.body
+
+
+def lower(src, **kw):
+    return compile_body(body_of(src), **kw)
+
+
+class TestStraightLine:
+    def test_assignments_become_simple(self):
+        instrs = lower("a[0] = 1.0; a[1] = 2.0;")
+        assert all(isinstance(i, Simple) for i in instrs)
+        assert len(instrs) == 2
+
+    def test_declaration(self):
+        instrs = lower("double t = 1.0;")
+        assert isinstance(instrs[0], Simple)
+
+
+class TestControlFlow:
+    def test_if_without_else(self):
+        instrs = lower("if (x > 0) { a[0] = 1.0; }")
+        assert isinstance(instrs[0], Branch)
+        assert instrs[0].target == len(instrs)  # skips past the body
+
+    def test_if_else_has_jump_over_else(self):
+        instrs = lower("if (x > 0) { a[0] = 1.0; } else { a[0] = 2.0; }")
+        kinds = [type(i).__name__ for i in instrs]
+        assert kinds == ["Branch", "Simple", "Jump", "Simple"]
+        assert instrs[0].target == 3  # else branch
+        assert instrs[2].target == 4  # end
+
+    def test_for_loop_back_edge(self):
+        instrs = lower("for (int j = 0; j < 3; j++) { a[j] = 1.0; }")
+        jumps = [i for i in instrs if isinstance(i, Jump)]
+        assert jumps and jumps[-1].target == 1  # back to the condition
+
+    def test_while_loop(self):
+        instrs = lower("while (x > 0) { x = x - 1.0; }")
+        assert isinstance(instrs[0], Branch)
+        assert instrs[0].target == len(instrs)
+
+    def test_break_jumps_to_loop_end(self):
+        instrs = lower("for (int j = 0; j < 9; j++) { if (j > 2) { break; } }")
+        breaks = [i for i in instrs if isinstance(i, Jump) and i.target == len(instrs)]
+        assert breaks
+
+    def test_continue_jumps_to_step(self):
+        instrs = lower("for (int j = 0; j < 9; j++) { if (j > 2) { continue; } a[j] = 1.0; }")
+        # One Jump targets the step instruction (second to last Simple).
+        step_targets = [i.target for i in instrs if isinstance(i, Jump)]
+        assert len(set(step_targets)) >= 1
+
+    def test_break_outside_loop_raises(self):
+        with pytest.raises(CompileError):
+            compile_body(body_of("break;"))
+
+    def test_return_rejected(self):
+        with pytest.raises(CompileError):
+            compile_body(body_of("return;"))
+
+
+class TestSplitting:
+    def test_rmw_on_split_var(self):
+        instrs = lower("s = s + a[0];", split_vars={"s"})
+        assert isinstance(instrs[0], TmpEval)
+        assert isinstance(instrs[1], TmpStore)
+
+    def test_compound_assign_split(self):
+        instrs = lower("s += a[0];", split_vars={"s"})
+        assert isinstance(instrs[0], TmpEval) and isinstance(instrs[1], TmpStore)
+
+    def test_plain_overwrite_not_split(self):
+        instrs = lower("s = a[0];", split_vars={"s"})
+        assert isinstance(instrs[0], Simple)
+
+    def test_unrelated_var_not_split(self):
+        instrs = lower("t = t + 1.0;", split_vars={"s"})
+        assert isinstance(instrs[0], Simple)
+
+    def test_unique_temp_registers(self):
+        instrs = lower("s = s + 1.0; s = s + 2.0;", split_vars={"s"})
+        regs = {i.reg for i in instrs if isinstance(i, TmpEval)}
+        assert len(regs) == 2
+
+
+class TestDumps:
+    def test_dump_appended_per_var(self):
+        instrs = lower("t = a[0];", dump_vars=["t"])
+        assert isinstance(instrs[-1], Dump) and instrs[-1].name == "t"
+
+    def test_dump_order(self):
+        instrs = lower("t = a[0];", dump_vars=["t", "u"])
+        assert [i.name for i in instrs if isinstance(i, Dump)] == ["t", "u"]
+
+
+class TestDisassembly:
+    def test_listing_format(self):
+        instrs = lower("if (x > 0) { a[0] = 1.0; }")
+        text = disassemble(instrs)
+        assert "0:" in text and "Branch" in text

@@ -1,0 +1,79 @@
+"""Device memory allocator tests."""
+
+import numpy as np
+import pytest
+
+from repro.device.memory import DeviceMemory
+from repro.errors import DeviceMemoryError
+
+
+class TestAlloc:
+    def test_alloc_returns_zeroed_buffer(self):
+        mem = DeviceMemory()
+        a = mem.alloc("a", (4,), np.float64)
+        assert a.data.shape == (4,) and np.all(a.data == 0.0)
+
+    def test_handles_unique(self):
+        mem = DeviceMemory()
+        a = mem.alloc("a", (4,), np.float64)
+        b = mem.alloc("b", (4,), np.float64)
+        assert a.handle != b.handle
+
+    def test_used_accounting(self):
+        mem = DeviceMemory()
+        a = mem.alloc("a", (10,), np.float64)
+        assert mem.used == 80
+        mem.free(a.handle)
+        assert mem.used == 0
+
+    def test_capacity_limit(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc("big", (1000,), np.float64)
+
+    def test_2d_alloc(self):
+        mem = DeviceMemory()
+        a = mem.alloc("m", (3, 5), np.float32)
+        assert a.nbytes == 60
+
+
+class TestFree:
+    def test_double_free_raises(self):
+        mem = DeviceMemory()
+        a = mem.alloc("a", (4,), np.float64)
+        mem.free(a.handle)
+        with pytest.raises(DeviceMemoryError):
+            mem.free(a.handle)
+
+    def test_free_unknown_handle_raises(self):
+        with pytest.raises(DeviceMemoryError):
+            DeviceMemory().free(99)
+
+    def test_access_after_free_raises(self):
+        mem = DeviceMemory()
+        a = mem.alloc("a", (4,), np.float64)
+        mem.free(a.handle)
+        with pytest.raises(DeviceMemoryError):
+            mem.get(a.handle)
+
+    def test_alloc_free_counts(self):
+        mem = DeviceMemory()
+        h = mem.alloc("a", (4,), np.float64).handle
+        mem.free(h)
+        assert mem.alloc_count == 1 and mem.free_count == 1
+
+
+class TestLookup:
+    def test_find_by_name(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (4,), np.float64)
+        b = mem.alloc("b", (4,), np.float64)
+        assert mem.find_by_name("b") is b
+        assert mem.find_by_name("zzz") is None
+
+    def test_live_allocations(self):
+        mem = DeviceMemory()
+        h = mem.alloc("a", (4,), np.float64).handle
+        assert mem.live_allocations == 1
+        mem.free(h)
+        assert mem.live_allocations == 0

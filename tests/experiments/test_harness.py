@@ -1,0 +1,69 @@
+"""Experiment-harness tests (runner helpers + table renderer) and fast
+smoke tests of each experiment at tiny size."""
+
+import pytest
+
+from repro.bench import get
+from repro.experiments import fig1, fig4, table2
+from repro.experiments.harness import render_table, rows_to_dicts, run_variant
+
+
+class TestRunVariant:
+    def test_optimized_variant(self):
+        run = run_variant(get("JACOBI"), "optimized", "tiny")
+        assert run.runtime.device.total_transferred_bytes() > 0
+
+    def test_sequential_variant_uses_no_device(self):
+        run = run_variant(get("JACOBI"), "sequential", "tiny")
+        assert run.runtime.device.total_transferred_bytes() == 0
+
+    def test_naive_variant_strips_management(self):
+        naive = run_variant(get("JACOBI"), "naive", "tiny")
+        opt = run_variant(get("JACOBI"), "optimized", "tiny")
+        assert (
+            naive.runtime.device.total_transferred_bytes()
+            > opt.runtime.device.total_transferred_bytes()
+        )
+
+
+class TestRenderTable:
+    def test_renders_headers_and_rows(self):
+        text = render_table(["A", "B"], [["x", 1.5], ["y", 2.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert any("1.5" in l for l in lines)
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+    def test_rows_to_dicts(self):
+        out = rows_to_dicts(["a", "b"], [[1, 2]])
+        assert out == [{"a": 1, "b": 2}]
+
+
+class TestExperimentSmoke:
+    """Tiny-size smoke runs: each experiment produces well-formed rows."""
+
+    def test_fig1_tiny(self):
+        rows = fig1.run("tiny")
+        assert len(rows) == 12 and all(r.norm_bytes >= 1.0 for r in rows)
+
+    def test_fig4_tiny(self):
+        rows = fig4.run("tiny")
+        assert len(rows) == 12 and all(r.check_calls > 0 for r in rows)
+
+    def test_table2_tiny(self):
+        result = table2.run("tiny")
+        assert result.tested_kernels == 46
+        assert result.active_errors_detected == 4
+        assert result.latent_errors_undetected == 16
+
+    def test_experiment_mains_print(self, capsys):
+        fig1.main("tiny")
+        assert "Figure 1" in capsys.readouterr().out

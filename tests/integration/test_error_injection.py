@@ -1,0 +1,149 @@
+"""End-to-end error-injection study: each class of directive bug from the
+paper's taxonomy, injected into a real program, must be caught by the right
+tool with the right diagnosis.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    InteractiveOptimizer,
+    KernelVerifier,
+    MemVerifier,
+    compile_source,
+    run_compiled,
+    run_sequential,
+)
+from repro.compiler.driver import compile_ast
+from repro.compiler.faults import drop_private_clauses, drop_reduction_clauses
+from repro.lang import parse_program
+
+BASE = """
+int N, ITER;
+double a[N], b[N];
+double s;
+
+void main()
+{
+    double t;
+    for (int i = 0; i < N; i++) { b[i] = (double)i * 0.5; }
+    s = 0.0;
+    #pragma acc data copyin(b) create(a)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop private(t)
+            for (int i = 0; i < N; i++) { t = b[i] + (double)k; a[i] = t; }
+        }
+        #pragma acc update host(a)
+        #pragma acc kernels loop reduction(+:s)
+        for (int i = 0; i < N; i++) { s = s + a[i]; }
+    }
+    s = s + a[0];
+}
+"""
+
+PARAMS = {"N": 32, "ITER": 3}
+
+
+class TestMissingTransferBug:
+    """User forgets the update: the CPU reads stale data."""
+
+    SRC = BASE.replace("#pragma acc update host(a)\n", "")
+
+    def test_program_actually_misbehaves(self):
+        compiled = compile_source(self.SRC)
+        acc = run_compiled(compiled, params=PARAMS)
+        seq = run_sequential(compiled, params=PARAMS)
+        # `s = s + a[0]` reads the never-transferred host copy.
+        assert acc.env.load("s") != seq.env.load("s")
+
+    def test_memverifier_reports_missing(self):
+        report = MemVerifier(compile_source(self.SRC), params=PARAMS).run()
+        missing = [f for f in report.findings if f.kind == "missing"]
+        assert missing and missing[0].var == "a"
+
+    def test_suggestion_names_the_read_site(self):
+        report = MemVerifier(compile_source(self.SRC), params=PARAMS).run()
+        inserts = [s for s in report.suggestions if s.action == "insert-update-host"]
+        assert inserts and inserts[0].var == "a"
+
+    def test_interactive_loop_repairs_the_program(self):
+        trace = InteractiveOptimizer(
+            parse_program(self.SRC), params=PARAMS, outputs=["s"]
+        ).run()
+        assert trace.converged
+        seq = run_sequential(compile_source(BASE), params=PARAMS)
+        fixed = run_compiled(
+            compile_ast(trace.final_program, CompilerOptions(strict_validation=False)),
+            params=PARAMS,
+        )
+        assert np.isclose(float(fixed.env.load("s")), float(seq.env.load("s")))
+
+
+class TestIncorrectTransferBug:
+    """User updates the device with stale host data, clobbering results."""
+
+    SRC = BASE.replace(
+        "#pragma acc update host(a)",
+        "#pragma acc update device(a)\n        #pragma acc update host(a)",
+    )
+
+    def test_memverifier_reports_incorrect(self):
+        report = MemVerifier(compile_source(self.SRC), params=PARAMS).run()
+        assert any(f.kind == "incorrect" and f.var == "a" for f in report.findings)
+
+
+class TestRedundantTransferBug:
+    """User eagerly re-uploads read-only data every iteration."""
+
+    SRC = BASE.replace(
+        "#pragma acc kernels loop private(t)",
+        "#pragma acc update device(b)\n            #pragma acc kernels loop private(t)",
+    )
+
+    def test_memverifier_reports_redundant(self):
+        report = MemVerifier(compile_source(self.SRC), params=PARAMS).run()
+        redundant = [f for f in report.findings
+                     if f.kind == "redundant" and f.var == "b"]
+        assert redundant
+
+    def test_interactive_loop_removes_it(self):
+        trace = InteractiveOptimizer(
+            parse_program(self.SRC), params=PARAMS, outputs=["s"]
+        ).run()
+        assert trace.converged
+        from repro.lang import to_source
+
+        assert "update device(b)" not in to_source(trace.final_program)
+
+
+class TestTranslationRaceBugs:
+    def test_missing_reduction_caught_by_kernel_verifier(self):
+        faulty = compile_ast(
+            drop_reduction_clauses(parse_program(BASE)),
+            CompilerOptions(auto_reduction=False, strict_validation=False),
+        )
+        report = KernelVerifier(faulty, params=PARAMS).run()
+        assert "main_kernel1" in report.failed_kernels()
+
+    def test_missing_private_is_latent(self):
+        faulty = compile_ast(
+            drop_private_clauses(parse_program(BASE)),
+            CompilerOptions(auto_privatize=False, strict_validation=False),
+        )
+        report = KernelVerifier(faulty, params=PARAMS).run()
+        assert report.all_passed  # the race never reaches an output
+
+    def test_both_tools_compose(self):
+        """§IV-C: the two schemes complement each other — a program with
+        both a transfer bug and a translation bug gets both diagnoses."""
+        src = TestMissingTransferBug.SRC
+        faulty = compile_ast(
+            drop_reduction_clauses(parse_program(src)),
+            CompilerOptions(auto_reduction=False, strict_validation=False),
+        )
+        mem_report = MemVerifier(faulty, params=PARAMS).run()
+        kernel_report = KernelVerifier(faulty, params=PARAMS).run()
+        assert any(f.kind == "missing" for f in mem_report.findings)
+        assert kernel_report.failed_kernels()

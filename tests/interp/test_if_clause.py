@@ -1,0 +1,74 @@
+"""OpenACC ``if`` clause: conditional offload."""
+
+import numpy as np
+
+from repro.compiler import compile_source
+from repro.interp import run_compiled
+
+SRC = """
+int N, USE_GPU;
+double a[N];
+double r;
+
+void main()
+{
+    #pragma acc data copyout(a) if(USE_GPU)
+    {
+        #pragma acc kernels loop if(USE_GPU)
+        for (int i = 0; i < N; i++) { a[i] = 2.0; }
+    }
+    r = a[0];
+}
+"""
+
+
+class TestComputeIf:
+    def test_true_condition_offloads(self):
+        it = run_compiled(compile_source(SRC), params={"N": 8, "USE_GPU": 1})
+        assert it.runtime.launch_log  # kernel launched
+        assert it.env.load("r") == 2.0
+
+    def test_false_condition_runs_on_host(self):
+        it = run_compiled(compile_source(SRC), params={"N": 8, "USE_GPU": 0})
+        assert not it.runtime.launch_log  # no kernel launch
+        assert it.runtime.device.total_transferred_bytes() == 0
+        assert it.env.load("r") == 2.0  # same result, computed on the host
+
+    def test_expression_condition(self):
+        src = SRC.replace("if(USE_GPU)", "if(N > 100)")
+        small = run_compiled(compile_source(src), params={"N": 8, "USE_GPU": 0})
+        assert not small.runtime.launch_log
+        big = run_compiled(compile_source(src), params={"N": 128, "USE_GPU": 0})
+        assert big.runtime.launch_log
+
+
+class TestDataIf:
+    def test_false_data_if_skips_allocation(self):
+        it = run_compiled(compile_source(SRC), params={"N": 8, "USE_GPU": 0})
+        assert it.runtime.device.mem.alloc_count == 0
+
+    def test_update_if_false_skips_transfer(self):
+        src = """
+        int N, COND;
+        double a[N];
+        void main()
+        {
+            #pragma acc data copy(a)
+            {
+                #pragma acc kernels loop
+                for (int i = 0; i < N; i++) { a[i] = 1.0; }
+                #pragma acc update host(a) if(COND)
+            }
+        }
+        """
+        with_update = run_compiled(compile_source(src), params={"N": 8, "COND": 1})
+        without = run_compiled(compile_source(src), params={"N": 8, "COND": 0})
+        assert (
+            len(with_update.runtime.transfer_log)
+            == len(without.runtime.transfer_log) + 1
+        )
+
+    def test_results_identical_either_way(self):
+        on = run_compiled(compile_source(SRC), params={"N": 16, "USE_GPU": 1})
+        off = run_compiled(compile_source(SRC), params={"N": 16, "USE_GPU": 0})
+        assert np.allclose(on.env.array("a"), off.env.array("a"))

@@ -1,0 +1,116 @@
+"""OpenACC 2.0 `enter data` / `exit data` unstructured lifetimes."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.errors import RuntimeFault
+from repro.interp import run_compiled
+from repro.lang import parse_program, to_source
+
+
+class TestParsing:
+    def test_enter_data_parses(self):
+        prog = parse_program(
+            """
+            int N; double a[N];
+            void main()
+            {
+                #pragma acc enter data copyin(a)
+                #pragma acc exit data copyout(a)
+            }
+            """
+        )
+        stmts = prog.func("main").body.body
+        assert stmts[0].pragmas[0].name == "enter data"
+        assert stmts[1].pragmas[0].name == "exit data"
+
+    def test_round_trip(self):
+        src = """
+        int N; double a[N];
+        void main()
+        {
+            #pragma acc enter data copyin(a)
+            #pragma acc exit data delete(a)
+        }
+        """
+        prog = parse_program(src)
+        assert parse_program(to_source(prog)) == prog
+
+
+SRC = """
+int N;
+double a[N];
+double r;
+
+void main()
+{
+    for (int i = 0; i < N; i++) { a[i] = (double)i; }
+    #pragma acc enter data copyin(a)
+    #pragma acc kernels loop
+    for (int i = 0; i < N; i++) { a[i] = a[i] * 2.0; }
+    #pragma acc exit data copyout(a)
+    r = a[1];
+}
+"""
+
+
+class TestExecution:
+    def test_lifetime_spans_directives(self):
+        it = run_compiled(compile_source(SRC), params={"N": 8})
+        assert it.env.load("r") == 2.0
+        assert it.runtime.device.mem.live_allocations == 0
+
+    def test_kernel_between_uses_resident_data(self):
+        it = run_compiled(compile_source(SRC), params={"N": 8})
+        # exactly one alloc, one copyin, one copyout, one free
+        counts = it.runtime.device.event_counts()
+        assert counts["alloc"] == 1 and counts["free"] == 1
+        assert counts["h2d"] == 1 and counts["d2h"] == 1
+
+    def test_delete_releases_without_transfer(self):
+        src = SRC.replace("exit data copyout(a)", "exit data delete(a)")
+        it = run_compiled(compile_source(src), params={"N": 8})
+        counts = it.runtime.device.event_counts()
+        assert counts.get("d2h", 0) == 0
+        assert it.env.load("r") == 1.0  # host copy never refreshed
+
+    def test_exit_without_enter_faults(self):
+        src = """
+        int N; double a[N];
+        void main()
+        {
+            #pragma acc exit data copyout(a)
+        }
+        """
+        with pytest.raises(RuntimeFault):
+            run_compiled(compile_source(src), params={"N": 4})
+
+    def test_enter_data_create_only(self):
+        src = SRC.replace("enter data copyin(a)", "enter data create(a)")
+        it = run_compiled(compile_source(src), params={"N": 8})
+        counts = it.runtime.device.event_counts()
+        assert counts.get("h2d", 0) == 0  # no copyin
+        # Kernel doubled the zero-initialized device copy.
+        assert it.env.load("r") == 0.0
+
+    def test_nested_enter_refcounts(self):
+        src = """
+        int N; double a[N];
+        double r;
+        void main()
+        {
+            #pragma acc enter data copyin(a)
+            #pragma acc enter data copyin(a)
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = 5.0; }
+            #pragma acc exit data copyout(a)
+            r = a[0];
+            #pragma acc exit data delete(a)
+        }
+        """
+        it = run_compiled(compile_source(src), params={"N": 4})
+        assert it.env.load("r") == 5.0
+        assert it.runtime.device.mem.live_allocations == 0
+        # Second enter was present-or: single allocation.
+        assert it.runtime.device.event_counts()["alloc"] == 1

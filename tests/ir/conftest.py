@@ -1,0 +1,24 @@
+"""Shared helpers for IR tests."""
+
+import pytest
+
+from repro.acc.regions import collect_regions
+from repro.ir.cfg import build_cfg
+from repro.ir.defuse import annotate
+from repro.lang import parse_program
+
+
+def build(source, func="main", aliases=None):
+    """Parse -> regions -> CFG -> annotate; returns (program, cfg, regions)."""
+    prog = parse_program(source)
+    fn = prog.func(func)
+    regions = collect_regions(fn)
+    cfg = build_cfg(fn, regions)
+    annotate(cfg, aliases)
+    cfg.validate()
+    return prog, cfg, regions
+
+
+@pytest.fixture
+def builder():
+    return build

@@ -1,0 +1,64 @@
+"""Alias analysis tests."""
+
+from repro.ir.alias import analyze_aliases
+from repro.lang import parse_program
+
+
+def info(source):
+    prog = parse_program(source)
+    return analyze_aliases(prog)
+
+
+class TestPointsTo:
+    def test_pointer_to_array(self):
+        ai = info("int N; double a[N]; void main() { double *p; p = a; }")
+        assert ai.aliases_of("p") == {"a"}
+        assert not ai.is_ambiguous("p")
+
+    def test_address_of_element(self):
+        ai = info("int N; double a[N]; void main() { double *p; p = &a[0]; }")
+        assert ai.aliases_of("p") == {"a"}
+
+    def test_pointer_copy(self):
+        ai = info(
+            "int N; double a[N]; void main() { double *p, *q; p = a; q = p; }"
+        )
+        assert ai.aliases_of("q") == {"a"}
+
+    def test_pointer_arithmetic(self):
+        ai = info("int N; double a[N]; void main() { double *p; p = a + 4; }")
+        assert ai.aliases_of("p") == {"a"}
+
+    def test_conditional_retarget_is_ambiguous(self):
+        ai = info(
+            """
+            int N; double a[N], b[N];
+            void main() { double *p; int c; p = a; if (c) { p = b; } }
+            """
+        )
+        assert ai.aliases_of("p") == {"a", "b"}
+        assert ai.is_ambiguous("p")
+
+    def test_swap_idiom_is_ambiguous(self):
+        # The JACOBI/LUD-style buffer swap through a temporary.
+        ai = info(
+            """
+            int N; double a[N], b[N];
+            void main() { double *p, *q, *t; p = a; q = b; t = p; p = q; q = t; }
+            """
+        )
+        assert ai.aliases_of("p") == {"a", "b"}
+        assert ai.is_ambiguous("p") and ai.is_ambiguous("q")
+
+    def test_unassigned_pointer_conservative(self):
+        ai = info("int N; double a[N], b[N]; void main() { double *p; }")
+        assert ai.aliases_of("p") == {"a", "b"}
+        assert ai.is_ambiguous("p")
+
+    def test_non_pointer_name_aliases_itself(self):
+        ai = info("int N; double a[N]; void main() { }")
+        assert ai.aliases_of("a") == {"a"}
+
+    def test_expand(self):
+        ai = info("int N; double a[N]; void main() { double *p; p = a; }")
+        assert ai.expand({"p", "a"}) == {"a"}

@@ -1,0 +1,170 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.ir.cfg import BRANCH, KERNEL, STMT, UPDATE, WAIT, build_cfg
+from repro.lang import ast, parse_program
+
+from tests.ir.conftest import build
+
+
+def kinds(cfg):
+    return [n.kind for n in cfg.rpo()]
+
+
+class TestStraightLine:
+    def test_single_statement(self):
+        _, cfg, _ = build("void main() { int x = 1; }")
+        stmts = [n for n in cfg.nodes if n.kind == STMT]
+        assert len(stmts) == 1
+        assert cfg.entry.succs == [stmts[0]]
+        assert stmts[0].succs == [cfg.exit]
+
+    def test_sequence_order(self):
+        _, cfg, _ = build("void main() { int x = 1; x = 2; x = 3; }")
+        order = [n for n in cfg.rpo() if n.kind == STMT]
+        lines = [n.stmt.line for n in order]
+        assert lines == sorted(lines)
+
+    def test_empty_function(self):
+        _, cfg, _ = build("void main() { }")
+        assert cfg.exit in cfg.entry.succs
+
+
+class TestBranches:
+    def test_if_has_two_successors(self):
+        _, cfg, _ = build("void main() { int x = 0; if (x > 0) { x = 1; } else { x = 2; } x = 3; }")
+        branch = next(n for n in cfg.nodes if n.kind == BRANCH)
+        assert len(branch.succs) == 2
+
+    def test_if_without_else_falls_through(self):
+        _, cfg, _ = build("void main() { int x = 0; if (x > 0) { x = 1; } x = 3; }")
+        branch = next(n for n in cfg.nodes if n.kind == BRANCH)
+        join = next(n for n in cfg.nodes if n.kind == STMT and getattr(n.stmt, "value", None) == ast.IntLit(3))
+        assert join in branch.succs or any(join in s.succs for s in branch.succs)
+
+    def test_return_goes_to_exit(self):
+        _, cfg, _ = build("void main() { int x = 0; if (x) { return; } x = 1; }")
+        ret = next(n for n in cfg.nodes if n.label == "return")
+        assert ret.succs == [cfg.exit]
+
+
+class TestLoops:
+    def test_for_loop_back_edge(self):
+        _, cfg, _ = build("void main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } }")
+        cond = next(n for n in cfg.nodes if n.label == "for.cond")
+        step = next(n for n in cfg.nodes if n.label == "for.step")
+        assert cond in step.succs  # back edge
+        assert cfg.exit in cond.succs or any(
+            s is cfg.exit for s in cond.succs
+        )
+
+    def test_while_loop(self):
+        _, cfg, _ = build("void main() { int x = 8; while (x > 0) { x = x / 2; } }")
+        cond = next(n for n in cfg.nodes if n.label == "while.cond")
+        body = next(n for n in cfg.nodes if n.kind == STMT and isinstance(n.stmt, ast.Assign))
+        assert body in cond.succs and cond in body.succs
+
+    def test_break_exits_loop(self):
+        _, cfg, _ = build(
+            "void main() { int x = 0; while (1) { if (x > 3) { break; } x++; } x = 9; }"
+        )
+        brk = next(n for n in cfg.nodes if n.label == "break")
+        after = next(
+            n for n in cfg.nodes
+            if n.kind == STMT and isinstance(n.stmt, ast.Assign)
+            and n.stmt.value == ast.IntLit(9)
+        )
+        assert after in brk.succs
+
+    def test_continue_goes_to_step(self):
+        _, cfg, _ = build(
+            "void main() { int s = 0; for (int i = 0; i < 4; i++) { if (i == 2) { continue; } s += i; } }"
+        )
+        cont = next(n for n in cfg.nodes if n.label == "continue")
+        step = next(n for n in cfg.nodes if n.label == "for.step")
+        assert cont.succs == [step]
+
+    def test_break_outside_loop_raises(self):
+        prog = parse_program("void main() { break; }")
+        with pytest.raises(CompileError):
+            build_cfg(prog.func("main"))
+
+    def test_infinite_loop_keeps_exit_reachable(self):
+        _, cfg, _ = build("void main() { while (1) { int x = 1; } }")
+        assert cfg.exit.preds  # backward analyses need a seeded exit
+
+
+KERNEL_SRC = """
+int N;
+double a[N], b[N];
+
+void main()
+{
+    #pragma acc data copy(a) copyin(b)
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) { a[i] = b[i] * 2.0; }
+        #pragma acc update host(a)
+    }
+    a[0] = 1.0;
+}
+"""
+
+
+class TestKernelNodes:
+    def test_region_collapses_to_one_node(self):
+        _, cfg, regions = build(KERNEL_SRC)
+        kernels = cfg.kernel_nodes()
+        assert len(kernels) == 1
+        assert kernels[0].region is regions.compute[0]
+        # The partitioned loop must not appear as separate CFG nodes.
+        assert not any(n.label == "for.cond" for n in cfg.nodes)
+
+    def test_update_node(self):
+        _, cfg, _ = build(KERNEL_SRC)
+        updates = [n for n in cfg.nodes if n.kind == UPDATE]
+        assert len(updates) == 1 and updates[0].update_point.name == "update0"
+
+    def test_kernel_access_sets(self):
+        _, cfg, _ = build(KERNEL_SRC)
+        kernel = cfg.kernel_nodes()[0]
+        assert kernel.gpu_def == {"a"}
+        assert "b" in kernel.gpu_use
+        assert "i" not in kernel.gpu_use  # loop index is region-local
+
+    def test_update_host_sets(self):
+        _, cfg, _ = build(KERNEL_SRC)
+        update = next(n for n in cfg.nodes if n.kind == UPDATE)
+        # Transfers live in the xfer_* sets so analyses see through them.
+        assert update.xfer_to_cpu == {"a"}
+        assert not update.cpu_def and not update.gpu_use
+
+    def test_wait_node(self):
+        src = """
+        void main()
+        {
+            #pragma acc wait(1)
+            int x = 0;
+        }
+        """
+        _, cfg, _ = build(src)
+        assert any(n.kind == WAIT for n in cfg.nodes)
+
+
+class TestOrderings:
+    def test_rpo_starts_at_entry(self):
+        _, cfg, _ = build("void main() { int x = 1; x = 2; }")
+        assert cfg.rpo()[0] is cfg.entry
+
+    def test_rpo_covers_reachable_nodes(self):
+        _, cfg, _ = build(KERNEL_SRC)
+        assert len(cfg.rpo()) == len([n for n in cfg.nodes if n.preds or n is cfg.entry])
+
+    def test_validate_catches_broken_edges(self):
+        _, cfg, _ = build("void main() { int x = 1; }")
+        node = cfg.entry.succs[0]
+        node.preds.clear()
+        with pytest.raises(CompileError):
+            cfg.validate()

@@ -1,0 +1,304 @@
+"""Tests for the analyses: liveness, Algorithm 1 (deadness), Algorithm 2
+(last-write), and first-access placement."""
+
+from repro.ir.deadness import analyze_deadness
+from repro.ir.firstaccess import analyze_firstaccess
+from repro.ir.lastwrite import analyze_lastwrite
+from repro.ir.liveness import analyze_liveness, all_variables
+from repro.lang import ast
+
+from tests.ir.conftest import build
+
+
+def stmt_node(cfg, predicate):
+    return next(
+        n for n in cfg.nodes
+        if n.kind == "stmt" and n.stmt is not None and predicate(n.stmt)
+    )
+
+
+def assign_to(cfg, name):
+    """First stmt node assigning to variable `name`."""
+    def pred(stmt):
+        return isinstance(stmt, ast.Assign) and ast.base_name(stmt.target) == name
+    return stmt_node(cfg, pred)
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        _, cfg, _ = build("void main() { int x = 1; int y = x + 1; int z = y; }")
+        res = analyze_liveness(cfg)
+        first = cfg.entry.succs[0]
+        assert "x" not in res.in_of(first)  # defined before any use
+        assert "x" in res.out_of(first)
+
+    def test_loop_carried(self):
+        _, cfg, _ = build(
+            "void main() { int s = 0; for (int i = 0; i < 9; i++) { s = s + i; } int r = s; }"
+        )
+        res = analyze_liveness(cfg)
+        s_init = stmt_node(cfg, lambda st: isinstance(st, ast.VarDecl) and st.name == "s")
+        assert "s" in res.out_of(s_init)
+
+    def test_dead_store(self):
+        _, cfg, _ = build("void main() { int x = 1; x = 2; int y = x; }")
+        res = analyze_liveness(cfg)
+        first = cfg.entry.succs[0]
+        assert "x" not in res.out_of(first)  # overwritten before read
+
+    def test_all_variables(self):
+        _, cfg, _ = build("void main() { int x = 1; int y = x; }")
+        assert all_variables(cfg) == {"x", "y"}
+
+
+JACOBI_LIKE = """
+int N;
+double a[N], b[N];
+
+void main()
+{
+    for (int k = 0; k < 10; k++) {
+        #pragma acc kernels loop copyin(b) copyout(a)
+        for (int i = 0; i < N; i++) { a[i] = b[i] + 1.0; }
+        #pragma acc kernels loop copyin(a) copyout(b)
+        for (int i = 0; i < N; i++) { b[i] = a[i] + 1.0; }
+        #pragma acc update host(b)
+    }
+    double r = b[0];
+}
+"""
+
+
+class TestDeadnessCPUSide:
+    def test_gpu_only_var_is_dead_on_cpu(self):
+        # q is only touched by the kernel: the CPU copy is must-dead at entry.
+        src = """
+        int N;
+        double q[N], w[N];
+        void main()
+        {
+            #pragma acc kernels loop
+            for (int j = 0; j < N; j++) { q[j] = w[j]; }
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_deadness(cfg, "cpu", universe={"q", "w"})
+        first = cfg.entry.succs[0]
+        # w is read by the kernel via copyin -> CPU copy is used? No: the
+        # kernel node carries gpu accesses only; CPU never touches q or w.
+        assert "q" in res.must_dead_in(first)
+
+    def test_cpu_read_keeps_live(self):
+        _, cfg, _ = build(JACOBI_LIKE)
+        res = analyze_deadness(cfg, "cpu", universe={"a", "b"})
+        first = cfg.entry.succs[0]
+        # b is read by CPU at the end (r = b[0]) -> may-live somewhere.
+        assert "b" in res.may_live_in(first)
+
+    def test_partial_write_gives_may_dead(self):
+        src = """
+        int N;
+        double q[N];
+        void main()
+        {
+            int x = 0;
+            q[0] = 1.0;
+            x = 1;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_deadness(cfg, "cpu", universe={"q"})
+        first = cfg.entry.succs[0]
+        # q is written-first (partially) on the only path: may-dead, and
+        # never read: not may-live.  But the partial write IS an access, so
+        # q must not be must-dead.
+        assert "q" in res.may_dead_in(first)
+        assert "q" not in res.must_dead_in(first)
+
+    def test_read_before_write_is_live_not_dead(self):
+        src = """
+        double x;
+        void main()
+        {
+            double y = x + 1.0;
+            x = 2.0;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_deadness(cfg, "cpu", universe={"x"})
+        first = cfg.entry.succs[0]
+        assert "x" in res.may_live_in(first)
+        assert "x" not in res.may_dead_in(first)
+
+    def test_branch_partial_dead(self):
+        src = """
+        double x, c;
+        void main()
+        {
+            if (c > 0.0) { x = 1.0; } else { double z = x; }
+            x = 0.0;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_deadness(cfg, "cpu", universe={"x"})
+        first = cfg.entry.succs[0]  # the branch node
+        # x written-first on then-path, read on else-path: may-live but not
+        # may-dead (dead requires ALL paths write-first).
+        assert "x" in res.may_live_in(first)
+        assert "x" not in res.may_dead_in(first)
+
+    def test_kernel_write_kills_cpu_liveness(self):
+        src = """
+        int N;
+        double a[N];
+        void main()
+        {
+            a[0] = 5.0;
+            #pragma acc kernels loop copyout(a)
+            for (int i = 0; i < N; i++) { a[i] = 0.0; }
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_deadness(cfg, "cpu", universe={"a"})
+        store = assign_to(cfg, "a")
+        # After the CPU store, the kernel overwrites the GPU copy and nothing
+        # reads the CPU copy: it is must-dead right after the store.
+        assert "a" in res.must_dead_out(store)
+
+
+class TestDeadnessGPUSide:
+    def test_gpu_copy_live_across_kernels(self):
+        _, cfg, _ = build(JACOBI_LIKE)
+        res = analyze_deadness(cfg, "gpu", universe={"a", "b"})
+        k0 = cfg.kernel_nodes()[0]
+        # Kernel 1 reads a's GPU copy after kernel 0 writes it.
+        assert "a" in res.may_live_out(k0)
+
+    def test_cpu_write_kills_gpu(self):
+        src = """
+        int N;
+        double a[N];
+        void main()
+        {
+            #pragma acc kernels loop copyout(a)
+            for (int i = 0; i < N; i++) { a[i] = 1.0; }
+            a[0] = 3.0;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_deadness(cfg, "gpu", universe={"a"})
+        k0 = cfg.kernel_nodes()[0]
+        # After the kernel, only a CPU (partial) write happens: a's GPU copy
+        # is never accessed again -> not may-live.
+        assert "a" not in res.may_live_out(k0)
+
+
+class TestLastWrite:
+    def test_simple_last_write(self):
+        _, cfg, _ = build("void main() { double x; x = 1.0; x = 2.0; }")
+        res = analyze_lastwrite(cfg, "cpu", universe={"x"})
+        stores = [n for n in cfg.nodes if n.kind == "stmt" and isinstance(n.stmt, ast.Assign)]
+        first, second = stores
+        assert not res.is_last_write(first, "x")
+        assert res.is_last_write(second, "x")
+
+    def test_kernel_call_makes_preceding_write_last(self):
+        src = """
+        int N;
+        double a[N];
+        void main()
+        {
+            a[0] = 1.0;
+            #pragma acc kernels loop copyin(a)
+            for (int i = 0; i < N; i++) { double t = a[i]; }
+            a[0] = 2.0;
+            a[0] = 3.0;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_lastwrite(cfg, "cpu", universe={"a"})
+        stores = [
+            n for n in cfg.nodes
+            if n.kind == "stmt" and isinstance(n.stmt, ast.Assign)
+        ]
+        assert res.is_last_write(stores[0], "a")   # last before the kernel
+        assert not res.is_last_write(stores[1], "a")
+        assert res.is_last_write(stores[2], "a")   # last before exit
+
+    def test_write_in_loop_is_last_on_exit_path(self):
+        _, cfg, _ = build(
+            "void main() { double x; for (int i = 0; i < 3; i++) { x = 1.0; } }"
+        )
+        res = analyze_lastwrite(cfg, "cpu", universe={"x"})
+        store = assign_to(cfg, "x")
+        # The loop-exit path sees no later write: the in-loop write is last.
+        assert res.is_last_write(store, "x")
+
+
+class TestFirstAccess:
+    def test_first_read_flagged_once(self):
+        src = """
+        double x;
+        void main()
+        {
+            double a = x;
+            double b = x;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_firstaccess(cfg, "cpu", universe={"x"})
+        reads = [
+            n for n in cfg.nodes
+            if n.kind == "stmt" and isinstance(n.stmt, ast.VarDecl)
+            and n.stmt.name in ("a", "b")
+        ]
+        assert res.first_reads(reads[0]) == {"x"}
+        assert res.first_reads(reads[1]) == set()
+
+    def test_kernel_resets_coverage(self):
+        src = """
+        int N;
+        double a[N];
+        void main()
+        {
+            double r = a[0];
+            #pragma acc kernels loop copyout(a)
+            for (int i = 0; i < N; i++) { a[i] = 1.0; }
+            double s = a[1];
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_firstaccess(cfg, "cpu", universe={"a"})
+        read_r = stmt_node(cfg, lambda st: isinstance(st, ast.VarDecl) and st.name == "r")
+        read_s = stmt_node(cfg, lambda st: isinstance(st, ast.VarDecl) and st.name == "s")
+        assert "a" in res.first_reads(read_r)
+        assert "a" in res.first_reads(read_s)  # kernel barrier reset coverage
+
+    def test_branch_keeps_check_when_one_path_unchecked(self):
+        src = """
+        double x, c;
+        void main()
+        {
+            if (c > 0.0) { double a = x; }
+            double b = x;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_firstaccess(cfg, "cpu", universe={"x"})
+        read_b = stmt_node(cfg, lambda st: isinstance(st, ast.VarDecl) and st.name == "b")
+        # The else path never read x: b's read is still a first read.
+        assert "x" in res.first_reads(read_b)
+
+    def test_first_write_separate_from_read(self):
+        src = """
+        double x;
+        void main()
+        {
+            double a = x;
+            x = 2.0;
+        }
+        """
+        _, cfg, _ = build(src)
+        res = analyze_firstaccess(cfg, "cpu", universe={"x"})
+        store = assign_to(cfg, "x")
+        assert "x" in res.first_writes(store)

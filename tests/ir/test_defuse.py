@@ -1,0 +1,100 @@
+"""DEF/USE extraction tests."""
+
+from repro.ir.defuse import expr_uses, lvalue_target, region_access, stmt_access
+from repro.lang import parse_program
+from repro.lang.parser import parse_expression
+
+
+def stmt_of(src):
+    return parse_program(f"void main() {{ {src} }}").func("main").body.body[0]
+
+
+class TestExprUses:
+    def test_simple(self):
+        assert expr_uses(parse_expression("a + b * 2")) == {"a", "b"}
+
+    def test_subscript_reads_index(self):
+        assert expr_uses(parse_expression("a[i][j]")) == {"a", "i", "j"}
+
+    def test_call_args(self):
+        assert expr_uses(parse_expression("sqrt(x + y)")) == {"x", "y"}
+
+    def test_deref_with_aliases(self):
+        uses = expr_uses(parse_expression("*p + 1"), aliases={"p": {"a", "b"}})
+        assert uses == {"p", "a", "b"}
+
+
+class TestLvalueTarget:
+    def test_scalar(self):
+        defs, reads = lvalue_target(parse_expression("x"))
+        assert defs == {"x"} and reads == set()
+
+    def test_subscript(self):
+        defs, reads = lvalue_target(parse_expression("a[i + 1]"))
+        assert defs == {"a"} and reads == {"i"}
+
+    def test_multidim(self):
+        defs, reads = lvalue_target(parse_expression("a[i][j]"))
+        assert defs == {"a"} and reads == {"i", "j"}
+
+    def test_deref_expands_aliases(self):
+        defs, reads = lvalue_target(parse_expression("*p"), aliases={"p": {"a"}})
+        assert defs == {"a"} and "p" in reads
+
+
+class TestStmtAccess:
+    def test_assign(self):
+        acc = stmt_access(stmt_of("a[i] = b[i] + c;"))
+        assert acc.defs == {"a"} and acc.use == {"b", "c", "i"}
+
+    def test_compound_assign_reads_target(self):
+        acc = stmt_access(stmt_of("s += a[i];"))
+        assert acc.defs == {"s"} and acc.use == {"s", "a", "i"}
+
+    def test_plain_store_does_not_read_target_array(self):
+        acc = stmt_access(stmt_of("a[i] = 0.0;"))
+        assert "a" not in acc.use
+
+    def test_decl_with_init(self):
+        acc = stmt_access(stmt_of("double t = x * 2.0;"))
+        assert acc.defs == {"t"} and acc.use == {"x"}
+
+    def test_decl_without_init_defines_nothing(self):
+        acc = stmt_access(stmt_of("double t;"))
+        assert acc.defs == set() and acc.use == set()
+
+    def test_increment_statement(self):
+        acc = stmt_access(stmt_of("i++;"))
+        assert acc.defs == {"i"} and "i" in acc.use
+
+    def test_return_value(self):
+        stmt = parse_program("int f() { return a + b; }").func("f").body.body[0]
+        acc = stmt_access(stmt)
+        assert acc.use == {"a", "b"}
+
+
+class TestRegionAccess:
+    SRC = """
+    int N;
+    double a[N], b[N], c[N];
+    void main()
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) {
+            double t = b[i];
+            if (t > 0.0) { a[i] = t; } else { a[i] = c[i]; }
+        }
+    }
+    """
+
+    def test_region_aggregate(self):
+        prog = parse_program(self.SRC)
+        stmt = prog.func("main").body.body[0]
+        acc = region_access(stmt)
+        assert acc.defs >= {"a", "t"}
+        assert {"b", "c", "N"} <= acc.use
+
+    def test_while_condition_counts(self):
+        stmt = stmt_of("while (x > 0) { x = x - 1; }")
+        acc = region_access(stmt)
+        assert "x" in acc.use and "x" in acc.defs

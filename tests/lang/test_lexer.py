@@ -1,0 +1,120 @@
+"""Unit tests for the mini-C tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import (
+    is_float_single,
+    parse_float_literal,
+    parse_int_literal,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "EOF"
+
+    def test_identifier(self):
+        toks = tokenize("foo_bar2")
+        assert toks[0].kind == "ID" and toks[0].text == "foo_bar2"
+
+    def test_keywords_are_tagged(self):
+        assert kinds("int for while return") == ["KEYWORD"] * 4 + ["EOF"]
+
+    def test_keyword_prefix_is_identifier(self):
+        toks = tokenize("integer fortune")
+        assert [t.kind for t in toks[:2]] == ["ID", "ID"]
+
+    def test_integer_literals(self):
+        toks = tokenize("42 0x1F 7UL")
+        assert [t.kind for t in toks[:3]] == ["INT", "INT", "INT"]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 .5 2. 1e3 1.5e-2 3.0f")
+        assert [t.kind for t in toks[:6]] == ["FLOAT"] * 6
+
+    def test_string_and_char(self):
+        toks = tokenize('"hi\\n" \'a\'')
+        assert toks[0].kind == "STRING" and toks[1].kind == "CHAR"
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int a @ b;")
+
+
+class TestOperators:
+    def test_multichar_ops_win(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("i++") == ["i", "++"]
+        assert texts("x+=1") == ["x", "+=", "1"]
+        assert texts("a&&b||c") == ["a", "&&", "b", "||", "c"]
+
+    def test_shift_operators(self):
+        assert texts("a<<2>>1") == ["a", "<<", "2", ">>", "1"]
+
+    def test_all_single_ops_lex(self):
+        for op in "+-*/%<>=!~&|^()[]{};,?:":
+            assert texts(f"a {op} b")[1] == op
+
+
+class TestCommentsAndLines:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_line_numbers_advance(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [(t.text, t.line) for t in toks[:3]] == [("a", 1), ("b", 2), ("c", 4)]
+
+    def test_line_numbers_across_block_comment(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].line == 2
+
+    def test_column_numbers(self):
+        toks = tokenize("  abc def")
+        assert toks[0].col == 3 and toks[1].col == 7
+
+
+class TestPragmasAndHashLines:
+    def test_pragma_captured_whole(self):
+        toks = tokenize("#pragma acc kernels loop copy(a)\nx")
+        assert toks[0].kind == "PRAGMA"
+        assert "kernels loop" in toks[0].text
+        assert toks[1].text == "x"
+
+    def test_include_skipped(self):
+        assert texts("#include <stdio.h>\nint x;") == ["int", "x", ";"]
+
+    def test_pragma_line_number(self):
+        toks = tokenize("\n\n#pragma acc data\n")
+        assert toks[0].kind == "PRAGMA" and toks[0].line == 3
+
+
+class TestLiteralHelpers:
+    def test_parse_int_decimal(self):
+        assert parse_int_literal("42") == 42
+
+    def test_parse_int_hex(self):
+        assert parse_int_literal("0x1F") == 31
+
+    def test_parse_int_suffix(self):
+        assert parse_int_literal("7UL") == 7
+
+    def test_parse_float(self):
+        assert parse_float_literal("1.5e-2") == pytest.approx(0.015)
+
+    def test_parse_float_f_suffix(self):
+        assert parse_float_literal("2.5f") == 2.5
+        assert is_float_single("2.5f") and not is_float_single("2.5")

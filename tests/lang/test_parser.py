@@ -1,0 +1,242 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.ctypes import Array, DOUBLE, FLOAT, INT, Pointer
+from repro.lang.parser import parse_expression, parse_program
+
+
+def parse_stmts(body_src):
+    """Parse statements inside a wrapper function and return the body list."""
+    prog = parse_program(f"void main() {{ {body_src} }}")
+    return prog.func("main").body.body
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_relational_vs_logical(self):
+        expr = parse_expression("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<" and expr.right.op == ">"
+
+    def test_unary_minus_binds_tight(self):
+        expr = parse_expression("-a * b")
+        assert expr.op == "*" and isinstance(expr.left, ast.Unary)
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.other, ast.Ternary)  # right associative
+
+    def test_nested_subscripts(self):
+        expr = parse_expression("a[i][j]")
+        assert isinstance(expr, ast.Subscript)
+        assert isinstance(expr.base, ast.Subscript)
+        assert expr.base.base.id == "a"
+
+    def test_call_with_args(self):
+        expr = parse_expression("f(a, b + 1)")
+        assert isinstance(expr, ast.Call) and expr.func == "f" and len(expr.args) == 2
+
+    def test_cast(self):
+        expr = parse_expression("(double)x")
+        assert isinstance(expr, ast.Cast) and expr.ctype == DOUBLE
+
+    def test_cast_binds_tighter_than_mul(self):
+        expr = parse_expression("(float)a * b")
+        assert expr.op == "*" and isinstance(expr.left, ast.Cast)
+
+    def test_postfix_increment(self):
+        expr = parse_expression("i++")
+        assert isinstance(expr, ast.Unary) and expr.op == "++"
+
+    def test_prefix_increment(self):
+        expr = parse_expression("++i")
+        assert isinstance(expr, ast.Unary) and expr.op == "p++"
+
+    def test_dereference(self):
+        expr = parse_expression("*p + 1")
+        assert expr.op == "+" and expr.left.op == "*"
+
+    def test_address_of(self):
+        expr = parse_expression("&x")
+        assert isinstance(expr, ast.Unary) and expr.op == "&"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+    def test_modulo(self):
+        expr = parse_expression("a % 4")
+        assert expr.op == "%"
+
+
+class TestDeclarations:
+    def test_scalar_decl(self):
+        (decl,) = parse_stmts("int x;")
+        assert isinstance(decl, ast.VarDecl) and decl.ctype == INT
+
+    def test_decl_with_init(self):
+        (decl,) = parse_stmts("double y = 1.5;")
+        assert decl.init == ast.FloatLit(1.5)
+
+    def test_multi_declarator(self):
+        decls = parse_stmts("int i, j, k;")
+        assert [d.name for d in decls] == ["i", "j", "k"]
+        assert all(d.ctype == INT for d in decls)
+
+    def test_array_decl_constant_dims(self):
+        (decl,) = parse_stmts("float a[10][20];")
+        assert decl.ctype == Array(FLOAT, (10, 20))
+
+    def test_array_decl_symbolic_dim(self):
+        (decl,) = parse_stmts("double a[N];")
+        assert decl.ctype == Array(DOUBLE, ("N",))
+
+    def test_pointer_decl(self):
+        (decl,) = parse_stmts("double *p;")
+        assert decl.ctype == Pointer(DOUBLE)
+
+    def test_global_decls_and_function(self):
+        prog = parse_program("int N;\ndouble a[N];\nvoid main() { }")
+        assert [d.name for d in prog.decls] == ["N", "a"]
+        assert prog.func("main").name == "main"
+
+    def test_bad_dim_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("void main() { int a[1.5]; }")
+
+
+class TestStatements:
+    def test_assignment(self):
+        (stmt,) = parse_stmts("x = 1;")
+        assert isinstance(stmt, ast.Assign) and stmt.op == ""
+
+    def test_compound_assignment(self):
+        (stmt,) = parse_stmts("x += 2;")
+        assert stmt.op == "+"
+
+    def test_subscript_assignment(self):
+        (stmt,) = parse_stmts("a[i] = b[i] + 1;")
+        assert isinstance(stmt.target, ast.Subscript)
+
+    def test_assign_to_rvalue_raises(self):
+        with pytest.raises(ParseError):
+            parse_stmts("a + b = c;")
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (a < b) x = 1; else x = 2;")
+        assert isinstance(stmt, ast.If) and stmt.orelse is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_stmts("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.orelse is None and stmt.then.body[0].orelse is not None
+
+    def test_for_loop_parts(self):
+        (stmt,) = parse_stmts("for (i = 0; i < n; i++) x += i;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+        assert isinstance(stmt.step, ast.ExprStmt)
+
+    def test_for_loop_decl_init(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < n; i++) { }")
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_for_loop_empty_parts(self):
+        (stmt,) = parse_stmts("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (x > 0) x = x - 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_break_continue_return(self):
+        stmts = parse_stmts("while (1) { break; continue; } return;")
+        inner = stmts[0].body.body
+        assert isinstance(inner[0], ast.Break) and isinstance(inner[1], ast.Continue)
+        assert isinstance(stmts[1], ast.Return)
+
+    def test_return_value(self):
+        prog = parse_program("int f() { return 42; }")
+        assert prog.func("f").body.body[0].value == ast.IntLit(42)
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("void main() { x = 1;")
+
+    def test_empty_statement(self):
+        (stmt,) = parse_stmts(";")
+        assert isinstance(stmt, ast.Block) and not stmt.body
+
+
+class TestFunctions:
+    def test_params(self):
+        prog = parse_program("double f(int n, double x) { return x; }")
+        func = prog.func("f")
+        assert [p.name for p in func.params] == ["n", "x"]
+        assert func.params[1].ctype == DOUBLE
+        assert func.ret_type == DOUBLE
+
+    def test_void_return(self):
+        prog = parse_program("void f() { }")
+        assert prog.func("f").ret_type is None
+
+    def test_array_param(self):
+        prog = parse_program("void f(double a[N]) { }")
+        assert prog.func("f").params[0].ctype == Array(DOUBLE, ("N",))
+
+
+class TestPragmaAttachment:
+    def test_pragma_attaches_to_next_statement(self):
+        stmts = parse_stmts(
+            "x = 1;\n#pragma acc kernels loop\nfor (i = 0; i < n; i++) a[i] = 0.0;"
+        )
+        assert not stmts[0].pragmas
+        assert stmts[1].pragmas[0].name == "kernels loop"
+
+    def test_standalone_update_gets_carrier_statement(self):
+        # `update` executes at its textual position: it becomes its own empty
+        # carrier statement, while the buffered `data` pragma attaches to the
+        # following block.
+        stmts = parse_stmts(
+            "#pragma acc data copy(a)\n#pragma acc update host(a)\n{ x = 1; }"
+        )
+        assert [p.name for p in stmts[0].pragmas] == ["update"]
+        assert isinstance(stmts[0], ast.Block) and not stmts[0].body
+        assert [p.name for p in stmts[1].pragmas] == ["data"]
+
+    def test_pragma_on_decl(self):
+        stmts = parse_stmts("#pragma acc data create(a)\nint x, y;")
+        assert stmts[0].pragmas and not stmts[1].pragmas
+
+    def test_dangling_pragma_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("void main() { }\n#pragma acc data copy(a)")
+
+
+class TestHelpers:
+    def test_base_name(self):
+        assert ast.base_name(parse_expression("a[i][j]")) == "a"
+        assert ast.base_name(parse_expression("*p")) == "p"
+        assert ast.base_name(parse_expression("x")) == "x"
+        assert ast.base_name(parse_expression("a + b")) is None
+
+    def test_is_lvalue(self):
+        assert ast.is_lvalue(parse_expression("a[i]"))
+        assert ast.is_lvalue(parse_expression("x"))
+        assert not ast.is_lvalue(parse_expression("f(x)"))
+
+    def test_walk_counts(self):
+        expr = parse_expression("a[i] + b * 2")
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds.count("Binary") == 2 and kinds.count("Name") == 3

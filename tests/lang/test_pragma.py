@@ -1,0 +1,177 @@
+"""Unit tests for the OpenACC pragma parser."""
+
+import pytest
+
+from repro.acc.directives import Clause, VarRef
+from repro.errors import PragmaError
+from repro.lang import ast
+from repro.lang.pragma import parse_pragma
+
+
+class TestDirectiveNames:
+    def test_data(self):
+        d = parse_pragma("#pragma acc data copy(a)")
+        assert d.name == "data" and d.is_data
+
+    def test_kernels(self):
+        assert parse_pragma("#pragma acc kernels").is_compute
+
+    def test_kernels_loop_combined(self):
+        d = parse_pragma("#pragma acc kernels loop gang")
+        assert d.name == "kernels loop" and d.is_compute and d.is_loop
+
+    def test_parallel_loop_combined(self):
+        d = parse_pragma("#pragma acc parallel loop")
+        assert d.name == "parallel loop"
+
+    def test_orphan_loop(self):
+        d = parse_pragma("#pragma acc loop vector")
+        assert d.is_loop and not d.is_compute
+
+    def test_update(self):
+        d = parse_pragma("#pragma acc update host(a, b)")
+        assert d.name == "update"
+        assert d.clause("host").var_names() == ["a", "b"]
+
+    def test_wait_with_queue(self):
+        d = parse_pragma("#pragma acc wait(1)")
+        assert d.name == "wait"
+        assert d.clause("wait").args[0] == ast.IntLit(1)
+
+    def test_bare_wait(self):
+        d = parse_pragma("#pragma acc wait")
+        assert d.name == "wait" and not d.clauses
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc frobnicate")
+
+    def test_unknown_namespace_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma omp parallel for")
+
+
+class TestClauses:
+    def test_var_list(self):
+        d = parse_pragma("#pragma acc data copyin(a, b, c)")
+        assert d.clause("copyin").var_names() == ["a", "b", "c"]
+
+    def test_multiple_data_clauses(self):
+        d = parse_pragma("#pragma acc data copy(a) create(t) copyout(r)")
+        assert sorted(v for _, v in d.data_clause_vars()) == ["a", "r", "t"]
+
+    def test_pcopy_alias_normalized(self):
+        d = parse_pragma("#pragma acc data pcopyin(x)")
+        assert d.clause("present_or_copyin") is not None
+        assert d.clause("pcopyin") is not None  # alias lookup works too
+
+    def test_subarray_section(self):
+        d = parse_pragma("#pragma acc data copy(a[0:n])")
+        ref = d.clause("copy").args[0]
+        assert ref.name == "a"
+        assert ref.section[0] == ast.IntLit(0)
+        assert ref.section[1] == ast.Name("n")
+
+    def test_value_clause(self):
+        d = parse_pragma("#pragma acc kernels async(2)")
+        assert d.clause("async").args[0] == ast.IntLit(2)
+
+    def test_bare_async(self):
+        d = parse_pragma("#pragma acc kernels async")
+        assert d.clause("async").args == []
+
+    def test_gang_worker_vector_bare(self):
+        d = parse_pragma("#pragma acc kernels loop gang worker vector")
+        assert d.has_clause("gang") and d.has_clause("worker") and d.has_clause("vector")
+
+    def test_gang_with_size(self):
+        d = parse_pragma("#pragma acc parallel loop gang(16) vector(64)")
+        assert d.clause("gang").args[0] == ast.IntLit(16)
+
+    def test_if_clause_expression(self):
+        d = parse_pragma("#pragma acc kernels if(n > 100)")
+        cond = d.clause("if").args[0]
+        assert isinstance(cond, ast.Binary) and cond.op == ">"
+
+    def test_private(self):
+        d = parse_pragma("#pragma acc kernels loop private(t, u)")
+        assert d.clause("private").var_names() == ["t", "u"]
+
+    def test_reduction_sum(self):
+        d = parse_pragma("#pragma acc kernels loop reduction(+:s)")
+        c = d.clause("reduction")
+        assert c.op == "+" and c.var_names() == ["s"]
+
+    def test_reduction_max(self):
+        d = parse_pragma("#pragma acc loop reduction(max:m)")
+        assert d.clause("reduction").op == "max"
+
+    def test_reduction_missing_op_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc loop reduction(s)")
+
+    def test_collapse(self):
+        d = parse_pragma("#pragma acc kernels loop collapse(2)")
+        assert d.clause("collapse").args[0] == ast.IntLit(2)
+
+    def test_clause_requires_args(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc data copy")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma acc data copy(a")
+
+
+class TestReproNamespace:
+    def test_bound(self):
+        d = parse_pragma("#pragma repro bound(x, 0.0, 1.0)")
+        assert d.namespace == "repro" and d.name == "bound"
+        var, lo, hi = d.clause("bound").args
+        assert var == VarRef("x")
+        assert lo == ast.FloatLit(0.0) and hi == ast.FloatLit(1.0)
+
+    def test_assert(self):
+        d = parse_pragma("#pragma repro assert(checksum(a) > 0.0)")
+        expr = d.clause("assert").args[0]
+        assert isinstance(expr, ast.Binary)
+
+    def test_unknown_repro_directive(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma repro nonsense(x)")
+
+
+class TestRoundTrip:
+    CASES = [
+        "#pragma acc data copy(a) copyin(b) create(c)",
+        "#pragma acc kernels loop gang worker copy(q) copyin(w) async(1)",
+        "#pragma acc parallel loop reduction(+:s) private(t)",
+        "#pragma acc update host(a, b)",
+        "#pragma acc wait(1)",
+        "#pragma acc kernels loop collapse(2) independent",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        d1 = parse_pragma(text)
+        d2 = parse_pragma(d1.to_source())
+        assert d1 == d2
+
+    def test_directive_clone_is_equal_but_independent(self):
+        d = parse_pragma("#pragma acc data copy(a, b)")
+        c = d.clone()
+        assert c == d
+        c.clauses[0].args.pop()
+        assert c != d
+
+
+class TestDirectiveEditing:
+    def test_remove_clauses(self):
+        d = parse_pragma("#pragma acc kernels loop private(t) reduction(+:s)")
+        d.remove_clauses("private")
+        assert not d.has_clause("private") and d.has_clause("reduction")
+
+    def test_add_clause(self):
+        d = parse_pragma("#pragma acc kernels loop")
+        d.add_clause(Clause("copyin", [VarRef("w")]))
+        assert d.clause("copyin").var_names() == ["w"]

@@ -1,0 +1,96 @@
+"""Printer round-trip and formatting tests."""
+
+import pytest
+
+from repro.lang import ast, parse_program, to_source
+from repro.lang.parser import parse_expression
+from repro.lang.printer import expr_to_source
+
+
+class TestExprPrinting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "-a * b",
+            "a / b / c",
+            "a < b && c > d",
+            "a ? b : c",
+            "f(a, b + 1)",
+            "a[i][j] + 1",
+            "(double)x / 2.0",
+            "x % 4 == 0",
+            "!(a && b)",
+        ],
+    )
+    def test_print_parse_fixpoint(self, text):
+        """print(parse(x)) re-parses to the same tree."""
+        expr = parse_expression(text)
+        printed = expr_to_source(expr)
+        assert parse_expression(printed) == expr
+
+    def test_minimal_parens(self):
+        assert expr_to_source(parse_expression("a + b * c")) == "a + b * c"
+        assert expr_to_source(parse_expression("(a + b) * c")) == "(a + b) * c"
+
+    def test_subtraction_associativity_preserved(self):
+        # a - (b - c) must not print as a - b - c
+        expr = parse_expression("a - (b - c)")
+        assert parse_expression(expr_to_source(expr)) == expr
+
+    def test_string_literal_escapes(self):
+        expr = parse_expression('"line\\n"')
+        assert expr_to_source(expr) == '"line\\n"'
+
+
+PROGRAM = """
+int N;
+double a[N][N], x[N];
+
+void main()
+{
+    double sum = 0.0;
+    #pragma acc data copyin(a) copy(x)
+    {
+        #pragma acc kernels loop gang worker reduction(+:sum)
+        for (int i = 0; i < N; i++) {
+            x[i] = a[i][i] * 2.0;
+            sum += x[i];
+        }
+        #pragma acc update host(x)
+    }
+    if (sum > 0.0) { x[0] = sum; } else { x[0] = -sum; }
+    while (sum > 1.0) sum /= 2.0;
+}
+"""
+
+
+class TestProgramPrinting:
+    def test_round_trip_stable(self):
+        prog = parse_program(PROGRAM)
+        once = to_source(prog)
+        twice = to_source(parse_program(once))
+        assert once == twice
+
+    def test_round_trip_preserves_tree(self):
+        prog = parse_program(PROGRAM)
+        reparsed = parse_program(to_source(prog))
+        assert reparsed == prog
+
+    def test_pragmas_printed_before_statement(self):
+        text = to_source(parse_program(PROGRAM))
+        lines = [ln.strip() for ln in text.splitlines()]
+        i = lines.index("#pragma acc kernels loop gang worker reduction(+:sum)")
+        assert lines[i + 1].startswith("for (int i = 0;")
+
+    def test_compound_assignment_printed(self):
+        text = to_source(parse_program(PROGRAM))
+        assert "sum += x[i];" in text
+        assert "sum /= 2.0;" in text
+
+    def test_statement_printing(self):
+        prog = parse_program("void f() { a[0] = 1.0; }")
+        stmt = prog.func("f").body.body[0]
+        assert to_source(stmt).strip() == "a[0] = 1.0;"

@@ -1,0 +1,135 @@
+"""AST visitor/transformer tests."""
+
+from repro.lang import ast, parse_program, to_source
+from repro.lang.visitor import (
+    Transformer,
+    Visitor,
+    clone_tree,
+    enclosing_loops,
+    find_all,
+    names_used,
+    parent_map,
+    replace_statements,
+)
+
+SRC = """
+int N;
+double a[N];
+void main()
+{
+    double s = 0.0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            s = s + a[i] * a[j];
+        }
+    }
+    a[0] = s;
+}
+"""
+
+
+class TestVisitor:
+    def test_dispatch_by_class(self):
+        seen = []
+
+        class Counter(Visitor):
+            def visit_Assign(self, node):
+                seen.append(node)
+                self.generic_visit(node)
+
+        Counter().visit(parse_program(SRC))
+        assert len(seen) == 2  # s accumulation + a[0] store
+
+    def test_generic_visit_reaches_everything(self):
+        names = []
+
+        class Names(Visitor):
+            def visit_Name(self, node):
+                names.append(node.id)
+
+        Names().visit(parse_program(SRC))
+        assert "a" in names and "s" in names
+
+
+class TestTransformer:
+    def test_rebuilds_without_mutating(self):
+        prog = parse_program(SRC)
+        before = to_source(prog)
+
+        class RenameA(Transformer):
+            def visit_Name(self, node):
+                if node.id == "a":
+                    return ast.Name("b", node.line)
+                return node
+
+        new = RenameA().visit(prog)
+        assert to_source(prog) == before       # original untouched
+        assert "b[i]" in to_source(new)
+
+    def test_unchanged_subtrees_shared(self):
+        prog = parse_program(SRC)
+
+        class Identity(Transformer):
+            pass
+
+        assert Identity().visit(prog) is prog
+
+    def test_statement_removal_via_none(self):
+        prog = parse_program("void main() { int x = 1; int y = 2; }")
+
+        class DropY(Transformer):
+            def visit_VarDecl(self, node):
+                return None if node.name == "y" else node
+
+        new = DropY().visit(prog)
+        assert "y" not in to_source(new)
+
+
+class TestHelpers:
+    def test_clone_tree_deep(self):
+        prog = parse_program(SRC)
+        clone = clone_tree(prog)
+        assert clone == prog and clone is not prog
+        clone.func("main").body.body[0].name = "zzz"
+        assert prog.func("main").body.body[0].name == "s"
+
+    def test_clone_preserves_pragmas(self):
+        prog = parse_program(
+            "int N; double a[N];\nvoid main()\n{\n#pragma acc data copy(a)\n{ int x = 0; }\n}"
+        )
+        clone = clone_tree(prog)
+        stmt = clone.func("main").body.body[0]
+        assert stmt.pragmas and stmt.pragmas[0].name == "data"
+
+    def test_find_all(self):
+        prog = parse_program(SRC)
+        loops = find_all(prog, lambda n: isinstance(n, ast.For))
+        assert len(loops) == 2
+
+    def test_names_used_ordered_unique(self):
+        prog = parse_program(SRC)
+        names = names_used(prog.func("main").body)
+        assert names.count("a") == 1
+
+    def test_parent_map(self):
+        prog = parse_program(SRC)
+        parents = parent_map(prog)
+        body = prog.func("main").body
+        assert parents[id(body.body[0])] is body
+
+    def test_enclosing_loops_order(self):
+        prog = parse_program(SRC)
+        body = prog.func("main").body
+        outer = body.body[1]
+        inner = outer.body.body[0]
+        store = inner.body.body[0]
+        chain = enclosing_loops(body, store)
+        assert chain == [outer, inner]  # outermost first
+
+    def test_replace_statements(self):
+        prog = parse_program("void main() { int x = 1; int y = 2; }")
+        body = prog.func("main").body
+        target = body.body[0]
+        new = parse_program("void main() { int z = 9; }").func("main").body.body
+        assert replace_statements(body, target, new)
+        assert [s.name for s in body.body] == ["z", "y"]

@@ -1,0 +1,142 @@
+"""Hypothesis strategies for generating mini-C programs and fragments.
+
+The generators produce *well-formed* programs by construction: declared-
+before-use variables, canonical loops, balanced blocks.  They are used to
+check round-trip properties (parse/print), semantic properties (interpreter
+vs device agreement), and analysis properties (termination, monotonicity).
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import strategies as st
+
+# Identifier pools kept small so generated programs reuse variables (more
+# interesting dataflow) and disjoint from keywords/builtins.
+SCALAR_NAMES = ["s0", "s1", "s2", "t0", "t1"]
+ARRAY_NAMES = ["arr0", "arr1", "arr2"]
+INDEX_NAMES = ["i", "j", "k2"]
+
+int_literals = st.integers(min_value=0, max_value=99).map(str)
+float_literals = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+).map(lambda f: f"{f:.3f}")
+
+
+@st.composite
+def scalar_exprs(draw, names=SCALAR_NAMES, depth: int = 2) -> str:
+    """A numeric expression over the given scalar names."""
+    if depth == 0:
+        return draw(st.one_of(
+            st.sampled_from(names),
+            int_literals,
+            float_literals,
+        ))
+    kind = draw(st.sampled_from(["leaf", "binop", "paren", "unary", "ternary"]))
+    if kind == "leaf":
+        return draw(scalar_exprs(names, 0))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        left = draw(scalar_exprs(names, depth - 1))
+        right = draw(scalar_exprs(names, depth - 1))
+        return f"{left} {op} {right}"
+    if kind == "paren":
+        return f"({draw(scalar_exprs(names, depth - 1))})"
+    if kind == "unary":
+        return f"-{draw(scalar_exprs(names, 0))}"
+    cond = draw(scalar_exprs(names, 0))
+    a = draw(scalar_exprs(names, depth - 1))
+    b = draw(scalar_exprs(names, depth - 1))
+    return f"{cond} > 0.0 ? {a} : {b}"
+
+
+@st.composite
+def array_exprs(draw, index: str, depth: int = 2) -> str:
+    """An expression reading arrays at the loop index (race-free by
+    construction: only arr[index] element accesses)."""
+    if depth == 0:
+        leaf = draw(st.sampled_from(["array", "index", "literal"]))
+        if leaf == "array":
+            return f"{draw(st.sampled_from(ARRAY_NAMES))}[{index}]"
+        if leaf == "index":
+            return f"(double){index}"
+        return draw(float_literals)
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(array_exprs(index, depth - 1))
+    right = draw(array_exprs(index, depth - 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def straightline_stmts(draw, max_stmts: int = 5) -> str:
+    """Scalar straight-line code (used for sequential-semantics checks)."""
+    n = draw(st.integers(min_value=1, max_value=max_stmts))
+    lines = []
+    for _ in range(n):
+        target = draw(st.sampled_from(SCALAR_NAMES))
+        expr = draw(scalar_exprs())
+        op = draw(st.sampled_from(["=", "+=", "*="]))
+        lines.append(f"{target} {op} {expr};")
+    return "\n    ".join(lines)
+
+
+@st.composite
+def scalar_programs(draw) -> str:
+    """A full program over double scalars with loops and branches."""
+    body = []
+    n_blocks = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(n_blocks):
+        kind = draw(st.sampled_from(["straight", "if", "for", "while"]))
+        inner = draw(straightline_stmts(3))
+        if kind == "straight":
+            body.append(inner)
+        elif kind == "if":
+            cond = draw(scalar_exprs(depth=1))
+            other = draw(straightline_stmts(2))
+            body.append(
+                f"if ({cond} > 1.0) {{\n    {inner}\n    }} else {{\n    {other}\n    }}"
+            )
+        elif kind == "for":
+            bound = draw(st.integers(min_value=1, max_value=6))
+            idx = draw(st.sampled_from(INDEX_NAMES))
+            body.append(
+                f"for (int {idx} = 0; {idx} < {bound}; {idx}++) {{\n    {inner}\n    }}"
+            )
+        else:
+            # Bounded while via a fresh counter.
+            bound = draw(st.integers(min_value=1, max_value=5))
+            body.append(
+                "{\n    int w = 0;\n"
+                f"    while (w < {bound}) {{\n    {inner}\n    w++;\n    }}\n    }}"
+            )
+    decls = "double " + ", ".join(SCALAR_NAMES) + ";"
+    return f"{decls}\n\nvoid main()\n{{\n    " + "\n    ".join(body) + "\n}\n"
+
+
+@st.composite
+def kernel_programs(draw) -> str:
+    """A program with one race-free OpenACC kernel over the arrays.
+
+    Every iteration writes only its own element, so sequential and
+    interleaved executions must agree exactly.
+    """
+    index = "i"
+    n_stmts = draw(st.integers(min_value=1, max_value=3))
+    out_arrays = draw(
+        st.lists(st.sampled_from(ARRAY_NAMES), min_size=1, max_size=2, unique=True)
+    )
+    lines = []
+    for i in range(n_stmts):
+        target = out_arrays[i % len(out_arrays)]
+        expr = draw(array_exprs(index))
+        lines.append(f"{target}[{index}] = {expr};")
+    body = "\n            ".join(lines)
+    decls = "int N;\ndouble " + ", ".join(f"{a}[N]" for a in ARRAY_NAMES) + ";"
+    return (
+        f"{decls}\n\nvoid main()\n{{\n"
+        f"    #pragma acc kernels loop gang worker\n"
+        f"    for (int {index} = 0; {index} < N; {index}++) {{\n"
+        f"            {body}\n"
+        f"    }}\n}}\n"
+    )

@@ -1,0 +1,90 @@
+"""Properties of the dataflow analyses over generated programs."""
+
+from hypothesis import given, settings
+
+from repro.acc.regions import collect_regions
+from repro.ir.cfg import build_cfg
+from repro.ir.deadness import analyze_deadness
+from repro.ir.defuse import annotate
+from repro.ir.firstaccess import analyze_firstaccess
+from repro.ir.lastwrite import analyze_lastwrite
+from repro.ir.liveness import all_variables, analyze_liveness
+from repro.lang import parse_program
+
+from tests.property.strategies import kernel_programs, scalar_programs
+
+
+def _cfg(source):
+    prog = parse_program(source)
+    func = prog.func("main")
+    cfg = build_cfg(func, collect_regions(func))
+    annotate(cfg)
+    cfg.validate()
+    return cfg
+
+
+@given(scalar_programs())
+@settings(max_examples=60, deadline=None)
+def test_analyses_terminate_and_partition(source):
+    """All analyses reach a fixed point, and the deadness classification
+    partitions every variable at every point into exactly one bucket."""
+    cfg = _cfg(source)
+    universe = all_variables(cfg)
+    dead = analyze_deadness(cfg, "cpu", universe)
+    for node in cfg.nodes:
+        for var in universe:
+            verdict = dead.classify_out(node, var)
+            assert verdict in ("must-dead", "may-dead", "live")
+        # must-dead is a subset of may-dead by construction.
+        assert dead.must_dead_out(node) <= dead.may_dead_out(node)
+
+
+@given(scalar_programs())
+@settings(max_examples=60, deadline=None)
+def test_liveness_subset_of_universe(source):
+    cfg = _cfg(source)
+    universe = all_variables(cfg)
+    live = analyze_liveness(cfg, "cpu")
+    for node in cfg.nodes:
+        assert set(live.in_of(node)) <= universe
+
+
+@given(scalar_programs())
+@settings(max_examples=60, deadline=None)
+def test_entry_liveness_covers_read_before_write(source):
+    """Any variable the first executed statement reads must be live at
+    entry (a basic soundness spot-check of the live analysis)."""
+    cfg = _cfg(source)
+    live = analyze_liveness(cfg, "cpu")
+    for node in cfg.entry.succs:
+        assert node.cpu_use <= set(live.in_of(node)) | node.cpu_def
+
+
+@given(scalar_programs())
+@settings(max_examples=60, deadline=None)
+def test_lastwrite_only_flags_actual_writes(source):
+    cfg = _cfg(source)
+    result = analyze_lastwrite(cfg, "cpu")
+    for node in cfg.nodes:
+        assert result.last_writes(node) <= node.cpu_def
+
+
+@given(scalar_programs())
+@settings(max_examples=60, deadline=None)
+def test_first_access_flags_subset_of_accesses(source):
+    cfg = _cfg(source)
+    result = analyze_firstaccess(cfg, "cpu")
+    for node in cfg.nodes:
+        assert result.first_reads(node) <= node.cpu_use
+        assert result.first_writes(node) <= node.cpu_def
+
+
+@given(kernel_programs())
+@settings(max_examples=40, deadline=None)
+def test_kernel_nodes_isolate_gpu_accesses(source):
+    cfg = _cfg(source)
+    kernels = cfg.kernel_nodes()
+    assert len(kernels) == 1
+    (kernel,) = kernels
+    assert kernel.gpu_def  # the generated kernel always writes something
+    assert not kernel.cpu_def and not kernel.cpu_use

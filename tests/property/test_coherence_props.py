@@ -1,0 +1,124 @@
+"""Properties of the coherence state machine under random event sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.coherence import (
+    CPU,
+    GPU,
+    MAYSTALE,
+    NOTSTALE,
+    STALE,
+    CoherenceTracker,
+)
+
+# Event alphabet: (kind, side/direction, full?)
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), st.sampled_from([CPU, GPU])),
+        st.tuples(st.just("write"), st.sampled_from([CPU, GPU]), st.booleans()),
+        st.tuples(st.just("xfer"), st.sampled_from([(CPU, GPU), (GPU, CPU)])),
+        st.tuples(st.just("free"),),
+    ),
+    max_size=40,
+)
+
+
+def run_events(seq):
+    tracker = CoherenceTracker()
+    tracker.register("v")
+    for event in seq:
+        if event[0] == "read":
+            tracker.check_read("v", event[1])
+        elif event[0] == "write":
+            tracker.check_write("v", event[1], full=event[2])
+        elif event[0] == "xfer":
+            src, dst = event[1]
+            tracker.on_transfer("v", src, dst)
+        else:
+            tracker.on_free("v")
+    return tracker
+
+
+@given(events)
+@settings(max_examples=200)
+def test_states_always_valid(seq):
+    tracker = run_events(seq)
+    assert tracker.state("v", CPU) in (NOTSTALE, MAYSTALE, STALE)
+    assert tracker.state("v", GPU) in (NOTSTALE, MAYSTALE, STALE)
+
+
+@given(events)
+@settings(max_examples=200)
+def test_both_sides_stale_implies_reported_cause(seq):
+    """At least one side stays non-stale — unless the device copy was freed
+    or an *incorrect transfer* propagated stale data (which the tracker must
+    then have reported)."""
+    tracker = run_events(seq)
+    if tracker.state("v", CPU) == STALE and tracker.state("v", GPU) == STALE:
+        freed = any(e[0] == "free" for e in seq)
+        propagated = any(
+            f.kind in ("incorrect", "may-incorrect") for f in tracker.findings
+        )
+        assert freed or propagated
+
+
+@given(events)
+@settings(max_examples=200)
+def test_transfer_from_notstale_makes_destination_notstale(seq):
+    tracker = run_events(seq)
+    if tracker.state("v", CPU) == NOTSTALE:
+        before = len(tracker.findings)
+        tracker.on_transfer("v", CPU, GPU)
+        assert tracker.state("v", GPU) == NOTSTALE
+        # And the transfer is never reported as *incorrect* (the source was
+        # fresh); it may be redundant.
+        new = tracker.findings[before:]
+        assert all(f.kind not in ("incorrect", "may-incorrect") for f in new)
+
+
+@given(events)
+@settings(max_examples=200)
+def test_full_local_write_clears_local_staleness(seq):
+    tracker = run_events(seq)
+    tracker.check_write("v", CPU, full=True)
+    assert tracker.state("v", CPU) == NOTSTALE
+    assert tracker.state("v", GPU) == STALE
+
+
+@given(events)
+@settings(max_examples=200)
+def test_reads_never_mutate_state(seq):
+    tracker = run_events(seq)
+    cpu, gpu = tracker.state("v", CPU), tracker.state("v", GPU)
+    tracker.check_read("v", CPU)
+    tracker.check_read("v", GPU)
+    assert tracker.state("v", CPU) == cpu and tracker.state("v", GPU) == gpu
+
+
+@given(events)
+@settings(max_examples=200)
+def test_error_findings_only_on_stale_access(seq):
+    """Every missing/incorrect finding coincides with a stale participant
+    at the time it was reported (errors are never spurious)."""
+    tracker = CoherenceTracker()
+    tracker.register("v")
+    for event in seq:
+        before_cpu, before_gpu = tracker.state("v", CPU), tracker.state("v", GPU)
+        n_before = len(tracker.findings)
+        if event[0] == "read":
+            tracker.check_read("v", event[1])
+            if len(tracker.findings) > n_before:
+                f = tracker.findings[-1]
+                if f.kind == "missing":
+                    assert (before_cpu if event[1] == CPU else before_gpu) == STALE
+        elif event[0] == "write":
+            tracker.check_write("v", event[1], full=event[2])
+        elif event[0] == "xfer":
+            src, dst = event[1]
+            tracker.on_transfer("v", src, dst)
+            for f in tracker.findings[n_before:]:
+                if f.kind == "incorrect":
+                    assert (before_cpu if src == CPU else before_gpu) == STALE
+        else:
+            tracker.on_free("v")

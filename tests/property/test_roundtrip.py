@@ -1,0 +1,40 @@
+"""Property: parse/print round-trips on generated programs."""
+
+from hypothesis import given, settings
+
+from repro.lang import parse_program, to_source
+from repro.lang.parser import parse_expression
+from repro.lang.printer import expr_to_source
+
+from tests.property.strategies import kernel_programs, scalar_exprs, scalar_programs
+
+
+@given(scalar_exprs())
+@settings(max_examples=150)
+def test_expression_print_parse_fixpoint(text):
+    expr = parse_expression(text)
+    printed = expr_to_source(expr)
+    assert parse_expression(printed) == expr
+
+
+@given(scalar_programs())
+@settings(max_examples=75, deadline=None)
+def test_program_roundtrip_tree_equal(source):
+    prog = parse_program(source)
+    assert parse_program(to_source(prog)) == prog
+
+
+@given(scalar_programs())
+@settings(max_examples=75, deadline=None)
+def test_program_print_is_stable(source):
+    once = to_source(parse_program(source))
+    assert to_source(parse_program(once)) == once
+
+
+@given(kernel_programs())
+@settings(max_examples=50, deadline=None)
+def test_kernel_program_roundtrip(source):
+    prog = parse_program(source)
+    assert parse_program(to_source(prog)) == prog
+    # Pragmas survive the round trip.
+    assert "#pragma acc kernels loop" in to_source(prog)

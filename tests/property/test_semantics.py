@@ -1,0 +1,76 @@
+"""Properties of program semantics across execution strategies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_source
+from repro.device.engine import Schedule
+from repro.device.reduction import sequential_reduce, tree_reduce
+from repro.interp import run_compiled, run_sequential
+
+from tests.property.strategies import ARRAY_NAMES, SCALAR_NAMES, kernel_programs
+
+
+def _params(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    params = {"N": n}
+    for name in ARRAY_NAMES:
+        params[name] = rng.uniform(-2.0, 2.0, size=n)
+    return params
+
+
+@given(kernel_programs(), st.integers(min_value=0, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_device_matches_sequential_on_race_free_kernels(source, seed):
+    """A kernel whose iterations write only their own element must produce
+    bit-identical results under sequential and interleaved execution."""
+    compiled = compile_source(source)
+    params = _params(seed=seed)
+    seq = run_sequential(compiled, params=params)
+    acc = run_compiled(compiled, params=params)
+    for name in ARRAY_NAMES:
+        assert np.array_equal(seq.env.array(name), acc.env.array(name)), name
+
+
+@given(kernel_programs(), st.integers(min_value=0, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_schedule_invariance_for_race_free_kernels(source, seed):
+    compiled = compile_source(source)
+    results = []
+    for schedule in (Schedule.sequential(), Schedule.round_robin(),
+                     Schedule.random(seed=seed)):
+        run = run_compiled(compiled, params=_params(seed=3), schedule=schedule)
+        results.append([run.env.array(n).copy() for n in ARRAY_NAMES])
+    for other in results[1:]:
+        for a, b in zip(results[0], other):
+            assert np.array_equal(a, b)
+
+
+class TestReductionProperties:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=64))
+    @settings(max_examples=100)
+    def test_integer_sum_tree_equals_sequential(self, values):
+        assert tree_reduce("+", values) == sequential_reduce("+", values) == sum(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=64))
+    @settings(max_examples=100)
+    def test_max_reduction_order_independent(self, values):
+        assert tree_reduce("max", values) == max(values)
+        assert sequential_reduce("max", values) == max(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                              allow_nan=False), max_size=64))
+    @settings(max_examples=100)
+    def test_float64_tree_sum_close_to_exact(self, values):
+        tree = tree_reduce("+", values, np.float64)
+        exact = float(np.sum(np.asarray(values, dtype=np.float64)))
+        assert abs(tree - exact) <= 1e-9 * (1.0 + abs(exact)) * len(values or [1])
+
+    @given(st.lists(st.booleans(), max_size=32))
+    @settings(max_examples=50)
+    def test_logical_reductions(self, values):
+        ints = [int(v) for v in values]
+        assert bool(tree_reduce("&&", ints)) == all(values)
+        assert bool(tree_reduce("||", ints)) == any(values)

@@ -1,0 +1,144 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+int N;
+double a[N];
+double r;
+
+void main()
+{
+    #pragma acc data copyout(a)
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) { a[i] = (double)i; }
+    }
+    r = a[N - 1];
+    printf("r=%f\\n", r);
+}
+"""
+
+RACY = """
+int N;
+double a[N];
+double s;
+
+void main()
+{
+    for (int i = 0; i < N; i++) { a[i] = 1.0; }
+    #pragma acc kernels loop
+    for (int i = 0; i < N; i++) { s = s + a[i]; }
+    printf("s=%f\\n", s);
+}
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.c"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.c"
+    path.write_text(RACY)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_lists_kernels(self, good_file, capsys):
+        assert main(["compile", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "main_kernel0" in out
+
+    def test_show_source(self, good_file, capsys):
+        main(["compile", good_file, "--show-source"])
+        assert "#pragma acc kernels loop" in capsys.readouterr().out
+
+    def test_racy_warning_without_auto_reduction(self, racy_file, capsys):
+        main(["compile", racy_file, "--no-auto-reduction"])
+        out = capsys.readouterr().out
+        assert "RACY" in out or "warning" in out
+
+
+class TestRunCommand:
+    def test_runs_and_prints(self, good_file, capsys):
+        assert main(["run", good_file, "-p", "N=8"]) == 0
+        out = capsys.readouterr().out
+        assert "r=7.0" in out
+        assert "modeled time" in out
+
+    def test_compare_sequential_ok(self, good_file, capsys):
+        assert main(["run", good_file, "-p", "N=8", "--compare-sequential"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bad_param_rejected(self, good_file):
+        with pytest.raises(SystemExit):
+            main(["run", good_file, "-p", "N=abc"])
+
+
+class TestVerifyCommand:
+    def test_clean_program_passes(self, good_file, capsys):
+        assert main(["verify", good_file, "-p", "N=16"]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_race_detected(self, racy_file, capsys):
+        code = main(["verify", racy_file, "-p", "N=64", "--no-auto-reduction"])
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_options_string(self, good_file, capsys):
+        code = main([
+            "verify", good_file, "-p", "N=16",
+            "--options", "errorMargin=1e-6,kernels=main_kernel0",
+        ])
+        assert code == 0
+
+
+class TestMemcheckCommand:
+    def test_reports_checks(self, good_file, capsys):
+        assert main(["memcheck", good_file, "-p", "N=8"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic coherence checks" in out
+
+    def test_show_instrumented(self, good_file, capsys):
+        main(["memcheck", good_file, "-p", "N=8", "--show-instrumented"])
+        assert "__check_read" in capsys.readouterr().out
+
+
+class TestOptimizeCommand:
+    def test_writes_output_file(self, tmp_path, capsys):
+        src = tmp_path / "unopt.c"
+        src.write_text("""
+int N, ITER;
+double a[N], b[N];
+double r;
+void main()
+{
+    for (int i = 0; i < N; i++) { b[i] = (double)i; }
+    #pragma acc data copyin(b) copy(a)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = b[i] + (double)k; }
+            #pragma acc update host(a)
+        }
+    }
+    r = a[0];
+}
+""")
+        out_file = tmp_path / "opt.c"
+        code = main([
+            "optimize", str(src), "-p", "N=8", "-p", "ITER=3",
+            "--outputs", "a,r", "-o", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        text = capsys.readouterr().out
+        assert "converged=True" in text
+        assert "#pragma acc" in out_file.read_text()

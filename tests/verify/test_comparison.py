@@ -1,0 +1,110 @@
+"""Result-comparison policy tests (§III-A knobs)."""
+
+import numpy as np
+import pytest
+
+from repro.verify.comparison import ComparisonPolicy, compare_arrays, compare_scalars
+
+
+class TestBasicComparison:
+    def test_identical_arrays_pass(self):
+        a = np.arange(10.0)
+        assert compare_arrays("x", a, a.copy()).passed
+
+    def test_difference_detected(self):
+        a = np.zeros(4)
+        b = a.copy()
+        b[2] = 1.0
+        result = compare_arrays("x", a, b)
+        assert not result.passed
+        assert result.mismatches == 1
+        assert result.first_mismatch == (2,)
+
+    def test_max_abs_diff(self):
+        a = np.zeros(3)
+        b = np.array([0.0, 0.5, 0.25])
+        assert compare_arrays("x", a, b).max_abs_diff == 0.5
+
+    def test_shape_mismatch_fails(self):
+        result = compare_arrays("x", np.zeros(3), np.zeros(4))
+        assert not result.passed
+
+    def test_2d_first_mismatch_index(self):
+        a = np.zeros((3, 3))
+        b = a.copy()
+        b[1, 2] = 9.0
+        assert compare_arrays("x", a, b).first_mismatch == (1, 2)
+
+    def test_scalar_comparison(self):
+        assert compare_scalars("s", 1.0, 1.0).passed
+        assert not compare_scalars("s", 1.0, 2.0).passed
+
+
+class TestErrorMargin:
+    def test_absolute_margin_tolerates(self):
+        a = np.ones(4)
+        b = a + 1e-7
+        policy = ComparisonPolicy(error_margin=1e-6)
+        assert compare_arrays("x", a, b, policy).passed
+
+    def test_absolute_margin_exceeded(self):
+        policy = ComparisonPolicy(error_margin=1e-6)
+        result = compare_arrays("x", np.ones(4), np.ones(4) + 1e-3, policy)
+        assert not result.passed
+
+    def test_relative_margin_scales(self):
+        a = np.array([1e6, 1.0])
+        b = a + np.array([0.5, 0.5])
+        policy = ComparisonPolicy(error_margin=1e-9, relative_margin=1e-6)
+        result = compare_arrays("x", a, b, policy)
+        # 0.5 within 1e-6 * 1e6 = 1.0 for the large value, not for the small.
+        assert result.mismatches == 1
+
+    def test_float32_reduction_mismatch_tolerated(self):
+        # The use case: tree vs sequential float32 sums differ by rounding.
+        from repro.device.reduction import sequential_reduce, tree_reduce
+
+        rng = np.random.default_rng(1)
+        vals = list(rng.random(2048, dtype=np.float32))
+        tree = tree_reduce("+", vals, np.float32)
+        seq = sequential_reduce("+", vals, np.float32)
+        strict = ComparisonPolicy(error_margin=0.0)
+        loose = ComparisonPolicy(error_margin=0.0, relative_margin=1e-5)
+        assert not compare_scalars("s", seq, tree, strict).passed
+        assert compare_scalars("s", seq, tree, loose).passed
+
+
+class TestMinValueToCheck:
+    def test_small_reference_values_skipped(self):
+        a = np.array([1e-40, 1.0])
+        b = np.array([5e-40, 1.0])
+        policy = ComparisonPolicy(error_margin=1e-12, min_value_to_check=1e-32)
+        assert compare_arrays("x", a, b, policy).passed
+
+    def test_large_values_still_checked(self):
+        a = np.array([1e-40, 1.0])
+        b = np.array([5e-40, 2.0])
+        policy = ComparisonPolicy(error_margin=1e-12, min_value_to_check=1e-32)
+        assert compare_arrays("x", a, b, policy).mismatches == 1
+
+
+class TestBounds:
+    def test_bounded_var_accepts_in_range_values(self):
+        a = np.array([0.5])
+        b = np.array([0.7])  # differs, but within user bound
+        policy = ComparisonPolicy(error_margin=1e-9, bounds={"x": (0.0, 1.0)})
+        assert compare_arrays("x", a, b, policy).passed
+
+    def test_bounded_var_rejects_out_of_range(self):
+        policy = ComparisonPolicy(error_margin=1e-9, bounds={"x": (0.0, 1.0)})
+        result = compare_arrays("x", np.array([0.5]), np.array([1.5]), policy)
+        assert not result.passed
+
+    def test_bounds_apply_per_variable(self):
+        policy = ComparisonPolicy(error_margin=1e-9, bounds={"y": (0.0, 1.0)})
+        result = compare_arrays("x", np.array([0.5]), np.array([0.7]), policy)
+        assert not result.passed
+
+    def test_message_mentions_counts(self):
+        result = compare_arrays("x", np.zeros(4), np.ones(4))
+        assert "4/4" in result.message()

@@ -1,0 +1,205 @@
+"""Memory-transfer verification (§III-B) tests: check insertion placement,
+detection of missing/redundant transfers, suggestion derivation."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.checkinsert import instrument_for_memverify, shared_universe
+from repro.runtime.coherence import MISSING, REDUNDANT
+from repro.verify.memverify import MemVerifier
+from repro.verify.suggestions import DEFER_TRANSFER, DELETE_TRANSFER
+
+JACOBI_LIKE = """
+int N, ITER;
+double a[N], b[N];
+double r;
+
+void main()
+{
+    for (int i = 0; i < N; i++) { b[i] = (double)i; }
+    #pragma acc data copyin(b) create(a)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = b[i] + 1.0; }
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { b[i] = a[i] * 0.5; }
+            #pragma acc update host(b)
+        }
+    }
+    r = b[0];
+}
+"""
+
+
+class TestUniverse:
+    def test_shared_arrays_only(self):
+        compiled = compile_source(JACOBI_LIKE)
+        assert shared_universe(compiled) == {"a", "b"}
+
+    def test_pointer_targets_expand(self):
+        src = """
+        int N;
+        double a[N];
+        void main()
+        {
+            double *p;
+            p = a;
+            #pragma acc kernels loop copyout(p)
+            for (int i = 0; i < N; i++) { p[i] = 1.0; }
+        }
+        """
+        compiled = compile_source(src)
+        assert shared_universe(compiled) == {"a"}
+
+
+class TestCheckPlacement:
+    def test_gpu_checks_at_kernel_boundary(self):
+        instr = instrument_for_memverify(compile_source(JACOBI_LIKE))
+        gpu_checks = [c for c in instr.checks if c.side == "gpu"]
+        assert gpu_checks  # reads of b/a, writes of a/b
+
+    def test_gpu_write_check_hoisted_when_legal(self):
+        # a is never transferred inside the k-loop: its write check hoists.
+        instr = instrument_for_memverify(compile_source(JACOBI_LIKE))
+        text = instr.compiled.to_source()
+        lines = text.splitlines()
+        check_line = next(
+            i for i, l in enumerate(lines) if '__check_write("a", "gpu"' in l
+        )
+        loop_line = next(i for i, l in enumerate(lines) if "for (int k = 0" in l)
+        assert check_line < loop_line
+
+    def test_gpu_write_check_hoists_past_posterior_update(self):
+        # The update host(b) comes AFTER kernel1 in the loop body, so per
+        # Listing 3's condition (ii) b's write check still hoists.
+        instr = instrument_for_memverify(compile_source(JACOBI_LIKE))
+        text = instr.compiled.to_source()
+        lines = text.splitlines()
+        check_line = next(
+            i for i, l in enumerate(lines) if '__check_write("b", "gpu"' in l
+        )
+        loop_line = next(i for i, l in enumerate(lines) if "for (int k = 0" in l)
+        assert check_line < loop_line
+
+    def test_cpu_first_read_checked_once(self):
+        instr = instrument_for_memverify(compile_source(JACOBI_LIKE))
+        text = instr.compiled.to_source()
+        assert text.count('__check_read("b", "cpu"') == 1
+
+    def test_cpu_check_hoisted_out_of_kernel_free_loop(self):
+        # The b-init loop contains no kernels: the write check hoists.
+        instr = instrument_for_memverify(compile_source(JACOBI_LIKE))
+        text = instr.compiled.to_source()
+        lines = [l.strip() for l in text.splitlines()]
+        idx = lines.index('__check_write("b", "cpu", "line 8");')
+        assert lines[idx + 1].startswith("for (int i = 0;")
+
+    def test_original_program_unchanged(self):
+        compiled = compile_source(JACOBI_LIKE)
+        before = compiled.to_source()
+        instrument_for_memverify(compiled)
+        assert compiled.to_source() == before
+
+    def test_reset_status_for_dead_cpu_copy(self):
+        # a's CPU copy is never read: pinned notstale after the kernel.
+        instr = instrument_for_memverify(compile_source(JACOBI_LIKE))
+        resets = [c for c in instr.checks if c.kind == "reset_status"]
+        assert any(c.var == "a" and c.side == "cpu" and c.status == "notstale"
+                   for c in resets)
+
+
+class TestDetection:
+    def test_eager_copyout_reported_redundant(self):
+        report = MemVerifier(
+            compile_source(JACOBI_LIKE), params={"N": 8, "ITER": 3}
+        ).run()
+        redundant = [f for f in report.findings if f.kind == REDUNDANT]
+        assert len(redundant) == 2  # iterations 1 and 2
+        assert all(f.var == "b" and f.site == "update0" for f in redundant)
+
+    def test_listing4_style_context(self):
+        report = MemVerifier(
+            compile_source(JACOBI_LIKE), params={"N": 8, "ITER": 3}
+        ).run()
+        redundant = [f for f in report.findings if f.kind == REDUNDANT]
+        assert redundant[0].context == (("k", 1),)
+        assert "enclosing loop k index = 1" in redundant[0].message()
+
+    def test_defer_suggestion_derived(self):
+        report = MemVerifier(
+            compile_source(JACOBI_LIKE), params={"N": 8, "ITER": 3}
+        ).run()
+        assert any(
+            s.action == DEFER_TRANSFER and s.var == "b" and s.site == "update0"
+            for s in report.suggestions
+        )
+
+    def test_missing_transfer_detected(self):
+        src = """
+        int N;
+        double a[N];
+        double r;
+        void main()
+        {
+            #pragma acc data create(a)
+            {
+                #pragma acc kernels loop
+                for (int i = 0; i < N; i++) { a[i] = 7.0; }
+                r = a[0];
+            }
+        }
+        """
+        report = MemVerifier(compile_source(src), params={"N": 8}).run()
+        missing = [f for f in report.findings if f.kind == MISSING]
+        assert missing and missing[0].var == "a"
+        assert any(s.action == "insert-update-host" for s in report.suggestions)
+
+    def test_fully_redundant_update_suggests_delete(self):
+        src = """
+        int N;
+        double a[N];
+        double r;
+        void main()
+        {
+            #pragma acc data copy(a)
+            {
+                #pragma acc kernels loop
+                for (int i = 0; i < N; i++) { a[i] = 7.0; }
+                #pragma acc update device(a)
+            }
+            r = a[0];
+        }
+        """
+        report = MemVerifier(compile_source(src), params={"N": 8}).run()
+        # update device(a) copies CPU's stale copy over fresh GPU data:
+        # reported as an incorrect transfer (stale source).
+        assert any(f.kind == "incorrect" for f in report.findings)
+        assert any(
+            s.action == DELETE_TRANSFER and s.var == "a" for s in report.suggestions
+        )
+
+    def test_clean_program_reports_nothing(self):
+        src = """
+        int N;
+        double a[N];
+        double r;
+        void main()
+        {
+            #pragma acc data copyout(a)
+            {
+                #pragma acc kernels loop
+                for (int i = 0; i < N; i++) { a[i] = 7.0; }
+            }
+            r = a[0];
+        }
+        """
+        report = MemVerifier(compile_source(src), params={"N": 8}).run()
+        assert report.clean
+
+    def test_check_call_accounting(self):
+        report = MemVerifier(
+            compile_source(JACOBI_LIKE), params={"N": 8, "ITER": 3}
+        ).run()
+        assert report.check_calls > 0
+        assert report.inserted_checks > 0

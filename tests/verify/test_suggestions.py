@@ -1,0 +1,92 @@
+"""Suggestion-engine unit tests."""
+
+from repro.runtime.coherence import Finding
+from repro.verify.suggestions import (
+    DEFER_TRANSFER,
+    DELETE_TRANSFER,
+    INSERT_UPDATE_DEVICE,
+    INSERT_UPDATE_HOST,
+    aggregate_transfer_findings,
+    derive_suggestions,
+    format_report,
+)
+
+
+def finding(kind, var="a", site="update0", context=()):
+    return Finding(kind, var, site, context)
+
+
+class TestAggregation:
+    def test_counts_by_site(self):
+        findings = [finding("redundant"), finding("redundant"),
+                    finding("may-redundant", site="update1")]
+        counts = {("a", "update0"): 3, ("a", "update1"): 2}
+        stats = aggregate_transfer_findings(findings, counts)
+        assert stats[("a", "update0")].redundant == 2
+        assert stats[("a", "update0")].total == 3
+        assert stats[("a", "update1")].may_redundant == 1
+
+    def test_sites_without_findings_tracked(self):
+        stats = aggregate_transfer_findings([], {("b", "exit"): 4})
+        assert stats[("b", "exit")].total == 4
+        assert stats[("b", "exit")].redundant == 0
+
+
+class TestDerivation:
+    def test_always_redundant_suggests_delete(self):
+        findings = [finding("redundant")] * 3
+        (s,) = derive_suggestions(findings, {("a", "update0"): 3})
+        assert s.action == DELETE_TRANSFER and not s.speculative
+        assert s.occurrences == 3
+
+    def test_partially_redundant_suggests_defer(self):
+        findings = [finding("redundant")] * 2
+        (s,) = derive_suggestions(findings, {("a", "update0"): 5})
+        assert s.action == DEFER_TRANSFER
+
+    def test_only_may_findings_are_speculative(self):
+        findings = [finding("may-redundant")] * 2
+        (s,) = derive_suggestions(findings, {("a", "update0"): 2})
+        assert s.speculative
+
+    def test_mixed_definite_and_may_not_speculative(self):
+        findings = [finding("redundant"), finding("may-redundant")]
+        (s,) = derive_suggestions(findings, {("a", "update0"): 2})
+        assert not s.speculative
+
+    def test_incorrect_transfer_suggests_delete(self):
+        findings = [finding("incorrect")]
+        (s,) = derive_suggestions(findings, {("a", "update0"): 1})
+        assert s.action == DELETE_TRANSFER and "stale" in s.detail
+
+    def test_missing_at_cpu_line_suggests_update_host(self):
+        findings = [finding("missing", site="line 12")]
+        (s,) = derive_suggestions(findings, {})
+        assert s.action == INSERT_UPDATE_HOST
+
+    def test_missing_at_kernel_suggests_update_device(self):
+        findings = [finding("missing", site="main_kernel0")]
+        (s,) = derive_suggestions(findings, {})
+        assert s.action == INSERT_UPDATE_DEVICE
+
+    def test_may_missing_not_actionable(self):
+        assert derive_suggestions([finding("may-missing")], {}) == []
+
+    def test_deduplication(self):
+        findings = [finding("missing", site="line 12")] * 4
+        assert len(derive_suggestions(findings, {})) == 1
+
+    def test_clean_run_no_suggestions(self):
+        assert derive_suggestions([], {("a", "update0"): 3}) == []
+
+
+class TestFormatting:
+    def test_report_contains_findings_and_suggestions(self):
+        findings = [finding("redundant", context=(("k", 1),))]
+        suggestions = derive_suggestions(findings, {("a", "update0"): 1})
+        text = format_report(findings, suggestions)
+        assert "enclosing loop k index = 1" in text
+        assert "delete-transfer" in text
+
+    def test_empty_report(self):
+        assert format_report([], []) == "(no findings)"
