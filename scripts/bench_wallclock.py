@@ -1,0 +1,87 @@
+"""Wall-clock benchmark of ``run_compiled`` across the benchmark suite.
+
+Times real (not modeled) execution of every benchmark's optimized variant
+and writes ``BENCH_wallclock.json`` next to the repo root, so perf PRs have
+before/after numbers.  Also reports the vectorized/interleaved launch split
+from the profiler counters — the whole point of the fast path is moving
+launches into the ``vectorized`` column without changing any modeled output.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_wallclock.py [--quick] [--size SIZE]
+        [--repeat N] [--output PATH]
+
+``--quick`` runs a single repetition on the tiny inputs (CI smoke test).
+"""
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench import suite
+from repro.compiler import clear_compile_cache
+from repro.interp import run_compiled
+from repro.runtime.profiler import CTR_LAUNCH_INTERLEAVED, CTR_LAUNCH_VECTORIZED
+
+
+def time_benchmark(name: str, size: str, repeat: int) -> dict:
+    bench = suite.get(name)
+    params = bench.params(size)
+    best = float("inf")
+    counters = {}
+    for _ in range(repeat):
+        # Fresh compile each repetition so the timing includes the (memoized)
+        # front-end, exactly what experiment harnesses pay.
+        compiled = bench.compile("optimized")
+        start = time.perf_counter()
+        interp = run_compiled(compiled, params=params)
+        best = min(best, time.perf_counter() - start)
+        counters = dict(interp.runtime.profiler.counters)
+    return {
+        "seconds": best,
+        "launches_vectorized": counters.get(CTR_LAUNCH_VECTORIZED, 0),
+        "launches_interleaved": counters.get(CTR_LAUNCH_INTERLEAVED, 0),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny inputs, one repetition (CI smoke test)")
+    parser.add_argument("--size", default=None, choices=["tiny", "small", "large"],
+                        help="input size (default: small, or tiny with --quick)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="repetitions per benchmark; best time wins")
+    parser.add_argument("--output", default="BENCH_wallclock.json")
+    args = parser.parse_args()
+
+    size = args.size or ("tiny" if args.quick else "small")
+    repeat = args.repeat or (1 if args.quick else 3)
+    clear_compile_cache()
+
+    results = {}
+    total = 0.0
+    for name in suite.all_names():
+        entry = time_benchmark(name, size, repeat)
+        results[name] = entry
+        total += entry["seconds"]
+        print(f"{name:10s} {entry['seconds']:8.4f}s  "
+              f"vec={entry['launches_vectorized']:5d} "
+              f"interleaved={entry['launches_interleaved']:4d}")
+    print(f"{'TOTAL':10s} {total:8.4f}s")
+
+    report = {
+        "size": size,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "total_seconds": total,
+        "benchmarks": results,
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.compiler import CompilerOptions, compile_source
 from repro.interp import run_compiled, run_sequential
+from repro.runtime.profiler import CTR_LAUNCH_INTERLEAVED, CTR_LAUNCH_VECTORIZED
 
 
 def check(mod_name: str, size: str = "tiny") -> None:
@@ -33,16 +34,19 @@ def check(mod_name: str, size: str = "tiny") -> None:
                 print("    ref:", np.asarray(ref).ravel()[:8])
                 print("    got:", np.asarray(got).ravel()[:8])
         kplans = compiled.kernels
-        priv = sum(1 for p in kplans.values() if p.private_decls and any(
-            v not in () for v in p.private_decls))
+        priv = sum(1 for p in kplans.values() if p.private_decls)
         red = sum(1 for p in kplans.values() if p.reductions)
         if variant == "OPTIMIZED":
-            print(f"  kernels={len(kplans)} with-private-clause="
+            print(f"  kernels={len(kplans)} with-private={priv} "
+                  f"with-private-clause="
                   f"{sum(1 for r in compiled.regions.compute if r.directive.clause('private'))} "
                   f"with-reduction={red} warnings={compiled.warnings}")
+        counters = acc.runtime.profiler.counters
         xfer = acc.runtime.device.total_transferred_bytes()
         print(f"  {variant}: transferred {xfer} bytes, "
-              f"{len(acc.runtime.transfer_log)} transfers")
+              f"{len(acc.runtime.transfer_log)} transfers, "
+              f"launches vec={counters.get(CTR_LAUNCH_VECTORIZED, 0)} "
+              f"interleaved={counters.get(CTR_LAUNCH_INTERLEAVED, 0)}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,18 @@ Pipeline (driven by :mod:`repro.compiler.driver`):
 6. demotion + resultcomp (optional) — §III-A kernel verification transform.
 """
 
-from repro.compiler.driver import CompiledProgram, CompilerOptions, compile_source
+from repro.compiler.driver import (
+    CompiledProgram,
+    CompilerOptions,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_source,
+)
 
-__all__ = ["CompiledProgram", "CompilerOptions", "compile_source"]
+__all__ = [
+    "CompiledProgram",
+    "CompilerOptions",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_source",
+]

@@ -41,6 +41,9 @@ class DeviceConfig:
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
     schedule: Schedule = field(default_factory=Schedule.round_robin)
     max_kernel_steps: int = 50_000_000
+    # Vectorized fast path for race-free launches (repro.device.vectorize);
+    # False forces every launch onto the interleaved stepper.
+    vectorize: bool = True
 
 
 class Device:
@@ -49,7 +52,8 @@ class Device:
     def __init__(self, config: Optional[DeviceConfig] = None):
         self.config = config or DeviceConfig()
         self.mem = DeviceMemory(self.config.capacity_bytes)
-        self.engine = KernelEngine(self.config.max_kernel_steps)
+        self.engine = KernelEngine(self.config.max_kernel_steps,
+                                   vectorize=self.config.vectorize)
         self.events: List[DeviceEvent] = []
         self.bytes_h2d = 0
         self.bytes_d2h = 0

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.device.bytecode import Branch, Dump, Jump, Program, Simple, TmpEval, TmpStore
 from repro.device.reduction import identity, tree_reduce
+from repro.device import vectorize
 from repro.errors import DeviceError, InterpError
 from repro.lang import semantics
 from repro.lang.ctypes import Scalar
@@ -100,12 +101,14 @@ class LaunchSpec:
 
 class LaunchResult:
     def __init__(self, name: str, total_steps: int, max_thread_steps: int,
-                 reductions: Dict[str, object], shared_final: Dict[str, object]):
+                 reductions: Dict[str, object], shared_final: Dict[str, object],
+                 backend: str = "interleaved"):
         self.name = name
         self.total_steps = total_steps
         self.max_thread_steps = max_thread_steps
         self.reductions = reductions
         self.shared_final = shared_final
+        self.backend = backend  # "vectorized" | "interleaved"
 
     def __repr__(self):
         return f"LaunchResult({self.name}: {self.total_steps} steps)"
@@ -175,13 +178,39 @@ class _ThreadEnv:
 
 
 class KernelEngine:
-    """Executes launch specs under a schedule."""
+    """Executes launch specs under a schedule.
 
-    def __init__(self, max_total_steps: int = 50_000_000):
+    Race-free launches take the vectorized fast path
+    (:mod:`repro.device.vectorize`) unless ``vectorize=False`` or the
+    schedule is ``random`` (an ablation that explicitly asks for stochastic
+    interleaving).  Everything race-revealing — and anything the vector
+    backend bails out of at runtime — runs on the interleaved stepper.
+    """
+
+    def __init__(self, max_total_steps: int = 50_000_000, vectorize: bool = True):
         self.max_total_steps = max_total_steps
+        self.vectorize = vectorize
 
     def launch(self, spec: LaunchSpec, schedule: Optional[Schedule] = None) -> LaunchResult:
         schedule = schedule or Schedule.round_robin()
+        if self.vectorize and schedule.kind != Schedule.RANDOM:
+            plan = vectorize.plan_for(spec)
+            if plan is not None:
+                try:
+                    total, max_steps, reductions = vectorize.execute(
+                        spec, plan, self.max_total_steps
+                    )
+                    return LaunchResult(
+                        spec.name, total, max_steps, reductions, {},
+                        backend="vectorized",
+                    )
+                except DeviceError:
+                    raise
+                except Exception:
+                    # Anything the vector backend cannot reproduce exactly:
+                    # scratch copies were discarded, so the interleaved
+                    # stepper below sees pristine device memory.
+                    pass
         shared: Dict[str, object] = dict(spec.scalars)
         for name, init in spec.cached_vars.items():
             shared.setdefault(name, init)

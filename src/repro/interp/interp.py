@@ -196,10 +196,15 @@ class Interp:
                 loop_var = _loop_var_name(stmt)
             if tracker is not None and loop_var is not None:
                 tracker.push_context(loop_var, 0)
+            # Hoist the per-iteration closures out of the hot loop (one
+            # cache lookup per loop instead of one per iteration).
+            env = self.env
+            cond_fn = semantics.compile_expr(stmt.cond) if stmt.cond is not None else None
+            step_fn = semantics.compile_stmt(stmt.step) if stmt.step is not None else None
             iteration = 0
             while True:
                 self._tick()
-                if stmt.cond is not None and not semantics.evaluate(stmt.cond, self.env):
+                if cond_fn is not None and not cond_fn(env):
                     break
                 if tracker is not None and loop_var is not None:
                     tracker.set_context_iteration(iteration)
@@ -209,8 +214,8 @@ class Interp:
                     break
                 except _Continue:
                     pass
-                if stmt.step is not None:
-                    semantics.exec_simple(stmt.step, self.env)
+                if step_fn is not None:
+                    step_fn(env)
                     self._tick()
                 iteration += 1
         finally:
@@ -219,9 +224,10 @@ class Interp:
             self.env.pop_scope()
 
     def _exec_while(self, stmt: ast.While) -> None:
+        cond_fn = semantics.compile_expr(stmt.cond)
         while True:
             self._tick()
-            if not semantics.evaluate(stmt.cond, self.env):
+            if not cond_fn(self.env):
                 break
             try:
                 self.exec_stmt(stmt.body)

@@ -12,9 +12,15 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 
 class Node:
-    """Base class for all AST nodes."""
+    """Base class for all AST nodes.
 
-    __slots__ = ("line",)
+    ``__weakref__`` lets the compiled-expression cache in
+    :mod:`repro.lang.semantics` key closures by node without pinning trees
+    in memory (entries die with the AST, so caches never leak across
+    programs).
+    """
+
+    __slots__ = ("line", "__weakref__")
     _fields: Tuple[str, ...] = ()
 
     def __init__(self, line: int = 0):

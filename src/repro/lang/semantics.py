@@ -11,11 +11,22 @@ over an *environment* object providing name resolution and stores:
 Array element access goes through the numpy array returned by ``load`` so
 float32 truncation happens naturally on store.  Integer division and modulo
 follow C (truncation toward zero), not Python (floor).
+
+Expressions and simple statements are *compiled once* per AST node into
+Python closures (:func:`compile_expr` / :func:`compile_stmt`) and the
+closure is reused on every subsequent evaluation — the host interpreter and
+the device stepper both go through this cache, which removes the per-visit
+type dispatch that dominated interpretation cost.  The cache is keyed by
+node identity in a :class:`weakref.WeakKeyDictionary`, so entries die with
+the AST they belong to and never leak between programs.  Compiler passes
+clone nodes they rewrite (they never mutate expression fields in place), so
+a cached closure can never go stale.
 """
 
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Callable, Dict, Sequence
 
 import numpy as np
@@ -62,93 +73,245 @@ _BINOPS: Dict[str, Callable] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Compiled-expression cache
+# ---------------------------------------------------------------------------
+
+_EXPR_CACHE: "weakref.WeakKeyDictionary[ast.Expr, Callable]" = weakref.WeakKeyDictionary()
+_STMT_CACHE: "weakref.WeakKeyDictionary[ast.Stmt, Callable]" = weakref.WeakKeyDictionary()
+_STORE_CACHE: "weakref.WeakKeyDictionary[ast.Expr, Callable]" = weakref.WeakKeyDictionary()
+_CACHE_STATS = {"expr_hits": 0, "expr_misses": 0, "stmt_hits": 0, "stmt_misses": 0}
+
+
+def expr_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current cache sizes (diagnostics)."""
+    stats = dict(_CACHE_STATS)
+    stats["expr_entries"] = len(_EXPR_CACHE)
+    stats["stmt_entries"] = len(_STMT_CACHE)
+    return stats
+
+
+def clear_expr_cache() -> None:
+    """Drop every cached closure (tests; normally unnecessary — entries are
+    weakly keyed and die with their AST)."""
+    _EXPR_CACHE.clear()
+    _STMT_CACHE.clear()
+    _STORE_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def compile_expr(expr: ast.Expr) -> Callable:
+    """Closure for ``expr``: ``fn(env) -> value``.  Compiled once per node."""
+    fn = _EXPR_CACHE.get(expr)
+    if fn is None:
+        _CACHE_STATS["expr_misses"] += 1
+        fn = _compile_expr(expr)
+        _EXPR_CACHE[expr] = fn
+    else:
+        _CACHE_STATS["expr_hits"] += 1
+    return fn
+
+
+def compile_store(target: ast.Expr) -> Callable:
+    """Closure for an lvalue: ``fn(value, env) -> None``."""
+    fn = _STORE_CACHE.get(target)
+    if fn is None:
+        fn = _compile_store(target)
+        _STORE_CACHE[target] = fn
+    return fn
+
+
+def compile_stmt(stmt: ast.Stmt) -> Callable:
+    """Closure for a simple statement (Assign / VarDecl / ExprStmt):
+    ``fn(env) -> None``."""
+    fn = _STMT_CACHE.get(stmt)
+    if fn is None:
+        _CACHE_STATS["stmt_misses"] += 1
+        fn = _compile_stmt(stmt)
+        _STMT_CACHE[stmt] = fn
+    else:
+        _CACHE_STATS["stmt_hits"] += 1
+    return fn
+
+
 def evaluate(expr: ast.Expr, env) -> object:
     """Evaluate an expression against an environment."""
+    return compile_expr(expr)(env)
+
+
+def assign(target: ast.Expr, value, env) -> None:
+    """Store ``value`` into an lvalue."""
+    compile_store(target)(value, env)
+
+
+def exec_simple(stmt: ast.Stmt, env) -> None:
+    """Execute one simple statement (Assign / VarDecl / ExprStmt)."""
+    compile_stmt(stmt)(env)
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+def _compile_expr(expr: ast.Expr) -> Callable:
     kind = type(expr)
-    if kind is ast.IntLit:
-        return expr.value
-    if kind is ast.FloatLit:
-        return expr.value
-    if kind is ast.StrLit:
-        return expr.value
+    if kind in (ast.IntLit, ast.FloatLit, ast.StrLit):
+        value = expr.value
+        return lambda env: value
     if kind is ast.Name:
-        return env.load(expr.id)
+        name = expr.id
+        return lambda env: env.load(name)
     if kind is ast.Subscript:
-        array, indices = _resolve_subscript(expr, env)
-        try:
-            value = array[indices]
-        except (IndexError, TypeError) as exc:
-            raise InterpError(f"bad subscript on line {expr.line}: {exc}") from exc
-        return value.item() if isinstance(value, np.generic) else value
+        return _compile_subscript_load(expr)
     if kind is ast.Call:
-        args = [evaluate(a, env) for a in expr.args]
-        return env.call(expr.func, args)
+        func = expr.func
+        arg_fns = [compile_expr(a) for a in expr.args]
+        return lambda env: env.call(func, [fn(env) for fn in arg_fns])
     if kind is ast.Unary:
-        return _eval_unary(expr, env)
+        return _compile_unary(expr)
     if kind is ast.Binary:
-        op = expr.op
-        if op == "&&":
-            return int(bool(evaluate(expr.left, env)) and bool(evaluate(expr.right, env)))
-        if op == "||":
-            return int(bool(evaluate(expr.left, env)) or bool(evaluate(expr.right, env)))
-        left = evaluate(expr.left, env)
-        right = evaluate(expr.right, env)
-        try:
-            return _BINOPS[op](left, right)
-        except KeyError:
-            raise InterpError(f"unknown operator {op!r}")
+        return _compile_binary(expr)
     if kind is ast.Ternary:
-        if evaluate(expr.cond, env):
-            return evaluate(expr.then, env)
-        return evaluate(expr.other, env)
+        cond = compile_expr(expr.cond)
+        then = compile_expr(expr.then)
+        other = compile_expr(expr.other)
+        return lambda env: then(env) if cond(env) else other(env)
     if kind is ast.Cast:
-        value = evaluate(expr.operand, env)
+        operand = compile_expr(expr.operand)
         ctype = expr.ctype
         if isinstance(ctype, Scalar):
             if ctype.is_integer:
-                return int(value)
-            return ctype.dtype(value).item()
-        return value
-    raise InterpError(f"cannot evaluate {type(expr).__name__}")
+                return lambda env: int(operand(env))
+            dtype = ctype.dtype
+            return lambda env: dtype(operand(env)).item()
+        return operand
+    raise InterpError(f"cannot evaluate {kind.__name__}")
 
 
-def _eval_unary(expr: ast.Unary, env):
+def _compile_binary(expr: ast.Binary) -> Callable:
+    op = expr.op
+    left = compile_expr(expr.left)
+    right = compile_expr(expr.right)
+    if op == "&&":
+        return lambda env: int(bool(left(env)) and bool(right(env)))
+    if op == "||":
+        return lambda env: int(bool(left(env)) or bool(right(env)))
+    try:
+        fn = _BINOPS[op]
+    except KeyError:
+        raise InterpError(f"unknown operator {op!r}")
+    return lambda env: fn(left(env), right(env))
+
+
+def _compile_unary(expr: ast.Unary) -> Callable:
     op = expr.op
     if op in ("++", "--", "p++", "p--"):
-        old = evaluate(expr.operand, env)
+        operand = compile_expr(expr.operand)
+        store = compile_store(expr.operand)
         delta = 1 if "+" in op else -1
-        assign(expr.operand, old + delta, env)
-        return old if op in ("++", "--") else old + delta
-    value = evaluate(expr.operand, env)
+        if op in ("++", "--"):
+            def pre(env):
+                old = operand(env)
+                store(old + delta, env)
+                return old
+            return pre
+
+        def post(env):
+            new = operand(env) + delta
+            store(new, env)
+            return new
+        return post
+    operand = compile_expr(expr.operand)
     if op == "-":
-        return -value
+        return lambda env: -operand(env)
     if op == "!":
-        return int(not value)
+        return lambda env: int(not operand(env))
     if op == "~":
-        return ~int(value)
+        return lambda env: ~int(operand(env))
     if op == "*":
-        # Deref: pointers are numpy arrays; *p means p[0].
-        if isinstance(value, np.ndarray):
-            return value.flat[0].item()
-        raise InterpError("dereference of non-pointer value")
+        def deref(env):
+            # Deref: pointers are numpy arrays; *p means p[0].
+            value = operand(env)
+            if isinstance(value, np.ndarray):
+                return value.flat[0].item()
+            raise InterpError("dereference of non-pointer value")
+        return deref
     if op == "&":
-        # Address-of an array/lvalue yields the backing array.
         base = ast.base_name(expr.operand)
         if base is not None:
-            return env.load(base)
-        raise InterpError("cannot take address of expression")
+            name = base
+
+            def addr(env):
+                # Address-of an array/lvalue yields the backing array.  The
+                # operand is still evaluated (so &a[i] bounds-checks a[i]).
+                operand(env)
+                return env.load(name)
+            return addr
+
+        def bad_addr(env):
+            operand(env)
+            raise InterpError("cannot take address of expression")
+        return bad_addr
     raise InterpError(f"unknown unary operator {op!r}")
+
+
+def _subscript_parts(expr: ast.Subscript):
+    """Base-expression closure plus index closures in *evaluation* order
+    (outermost subscript first, matching the historical resolver; the
+    computed indices are reversed before use)."""
+    index_fns = []
+    node: ast.Expr = expr
+    while isinstance(node, ast.Subscript):
+        index_fns.append(compile_expr(node.index))
+        node = node.base
+    return compile_expr(node), index_fns
+
+
+def _compile_subscript_load(expr: ast.Subscript) -> Callable:
+    base, index_fns = _subscript_parts(expr)
+    line = expr.line
+    root = ast.base_name(expr)
+
+    if len(index_fns) == 1:
+        index = index_fns[0]
+
+        def load1(env):
+            i = int(index(env))
+            array = base(env)
+            if not isinstance(array, np.ndarray):
+                raise InterpError(
+                    f"subscript of non-array value ({root!r}) on line {line}"
+                )
+            try:
+                value = array[i]
+            except (IndexError, TypeError) as exc:
+                raise InterpError(f"bad subscript on line {line}: {exc}") from exc
+            return value.item() if isinstance(value, np.generic) else value
+        return load1
+
+    def load(env):
+        indices = [int(fn(env)) for fn in index_fns]
+        indices.reverse()
+        array = base(env)
+        if not isinstance(array, np.ndarray):
+            raise InterpError(
+                f"subscript of non-array value ({root!r}) on line {line}"
+            )
+        try:
+            value = array[tuple(indices)]
+        except (IndexError, TypeError) as exc:
+            raise InterpError(f"bad subscript on line {line}: {exc}") from exc
+        return value.item() if isinstance(value, np.generic) else value
+    return load
 
 
 def _resolve_subscript(expr: ast.Subscript, env):
     """Return (numpy array, index tuple) for possibly-nested subscripts."""
-    indices = []
-    node: ast.Expr = expr
-    while isinstance(node, ast.Subscript):
-        indices.append(int(evaluate(node.index, env)))
-        node = node.base
+    base, index_fns = _subscript_parts(expr)
+    indices = [int(fn(env)) for fn in index_fns]
     indices.reverse()
-    array = evaluate(node, env)
+    array = base(env)
     if not isinstance(array, np.ndarray):
         raise InterpError(
             f"subscript of non-array value ({ast.base_name(expr)!r}) on line {expr.line}"
@@ -156,44 +319,98 @@ def _resolve_subscript(expr: ast.Subscript, env):
     return array, tuple(indices)
 
 
-def assign(target: ast.Expr, value, env) -> None:
-    """Store ``value`` into an lvalue."""
+# ---------------------------------------------------------------------------
+# Store (lvalue) compilation
+# ---------------------------------------------------------------------------
+
+def _compile_store(target: ast.Expr) -> Callable:
     if isinstance(target, ast.Name):
-        env.store(target.id, value)
-        return
+        name = target.id
+        return lambda value, env: env.store(name, value)
     if isinstance(target, ast.Subscript):
-        array, indices = _resolve_subscript(target, env)
-        try:
-            array[indices] = value
-        except (IndexError, TypeError, ValueError) as exc:
-            raise InterpError(f"bad store on line {target.line}: {exc}") from exc
-        return
+        base, index_fns = _subscript_parts(target)
+        line = target.line
+        root = ast.base_name(target)
+
+        if len(index_fns) == 1:
+            index = index_fns[0]
+
+            def store1(value, env):
+                i = int(index(env))
+                array = base(env)
+                if not isinstance(array, np.ndarray):
+                    raise InterpError(
+                        f"subscript of non-array value ({root!r}) on line {line}"
+                    )
+                try:
+                    array[i] = value
+                except (IndexError, TypeError, ValueError) as exc:
+                    raise InterpError(f"bad store on line {line}: {exc}") from exc
+            return store1
+
+        def store(value, env):
+            indices = [int(fn(env)) for fn in index_fns]
+            indices.reverse()
+            array = base(env)
+            if not isinstance(array, np.ndarray):
+                raise InterpError(
+                    f"subscript of non-array value ({root!r}) on line {line}"
+                )
+            try:
+                array[tuple(indices)] = value
+            except (IndexError, TypeError, ValueError) as exc:
+                raise InterpError(f"bad store on line {line}: {exc}") from exc
+        return store
     if isinstance(target, ast.Unary) and target.op == "*":
-        pointee = evaluate(target.operand, env)
-        if isinstance(pointee, np.ndarray):
-            pointee.flat[0] = value
-            return
-        raise InterpError("store through non-pointer value")
-    raise InterpError(f"cannot assign to {type(target).__name__}")
+        pointee_fn = compile_expr(target.operand)
+
+        def store_deref(value, env):
+            pointee = pointee_fn(env)
+            if isinstance(pointee, np.ndarray):
+                pointee.flat[0] = value
+                return
+            raise InterpError("store through non-pointer value")
+        return store_deref
+
+    def bad(value, env):
+        raise InterpError(f"cannot assign to {type(target).__name__}")
+    return bad
 
 
-def exec_simple(stmt: ast.Stmt, env) -> None:
-    """Execute one simple statement (Assign / VarDecl / ExprStmt)."""
+# ---------------------------------------------------------------------------
+# Simple-statement compilation
+# ---------------------------------------------------------------------------
+
+def _compile_stmt(stmt: ast.Stmt) -> Callable:
     if isinstance(stmt, ast.Assign):
-        value = evaluate(stmt.value, env)
+        value_fn = compile_expr(stmt.value)
+        store = compile_store(stmt.target)
         if stmt.op:
-            old = evaluate(stmt.target, env)
-            value = _BINOPS[stmt.op](old, value)
-        assign(stmt.target, value, env)
-    elif isinstance(stmt, ast.VarDecl):
+            old_fn = compile_expr(stmt.target)
+            op_fn = _BINOPS[stmt.op]
+
+            def aug(env):
+                value = value_fn(env)
+                store(op_fn(old_fn(env), value), env)
+            return aug
+        return lambda env: store(value_fn(env), env)
+    if isinstance(stmt, ast.VarDecl):
+        name = stmt.name
+        ctype = stmt.ctype
         if stmt.init is not None:
-            env.declare(stmt.name, stmt.ctype, evaluate(stmt.init, env))
-        else:
-            env.declare(stmt.name, stmt.ctype, None)
-    elif isinstance(stmt, ast.ExprStmt):
-        evaluate(stmt.expr, env)
-    else:
+            init_fn = compile_expr(stmt.init)
+            return lambda env: env.declare(name, ctype, init_fn(env))
+        return lambda env: env.declare(name, ctype, None)
+    if isinstance(stmt, ast.ExprStmt):
+        expr_fn = compile_expr(stmt.expr)
+
+        def run(env):
+            expr_fn(env)
+        return run
+
+    def bad(env):
         raise InterpError(f"not a simple statement: {type(stmt).__name__}")
+    return bad
 
 
 class Builtins:

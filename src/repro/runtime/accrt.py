@@ -27,6 +27,8 @@ from repro.runtime.profiler import (
     CAT_MEM_FREE,
     CAT_RESULT_COMP,
     CAT_TRANSFER,
+    CTR_LAUNCH_INTERLEAVED,
+    CTR_LAUNCH_VECTORIZED,
     Profiler,
 )
 from repro.runtime.queues import AsyncQueues
@@ -160,6 +162,10 @@ class AccRuntime:
     def launch(self, spec: LaunchSpec, queue: Optional[int] = None,
                schedule: Optional[Schedule] = None) -> LaunchResult:
         result = self.device.launch(spec, schedule=schedule, async_queue=queue)
+        self.profiler.count(
+            CTR_LAUNCH_VECTORIZED if result.backend == "vectorized"
+            else CTR_LAUNCH_INTERLEAVED
+        )
         seconds = self.device.config.costs.kernel_time(result.total_steps)
         if queue is None:
             self.profiler.spend(CAT_KERNEL, seconds)

@@ -21,6 +21,14 @@ CAT_CPU = "CPU Time"
 CAT_KERNEL = "GPU Kernel"
 CAT_CHECK = "Coherence-Check"
 
+# Counter names (Profiler.count) for the execution-backend split: how many
+# kernel launches ran on the vectorized fast path vs. the interleaved
+# stepper.  Modeled time is identical either way; the split is a wall-clock
+# diagnostic and lets tests assert that race-revealing launches (Table II
+# fault injection) really took the interleaved path.
+CTR_LAUNCH_VECTORIZED = "launch.vectorized"
+CTR_LAUNCH_INTERLEAVED = "launch.interleaved"
+
 ALL_CATEGORIES = (
     CAT_MEM_FREE,
     CAT_MEM_ALLOC,

@@ -1,0 +1,87 @@
+"""``compile_source`` memoization: identity on hits, isolation across options."""
+
+from repro.compiler import (
+    CompilerOptions,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_source,
+)
+from repro.compiler.driver import _COMPILE_CACHE_MAX
+
+SOURCE = """
+void main() {
+    double a[8];
+    double b[8];
+    #pragma acc kernels loop
+    for (int i = 0; i < 8; i++) {
+        a[i] = b[i] * 2.0;
+    }
+}
+"""
+
+OTHER = SOURCE.replace("2.0", "3.0")
+
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestMemoization:
+    def test_same_source_same_options_returns_same_object(self):
+        first = compile_source(SOURCE)
+        second = compile_source(SOURCE)
+        assert first is second
+
+    def test_equal_options_objects_share_entry(self):
+        first = compile_source(SOURCE, CompilerOptions())
+        second = compile_source(SOURCE, CompilerOptions())
+        assert first is second
+
+    def test_different_source_distinct_entry(self):
+        assert compile_source(SOURCE) is not compile_source(OTHER)
+
+    def test_different_options_distinct_entry(self):
+        plain = compile_source(SOURCE, CompilerOptions())
+        no_priv = compile_source(SOURCE, CompilerOptions(auto_privatize=False))
+        assert plain is not no_priv
+        # And each key keeps returning its own object.
+        assert compile_source(SOURCE, CompilerOptions()) is plain
+        assert compile_source(SOURCE, CompilerOptions(auto_privatize=False)) is no_priv
+
+    def test_every_option_field_participates_in_key(self):
+        base = compile_source(SOURCE, CompilerOptions())
+        for field in CompilerOptions().__dict__:
+            if field == "main_function":
+                continue  # no other entry point in SOURCE
+            flipped = CompilerOptions(**{field: not getattr(CompilerOptions(), field)})
+            assert compile_source(SOURCE, flipped) is not base, field
+
+
+class TestStatsAndClear:
+    def test_stats_track_hits_and_misses(self):
+        stats = compile_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+        compile_source(SOURCE)
+        compile_source(SOURCE)
+        compile_source(OTHER)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 1
+        assert stats["entries"] == 2
+
+    def test_clear_resets_entries_and_identity(self):
+        first = compile_source(SOURCE)
+        clear_compile_cache()
+        assert compile_cache_stats()["entries"] == 0
+        assert compile_source(SOURCE) is not first
+
+    def test_cache_is_bounded(self):
+        for i in range(_COMPILE_CACHE_MAX + 5):
+            compile_source(SOURCE.replace("2.0", f"{i}.0"))
+        assert compile_cache_stats()["entries"] <= _COMPILE_CACHE_MAX

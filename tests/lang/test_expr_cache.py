@@ -1,0 +1,93 @@
+"""Compiled-expression cache: keyed per AST node, weakly held, no leaks."""
+
+import gc
+
+import numpy as np
+
+from repro.lang import parse_program
+from repro.lang import semantics
+from repro.lang.parser import parse_expression
+
+
+class _Env:
+    """Minimal environment: dict-backed load/store."""
+
+    def __init__(self, **vals):
+        self.vals = dict(vals)
+
+    def load(self, name):
+        return self.vals[name]
+
+    def store(self, name, value):
+        self.vals[name] = value
+
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    semantics.clear_expr_cache()
+    yield
+    semantics.clear_expr_cache()
+
+
+class TestPerNodeKeying:
+    def test_same_node_compiles_once(self):
+        expr = parse_expression("x + 1")
+        fn1 = semantics.compile_expr(expr)
+        fn2 = semantics.compile_expr(expr)
+        assert fn1 is fn2
+        stats = semantics.expr_cache_stats()
+        assert stats["expr_hits"] >= 1
+
+    def test_structurally_equal_nodes_get_distinct_entries(self):
+        # Identity keying: two parses of the same text are different programs
+        # and must never share closures (line numbers, future mutation).
+        a = parse_expression("x * 2 + y")
+        b = parse_expression("x * 2 + y")
+        assert semantics.compile_expr(a) is not semantics.compile_expr(b)
+
+    def test_evaluate_uses_cache(self):
+        expr = parse_expression("a[i] + 1.0")
+        env = _Env(a=np.arange(4.0), i=2)
+        assert semantics.evaluate(expr, env) == 3.0
+        after_first = semantics.expr_cache_stats()["expr_misses"]
+        assert semantics.evaluate(expr, env) == 3.0
+        after_second = semantics.expr_cache_stats()
+        # Sub-closures are composed at compile time, so the second evaluation
+        # compiles nothing: the cached top-level closure does all the work.
+        assert after_second["expr_misses"] == after_first
+        assert after_second["expr_hits"] >= 1
+
+
+class TestNoLeaksBetweenPrograms:
+    def test_entries_die_with_their_ast(self):
+        semantics.clear_expr_cache()
+        prog = parse_program("void main() { int x; x = 1 + 2; }")
+        assign = prog.func("main").body.body[1]
+        semantics.compile_stmt(assign)
+        semantics.compile_expr(assign.value)
+        assert semantics.expr_cache_stats()["expr_entries"] >= 1
+        assert semantics.expr_cache_stats()["stmt_entries"] >= 1
+        del prog, assign
+        gc.collect()
+        stats = semantics.expr_cache_stats()
+        assert stats["expr_entries"] == 0
+        assert stats["stmt_entries"] == 0
+
+    def test_two_programs_do_not_share_closures(self):
+        p1 = parse_program("void main() { int x; x = 40 + 2; }")
+        p2 = parse_program("void main() { int x; x = 40 + 2; }")
+        e1 = p1.func("main").body.body[1].value
+        e2 = p2.func("main").body.body[1].value
+        assert semantics.compile_expr(e1) is not semantics.compile_expr(e2)
+
+    def test_clear_expr_cache_resets_everything(self):
+        expr = parse_expression("1 + 2")
+        semantics.compile_expr(expr)
+        semantics.clear_expr_cache()
+        stats = semantics.expr_cache_stats()
+        assert stats["expr_entries"] == 0
+        assert stats["expr_hits"] == 0
+        assert stats["expr_misses"] == 0
