@@ -23,8 +23,27 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.compiler import CompilerOptions, compile_source
+from repro.errors import ReproError, error_stage
 from repro.interp import run_compiled, run_sequential
 from repro.lang import parse_program, to_source
+
+
+def _chaos_plan(args):
+    """Build a FaultPlan from --chaos-seed/--chaos-spec (None when neither
+    flag was given)."""
+    seed = getattr(args, "chaos_seed", None)
+    spec_text = getattr(args, "chaos_spec", None)
+    if seed is None and spec_text is None:
+        return None
+    from repro.runtime.chaos import FaultPlan, FaultSpec
+
+    seed = 0 if seed is None else seed
+    try:
+        spec = (FaultSpec.parse(spec_text, seed=seed) if spec_text
+                else FaultSpec.default(seed=seed))
+    except ValueError as err:
+        raise SystemExit(f"bad --chaos-spec: {err}")
+    return FaultPlan(spec)
 
 
 def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
@@ -78,11 +97,19 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     compiled = _load(args.file, args)
     params = _parse_params(args.param)
-    run = run_compiled(compiled, params=params)
+    plan = _chaos_plan(args)
+    runtime = None
+    if plan is not None:
+        from repro.runtime.accrt import AccRuntime
+
+        runtime = AccRuntime(chaos=plan)
+    run = run_compiled(compiled, params=params, runtime=runtime)
     for line in run.env.stdout:
         sys.stdout.write(line)
     profiler = run.runtime.profiler
     device = run.runtime.device
+    if plan is not None:
+        print(f"\n-- {plan.summary()}")
     print(f"\n-- modeled time: {profiler.total() * 1e3:.3f} ms")
     print(f"-- transfers: {len(run.runtime.transfer_log)} "
           f"({device.total_transferred_bytes()} bytes)")
@@ -169,10 +196,30 @@ def cmd_experiments(args) -> int:
         if args.which == "all"
         else [args.which]
     )
-    for name in names:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        module.main(size=args.size)
-        print()
+    plan = _chaos_plan(args)
+    if plan is None:
+        for name in names:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            module.main(size=args.size)
+            print()
+        return 0
+    # One shared plan: the fault budget spans every experiment in the list.
+    # fig1 takes it directly (isolated sweep); the rest pick it up through
+    # the harness default.
+    from repro.experiments import harness
+
+    harness.set_default_chaos(plan)
+    try:
+        for name in names:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            if name == "fig1":
+                module.main(size=args.size, chaos=plan)
+            else:
+                module.main(size=args.size)
+            print()
+    finally:
+        harness.set_default_chaos(None)
+    print(plan.summary())
     return 0
 
 
@@ -196,12 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-source", action="store_true")
     p.set_defaults(func=cmd_compile)
 
+    def add_chaos(p):
+        p.add_argument("--chaos-seed", type=int, metavar="N",
+                       help="enable deterministic fault injection with this seed")
+        p.add_argument("--chaos-spec", metavar="KIND=RATE,...",
+                       help='fault kinds and rates, e.g. "alloc=0.05,transfer.corrupt=0.1" '
+                            "(implies --chaos-seed 0 when the seed is omitted)")
+
     p = sub.add_parser("run", help="execute on the simulated GPU")
     add_common(p)
     p.add_argument("--compare-sequential", action="store_true",
                    help="also run sequentially and compare all globals "
                         "(device-scratch arrays never copied out will "
                         "legitimately differ)")
+    add_chaos(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("verify", help="kernel verification (paper §III-A)")
@@ -226,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("which", choices=["fig1", "fig3", "fig4", "table2", "table3", "all"])
     p.add_argument("--size", default="small", choices=["tiny", "small", "large"])
+    add_chaos(p)
     p.set_defaults(func=cmd_experiments)
 
     return parser
@@ -235,6 +291,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as err:
+        # One structured line instead of a traceback: the failing stage and
+        # the message (source errors already carry their line:col).
+        sys.stderr.write(f"repro: error [{error_stage(err)}]: {err}\n")
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:

@@ -49,7 +49,7 @@ class DeviceConfig:
 class Device:
     """One simulated accelerator."""
 
-    def __init__(self, config: Optional[DeviceConfig] = None):
+    def __init__(self, config: Optional[DeviceConfig] = None, chaos=None):
         self.config = config or DeviceConfig()
         self.mem = DeviceMemory(self.config.capacity_bytes)
         self.engine = KernelEngine(self.config.max_kernel_steps,
@@ -57,6 +57,15 @@ class Device:
         self.events: List[DeviceEvent] = []
         self.bytes_h2d = 0
         self.bytes_d2h = 0
+        # Chaos FaultPlan (repro.runtime.chaos); None in normal operation.
+        self.chaos = None
+        if chaos is not None:
+            self.attach_chaos(chaos)
+
+    def attach_chaos(self, plan) -> None:
+        """Wire a chaos FaultPlan into every device-side injection point."""
+        self.chaos = plan
+        self.mem.chaos = plan
 
     # ------------------------------------------------------------------
     # Memory management
@@ -88,13 +97,17 @@ class Device:
             raise DeviceError(
                 f"h2d shape mismatch for '{dev.name}': host {host.shape} vs device {dev.data.shape}"
             )
+        fault, snapshot = self._transfer_fault(f"h2d:{dev.name}", dev.data)
         if section is None:
             np.copyto(dev.data, host, casting="same_kind")
             nbytes = dev.nbytes
+            sl = slice(0, dev.data.size)
         else:
             sl = self._section_slice(dev, section)
             dev.data.reshape(-1)[sl] = host.reshape(-1)[sl]
             nbytes = (sl.stop - sl.start) * dev.data.itemsize
+        if fault is not None:
+            self._damage_payload(dev.data, snapshot, fault, sl)
         seconds = self.config.costs.transfer_time(nbytes)
         self.bytes_h2d += nbytes
         self._log(DeviceEvent(EV_H2D, dev.name, nbytes=nbytes, seconds=seconds,
@@ -108,18 +121,48 @@ class Device:
             raise DeviceError(
                 f"d2h shape mismatch for '{dev.name}': host {host.shape} vs device {dev.data.shape}"
             )
+        fault, snapshot = self._transfer_fault(f"d2h:{dev.name}", host)
         if section is None:
             np.copyto(host, dev.data, casting="same_kind")
             nbytes = dev.nbytes
+            sl = slice(0, dev.data.size)
         else:
             sl = self._section_slice(dev, section)
             host.reshape(-1)[sl] = dev.data.reshape(-1)[sl]
             nbytes = (sl.stop - sl.start) * dev.data.itemsize
+        if fault is not None:
+            self._damage_payload(host, snapshot, fault, sl)
         seconds = self.config.costs.transfer_time(nbytes)
         self.bytes_d2h += nbytes
         self._log(DeviceEvent(EV_D2H, dev.name, nbytes=nbytes, seconds=seconds,
                               async_queue=async_queue))
         return seconds
+
+    def _transfer_fault(self, site: str, dest: np.ndarray):
+        """Consult the chaos plan before a copy.  An aborting fault raises
+        here, before any data moved; a damaging fault returns with a snapshot
+        of the destination so truncation can restore the un-arrived suffix."""
+        if self.chaos is None:
+            return None, None
+        fault = self.chaos.draw("transfer", site=site)
+        if fault is None:
+            return None, None
+        if fault.aborts:
+            raise fault.to_error("injected transient transfer failure")
+        return fault, dest.reshape(-1).copy()
+
+    @staticmethod
+    def _damage_payload(dest: np.ndarray, snapshot: np.ndarray, fault,
+                        sl: slice) -> None:
+        """Apply in-flight damage, restricted to the transferred range so the
+        caller's post-copy verification of that range is sufficient."""
+        from repro.runtime.chaos import corrupt_payload, truncate_payload
+
+        flat = dest.reshape(-1)[sl]
+        if fault.corrupts:
+            corrupt_payload(flat, fault)
+        elif fault.truncates:
+            truncate_payload(flat, snapshot[sl], fault)
 
     @staticmethod
     def _section_slice(dev, section: Tuple[int, int]) -> slice:
@@ -135,8 +178,18 @@ class Device:
     # Kernel execution
     # ------------------------------------------------------------------
     def launch(self, spec: LaunchSpec, schedule: Optional[Schedule] = None,
-               async_queue: Optional[int] = None) -> LaunchResult:
-        result = self.engine.launch(spec, schedule or self.config.schedule)
+               async_queue: Optional[int] = None,
+               backend: Optional[str] = None) -> LaunchResult:
+        """Run one kernel.  ``backend='interleaved'`` bypasses the vectorized
+        fast path (degradation ladder / diagnostics)."""
+        if self.chaos is not None:
+            fault = self.chaos.draw("launch", site=spec.name)
+            if fault is not None:
+                # Raised before the engine touches device memory, so callers
+                # may retry or degrade against pristine state.
+                raise fault.to_error("injected kernel-launch failure")
+        result = self.engine.launch(spec, schedule or self.config.schedule,
+                                    backend=backend)
         seconds = self.config.costs.kernel_time(result.total_steps)
         self._log(DeviceEvent(EV_LAUNCH, spec.name, steps=result.total_steps,
                               seconds=seconds, async_queue=async_queue))

@@ -26,7 +26,7 @@ import numpy as np
 from repro.device.bytecode import Branch, Dump, Jump, Program, Simple, TmpEval, TmpStore
 from repro.device.reduction import identity, tree_reduce
 from repro.device import vectorize
-from repro.errors import DeviceError, InterpError
+from repro.errors import DeviceError, InterpError, WatchdogTimeout
 from repro.lang import semantics
 from repro.lang.ctypes import Scalar
 
@@ -191,9 +191,13 @@ class KernelEngine:
         self.max_total_steps = max_total_steps
         self.vectorize = vectorize
 
-    def launch(self, spec: LaunchSpec, schedule: Optional[Schedule] = None) -> LaunchResult:
+    def launch(self, spec: LaunchSpec, schedule: Optional[Schedule] = None,
+               backend: Optional[str] = None) -> LaunchResult:
+        """``backend='interleaved'`` forces the stepper even for vectorizable
+        specs (degradation ladder / diagnostics); None picks automatically."""
         schedule = schedule or Schedule.round_robin()
-        if self.vectorize and schedule.kind != Schedule.RANDOM:
+        if (self.vectorize and backend != "interleaved"
+                and schedule.kind != Schedule.RANDOM):
             plan = vectorize.plan_for(spec)
             if plan is not None:
                 try:
@@ -340,7 +344,7 @@ class KernelEngine:
 
     def _check_budget(self, total: int, spec) -> None:
         if total > self.max_total_steps:
-            raise DeviceError(
-                f"kernel {spec.name!r} exceeded {self.max_total_steps} steps "
-                "(possible infinite loop in kernel body)"
+            raise WatchdogTimeout(
+                f"watchdog: kernel {spec.name!r} exceeded {self.max_total_steps} "
+                "steps (possible infinite loop in kernel body)"
             )

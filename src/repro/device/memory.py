@@ -38,16 +38,25 @@ class Allocation:
 class DeviceMemory:
     """Handle-table allocator with a capacity limit."""
 
-    def __init__(self, capacity_bytes: int = 6 * 1024**3):
+    def __init__(self, capacity_bytes: int = 6 * 1024**3, chaos=None):
         self.capacity = capacity_bytes
         self.used = 0
         self._table: Dict[int, Allocation] = {}
         self._next_handle = 1
         self.alloc_count = 0
         self.free_count = 0
+        # Optional chaos FaultPlan (repro.runtime.chaos), attached by the
+        # runtime; consulted before each allocation.
+        self.chaos = chaos
 
     def alloc(self, name: str, shape: Tuple[int, ...], dtype) -> Allocation:
         """Allocate a zero-initialized device buffer."""
+        if self.chaos is not None:
+            fault = self.chaos.draw("alloc", site=name)
+            if fault is not None:
+                raise fault.to_error(
+                    f"injected device OOM allocating buffer '{name}'"
+                )
         data = np.zeros(shape, dtype=dtype)
         if self.used + data.nbytes > self.capacity:
             raise DeviceMemoryError(

@@ -41,10 +41,18 @@ class CostModel:
     compare_elem_s: float = 1e-6
     # One coherence check call (§III-B instrumentation, Figure 4 overhead).
     check_call_s: float = 120e-9
+    # Base delay before re-issuing an operation that hit a transient fault
+    # (doubles per attempt; see CostModel.backoff_time).  Modeled time, like
+    # everything else here — the retry layer charges it to the profiler.
+    retry_backoff_s: float = 100e-6
 
     def transfer_time(self, nbytes: int) -> float:
         """h2d / d2h transfer of ``nbytes``."""
         return self.transfer_latency_s + nbytes / self.transfer_bandwidth_Bps
+
+    def backoff_time(self, attempt: int) -> float:
+        """Exponential backoff before retry number ``attempt`` (0-based)."""
+        return self.retry_backoff_s * (2 ** attempt)
 
     def kernel_time(self, total_steps: int) -> float:
         """Device time for a launch that executed ``total_steps`` VM steps."""

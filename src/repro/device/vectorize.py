@@ -56,7 +56,7 @@ import numpy as np
 
 from repro.device.bytecode import Branch, Dump, Jump, Program, Simple, TmpEval, TmpStore
 from repro.device.reduction import identity, tree_reduce
-from repro.errors import DeviceError
+from repro.errors import WatchdogTimeout
 from repro.lang import ast
 from repro.lang.ctypes import Scalar
 from repro.lang.printer import expr_to_source
@@ -906,9 +906,9 @@ def execute(spec, plan: VectorPlan, max_total_steps: int):
         steps[m] += 1
         total += len(sel)
         if total > max_total_steps:
-            raise DeviceError(
-                f"kernel {spec.name!r} exceeded {max_total_steps} steps "
-                "(possible infinite loop in kernel body)"
+            raise WatchdogTimeout(
+                f"watchdog: kernel {spec.name!r} exceeded {max_total_steps} "
+                "steps (possible infinite loop in kernel body)"
             )
 
     # Commit scratch copies into the real device buffers.

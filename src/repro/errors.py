@@ -54,6 +54,39 @@ class DeviceMemoryError(DeviceError):
     """Device allocator fault: out of memory, bad free, bad address."""
 
 
+class WatchdogTimeout(DeviceError):
+    """A kernel exceeded its step budget: the execution-backend watchdog
+    fired instead of letting the simulator hang (or, in the experiment
+    harness, a benchmark exceeded its wall-clock budget)."""
+
+
+class ChaosFault(DeviceError):
+    """A fault injected by the runtime chaos framework
+    (:mod:`repro.runtime.chaos`).  Always raised *before* the faulted
+    operation mutates device state, so a caught ``ChaosFault`` can be
+    retried or degraded against pristine memory."""
+
+    def __init__(self, message: str, kind: str = "", site: str = "",
+                 transient: bool = False):
+        self.kind = kind
+        self.site = site
+        self.transient = transient
+        super().__init__(message)
+
+
+class TransientFault(ChaosFault):
+    """A chaos fault marked transient: the runtime's retry-with-backoff
+    layer (:mod:`repro.runtime.accrt`) may re-issue the operation."""
+
+    def __init__(self, message: str, kind: str = "", site: str = ""):
+        super().__init__(message, kind=kind, site=site, transient=True)
+
+
+class TransferCorruptionError(DeviceError):
+    """Post-transfer verification found the destination differing from the
+    source after the retry budget was exhausted."""
+
+
 class RuntimeFault(ReproError):
     """Fault raised by the OpenACC runtime (present-table misuse, bad
     async queue id, update of data not present on the device, ...)."""
@@ -70,4 +103,45 @@ class VerificationError(ReproError):
 
 class ConvergenceError(VerificationError):
     """The interactive optimization loop failed to converge within the
-    configured iteration limit."""
+    configured iteration limit.
+
+    ``history`` carries one record per verification round — the findings
+    count, the suggestions seen, the edits applied, and whether the round was
+    reverted — so a non-converging loop is diagnosable from the exception
+    alone."""
+
+    def __init__(self, message: str, history=None):
+        self.history = list(history or [])
+        super().__init__(message)
+
+
+# Coarse pipeline stage per error class, most-derived first (CLI one-line
+# diagnostics and RunOutcome tagging).
+_STAGES = (
+    ("LexError", "lex"),
+    ("ParseError", "parse"),
+    ("PragmaError", "pragma"),
+    ("SemanticError", "semantic"),
+    ("CompileError", "compile"),
+    ("WatchdogTimeout", "watchdog"),
+    ("ChaosFault", "chaos"),
+    ("TransferCorruptionError", "transfer"),
+    ("DeviceMemoryError", "device-memory"),
+    ("DeviceError", "device"),
+    ("RuntimeFault", "runtime"),
+    ("InterpError", "interp"),
+    ("ConvergenceError", "optimize"),
+    ("VerificationError", "verify"),
+    ("ReproError", "toolchain"),
+)
+
+
+def error_stage(err: BaseException) -> str:
+    """The pipeline stage an error belongs to (``'internal'`` for anything
+    outside the :class:`ReproError` hierarchy)."""
+    table = {globals()[name]: stage for name, stage in _STAGES}
+    for cls in type(err).__mro__:
+        stage = table.get(cls)
+        if stage is not None:
+            return stage
+    return "internal"

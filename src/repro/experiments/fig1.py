@@ -13,10 +13,16 @@ are one or more orders of magnitude worse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.bench import all_names, get
-from repro.experiments.harness import render_table, run_variant
+from repro.experiments.harness import (
+    RunOutcome,
+    render_table,
+    run_variant,
+    run_variant_isolated,
+)
+from repro.runtime.chaos import FaultPlan
 
 
 @dataclass
@@ -54,7 +60,43 @@ def run(size: str = "small", seed: int = 0) -> List[Fig1Row]:
     return rows
 
 
-def main(size: str = "small", seed: int = 0) -> str:
+def run_isolated(
+    size: str = "small",
+    seed: int = 0,
+    chaos: Optional[FaultPlan] = None,
+    timeout_s: Optional[float] = 120.0,
+) -> List[RunOutcome]:
+    """Fault-tolerant sweep: every benchmark runs in isolation (crash
+    capture + wall-clock timeout), sharing one chaos plan so its fault
+    budget spans the whole figure.  A failed benchmark is reported and the
+    sweep continues."""
+    outcomes: List[RunOutcome] = []
+    for name in all_names():
+        bench = get(name)
+        for variant in ("optimized", "naive"):
+            outcomes.append(
+                run_variant_isolated(bench, variant, size, seed,
+                                     chaos=chaos, timeout_s=timeout_s)
+            )
+    return outcomes
+
+
+def main(size: str = "small", seed: int = 0,
+         chaos: Optional[FaultPlan] = None) -> str:
+    if chaos is not None:
+        outcomes = run_isolated(size, seed, chaos=chaos)
+        failed = [o for o in outcomes if not o.ok]
+        table = render_table(
+            ["Benchmark", "Variant", "Status", "Detail"],
+            [[o.bench, o.variant, "ok" if o.ok else "FAILED",
+              "" if o.ok else f"[{o.error_stage}] {o.error_type}"]
+             for o in outcomes],
+            title=(f"Figure 1 under fault injection (size={size}, "
+                   f"{len(failed)}/{len(outcomes)} runs failed)"),
+        )
+        print(table)
+        print(chaos.summary())
+        return table
     rows = run(size, seed)
     table = render_table(
         ["Benchmark", "Norm. total execution time", "Norm. total transferred data size"],

@@ -1,13 +1,45 @@
-"""Shared experiment plumbing: run helpers and text-table rendering."""
+"""Shared experiment plumbing: run helpers, isolation, and table rendering."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.suite import Benchmark
 from repro.compiler.driver import CompilerOptions, compile_ast
+from repro.errors import ReproError, error_stage
 from repro.interp import run_compiled, run_sequential
 from repro.interp.interp import Interp
+from repro.runtime.accrt import AccRuntime
+from repro.runtime.chaos import FaultPlan, FaultSpec
+
+VALID_VARIANTS = ("optimized", "unoptimized", "naive", "sequential")
+
+# Process-wide default chaos plan: experiments that build their runtimes deep
+# inside run_variant pick it up without threading a parameter through every
+# figure module.  Shared on purpose — a single plan carries its fault budget
+# across a whole sweep.
+_DEFAULT_CHAOS: Optional[FaultPlan] = None
+
+
+def set_default_chaos(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with None) the process-wide default fault plan."""
+    global _DEFAULT_CHAOS
+    _DEFAULT_CHAOS = plan
+
+
+def _resolve_chaos(chaos: Union[FaultPlan, FaultSpec, None]) -> Optional[FaultPlan]:
+    if chaos is None:
+        chaos = _DEFAULT_CHAOS
+    if chaos is None:
+        return None
+    if isinstance(chaos, FaultSpec):
+        return FaultPlan(chaos)  # fresh plan (own rng/budget) per run
+    return chaos  # shared plan: budget spans the sweep
 
 
 def run_variant(
@@ -16,13 +48,21 @@ def run_variant(
     size: str = "small",
     seed: int = 0,
     options: Optional[CompilerOptions] = None,
+    chaos: Union[FaultPlan, FaultSpec, None] = None,
 ) -> Interp:
     """Execute one benchmark variant; returns the interpreter (profiler,
     device, env attached).
 
     ``variant`` is 'optimized', 'unoptimized', 'naive' (default-scheme), or
-    'sequential'.
+    'sequential'.  ``chaos`` is a FaultSpec (fresh plan per run) or a
+    FaultPlan (shared budget across runs); sequential runs never touch the
+    device, so chaos does not apply to them.
     """
+    if variant not in VALID_VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; valid variants: "
+            + ", ".join(VALID_VARIANTS)
+        )
     params = bench.params(size, seed)
     if variant == "sequential":
         compiled = bench.compile("optimized", options)
@@ -34,7 +74,90 @@ def run_variant(
         )
     else:
         compiled = bench.compile(variant, options)
-    return run_compiled(compiled, params=params)
+    plan = _resolve_chaos(chaos)
+    runtime = AccRuntime(chaos=plan) if plan is not None else None
+    return run_compiled(compiled, params=params, runtime=runtime)
+
+
+@dataclass
+class RunOutcome:
+    """Structured result of one isolated benchmark run."""
+
+    bench: str
+    variant: str
+    ok: bool
+    interp: Optional[Interp] = None
+    error_type: str = ""
+    error_stage: str = ""
+    error: str = ""
+    wall_seconds: float = 0.0
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.bench}/{self.variant}: ok"
+        return (f"{self.bench}/{self.variant}: FAILED "
+                f"[{self.error_stage}] {self.error_type}: {self.error}")
+
+
+def run_variant_isolated(
+    bench: Benchmark,
+    variant: str,
+    size: str = "small",
+    seed: int = 0,
+    options: Optional[CompilerOptions] = None,
+    chaos: Union[FaultPlan, FaultSpec, None] = None,
+    timeout_s: Optional[float] = None,
+) -> RunOutcome:
+    """Run one variant, capturing crashes and enforcing a wall-clock timeout.
+
+    Never raises: a failure (typed toolchain error, unexpected crash, or
+    timeout) comes back as a ``RunOutcome`` with ``ok=False`` so a sweep can
+    keep going.  The timeout uses SIGALRM and is only armed on the main
+    thread of a POSIX process; elsewhere the run is simply unguarded.
+    """
+    use_alarm = (
+        timeout_s is not None and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"benchmark {bench.name!r} variant {variant!r} exceeded "
+            f"{timeout_s:g}s wall-clock budget"
+        )
+
+    old_handler = None
+    start = time.perf_counter()
+    try:
+        if use_alarm:
+            old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        interp = run_variant(bench, variant, size=size, seed=seed,
+                             options=options, chaos=chaos)
+        return RunOutcome(bench.name, variant, True, interp=interp,
+                          wall_seconds=time.perf_counter() - start)
+    except TimeoutError as err:
+        return RunOutcome(bench.name, variant, False,
+                          error_type="TimeoutError", error_stage="timeout",
+                          error=str(err),
+                          wall_seconds=time.perf_counter() - start)
+    except ReproError as err:
+        return RunOutcome(bench.name, variant, False,
+                          error_type=type(err).__name__,
+                          error_stage=error_stage(err), error=str(err),
+                          wall_seconds=time.perf_counter() - start)
+    except Exception as err:
+        detail = traceback.format_exc(limit=8)
+        return RunOutcome(bench.name, variant, False,
+                          error_type=type(err).__name__,
+                          error_stage="internal",
+                          error=f"{err} | {detail.splitlines()[-1].strip()}",
+                          wall_seconds=time.perf_counter() - start)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
 
 
 def render_table(

@@ -26,10 +26,11 @@ from repro.compiler.faults import strip_all_acc
 from repro.compiler.kernelgen import KernelPlan
 from repro.device.engine import Schedule
 from repro.device.reduction import combine
-from repro.errors import InterpError
+from repro.errors import ChaosFault, InterpError, WatchdogTimeout
 from repro.interp.values import HostEnv
 from repro.lang import ast, semantics
 from repro.runtime.accrt import AccRuntime
+from repro.runtime.profiler import CTR_LAUNCH_DEGRADED
 
 
 class VerifySession:
@@ -335,6 +336,35 @@ class Interp:
                     queue=queue, site=label, section=section_of(ref),
                 )
 
+    def _launch_resilient(self, spec, queue):
+        """Kernel launch with graceful backend degradation.
+
+        Ladder: vectorized fast path -> interleaved stepper -> sequential
+        schedule on the stepper.  Only non-transient chaos faults degrade
+        (accrt already retried transient ones, and a chaos fault is raised
+        before any device state moved, so re-launching is safe).  A watchdog
+        timeout always propagates: an infinite loop is infinite on every
+        backend.
+        """
+        try:
+            return self.runtime.launch(spec, queue=queue, schedule=self.schedule)
+        except WatchdogTimeout:
+            raise
+        except ChaosFault:
+            pass
+        self.runtime.profiler.count(CTR_LAUNCH_DEGRADED)
+        try:
+            return self.runtime.launch(spec, queue=queue, schedule=self.schedule,
+                                       backend="interleaved")
+        except WatchdogTimeout:
+            raise
+        except ChaosFault:
+            pass
+        self.runtime.profiler.count(CTR_LAUNCH_DEGRADED)
+        return self.runtime.launch(spec, queue=queue,
+                                   schedule=Schedule.sequential(),
+                                   backend="interleaved")
+
     def _exec_kernel(self, stmt: ast.Stmt) -> None:
         plan = self.compiled.kernel_for_stmt(stmt)
         if plan is None:
@@ -354,7 +384,7 @@ class Interp:
                                     copyin=action.copyin, site=action.site, queue=queue)
 
         spec = self._build_launch_spec(plan)
-        result = self.runtime.launch(spec, queue=queue, schedule=self.schedule)
+        result = self._launch_resilient(spec, queue)
 
         verifying = self._verify_kernel is not None and self.verify is not None
         for var, op, _dtype in plan.reductions:

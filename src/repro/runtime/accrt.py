@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.device import Device
 from repro.device.engine import LaunchResult, LaunchSpec, Schedule
-from repro.errors import RuntimeFault
+from repro.errors import RuntimeFault, TransferCorruptionError, TransientFault
+from repro.runtime.chaos import FaultPlan
 from repro.runtime.coherence import CPU, GPU, CoherenceTracker
 from repro.runtime.present import PresentTable
 from repro.runtime.profiler import (
@@ -27,8 +28,11 @@ from repro.runtime.profiler import (
     CAT_MEM_FREE,
     CAT_RESULT_COMP,
     CAT_TRANSFER,
+    CTR_ALLOC_RETRIED,
     CTR_LAUNCH_INTERLEAVED,
+    CTR_LAUNCH_RETRIED,
     CTR_LAUNCH_VECTORIZED,
+    CTR_TRANSFER_RETRIED,
     Profiler,
 )
 from repro.runtime.queues import AsyncQueues
@@ -42,10 +46,20 @@ class AccRuntime:
         device: Optional[Device] = None,
         profiler: Optional[Profiler] = None,
         coherence: Optional[CoherenceTracker] = None,
+        chaos: Optional[FaultPlan] = None,
+        max_retries: int = 3,
     ):
         self.device = device or Device()
         self.profiler = profiler or Profiler()
-        self.queues = AsyncQueues(self.profiler)
+        # Retry budget for operations that hit a fault marked transient
+        # (TransientFault) or a detected transfer corruption.  Each retry
+        # pays CostModel.backoff_time on the simulated clock.
+        self.max_retries = max_retries
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.profiler = self.profiler
+            self.device.attach_chaos(chaos)
+        self.queues = AsyncQueues(self.profiler, chaos=chaos)
         self.present = PresentTable()
         self.coherence = coherence
         self.launch_log: List[LaunchResult] = []
@@ -70,7 +84,10 @@ class AccRuntime:
             entry.copyout_on_exit.append(False)
             return False
         self.profiler.spend(CAT_MEM_ALLOC, self.device.config.costs.alloc_latency_s)
-        handle = self.device.alloc(var, host.shape, host.dtype)
+        handle = self._retrying(
+            lambda: self.device.alloc(var, host.shape, host.dtype),
+            CAT_MEM_ALLOC, CTR_ALLOC_RETRIED,
+        )
         entry = self.present.add(var, handle)
         entry.copyout_on_exit.append(False)
         if self.coherence is not None and self.coherence.tracked(var):
@@ -110,21 +127,88 @@ class AccRuntime:
     # ------------------------------------------------------------------
     def copy_to_device(self, var: str, host: np.ndarray, queue: Optional[int] = None,
                        site: str = "", section=None) -> float:
+        handle = self.present.handle_of(var)
+        seconds = self._hardened_transfer(
+            lambda: self.device.memcpy_h2d(handle, host, async_queue=queue,
+                                           section=section),
+            var, handle, host, section, site,
+        )
+        # Coherence hooks and the transfer log record only *successful*
+        # transfers: a copy that faulted away must never mark its
+        # destination fresh (notstale) or count as a dynamic transfer.
         self._coherence_transfer(var, CPU, GPU, site, section)
         self.transfer_log.append((var, site, "h2d"))
-        handle = self.present.handle_of(var)
-        seconds = self.device.memcpy_h2d(handle, host, async_queue=queue, section=section)
         self._charge_transfer(seconds, queue)
         return seconds
 
     def copy_to_host(self, var: str, host: np.ndarray, queue: Optional[int] = None,
                      site: str = "", section=None) -> float:
+        handle = self.present.handle_of(var)
+        seconds = self._hardened_transfer(
+            lambda: self.device.memcpy_d2h(host, handle, async_queue=queue,
+                                           section=section),
+            var, handle, host, section, site,
+        )
         self._coherence_transfer(var, GPU, CPU, site, section)
         self.transfer_log.append((var, site, "d2h"))
-        handle = self.present.handle_of(var)
-        seconds = self.device.memcpy_d2h(host, handle, async_queue=queue, section=section)
         self._charge_transfer(seconds, queue)
         return seconds
+
+    def _hardened_transfer(self, op, var: str, handle: int, host: np.ndarray,
+                           section, site: str) -> float:
+        """Run one memcpy with retry-with-backoff.
+
+        Transient faults abort the copy before data moves; corruption and
+        truncation are caught by comparing the destination against the
+        source after the copy (chaos runs only — the comparison is free in
+        modeled time, and a re-copy repairs the payload exactly).  Retries
+        beyond ``max_retries`` surface the typed error."""
+        attempt = 0
+        costs = self.device.config.costs
+        while True:
+            try:
+                seconds = op()
+                if self.chaos is not None and not self._transfer_intact(
+                        handle, host, section):
+                    raise TransferCorruptionError(
+                        f"transfer of '{var}' at {site or '?'} corrupted in flight"
+                    )
+                return seconds
+            except (TransientFault, TransferCorruptionError):
+                if attempt >= self.max_retries:
+                    raise
+                self.profiler.spend(CAT_TRANSFER, costs.backoff_time(attempt))
+                self.profiler.count(CTR_TRANSFER_RETRIED)
+                attempt += 1
+
+    def _transfer_intact(self, handle: int, host: np.ndarray, section) -> bool:
+        """Post-transfer verification: destination equals source over the
+        transferred range (NaN-tolerant for float payloads — a NaN is a NaN
+        whatever its bit pattern)."""
+        dev = self.device.array(handle)
+        if section is None:
+            a, b = dev, host
+        else:
+            start, length = section
+            sl = slice(start, start + length)
+            a, b = dev.reshape(-1)[sl], host.reshape(-1)[sl]
+        equal_nan = np.asarray(a).dtype.kind == "f"
+        return np.array_equal(a, b, equal_nan=equal_nan)
+
+    def _retrying(self, op, category: str, counter: str):
+        """Generic retry-with-backoff for operations whose faults are marked
+        transient (device allocation, kernel launch)."""
+        attempt = 0
+        costs = self.device.config.costs
+        while True:
+            try:
+                return op()
+            except TransientFault:
+                if attempt >= self.max_retries:
+                    raise
+                self.profiler.spend(category, costs.backoff_time(attempt))
+                self.profiler.count(counter)
+                attempt += 1
 
     def _coherence_transfer(self, var: str, src: str, dst: str, site: str,
                             section) -> None:
@@ -160,8 +244,13 @@ class AccRuntime:
         return self.device.array(self.present.handle_of(var))
 
     def launch(self, spec: LaunchSpec, queue: Optional[int] = None,
-               schedule: Optional[Schedule] = None) -> LaunchResult:
-        result = self.device.launch(spec, schedule=schedule, async_queue=queue)
+               schedule: Optional[Schedule] = None,
+               backend: Optional[str] = None) -> LaunchResult:
+        result = self._retrying(
+            lambda: self.device.launch(spec, schedule=schedule,
+                                       async_queue=queue, backend=backend),
+            CAT_KERNEL, CTR_LAUNCH_RETRIED,
+        )
         self.profiler.count(
             CTR_LAUNCH_VECTORIZED if result.backend == "vectorized"
             else CTR_LAUNCH_INTERLEAVED

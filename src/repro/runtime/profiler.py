@@ -29,6 +29,15 @@ CAT_CHECK = "Coherence-Check"
 CTR_LAUNCH_VECTORIZED = "launch.vectorized"
 CTR_LAUNCH_INTERLEAVED = "launch.interleaved"
 
+# Recovery counters: how often the hardened runtime re-issued a faulted
+# operation (retry-with-backoff in accrt) or downgraded a kernel launch one
+# rung on the degradation ladder (interp).  Zero in fault-free runs, so the
+# chaos tests can assert that every recovery is observable.
+CTR_TRANSFER_RETRIED = "transfer.retried"
+CTR_ALLOC_RETRIED = "alloc.retried"
+CTR_LAUNCH_RETRIED = "launch.retried"
+CTR_LAUNCH_DEGRADED = "launch.degraded"
+
 ALL_CATEGORIES = (
     CAT_MEM_FREE,
     CAT_MEM_ALLOC,

@@ -19,11 +19,15 @@ DEFAULT_ASYNC_QUEUE = -1
 
 
 class AsyncQueues:
-    def __init__(self, profiler: Profiler):
+    def __init__(self, profiler: Profiler, chaos=None):
         self.profiler = profiler
         self._ready: Dict[int, float] = {}
         # Ops issued since the last wait, per queue: (category, seconds).
         self._pending: Dict[int, list] = {}
+        # Optional chaos FaultPlan (repro.runtime.chaos): queue.stall faults
+        # lengthen an async op's modeled duration; the host absorbs the
+        # extra time at the next wait.  Always recoverable.
+        self.chaos = chaos
 
     def issue(self, queue: Optional[int], seconds: float,
               category: str = CAT_ASYNC_WAIT) -> float:
@@ -34,6 +38,10 @@ class AsyncQueues:
             return start + seconds  # caller charges the category itself
         if not isinstance(queue, int):
             raise RuntimeFault(f"bad async queue id {queue!r}")
+        if self.chaos is not None:
+            fault = self.chaos.draw("queue", site=f"queue{queue}")
+            if fault is not None:
+                seconds += fault.stall_seconds
         start = max(self._ready.get(queue, 0.0), self.profiler.now)
         done = start + seconds
         self._ready[queue] = done

@@ -178,7 +178,17 @@ class InteractiveOptimizer:
                 index, len(report.findings), usable, batch, False, report))
         else:
             raise ConvergenceError(
-                f"no convergence within {self.max_rounds} verification rounds"
+                f"no convergence within {self.max_rounds} verification rounds",
+                history=[
+                    {
+                        "iteration": r.index,
+                        "findings": r.findings,
+                        "suggestions": [s.key() for s in r.suggestions],
+                        "applied": [s.key() for s in r.applied],
+                        "reverted": r.reverted,
+                    }
+                    for r in trace.iterations
+                ],
             )
 
         trace.final_program = current

@@ -25,6 +25,14 @@ class TestRunVariant:
             > opt.runtime.device.total_transferred_bytes()
         )
 
+    def test_unknown_variant_rejected_with_valid_names(self):
+        with pytest.raises(ValueError) as exc:
+            run_variant(get("JACOBI"), "bogus", "tiny")
+        message = str(exc.value)
+        assert "bogus" in message
+        for name in ("optimized", "unoptimized", "naive", "sequential"):
+            assert name in message
+
 
 class TestRenderTable:
     def test_renders_headers_and_rows(self):

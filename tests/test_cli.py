@@ -142,3 +142,60 @@ void main()
         text = capsys.readouterr().out
         assert "converged=True" in text
         assert "#pragma acc" in out_file.read_text()
+
+
+class TestErrorDiagnostics:
+    def test_parse_error_is_one_structured_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("void main() { int x = ; }")
+        assert main(["compile", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error [parse]")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_pragma_error_stage_tagged(self, tmp_path, capsys):
+        bad = tmp_path / "badpragma.c"
+        bad.write_text("""
+int N;
+double a[N];
+void main()
+{
+    #pragma acc bogus_directive
+    for (int i = 0; i < N; i++) { a[i] = 1.0; }
+}
+""")
+        assert main(["compile", str(bad)]) == 2
+        assert "repro: error [pragma]" in capsys.readouterr().err
+
+
+class TestChaosFlags:
+    def test_chaos_seed_run_recovers(self, good_file, capsys):
+        assert main(["run", good_file, "-p", "N=64", "--chaos-seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "r=63.0" in out
+        assert "-- chaos:" in out
+
+    def test_chaos_spec_exhaustion_reported_as_typed_error(self, good_file, capsys):
+        code = main(["run", good_file, "-p", "N=8",
+                     "--chaos-spec", "alloc=1.0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro: error [chaos]" in err
+        assert "alloc.oom" in err
+
+    def test_bad_chaos_spec_rejected(self, good_file):
+        with pytest.raises(SystemExit):
+            main(["run", good_file, "-p", "N=8", "--chaos-spec", "bogus=0.5"])
+
+    def test_experiments_accept_chaos_budget(self, capsys):
+        code = main(["experiments", "fig1", "--size", "tiny",
+                     "--chaos-seed", "0", "--chaos-spec", "alloc=1.0,",
+                     ])
+        # fig1 under chaos runs isolated: the sweep itself succeeds even
+        # though the budgetless alloc faulting kills individual runs.
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "under fault injection" in out
+        assert "FAILED" in out
+        assert "chaos:" in out

@@ -87,6 +87,24 @@ class TestConvergence:
                 parse_program(JACOBI_LIKE), params={"N": 8, "ITER": 3}, max_rounds=0
             ).run()
 
+    def test_convergence_error_carries_iteration_history(self):
+        # One round is enough to apply edits but not to reach the clean
+        # round that declares convergence.
+        with pytest.raises(ConvergenceError) as exc:
+            InteractiveOptimizer(
+                parse_program(JACOBI_LIKE), params={"N": 8, "ITER": 3}, max_rounds=1
+            ).run()
+        history = exc.value.history
+        assert len(history) == 1
+        record = history[0]
+        assert record["iteration"] == 1
+        assert record["suggestions"] and record["applied"]
+        assert record["reverted"] is False
+        assert all(
+            isinstance(key, tuple) and len(key) == 3
+            for key in record["suggestions"] + record["applied"]
+        )
+
 
 ALIASED = """
 int N;
