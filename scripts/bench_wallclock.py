@@ -8,13 +8,18 @@ launches into the ``vectorized`` column without changing any modeled output.
 
 Usage:
     PYTHONPATH=src python scripts/bench_wallclock.py [--quick] [--size SIZE]
-        [--repeat N] [--output PATH]
+        [--repeat N] [--output PATH] [--sweep EXP] [--sweep-jobs N]
 
 ``--quick`` runs a single repetition on the tiny inputs (CI smoke test).
+``--sweep fig1`` additionally times that experiment's full benchmark sweep
+at ``--jobs 1`` vs ``--jobs N`` (the parallel scheduler's wall-clock win on
+multi-core machines) and records both in the report.
 """
 
 import argparse
+import importlib
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -45,6 +50,17 @@ def time_benchmark(name: str, size: str, repeat: int) -> dict:
     }
 
 
+def time_sweep(experiment: str, size: str, jobs_levels) -> dict:
+    """Wall-clock one experiment's full sweep at each scheduler width."""
+    module = importlib.import_module(f"repro.experiments.{experiment}")
+    timings = {}
+    for jobs in jobs_levels:
+        start = time.perf_counter()
+        module.run(size, jobs=jobs)
+        timings[f"jobs{jobs}"] = time.perf_counter() - start
+    return timings
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -54,6 +70,13 @@ def main() -> None:
     parser.add_argument("--repeat", type=int, default=None,
                         help="repetitions per benchmark; best time wins")
     parser.add_argument("--output", default="BENCH_wallclock.json")
+    parser.add_argument("--sweep", default=None,
+                        choices=["fig1", "fig3", "fig4", "table2", "table3"],
+                        help="also time this experiment's sweep at --jobs 1 "
+                             "vs --sweep-jobs N")
+    parser.add_argument("--sweep-jobs", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="parallel width for the --sweep comparison")
     args = parser.parse_args()
 
     size = args.size or ("tiny" if args.quick else "small")
@@ -75,9 +98,23 @@ def main() -> None:
         "size": size,
         "repeat": repeat,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "total_seconds": total,
         "benchmarks": results,
     }
+    if args.sweep:
+        levels = [1]
+        if args.sweep_jobs > 1:
+            levels.append(args.sweep_jobs)
+        sweep = time_sweep(args.sweep, size, levels)
+        report["sweep"] = {"experiment": args.sweep, **sweep}
+        line = "  ".join(f"{k}={v:.3f}s" for k, v in sweep.items())
+        print(f"{args.sweep} sweep: {line}")
+        if len(levels) == 2:
+            speedup = sweep["jobs1"] / max(sweep[f"jobs{args.sweep_jobs}"], 1e-9)
+            report["sweep"]["speedup"] = speedup
+            print(f"{args.sweep} sweep speedup: {speedup:.2f}x "
+                  f"({os.cpu_count()} cores)")
     out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")

@@ -42,20 +42,24 @@ class Benchmark:
         return self.module.make_params(size, seed)
 
     def compile(self, variant: str = "optimized",
-                options: Optional[CompilerOptions] = None) -> CompiledProgram:
+                options: Optional[CompilerOptions] = None,
+                ctx=None) -> CompiledProgram:
         source = (
             self.optimized_source if variant == "optimized" else self.unoptimized_source
         )
-        return compile_source(source, options)
+        return compile_source(source, options, ctx=ctx)
 
-    def naive_program(self):
+    def naive_program(self, ctx=None):
         """The OpenACC-default-scheme variant (Figure 1 baseline): the
         optimized source with every manual memory-management construct
         stripped."""
-        from repro.compiler.faults import strip_data_management
         from repro.lang.parser import parse_program
+        from repro.toolchain import default_context
 
-        return strip_data_management(parse_program(self.optimized_source))
+        ctx = ctx or default_context()
+        return ctx.passes.rewrite(
+            "fault.strip_data", parse_program(self.optimized_source)
+        )
 
 
 _REGISTRY: Dict[str, Benchmark] = {}

@@ -9,11 +9,15 @@ workflow (Figure 2):
         --options "errorMargin=1e-6,kernels=main_kernel0"   # §III-A
     python -m repro memcheck prog.c -p N=64      # §III-B findings/suggestions
     python -m repro optimize prog.c -p N=64 --outputs a,r -o prog_opt.c
-    python -m repro experiments table3 --size small
+    python -m repro experiments table3 --size small --jobs 4 --json out.json
 
 Program parameters (`-p NAME=VALUE`) bind symbolic array dimensions and
 scalar inputs; arrays must be initialized by the program itself when run
 from the CLI.
+
+Every invocation builds one fresh :class:`~repro.toolchain.ToolchainContext`
+and threads it through the whole pipeline; ``--time-passes`` prints its
+per-pass timing table and ``--dump-after=<pass>`` dumps that pass's output.
 """
 
 from __future__ import annotations
@@ -26,6 +30,24 @@ from repro.compiler import CompilerOptions, compile_source
 from repro.errors import ReproError, error_stage
 from repro.interp import run_compiled, run_sequential
 from repro.lang import parse_program, to_source
+from repro.toolchain import ToolchainContext
+
+
+def _context(args) -> ToolchainContext:
+    """One fresh context per CLI invocation, configured from the common
+    observability flags."""
+    ctx = ToolchainContext()
+    dump_after = getattr(args, "dump_after", None)
+    if dump_after is not None:
+        from repro.compiler.passes import pass_names
+
+        if dump_after not in pass_names():
+            raise SystemExit(
+                f"bad --dump-after: unknown pass {dump_after!r} "
+                f"(choose from: {', '.join(pass_names())})"
+            )
+        ctx.dump_after = dump_after
+    return ctx
 
 
 def _chaos_plan(args):
@@ -62,48 +84,51 @@ def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
     return params
 
 
-def _load(path: str, args) -> "CompiledProgram":
+def _load(path: str, args, ctx: ToolchainContext) -> "CompiledProgram":
     with open(path) as handle:
         source = handle.read()
     options = CompilerOptions(
         auto_privatize=not getattr(args, "no_auto_privatize", False),
         auto_reduction=not getattr(args, "no_auto_reduction", False),
     )
-    return compile_source(source, options)
+    return compile_source(source, options, ctx=ctx)
 
 
-def cmd_compile(args) -> int:
-    compiled = _load(args.file, args)
+def cmd_compile(args, ctx: ToolchainContext) -> int:
+    from repro.compiler.passes import summarize_kernel
+
+    compiled = _load(args.file, args, ctx)
     print(f"{len(compiled.kernels)} kernel(s):")
     for name, plan in compiled.kernels.items():
-        bits = [f"arrays={plan.arrays}", f"scalars={plan.scalars}"]
-        if plan.private_decls:
-            bits.append(f"private={sorted(plan.private_decls)}")
-        if plan.firstprivate:
-            bits.append(f"firstprivate={plan.firstprivate}")
-        if plan.reductions:
-            bits.append(f"reduction={[(v, op) for v, op, _ in plan.reductions]}")
-        if plan.cached_vars or plan.split_vars:
-            bits.append(f"RACY shared={plan.cached_vars + plan.split_vars}")
-        print(f"  {name}: {' '.join(bits)}")
+        print(f"  {summarize_kernel(name, plan)}")
     for warning in compiled.warnings:
         print(f"warning: {warning}")
     if args.show_source:
         print()
         print(compiled.to_source())
+    if args.cache_stats:
+        from repro.compiler import compile_cache_stats
+        from repro.lang.semantics import expr_cache_stats
+
+        print("\n-- compile caches")
+        for key, value in compile_cache_stats(ctx).items():
+            print(f"   {key:15s} {value}")
+        print("-- semantics closure caches")
+        for key, value in expr_cache_stats().items():
+            print(f"   {key:15s} {value}")
     return 0
 
 
-def cmd_run(args) -> int:
-    compiled = _load(args.file, args)
+def cmd_run(args, ctx: ToolchainContext) -> int:
+    compiled = _load(args.file, args, ctx)
     params = _parse_params(args.param)
     plan = _chaos_plan(args)
     runtime = None
     if plan is not None:
         from repro.runtime.accrt import AccRuntime
 
-        runtime = AccRuntime(chaos=plan)
-    run = run_compiled(compiled, params=params, runtime=runtime)
+        runtime = AccRuntime(chaos=plan, ctx=ctx)
+    run = run_compiled(compiled, params=params, runtime=runtime, ctx=ctx)
     for line in run.env.stdout:
         sys.stdout.write(line)
     profiler = run.runtime.profiler
@@ -117,7 +142,7 @@ def cmd_run(args) -> int:
         if seconds:
             print(f"   {cat:15s} {seconds * 1e6:12.1f} us")
     if args.compare_sequential:
-        seq = run_sequential(compiled, params=params)
+        seq = run_sequential(compiled, params=params, ctx=ctx)
         import numpy as np
 
         bad = []
@@ -135,27 +160,27 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_verify(args) -> int:
+def cmd_verify(args, ctx: ToolchainContext) -> int:
     from repro.verify.kernelverify import KernelVerifier, VerificationOptions
 
-    compiled = _load(args.file, args)
+    compiled = _load(args.file, args, ctx)
     options = (
         VerificationOptions.from_string(args.options)
         if args.options
         else VerificationOptions()
     )
     report = KernelVerifier(
-        compiled, params=_parse_params(args.param), options=options
+        compiled, params=_parse_params(args.param), options=options, ctx=ctx
     ).run()
     print(report.summary())
     return 0 if report.all_passed else 1
 
 
-def cmd_memcheck(args) -> int:
+def cmd_memcheck(args, ctx: ToolchainContext) -> int:
     from repro.verify.memverify import MemVerifier
 
-    compiled = _load(args.file, args)
-    report = MemVerifier(compiled, params=_parse_params(args.param)).run()
+    compiled = _load(args.file, args, ctx)
+    report = MemVerifier(compiled, params=_parse_params(args.param), ctx=ctx).run()
     print(report.summary())
     print(f"\n{report.inserted_checks} check sites, "
           f"{report.check_calls} dynamic coherence checks")
@@ -165,14 +190,14 @@ def cmd_memcheck(args) -> int:
     return 0 if not report.errors else 1
 
 
-def cmd_optimize(args) -> int:
+def cmd_optimize(args, ctx: ToolchainContext) -> int:
     from repro.verify.interactive import InteractiveOptimizer
 
     with open(args.file) as handle:
         program = parse_program(handle.read())
     outputs = args.outputs.split(",") if args.outputs else None
     trace = InteractiveOptimizer(
-        program, params=_parse_params(args.param), outputs=outputs
+        program, params=_parse_params(args.param), outputs=outputs, ctx=ctx
     ).run()
     print(trace.summary())
     optimized = to_source(trace.final_program)
@@ -188,8 +213,10 @@ def cmd_optimize(args) -> int:
     return 0
 
 
-def cmd_experiments(args) -> int:
+def cmd_experiments(args, ctx: ToolchainContext) -> int:
     import importlib
+
+    from repro.experiments.harness import render_table, rows_to_dicts
 
     names = (
         ["fig1", "fig3", "fig4", "table2", "table3"]
@@ -197,28 +224,41 @@ def cmd_experiments(args) -> int:
         else [args.which]
     )
     plan = _chaos_plan(args)
-    if plan is None:
-        for name in names:
-            module = importlib.import_module(f"repro.experiments.{name}")
-            module.main(size=args.size)
-            print()
-        return 0
-    # One shared plan: the fault budget spans every experiment in the list.
-    # fig1 takes it directly (isolated sweep); the rest pick it up through
-    # the harness default.
-    from repro.experiments import harness
+    jobs = args.jobs
+    if plan is not None and jobs > 1:
+        # A shared plan's fault budget cannot span worker processes.
+        print("note: chaos sweeps run sequentially; ignoring --jobs")
+        jobs = 1
+    if plan is not None and args.json:
+        raise SystemExit("--json is not supported together with fault injection")
 
-    harness.set_default_chaos(plan)
-    try:
+    if plan is None:
+        collected: Dict[str, List[Dict]] = {}
         for name in names:
             module = importlib.import_module(f"repro.experiments.{name}")
-            if name == "fig1":
-                module.main(size=args.size, chaos=plan)
-            else:
-                module.main(size=args.size)
+            title, headers, rows = module.table(size=args.size, jobs=jobs, ctx=ctx)
+            print(render_table(headers, rows, title=title))
             print()
-    finally:
-        harness.set_default_chaos(None)
+            collected[name] = rows_to_dicts(headers, rows)
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(collected, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"rows written to {args.json}")
+        return 0
+    # One shared plan on this invocation's context: the fault budget spans
+    # every experiment in the list.  fig1 takes it directly (isolated
+    # sweep); the rest pick it up through ctx.default_chaos.
+    ctx.default_chaos = plan
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        if name == "fig1":
+            module.main(size=args.size, chaos=plan, ctx=ctx)
+        else:
+            module.main(size=args.size, ctx=ctx)
+        print()
     print(plan.summary())
     return 0
 
@@ -230,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_observability(p):
+        p.add_argument("--time-passes", action="store_true",
+                       help="print the per-pass timing/cache table on exit")
+        p.add_argument("--dump-after", metavar="PASS",
+                       help="dump the named pass's output each time it runs")
+
     def add_common(p, params=True):
         p.add_argument("file", help="mini-C source file with #pragma acc")
         if params:
@@ -237,10 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="program parameter (repeatable)")
         p.add_argument("--no-auto-privatize", action="store_true")
         p.add_argument("--no-auto-reduction", action="store_true")
+        add_observability(p)
 
     p = sub.add_parser("compile", help="compile and show the kernel summary")
     add_common(p, params=False)
     p.add_argument("--show-source", action="store_true")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print compile-cache and semantics closure-cache counters")
     p.set_defaults(func=cmd_compile)
 
     def add_chaos(p):
@@ -281,7 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("which", choices=["fig1", "fig3", "fig4", "table2", "table3", "all"])
     p.add_argument("--size", default="small", choices=["tiny", "small", "large"])
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run benchmarks across N worker processes "
+                        "(rows are identical to --jobs 1)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write every experiment's rows as JSON")
     add_chaos(p)
+    add_observability(p)
     p.set_defaults(func=cmd_experiments)
 
     return parser
@@ -289,8 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    ctx = _context(args)
     try:
-        return args.func(args)
+        code = args.func(args, ctx)
     except ReproError as err:
         # One structured line instead of a traceback: the failing stage and
         # the message (source errors already carry their line:col).
@@ -303,6 +359,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    if getattr(args, "time_passes", False):
+        print()
+        print(ctx.pass_stats.report())
+    return code
 
 
 if __name__ == "__main__":

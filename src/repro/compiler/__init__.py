@@ -1,6 +1,7 @@
 """The OpenARC-like research compiler.
 
-Pipeline (driven by :mod:`repro.compiler.driver`):
+Pipeline (named passes run by :class:`repro.compiler.passes.PassManager`;
+:mod:`repro.compiler.driver` keeps the stable entry points):
 
 1. frontend — parse, validate directives, collect regions, alias analysis;
 2. privatize / reduction — automatic recognition of private scalars and
@@ -18,14 +19,21 @@ from repro.compiler.driver import (
     CompiledProgram,
     CompilerOptions,
     clear_compile_cache,
+    compile_ast,
     compile_cache_stats,
     compile_source,
 )
+from repro.compiler.passes import PassInfo, PassManager, all_passes, pass_names
 
 __all__ = [
     "CompiledProgram",
     "CompilerOptions",
+    "PassInfo",
+    "PassManager",
+    "all_passes",
     "clear_compile_cache",
+    "compile_ast",
     "compile_cache_stats",
     "compile_source",
+    "pass_names",
 ]

@@ -84,14 +84,17 @@ def shared_universe(compiled: CompiledProgram) -> Set[str]:
 
 
 def instrument_for_memverify(compiled: CompiledProgram,
-                             optimize_placement: bool = True) -> InstrumentationResult:
+                             optimize_placement: bool = True,
+                             ctx=None) -> InstrumentationResult:
     """Clone, analyze, and instrument the program for a verification run.
 
     ``optimize_placement=False`` disables the §III-B placement optimizations
     (first-access filtering and loop hoisting): every tracked access gets a
     check — the ablation baseline for the Figure-4 overhead study."""
     cloned_ast = clone_tree(compiled.program)
-    clone = compile_ast(cloned_ast, compiled.options.copy(strict_validation=False))
+    clone = compile_ast(
+        cloned_ast, compiled.options.copy(strict_validation=False), ctx=ctx
+    )
     universe = shared_universe(clone)
 
     func = clone.main
@@ -244,7 +247,9 @@ def instrument_for_memverify(compiled: CompiledProgram,
     inserter.apply()
     # Recompile: region tables keep statement identity, but kernel plans are
     # unaffected by inserted ExprStmts outside regions.
-    final = compile_ast(cloned_ast, compiled.options.copy(strict_validation=False))
+    final = compile_ast(
+        cloned_ast, compiled.options.copy(strict_validation=False), ctx=ctx
+    )
     return InstrumentationResult(cloned_ast, final, universe, inserter.report)
 
 

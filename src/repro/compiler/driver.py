@@ -2,33 +2,43 @@
 
 A compiled program bundles the (possibly transformed) AST with the per-region
 kernel plans and memory plans plus the analysis artifacts later passes and
-the interpreter need.  ``compile_source`` is the one-stop entry point; passes
-that rewrite the AST (demotion, check insertion, fault injection) recompile
-via :func:`compile_ast`.
+the interpreter need.  The pipeline itself — parse, validate, regions,
+symbols, alias, kernelgen, memgen — runs as named, timed, cached passes
+under :class:`repro.compiler.passes.PassManager`; this module keeps the
+stable entry points:
 
-``compile_source`` memoizes on (source hash, options): experiment harnesses
-and the benchmark suite compile the same twelve programs over and over, and
-re-parsing/re-analyzing them dominated their setup cost.  Memoization is
-sound because compiler passes never mutate a compiled program's AST in
-place — every transform (demotion, check insertion, fault injection)
-clones before editing.  ``compile_ast`` is deliberately *not* memoized:
-its callers hand it freshly transformed trees.
+``compile_source`` is the one-stop entry point; passes that rewrite the AST
+(demotion, check insertion, fault injection) recompile via
+:func:`compile_ast`.  Both take an optional
+:class:`~repro.toolchain.ToolchainContext` and fall back to the process
+default, so the historical no-context API keeps working.
+
+Caching (owned by the context, see :mod:`repro.compiler.passes`):
+``compile_source`` results are memoized on (source hash, options) — the
+experiment harnesses and the benchmark suite compile the same twelve
+programs over and over, and re-parsing/re-analyzing them dominated their
+setup cost.  Memoization is sound because compiler passes never mutate a
+compiled program's AST in place — every transform (demotion, check
+insertion, fault injection) clones before editing.  ``compile_ast`` results
+are *not* memoized: its callers hand it freshly transformed trees.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.acc.regions import RegionTable, collect_regions
-from repro.acc.validate import declared_names, validate_program
-from repro.compiler.kernelgen import KernelPlan, generate_kernel
-from repro.compiler.memgen import RegionMemPlan, plan_compute_region, plan_data_region
-from repro.errors import CompileError
+from repro.acc.validate import declared_names
+from repro.compiler.kernelgen import KernelPlan
+from repro.compiler.memgen import RegionMemPlan
 from repro.ir.alias import AliasInfo, analyze_aliases
 from repro.lang import ast
-from repro.lang.parser import parse_program
+from repro.toolchain import (
+    DEFAULT_CACHE_MAX as _COMPILE_CACHE_MAX,
+    ToolchainContext,
+    default_context,
+)
 
 
 @dataclass
@@ -47,15 +57,34 @@ class CompilerOptions:
 
 
 class CompiledProgram:
-    """Result of running the pipeline over one translation unit."""
+    """Result of running the pipeline over one translation unit.
 
-    def __init__(self, program: ast.Program, options: CompilerOptions):
+    The pass manager normally supplies the analysis artifacts; constructing
+    one directly (no keyword arguments) computes them inline, preserving
+    the historical constructor behaviour.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        options: CompilerOptions,
+        *,
+        regions: Optional[RegionTable] = None,
+        symbols: Optional[Dict] = None,
+        aliases: Optional[AliasInfo] = None,
+    ):
         self.program = program
         self.options = options
         self.main = program.func(options.main_function)
-        self.regions: RegionTable = collect_regions(self.main)
-        self.symbols = declared_names(self.main, program)
-        self.aliases: AliasInfo = analyze_aliases(program, self.main)
+        self.regions: RegionTable = (
+            regions if regions is not None else collect_regions(self.main)
+        )
+        self.symbols = (
+            symbols if symbols is not None else declared_names(self.main, program)
+        )
+        self.aliases: AliasInfo = (
+            aliases if aliases is not None else analyze_aliases(program, self.main)
+        )
         self.kernels: Dict[str, KernelPlan] = {}
         self.kernel_mem: Dict[str, RegionMemPlan] = {}
         self.data_mem: Dict[int, RegionMemPlan] = {}  # id(directive) -> plan
@@ -76,77 +105,40 @@ class CompiledProgram:
         return to_source(self.program)
 
 
-def compile_ast(program: ast.Program, options: Optional[CompilerOptions] = None) -> CompiledProgram:
+def compile_ast(
+    program: ast.Program,
+    options: Optional[CompilerOptions] = None,
+    ctx: Optional[ToolchainContext] = None,
+) -> CompiledProgram:
     """Run the pipeline over an already-parsed (possibly transformed) AST."""
-    options = options or CompilerOptions()
-    try:
-        program.func(options.main_function)
-    except KeyError:
-        raise CompileError(f"program has no '{options.main_function}' function")
-    if options.strict_validation:
-        validate_program(program).raise_if_errors()
-    compiled = CompiledProgram(program, options)
-    # Variables with an unstructured device lifetime (`enter data`): they
-    # opt out of the naive default scheme like data-region coverage does.
-    unstructured = set()
-    for node in compiled.main.body.walk():
-        for directive in getattr(node, "pragmas", []):
-            if directive.namespace == "acc" and directive.name == "enter data":
-                for _, var in directive.data_clause_vars():
-                    unstructured.add(var)
-    for region in compiled.regions.compute:
-        plan = generate_kernel(
-            region,
-            compiled.symbols,
-            auto_privatize=options.auto_privatize,
-            auto_reduction=options.auto_reduction,
-        )
-        compiled.kernels[region.name] = plan
-        compiled.warnings.extend(plan.warnings)
-        compiled.kernel_mem[region.name] = plan_compute_region(
-            region, plan,
-            default_data_management=options.default_data_management,
-            unstructured_covered=unstructured,
-        )
-    for data_region in compiled.regions.data:
-        compiled.data_mem[id(data_region.directive)] = plan_data_region(
-            data_region.directive, region_label=f"data@{data_region.directive.line}"
-        )
-    return compiled
+    return (ctx or default_context()).passes.compile_ast(program, options)
 
 
-_COMPILE_CACHE: Dict[Tuple[str, Tuple], CompiledProgram] = {}
-_COMPILE_CACHE_MAX = 256
-_COMPILE_CACHE_STATS = {"hits": 0, "misses": 0}
-
-
-def _options_key(options: CompilerOptions) -> Tuple:
-    return tuple(sorted(options.__dict__.items()))
-
-
-def compile_source(source: str, options: Optional[CompilerOptions] = None) -> CompiledProgram:
+def compile_source(
+    source: str,
+    options: Optional[CompilerOptions] = None,
+    ctx: Optional[ToolchainContext] = None,
+) -> CompiledProgram:
     """Parse and compile mini-C source text (memoized; see module docs)."""
-    options = options or CompilerOptions()
-    key = (hashlib.sha256(source.encode()).hexdigest(), _options_key(options))
-    cached = _COMPILE_CACHE.get(key)
-    if cached is not None:
-        _COMPILE_CACHE_STATS["hits"] += 1
-        return cached
-    _COMPILE_CACHE_STATS["misses"] += 1
-    compiled = compile_ast(parse_program(source), options)
-    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
-        _COMPILE_CACHE.clear()
-    _COMPILE_CACHE[key] = compiled
-    return compiled
+    return (ctx or default_context()).passes.compile_source(source, options)
 
 
-def compile_cache_stats() -> Dict[str, int]:
-    stats = dict(_COMPILE_CACHE_STATS)
-    stats["entries"] = len(_COMPILE_CACHE)
+def compile_cache_stats(ctx: Optional[ToolchainContext] = None) -> Dict[str, int]:
+    """Hit/miss/size counters for the compile caches.
+
+    ``hits``/``misses``/``entries`` describe the whole-pipeline memo (the
+    historical keys); ``parse_*`` and ``pass_*`` cover the parse cache and
+    the per-pass analysis cache layered underneath it.
+    """
+    caches = (ctx or default_context()).caches
+    stats = dict(caches.get("compile").stats())
+    for prefix, name in (("parse", "parse"), ("pass", "passes")):
+        for key, value in caches.get(name).stats().items():
+            stats[f"{prefix}_{key}"] = value
     return stats
 
 
-def clear_compile_cache() -> None:
-    _COMPILE_CACHE.clear()
-    _COMPILE_CACHE_STATS["hits"] = 0
-    _COMPILE_CACHE_STATS["misses"] = 0
+def clear_compile_cache(ctx: Optional[ToolchainContext] = None) -> None:
+    caches = (ctx or default_context()).caches
+    for name in ("compile", "parse", "passes"):
+        caches.get(name).clear()

@@ -1,7 +1,11 @@
 """Evaluation experiments: one module per table/figure of the paper (§IV).
 
-Each module exposes ``run(size=..., seed=...)`` returning structured rows
-and a ``main()`` that renders the same rows the paper reports.  The
+Each module exposes ``compute_row(bench, size, seed)`` (one benchmark's
+result, picklable), ``run(size=..., seed=..., jobs=...)`` returning
+structured rows, ``table(...)`` returning ``(title, headers, rows)``, and
+a ``main()`` that renders the same rows the paper reports.  ``jobs > 1``
+fans the per-benchmark work across worker processes through
+:mod:`repro.experiments.scheduler` with deterministic row ordering.  The
 pytest-benchmark targets under ``benchmarks/`` call the same ``run``
 functions, so the regenerated numbers and the benchmarked code paths are
 identical.

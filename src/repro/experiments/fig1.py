@@ -13,9 +13,10 @@ are one or more orders of magnitude worse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bench import all_names, get
+from repro.experiments import scheduler
 from repro.experiments.harness import (
     RunOutcome,
     render_table,
@@ -23,6 +24,12 @@ from repro.experiments.harness import (
     run_variant_isolated,
 )
 from repro.runtime.chaos import FaultPlan
+
+HEADERS = [
+    "Benchmark",
+    "Norm. total execution time",
+    "Norm. total transferred data size",
+]
 
 
 @dataclass
@@ -36,28 +43,31 @@ class Fig1Row:
     optimized_time: float
 
 
-def run(size: str = "small", seed: int = 0) -> List[Fig1Row]:
-    rows: List[Fig1Row] = []
-    for name in all_names():
-        bench = get(name)
-        opt = run_variant(bench, "optimized", size, seed)
-        naive = run_variant(bench, "naive", size, seed)
-        opt_time = opt.runtime.profiler.total()
-        naive_time = naive.runtime.profiler.total()
-        opt_bytes = max(1, opt.runtime.device.total_transferred_bytes())
-        naive_bytes = naive.runtime.device.total_transferred_bytes()
-        rows.append(
-            Fig1Row(
-                benchmark=name,
-                norm_time=naive_time / opt_time,
-                norm_bytes=naive_bytes / opt_bytes,
-                naive_bytes=naive_bytes,
-                optimized_bytes=opt_bytes,
-                naive_time=naive_time,
-                optimized_time=opt_time,
-            )
-        )
-    return rows
+def compute_row(name: str, size: str = "small", seed: int = 0,
+                ctx=None) -> Fig1Row:
+    """One benchmark's Figure-1 row (picklable; scheduler worker entry)."""
+    bench = get(name)
+    opt = run_variant(bench, "optimized", size, seed, ctx=ctx)
+    naive = run_variant(bench, "naive", size, seed, ctx=ctx)
+    opt_time = opt.runtime.profiler.total()
+    naive_time = naive.runtime.profiler.total()
+    opt_bytes = max(1, opt.runtime.device.total_transferred_bytes())
+    naive_bytes = naive.runtime.device.total_transferred_bytes()
+    return Fig1Row(
+        benchmark=name,
+        norm_time=naive_time / opt_time,
+        norm_bytes=naive_bytes / opt_bytes,
+        naive_bytes=naive_bytes,
+        optimized_bytes=opt_bytes,
+        naive_time=naive_time,
+        optimized_time=opt_time,
+    )
+
+
+def run(size: str = "small", seed: int = 0, jobs: int = 1,
+        ctx=None) -> List[Fig1Row]:
+    grid = scheduler.row_grid(__name__, all_names(), size, seed)
+    return scheduler.raise_failures(scheduler.run_jobs(grid, jobs, ctx=ctx))
 
 
 def run_isolated(
@@ -65,28 +75,47 @@ def run_isolated(
     seed: int = 0,
     chaos: Optional[FaultPlan] = None,
     timeout_s: Optional[float] = 120.0,
+    jobs: int = 1,
+    ctx=None,
 ) -> List[RunOutcome]:
     """Fault-tolerant sweep: every benchmark runs in isolation (crash
-    capture + wall-clock timeout), sharing one chaos plan so its fault
-    budget spans the whole figure.  A failed benchmark is reported and the
-    sweep continues."""
-    outcomes: List[RunOutcome] = []
-    for name in all_names():
-        bench = get(name)
-        for variant in ("optimized", "naive"):
-            outcomes.append(
-                run_variant_isolated(bench, variant, size, seed,
-                                     chaos=chaos, timeout_s=timeout_s)
-            )
-    return outcomes
+    capture + wall-clock timeout).  A failed benchmark is reported and the
+    sweep continues.  With a chaos plan the sweep stays sequential — a
+    shared plan's fault budget must span the whole figure, which cannot
+    cross process boundaries."""
+    if chaos is not None:
+        outcomes: List[RunOutcome] = []
+        for name in all_names():
+            bench = get(name)
+            for variant in ("optimized", "naive"):
+                outcomes.append(
+                    run_variant_isolated(bench, variant, size, seed,
+                                         chaos=chaos, timeout_s=timeout_s,
+                                         ctx=ctx)
+                )
+        return outcomes
+    grid = scheduler.variant_grid(all_names(), ("optimized", "naive"),
+                                  size, seed, timeout_s)
+    return scheduler.run_jobs(grid, jobs, ctx=ctx)
+
+
+def table(size: str = "small", seed: int = 0, jobs: int = 1,
+          ctx=None) -> Tuple[str, List[str], List[Sequence]]:
+    rows = run(size, seed, jobs=jobs, ctx=ctx)
+    return (
+        f"Figure 1 — default vs optimized memory management (size={size})",
+        HEADERS,
+        [[r.benchmark, r.norm_time, r.norm_bytes] for r in rows],
+    )
 
 
 def main(size: str = "small", seed: int = 0,
-         chaos: Optional[FaultPlan] = None) -> str:
+         chaos: Optional[FaultPlan] = None, jobs: int = 1,
+         ctx=None) -> str:
     if chaos is not None:
-        outcomes = run_isolated(size, seed, chaos=chaos)
+        outcomes = run_isolated(size, seed, chaos=chaos, ctx=ctx)
         failed = [o for o in outcomes if not o.ok]
-        table = render_table(
+        rendered = render_table(
             ["Benchmark", "Variant", "Status", "Detail"],
             [[o.bench, o.variant, "ok" if o.ok else "FAILED",
               "" if o.ok else f"[{o.error_stage}] {o.error_type}"]
@@ -94,17 +123,13 @@ def main(size: str = "small", seed: int = 0,
             title=(f"Figure 1 under fault injection (size={size}, "
                    f"{len(failed)}/{len(outcomes)} runs failed)"),
         )
-        print(table)
+        print(rendered)
         print(chaos.summary())
-        return table
-    rows = run(size, seed)
-    table = render_table(
-        ["Benchmark", "Norm. total execution time", "Norm. total transferred data size"],
-        [[r.benchmark, r.norm_time, r.norm_bytes] for r in rows],
-        title=f"Figure 1 — default vs optimized memory management (size={size})",
-    )
-    print(table)
-    return table
+        return rendered
+    title, headers, rows = table(size, seed, jobs=jobs, ctx=ctx)
+    rendered = render_table(headers, rows, title=title)
+    print(rendered)
+    return rendered
 
 
 if __name__ == "__main__":

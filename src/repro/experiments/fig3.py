@@ -11,9 +11,10 @@ kernel re-ships reference data and compares every output element).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.bench import all_names, get
+from repro.experiments import scheduler
 from repro.experiments.harness import render_table, run_variant
 from repro.runtime.profiler import (
     CAT_ASYNC_WAIT,
@@ -43,39 +44,52 @@ class Fig3Row:
     all_passed: bool
 
 
-def run(size: str = "small", seed: int = 0) -> List[Fig3Row]:
-    rows: List[Fig3Row] = []
-    for name in all_names():
-        bench = get(name)
-        seq = run_variant(bench, "sequential", size, seed)
-        baseline = seq.runtime.profiler.total()
-        verifier = KernelVerifier(bench.compile("optimized"), params=bench.params(size, seed))
-        report = verifier.run()
-        profiler = verifier.runtime.profiler
-        normalized = {cat: profiler.totals.get(cat, 0.0) / baseline for cat in CATEGORIES}
-        rows.append(
-            Fig3Row(
-                benchmark=name,
-                normalized=normalized,
-                total_normalized=profiler.total() / baseline,
-                all_passed=report.all_passed,
-            )
-        )
-    return rows
+def compute_row(name: str, size: str = "small", seed: int = 0,
+                ctx=None) -> Fig3Row:
+    """One benchmark's Figure-3 row (picklable; scheduler worker entry)."""
+    bench = get(name)
+    seq = run_variant(bench, "sequential", size, seed, ctx=ctx)
+    baseline = seq.runtime.profiler.total()
+    verifier = KernelVerifier(
+        bench.compile("optimized", ctx=ctx), params=bench.params(size, seed),
+        ctx=ctx,
+    )
+    report = verifier.run()
+    profiler = verifier.runtime.profiler
+    normalized = {cat: profiler.totals.get(cat, 0.0) / baseline for cat in CATEGORIES}
+    return Fig3Row(
+        benchmark=name,
+        normalized=normalized,
+        total_normalized=profiler.total() / baseline,
+        all_passed=report.all_passed,
+    )
 
 
-def main(size: str = "small", seed: int = 0) -> str:
-    rows = run(size, seed)
-    table = render_table(
+def run(size: str = "small", seed: int = 0, jobs: int = 1,
+        ctx=None) -> List[Fig3Row]:
+    grid = scheduler.row_grid(__name__, all_names(), size, seed)
+    return scheduler.raise_failures(scheduler.run_jobs(grid, jobs, ctx=ctx))
+
+
+def table(size: str = "small", seed: int = 0, jobs: int = 1,
+          ctx=None) -> Tuple[str, List[str], List[Sequence]]:
+    rows = run(size, seed, jobs=jobs, ctx=ctx)
+    return (
+        f"Figure 3 — kernel-verification time breakdown, normalized to sequential CPU (size={size})",
         ["Benchmark", *CATEGORIES, "Total"],
         [
             [r.benchmark, *(r.normalized[c] for c in CATEGORIES), r.total_normalized]
             for r in rows
         ],
-        title=f"Figure 3 — kernel-verification time breakdown, normalized to sequential CPU (size={size})",
     )
-    print(table)
-    return table
+
+
+def main(size: str = "small", seed: int = 0, jobs: int = 1,
+         ctx=None) -> str:
+    title, headers, rows = table(size, seed, jobs=jobs, ctx=ctx)
+    rendered = render_table(headers, rows, title=title)
+    print(rendered)
+    return rendered
 
 
 if __name__ == "__main__":

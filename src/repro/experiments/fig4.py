@@ -11,11 +11,14 @@ the model is deterministic, so our numbers are small and non-negative).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 from repro.bench import all_names, get
+from repro.experiments import scheduler
 from repro.experiments.harness import render_table, run_variant
 from repro.verify.memverify import MemVerifier
+
+HEADERS = ["Benchmark", "Overhead (%)", "Dynamic check calls", "Inserted check sites"]
 
 
 @dataclass
@@ -28,37 +31,51 @@ class Fig4Row:
     inserted_checks: int
 
 
-def run(size: str = "small", seed: int = 0) -> List[Fig4Row]:
-    rows: List[Fig4Row] = []
-    for name in all_names():
-        bench = get(name)
-        base = run_variant(bench, "optimized", size, seed)
-        base_time = base.runtime.profiler.total()
-        verifier = MemVerifier(bench.compile("optimized"), params=bench.params(size, seed))
-        report = verifier.run()
-        verified_time = verifier.runtime.profiler.total()
-        rows.append(
-            Fig4Row(
-                benchmark=name,
-                base_time=base_time,
-                verified_time=verified_time,
-                overhead_pct=100.0 * (verified_time - base_time) / base_time,
-                check_calls=report.check_calls,
-                inserted_checks=report.inserted_checks,
-            )
-        )
-    return rows
-
-
-def main(size: str = "small", seed: int = 0) -> str:
-    rows = run(size, seed)
-    table = render_table(
-        ["Benchmark", "Overhead (%)", "Dynamic check calls", "Inserted check sites"],
-        [[r.benchmark, r.overhead_pct, r.check_calls, r.inserted_checks] for r in rows],
-        title=f"Figure 4 — memory-transfer-verification overhead (size={size})",
+def compute_row(name: str, size: str = "small", seed: int = 0,
+                ctx=None) -> Fig4Row:
+    """One benchmark's Figure-4 row (picklable; scheduler worker entry)."""
+    bench = get(name)
+    base = run_variant(bench, "optimized", size, seed, ctx=ctx)
+    base_time = base.runtime.profiler.total()
+    verifier = MemVerifier(
+        bench.compile("optimized", ctx=ctx), params=bench.params(size, seed),
+        ctx=ctx,
     )
-    print(table)
-    return table
+    report = verifier.run()
+    verified_time = verifier.runtime.profiler.total()
+    return Fig4Row(
+        benchmark=name,
+        base_time=base_time,
+        verified_time=verified_time,
+        overhead_pct=100.0 * (verified_time - base_time) / base_time,
+        check_calls=report.check_calls,
+        inserted_checks=report.inserted_checks,
+    )
+
+
+def run(size: str = "small", seed: int = 0, jobs: int = 1,
+        ctx=None) -> List[Fig4Row]:
+    grid = scheduler.row_grid(__name__, all_names(), size, seed)
+    return scheduler.raise_failures(scheduler.run_jobs(grid, jobs, ctx=ctx))
+
+
+def table(size: str = "small", seed: int = 0, jobs: int = 1,
+          ctx=None) -> Tuple[str, List[str], List[Sequence]]:
+    rows = run(size, seed, jobs=jobs, ctx=ctx)
+    return (
+        f"Figure 4 — memory-transfer-verification overhead (size={size})",
+        HEADERS,
+        [[r.benchmark, r.overhead_pct, r.check_calls, r.inserted_checks]
+         for r in rows],
+    )
+
+
+def main(size: str = "small", seed: int = 0, jobs: int = 1,
+         ctx=None) -> str:
+    title, headers, rows = table(size, seed, jobs=jobs, ctx=ctx)
+    rendered = render_table(headers, rows, title=title)
+    print(rendered)
+    return rendered
 
 
 if __name__ == "__main__":

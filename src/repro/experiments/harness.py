@@ -1,4 +1,12 @@
-"""Shared experiment plumbing: run helpers, isolation, and table rendering."""
+"""Shared experiment plumbing: run helpers, isolation, and table rendering.
+
+Chaos defaulting is context-based: experiments that build their runtimes
+deep inside :func:`run_variant` pick up ``ctx.default_chaos`` from the
+:class:`~repro.toolchain.ToolchainContext` they were handed (or the process
+default context) without threading a plan through every figure module.  A
+shared plan is shared on purpose — a single plan carries its fault budget
+across a whole sweep.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,7 @@ import signal
 import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -16,30 +25,23 @@ from repro.interp import run_compiled, run_sequential
 from repro.interp.interp import Interp
 from repro.runtime.accrt import AccRuntime
 from repro.runtime.chaos import FaultPlan, FaultSpec
+from repro.toolchain import ToolchainContext, default_context
 
 VALID_VARIANTS = ("optimized", "unoptimized", "naive", "sequential")
 
-# Process-wide default chaos plan: experiments that build their runtimes deep
-# inside run_variant pick it up without threading a parameter through every
-# figure module.  Shared on purpose — a single plan carries its fault budget
-# across a whole sweep.
-_DEFAULT_CHAOS: Optional[FaultPlan] = None
-
 
 def set_default_chaos(plan: Optional[FaultPlan]) -> None:
-    """Install (or clear, with None) the process-wide default fault plan."""
-    global _DEFAULT_CHAOS
-    _DEFAULT_CHAOS = plan
-
-
-def _resolve_chaos(chaos: Union[FaultPlan, FaultSpec, None]) -> Optional[FaultPlan]:
-    if chaos is None:
-        chaos = _DEFAULT_CHAOS
-    if chaos is None:
-        return None
-    if isinstance(chaos, FaultSpec):
-        return FaultPlan(chaos)  # fresh plan (own rng/budget) per run
-    return chaos  # shared plan: budget spans the sweep
+    """Deprecated shim: install (or clear, with None) the default fault
+    plan on the process-default context.  Use
+    ``ToolchainContext(default_chaos=plan)`` (or assign
+    ``ctx.default_chaos``) and thread the context instead."""
+    warnings.warn(
+        "set_default_chaos() is deprecated; set default_chaos on a "
+        "ToolchainContext and pass it via the ctx parameter",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    default_context().default_chaos = plan
 
 
 def run_variant(
@@ -49,34 +51,38 @@ def run_variant(
     seed: int = 0,
     options: Optional[CompilerOptions] = None,
     chaos: Union[FaultPlan, FaultSpec, None] = None,
+    ctx: Optional[ToolchainContext] = None,
 ) -> Interp:
     """Execute one benchmark variant; returns the interpreter (profiler,
     device, env attached).
 
     ``variant`` is 'optimized', 'unoptimized', 'naive' (default-scheme), or
     'sequential'.  ``chaos`` is a FaultSpec (fresh plan per run) or a
-    FaultPlan (shared budget across runs); sequential runs never touch the
-    device, so chaos does not apply to them.
+    FaultPlan (shared budget across runs), defaulting to
+    ``ctx.default_chaos``; sequential runs never touch the device, so chaos
+    does not apply to them.
     """
     if variant not in VALID_VARIANTS:
         raise ValueError(
             f"unknown variant {variant!r}; valid variants: "
             + ", ".join(VALID_VARIANTS)
         )
+    ctx = ctx or default_context()
     params = bench.params(size, seed)
     if variant == "sequential":
-        compiled = bench.compile("optimized", options)
-        return run_sequential(compiled, params=params)
+        compiled = bench.compile("optimized", options, ctx=ctx)
+        return run_sequential(compiled, params=params, ctx=ctx)
     if variant == "naive":
         compiled = compile_ast(
-            bench.naive_program(),
+            bench.naive_program(ctx=ctx),
             (options or CompilerOptions()).copy(strict_validation=False),
+            ctx=ctx,
         )
     else:
-        compiled = bench.compile(variant, options)
-    plan = _resolve_chaos(chaos)
-    runtime = AccRuntime(chaos=plan) if plan is not None else None
-    return run_compiled(compiled, params=params, runtime=runtime)
+        compiled = bench.compile(variant, options, ctx=ctx)
+    plan = ctx.resolve_chaos(chaos)
+    runtime = AccRuntime(chaos=plan, ctx=ctx) if plan is not None else None
+    return run_compiled(compiled, params=params, runtime=runtime, ctx=ctx)
 
 
 @dataclass
@@ -98,6 +104,15 @@ class RunOutcome:
         return (f"{self.bench}/{self.variant}: FAILED "
                 f"[{self.error_stage}] {self.error_type}: {self.error}")
 
+    def stripped(self) -> "RunOutcome":
+        """A copy without the attached interpreter: picklable, so isolated
+        outcomes can cross the scheduler's process boundary."""
+        return RunOutcome(
+            bench=self.bench, variant=self.variant, ok=self.ok, interp=None,
+            error_type=self.error_type, error_stage=self.error_stage,
+            error=self.error, wall_seconds=self.wall_seconds,
+        )
+
 
 def run_variant_isolated(
     bench: Benchmark,
@@ -107,6 +122,7 @@ def run_variant_isolated(
     options: Optional[CompilerOptions] = None,
     chaos: Union[FaultPlan, FaultSpec, None] = None,
     timeout_s: Optional[float] = None,
+    ctx: Optional[ToolchainContext] = None,
 ) -> RunOutcome:
     """Run one variant, capturing crashes and enforcing a wall-clock timeout.
 
@@ -134,7 +150,7 @@ def run_variant_isolated(
             old_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout_s)
         interp = run_variant(bench, variant, size=size, seed=seed,
-                             options=options, chaos=chaos)
+                             options=options, chaos=chaos, ctx=ctx)
         return RunOutcome(bench.name, variant, True, interp=interp,
                           wall_seconds=time.perf_counter() - start)
     except TimeoutError as err:

@@ -1,0 +1,155 @@
+"""Declarative experiment scheduling: (benchmark x variant/row) job grids.
+
+An experiment sweep is a grid of small, picklable job descriptions —
+:class:`VariantJob` (run one benchmark variant through
+:func:`~repro.experiments.harness.run_variant_isolated`) or
+:class:`RowJob` (compute one experiment row via the experiment module's
+``compute_row``).  :func:`run_jobs` executes a grid either inline
+(``jobs<=1``) or across a ``ProcessPoolExecutor`` (``--jobs N`` on the
+CLI), always preserving input order, so a parallel sweep produces rows
+byte-identical to the sequential one.
+
+Parallel workers run the exact same job-execution function as the inline
+path; only the process boundary differs.  Two things do not cross it:
+
+* a caller-supplied :class:`~repro.toolchain.ToolchainContext` — workers
+  build their own process-default context (caches are per-process; the
+  results do not depend on them);
+* a shared :class:`~repro.runtime.chaos.FaultPlan` budget — chaos sweeps
+  must stay sequential (``jobs=1``) so one plan's fault budget spans the
+  whole figure.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class VariantJob:
+    """One isolated benchmark-variant run."""
+
+    bench: str
+    variant: str
+    size: str = "small"
+    seed: int = 0
+    timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RowJob:
+    """One experiment-row computation.
+
+    ``experiment`` is an importable module path exposing
+    ``compute_row(bench, size, seed, ctx=None, **extra)``; ``extra`` is a
+    sorted tuple of keyword items so the job stays hashable/picklable.
+    """
+
+    experiment: str
+    bench: str
+    size: str = "small"
+    seed: int = 0
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass
+class JobFailure:
+    """A row job that raised: the exception, flattened into strings so it
+    survives the process boundary regardless of the original type."""
+
+    job: object
+    error_type: str
+    error: str
+
+
+class SchedulerError(ReproError):
+    """At least one job in a grid failed."""
+
+
+def variant_grid(
+    benches: Sequence[str],
+    variants: Sequence[str],
+    size: str = "small",
+    seed: int = 0,
+    timeout_s: Optional[float] = None,
+) -> List[VariantJob]:
+    """The full (benchmark x variant) cross product, benchmark-major."""
+    return [
+        VariantJob(bench, variant, size, seed, timeout_s)
+        for bench in benches
+        for variant in variants
+    ]
+
+
+def row_grid(
+    experiment: str,
+    benches: Sequence[str],
+    size: str = "small",
+    seed: int = 0,
+    **extra,
+) -> List[RowJob]:
+    """One :class:`RowJob` per benchmark for ``experiment``."""
+    items = tuple(sorted(extra.items()))
+    return [RowJob(experiment, bench, size, seed, items) for bench in benches]
+
+
+def _execute(job, ctx=None):
+    """Run one job.  Module-level (picklable) and exception-safe: failures
+    come back as values, never raise across the pool."""
+    try:
+        if isinstance(job, VariantJob):
+            from repro.bench import get
+            from repro.experiments.harness import run_variant_isolated
+
+            outcome = run_variant_isolated(
+                get(job.bench), job.variant, job.size, job.seed,
+                timeout_s=job.timeout_s, ctx=ctx,
+            )
+            return outcome.stripped()
+        if isinstance(job, RowJob):
+            module = importlib.import_module(job.experiment)
+            return module.compute_row(
+                job.bench, job.size, job.seed, ctx=ctx, **dict(job.extra)
+            )
+        raise TypeError(f"unknown job type {type(job).__name__}")
+    except Exception as err:
+        detail = traceback.format_exc(limit=8).splitlines()[-1].strip()
+        return JobFailure(job=job, error_type=type(err).__name__,
+                          error=f"{err} | {detail}")
+
+
+def run_jobs(jobs: Sequence, jobs_n: int = 1, ctx=None) -> List:
+    """Execute a job grid; results come back in input order.
+
+    ``jobs_n <= 1`` runs inline in this process (and honours ``ctx``);
+    anything larger fans out over a process pool.  Either way the result
+    list lines up index-for-index with ``jobs``, which is what makes
+    ``--jobs N`` output identical to ``--jobs 1``.
+    """
+    jobs = list(jobs)
+    if jobs_n is None or jobs_n <= 1 or len(jobs) <= 1:
+        return [_execute(job, ctx) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(jobs_n, len(jobs))) as pool:
+        return list(pool.map(_execute, jobs))
+
+
+def raise_failures(results: Sequence) -> List:
+    """Pass results through, raising :class:`SchedulerError` if any job
+    came back as a :class:`JobFailure`."""
+    failures = [r for r in results if isinstance(r, JobFailure)]
+    if failures:
+        lines = [
+            f"{f.job.experiment if isinstance(f.job, RowJob) else type(f.job).__name__}"
+            f"[{getattr(f.job, 'bench', '?')}]: {f.error_type}: {f.error}"
+            for f in failures
+        ]
+        raise SchedulerError(
+            f"{len(failures)}/{len(results)} jobs failed:\n" + "\n".join(lines)
+        )
+    return list(results)

@@ -12,12 +12,13 @@ silent (exactly the paper's account).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.bench import all_names, get
 from repro.compiler.driver import CompilerOptions, compile_ast
-from repro.compiler.faults import drop_private_clauses, drop_reduction_clauses
+from repro.experiments import scheduler
 from repro.experiments.harness import render_table
-from repro.verify.kernelverify import KernelVerifier
+from repro.toolchain import default_context
 
 
 @dataclass
@@ -29,54 +30,96 @@ class Table2Result:
     latent_errors_undetected: int = 0
     false_positives: int = 0  # failures in kernels with neither fault class
 
+    def add(self, other: "Table2Result") -> None:
+        self.tested_kernels += other.tested_kernels
+        self.kernels_with_private += other.kernels_with_private
+        self.kernels_with_reduction += other.kernels_with_reduction
+        self.active_errors_detected += other.active_errors_detected
+        self.latent_errors_undetected += other.latent_errors_undetected
+        self.false_positives += other.false_positives
 
-def run(size: str = "small", seed: int = 0) -> Table2Result:
-    result = Table2Result()
+
+def compute_row(name: str, size: str = "small", seed: int = 0,
+                ctx=None) -> Table2Result:
+    """One benchmark's Table-II tally (picklable; scheduler worker entry).
+    The full table is the element-wise sum over all benchmarks."""
+    from repro.verify.kernelverify import KernelVerifier
+
+    ctx = ctx or default_context()
     fault_options = CompilerOptions(
         auto_privatize=False, auto_reduction=False, strict_validation=False
     )
-    for name in all_names():
-        bench = get(name)
-        clean = bench.compile("optimized")
-        result.tested_kernels += len(clean.kernels)
-        private_kernels = {
-            r.name for r in clean.regions.compute
-            if r.directive.clause("private") or r.directive.clause("firstprivate")
-        }
-        reduction_kernels = {
-            r.name for r in clean.regions.compute if r.directive.clause("reduction")
-        }
-        result.kernels_with_private += len(private_kernels)
-        result.kernels_with_reduction += len(reduction_kernels)
+    result = Table2Result()
+    bench = get(name)
+    clean = bench.compile("optimized", ctx=ctx)
+    result.tested_kernels = len(clean.kernels)
+    private_kernels = {
+        r.name for r in clean.regions.compute
+        if r.directive.clause("private") or r.directive.clause("firstprivate")
+    }
+    reduction_kernels = {
+        r.name for r in clean.regions.compute if r.directive.clause("reduction")
+    }
+    result.kernels_with_private = len(private_kernels)
+    result.kernels_with_reduction = len(reduction_kernels)
 
-        faulty_ast = drop_reduction_clauses(drop_private_clauses(clean.program))
-        faulty = compile_ast(faulty_ast, fault_options)
-        report = KernelVerifier(faulty, params=bench.params(size, seed)).run()
-        failed = set(report.failed_kernels())
+    faulty_ast = ctx.passes.rewrite(
+        "fault.drop_reduction",
+        ctx.passes.rewrite("fault.drop_private", clean.program),
+    )
+    faulty = compile_ast(faulty_ast, fault_options, ctx=ctx)
+    report = KernelVerifier(faulty, params=bench.params(size, seed),
+                            ctx=ctx).run()
+    failed = set(report.failed_kernels())
 
-        result.active_errors_detected += len(failed & reduction_kernels)
-        result.latent_errors_undetected += len(private_kernels - failed)
-        result.false_positives += len(failed - reduction_kernels - private_kernels)
+    result.active_errors_detected = len(failed & reduction_kernels)
+    result.latent_errors_undetected = len(private_kernels - failed)
+    result.false_positives = len(failed - reduction_kernels - private_kernels)
     return result
 
 
-def main(size: str = "small", seed: int = 0) -> str:
-    r = run(size, seed)
-    table = render_table(
+def run(size: str = "small", seed: int = 0, jobs: int = 1,
+        ctx=None) -> Table2Result:
+    grid = scheduler.row_grid(__name__, all_names(), size, seed)
+    partials = scheduler.raise_failures(scheduler.run_jobs(grid, jobs, ctx=ctx))
+    total = Table2Result()
+    for partial in partials:
+        total.add(partial)
+    return total
+
+
+def _rows(r: Table2Result) -> List[Sequence]:
+    return [
+        ["Number of tested kernels", r.tested_kernels, 46],
+        ["Number of kernels containing private data", r.kernels_with_private, 16],
+        ["Number of kernels containing reduction", r.kernels_with_reduction, 4],
+        ["Number of kernels incurring active errors", r.active_errors_detected, 4],
+        ["Number of kernels incurring latent errors", r.latent_errors_undetected, 16],
+    ]
+
+
+def table(size: str = "small", seed: int = 0, jobs: int = 1,
+          ctx=None) -> Tuple[str, List[str], List[Sequence]]:
+    r = run(size, seed, jobs=jobs, ctx=ctx)
+    return (
+        f"Table II — kernel verification of injected races (size={size})",
         ["Description", "Count", "Paper"],
-        [
-            ["Number of tested kernels", r.tested_kernels, 46],
-            ["Number of kernels containing private data", r.kernels_with_private, 16],
-            ["Number of kernels containing reduction", r.kernels_with_reduction, 4],
-            ["Number of kernels incurring active errors", r.active_errors_detected, 4],
-            ["Number of kernels incurring latent errors", r.latent_errors_undetected, 16],
-        ],
+        _rows(r),
+    )
+
+
+def main(size: str = "small", seed: int = 0, jobs: int = 1,
+         ctx=None) -> str:
+    r = run(size, seed, jobs=jobs, ctx=ctx)
+    rendered = render_table(
+        ["Description", "Count", "Paper"],
+        _rows(r),
         title=f"Table II — kernel verification of injected races (size={size})",
     )
-    print(table)
+    print(rendered)
     if r.false_positives:
         print(f"WARNING: {r.false_positives} unexpected kernel failures")
-    return table
+    return rendered
 
 
 if __name__ == "__main__":

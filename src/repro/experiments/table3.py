@@ -17,10 +17,11 @@ actionable.  Reported per benchmark:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.bench import all_names, get
 from repro.compiler.driver import CompilerOptions, compile_ast
+from repro.experiments import scheduler
 from repro.experiments.harness import render_table
 from repro.interp import run_compiled
 from repro.lang.parser import parse_program
@@ -40,6 +41,14 @@ PAPER = {
     "SPMUL": (3, 0, 0),
     "SRAD": (2, 0, 0),
 }
+
+HEADERS = [
+    "Benchmark",
+    "# total iterations",
+    "# incorrect iterations",
+    "# uncaught redundancy",
+    "(paper T/I/U)",
+]
 
 
 @dataclass
@@ -62,52 +71,56 @@ def _bytes_per_var(interp) -> Dict[str, int]:
     return out
 
 
-def run(size: str = "small", seed: int = 0, max_rounds: int = 12) -> List[Table3Row]:
-    rows: List[Table3Row] = []
+def compute_row(name: str, size: str = "small", seed: int = 0,
+                ctx=None, max_rounds: int = 12) -> Table3Row:
+    """One benchmark's Table-III row (picklable; scheduler worker entry)."""
     options = CompilerOptions(strict_validation=False)
-    for name in all_names():
-        bench = get(name)
-        params = bench.params(size, seed)
-        trace = InteractiveOptimizer(
-            parse_program(bench.unoptimized_source),
-            params=params,
-            max_rounds=max_rounds,
-            outputs=bench.outputs,
-        ).run()
+    bench = get(name)
+    params = bench.params(size, seed)
+    trace = InteractiveOptimizer(
+        parse_program(bench.unoptimized_source),
+        params=params,
+        max_rounds=max_rounds,
+        outputs=bench.outputs,
+        ctx=ctx,
+    ).run()
 
-        final_run = run_compiled(
-            compile_ast(trace.final_program, options), params=params
-        )
-        manual_run = run_compiled(bench.compile("optimized", options), params=params)
-        final_bytes = _bytes_per_var(final_run)
-        manual_bytes = _bytes_per_var(manual_run)
-        uncaught = sum(
-            1 for var, nbytes in final_bytes.items()
-            if nbytes > manual_bytes.get(var, 0)
-        )
-        rows.append(
-            Table3Row(
-                benchmark=name,
-                total_iterations=trace.total_iterations,
-                incorrect_iterations=trace.incorrect_iterations,
-                uncaught_redundancy=uncaught,
-                final_bytes=sum(final_bytes.values()),
-                manual_bytes=sum(manual_bytes.values()),
-            )
-        )
-    return rows
+    final_run = run_compiled(
+        compile_ast(trace.final_program, options, ctx=ctx), params=params,
+        ctx=ctx,
+    )
+    manual_run = run_compiled(
+        bench.compile("optimized", options, ctx=ctx), params=params, ctx=ctx
+    )
+    final_bytes = _bytes_per_var(final_run)
+    manual_bytes = _bytes_per_var(manual_run)
+    uncaught = sum(
+        1 for var, nbytes in final_bytes.items()
+        if nbytes > manual_bytes.get(var, 0)
+    )
+    return Table3Row(
+        benchmark=name,
+        total_iterations=trace.total_iterations,
+        incorrect_iterations=trace.incorrect_iterations,
+        uncaught_redundancy=uncaught,
+        final_bytes=sum(final_bytes.values()),
+        manual_bytes=sum(manual_bytes.values()),
+    )
 
 
-def main(size: str = "small", seed: int = 0) -> str:
-    rows = run(size, seed)
-    table = render_table(
-        [
-            "Benchmark",
-            "# total iterations",
-            "# incorrect iterations",
-            "# uncaught redundancy",
-            "(paper T/I/U)",
-        ],
+def run(size: str = "small", seed: int = 0, max_rounds: int = 12,
+        jobs: int = 1, ctx=None) -> List[Table3Row]:
+    grid = scheduler.row_grid(__name__, all_names(), size, seed,
+                              max_rounds=max_rounds)
+    return scheduler.raise_failures(scheduler.run_jobs(grid, jobs, ctx=ctx))
+
+
+def table(size: str = "small", seed: int = 0, jobs: int = 1,
+          ctx=None) -> Tuple[str, List[str], List[Sequence]]:
+    rows = run(size, seed, jobs=jobs, ctx=ctx)
+    return (
+        f"Table III — interactive memory-transfer optimization (size={size})",
+        HEADERS,
         [
             [
                 r.benchmark,
@@ -118,10 +131,15 @@ def main(size: str = "small", seed: int = 0) -> str:
             ]
             for r in rows
         ],
-        title=f"Table III — interactive memory-transfer optimization (size={size})",
     )
-    print(table)
-    return table
+
+
+def main(size: str = "small", seed: int = 0, jobs: int = 1,
+         ctx=None) -> str:
+    title, headers, rows = table(size, seed, jobs=jobs, ctx=ctx)
+    rendered = render_table(headers, rows, title=title)
+    print(rendered)
+    return rendered
 
 
 if __name__ == "__main__":

@@ -22,7 +22,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.compiler.driver import CompiledProgram, compile_ast
-from repro.compiler.faults import strip_all_acc
 from repro.compiler.kernelgen import KernelPlan
 from repro.device.engine import Schedule
 from repro.device.reduction import combine
@@ -80,9 +79,11 @@ class Interp:
         acc_enabled: bool = True,
         schedule: Optional[Schedule] = None,
         verify: Optional[VerifySession] = None,
+        ctx=None,
     ):
         self.compiled = compiled
-        self.runtime = runtime or AccRuntime()
+        self.ctx = ctx
+        self.runtime = runtime or AccRuntime(ctx=ctx)
         self.params = dict(params or {})
         self.acc_enabled = acc_enabled
         self.schedule = schedule
@@ -553,6 +554,7 @@ def run_compiled(
     schedule: Optional[Schedule] = None,
     acc_enabled: bool = True,
     verify: Optional[VerifySession] = None,
+    ctx=None,
 ) -> Interp:
     """Run a compiled program; returns the interpreter (env + runtime)."""
     interp = Interp(
@@ -562,17 +564,24 @@ def run_compiled(
         acc_enabled=acc_enabled,
         schedule=schedule,
         verify=verify,
+        ctx=ctx,
     )
     interp.run()
     return interp
 
 
 def run_sequential(
-    compiled: CompiledProgram, params: Optional[Dict[str, object]] = None
+    compiled: CompiledProgram,
+    params: Optional[Dict[str, object]] = None,
+    ctx=None,
 ) -> Interp:
     """Run the sequential reference version (all acc directives stripped)."""
+    from repro.toolchain import default_context
+
+    ctx = ctx or default_context()
     stripped = compile_ast(
-        strip_all_acc(compiled.program),
+        ctx.passes.rewrite("fault.strip_acc", compiled.program),
         compiled.options.copy(strict_validation=False),
+        ctx=ctx,
     )
-    return run_compiled(stripped, params=params, acc_enabled=False)
+    return run_compiled(stripped, params=params, acc_enabled=False, ctx=ctx)

@@ -48,9 +48,15 @@ class AccRuntime:
         coherence: Optional[CoherenceTracker] = None,
         chaos: Optional[FaultPlan] = None,
         max_retries: int = 3,
+        ctx=None,
     ):
         self.device = device or Device()
         self.profiler = profiler or Profiler()
+        # The owning ToolchainContext, when the caller threads one through.
+        # Chaos stays an explicit constructor argument — the context default
+        # is applied by the layer that decides a run should see faults (the
+        # experiment harness), never implicitly here.
+        self.ctx = ctx
         # Retry budget for operations that hit a fault marked transient
         # (TransientFault) or a detected transfer corruption.  Each retry
         # pays CostModel.backoff_time on the simulated clock.

@@ -101,12 +101,16 @@ class InteractiveOptimizer:
         policy: Optional[ComparisonPolicy] = None,
         max_rounds: int = 12,
         outputs: Optional[List[str]] = None,
+        ctx=None,
     ):
+        from repro.toolchain import default_context
+
         self.original = program
         self.params = dict(params or {})
         self.options = (options or CompilerOptions()).copy(strict_validation=False)
         self.policy = policy or ComparisonPolicy(error_margin=1e-9, relative_margin=1e-6)
         self.max_rounds = max_rounds
+        self.ctx = ctx or default_context()
         # Observable outputs the edits must preserve.  Default: every
         # global — but a copyout of *dead* data is exactly what the tool
         # removes, so callers should name the real outputs (a benchmark's
@@ -121,18 +125,20 @@ class InteractiveOptimizer:
         # sequential ground truth instead — the buggy original is exactly
         # what they are allowed to change.
         reference = run_compiled(
-            compile_ast(clone_tree(self.original), self.options), params=self.params
+            compile_ast(clone_tree(self.original), self.options, ctx=self.ctx),
+            params=self.params, ctx=self.ctx,
         )
         ground_truth = run_sequential(
-            compile_ast(clone_tree(self.original), self.options), self.params
+            compile_ast(clone_tree(self.original), self.options, ctx=self.ctx),
+            self.params, ctx=self.ctx,
         )
         trace = OptimizationTrace()
         current = clone_tree(self.original)
         banned: Set[Tuple[str, str, str]] = set()
 
         for index in range(1, self.max_rounds + 1):
-            compiled = compile_ast(current, self.options)
-            report = MemVerifier(compiled, self.params).run()
+            compiled = compile_ast(current, self.options, ctx=self.ctx)
+            report = MemVerifier(compiled, self.params, ctx=self.ctx).run()
             usable = [s for s in report.suggestions if s.key() not in banned]
             certain = [s for s in usable if not s.speculative]
             speculative = [s for s in usable if s.speculative]
@@ -172,7 +178,8 @@ class InteractiveOptimizer:
             if repairing:
                 # The repaired program is the behaviour later edits preserve.
                 reference = run_compiled(
-                    compile_ast(clone_tree(current), self.options), params=self.params
+                    compile_ast(clone_tree(current), self.options, ctx=self.ctx),
+                    params=self.params, ctx=self.ctx,
                 )
             trace.iterations.append(IterationRecord(
                 index, len(report.findings), usable, batch, False, report))
@@ -192,8 +199,8 @@ class InteractiveOptimizer:
             )
 
         trace.final_program = current
-        final_compiled = compile_ast(current, self.options)
-        final_run = run_compiled(final_compiled, params=self.params)
+        final_compiled = compile_ast(current, self.options, ctx=self.ctx)
+        final_run = run_compiled(final_compiled, params=self.params, ctx=self.ctx)
         trace.final_transfer_count = len(final_run.runtime.transfer_log)
         trace.final_transfer_bytes = final_run.runtime.device.total_transferred_bytes()
         return trace
@@ -223,9 +230,9 @@ class InteractiveOptimizer:
         return program
 
     def _outputs_match(self, program: ast.Program, reference) -> bool:
-        compiled = compile_ast(program, self.options)
+        compiled = compile_ast(program, self.options, ctx=self.ctx)
         try:
-            run = run_compiled(compiled, params=self.params)
+            run = run_compiled(compiled, params=self.params, ctx=self.ctx)
         except Exception:
             return False
         for decl in compiled.program.decls:

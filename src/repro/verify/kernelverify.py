@@ -187,26 +187,33 @@ class KernelVerifier:
         params: Optional[Dict[str, object]] = None,
         options: Optional[VerificationOptions] = None,
         runtime: Optional[AccRuntime] = None,
+        ctx=None,
     ):
+        from repro.toolchain import default_context
+
         self.compiled = compiled
         self.params = dict(params or {})
         self.options = options or VerificationOptions()
         self.runtime = runtime
+        self.ctx = ctx or default_context()
 
     def transformed_program(self):
         """The demoted + comparison-instrumented AST (inspectable)."""
         targets = self.options.select_targets(self.compiled.kernel_names())
-        demoted = demote_for_verification(
-            self.compiled.program, targets, self.compiled.options.main_function
+        demoted = self.ctx.passes.rewrite(
+            "demotion",
+            self.compiled.program, targets, self.compiled.options.main_function,
         )
-        return insert_result_comparison(
-            demoted, targets, self.compiled.options.main_function
+        return self.ctx.passes.rewrite(
+            "resultcomp",
+            demoted, targets, self.compiled.options.main_function,
         ), targets
 
     def run(self) -> VerificationReport:
         transformed, targets = self.transformed_program()
         vcompiled = compile_ast(
-            transformed, self.compiled.options.copy(strict_validation=False)
+            transformed, self.compiled.options.copy(strict_validation=False),
+            ctx=self.ctx,
         )
         report = VerificationReport()
         session = _Session(

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.compiler.checkinsert import InstrumentationResult, instrument_for_memverify
+from repro.compiler.checkinsert import InstrumentationResult
 from repro.compiler.driver import CompiledProgram
 from repro.device.engine import Schedule
 from repro.interp.interp import Interp
@@ -55,23 +55,28 @@ class MemVerifier:
         params: Optional[Dict[str, object]] = None,
         schedule: Optional[Schedule] = None,
         optimize_placement: bool = True,
+        ctx=None,
     ):
+        from repro.toolchain import default_context
+
         self.compiled = compiled
         self.params = dict(params or {})
         self.schedule = schedule
         self.optimize_placement = optimize_placement
         self.instrumentation: Optional[InstrumentationResult] = None
         self.runtime: Optional[AccRuntime] = None
+        self.ctx = ctx or default_context()
 
     def run(self) -> MemVerificationReport:
-        instr = instrument_for_memverify(
-            self.compiled, optimize_placement=self.optimize_placement
+        instr = self.ctx.passes.rewrite(
+            "checkinsert", self.compiled,
+            optimize_placement=self.optimize_placement, ctx=self.ctx,
         )
         self.instrumentation = instr
         tracker = CoherenceTracker()
         for var in instr.universe:
             tracker.register(var)
-        runtime = AccRuntime(coherence=tracker)
+        runtime = AccRuntime(coherence=tracker, ctx=self.ctx)
         self.runtime = runtime
         interp = Interp(
             instr.compiled,

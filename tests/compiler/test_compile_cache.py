@@ -66,7 +66,9 @@ class TestMemoization:
 class TestStatsAndClear:
     def test_stats_track_hits_and_misses(self):
         stats = compile_cache_stats()
-        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["entries"] == 0
         compile_source(SOURCE)
         compile_source(SOURCE)
         compile_source(OTHER)
@@ -74,6 +76,20 @@ class TestStatsAndClear:
         assert stats["misses"] == 2
         assert stats["hits"] == 1
         assert stats["entries"] == 2
+
+    def test_stats_expose_parse_and_pass_level_caches(self):
+        compile_source(SOURCE)
+        # Same source under different options: pipeline misses, but the
+        # parse tree is shared (one parse hit) and option-independent
+        # analyses hit at pass level.
+        compile_source(SOURCE, CompilerOptions(auto_privatize=False))
+        stats = compile_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["parse_misses"] == 1
+        assert stats["parse_hits"] == 1
+        assert stats["parse_entries"] == 1
+        assert stats["pass_hits"] > 0
+        assert stats["pass_entries"] > 0
 
     def test_clear_resets_entries_and_identity(self):
         first = compile_source(SOURCE)

@@ -5,7 +5,13 @@ import pytest
 
 from repro.bench import get
 from repro.experiments import fig1, fig4, table2
-from repro.experiments.harness import render_table, rows_to_dicts, run_variant
+from repro.experiments.harness import (
+    RunOutcome,
+    render_table,
+    rows_to_dicts,
+    run_variant,
+    run_variant_isolated,
+)
 
 
 class TestRunVariant:
@@ -53,6 +59,39 @@ class TestRenderTable:
     def test_rows_to_dicts(self):
         out = rows_to_dicts(["a", "b"], [[1, 2]])
         assert out == [{"a": 1, "b": 2}]
+
+    def test_rows_to_dicts_preserves_row_order(self):
+        out = rows_to_dicts(["n"], [[3], [1], [2]])
+        assert [d["n"] for d in out] == [3, 1, 2]
+
+
+class TestRunOutcome:
+    def test_describe_ok(self):
+        outcome = RunOutcome("JACOBI", "optimized", True)
+        assert outcome.describe() == "JACOBI/optimized: ok"
+
+    def test_describe_failure_names_stage_and_type(self):
+        outcome = RunOutcome(
+            "LUD", "naive", False, error_type="DeviceError",
+            error_stage="runtime", error="boom",
+        )
+        text = outcome.describe()
+        assert "LUD/naive: FAILED" in text
+        assert "[runtime]" in text
+        assert "DeviceError" in text
+        assert "boom" in text
+
+    def test_stripped_drops_interp_and_pickles(self):
+        import pickle
+
+        outcome = run_variant_isolated(get("JACOBI"), "optimized", "tiny")
+        assert outcome.ok and outcome.interp is not None
+        slim = outcome.stripped()
+        assert slim.interp is None
+        assert slim.bench == outcome.bench
+        assert slim.wall_seconds == outcome.wall_seconds
+        round_trip = pickle.loads(pickle.dumps(slim))
+        assert round_trip.describe() == outcome.describe()
 
 
 class TestExperimentSmoke:

@@ -1,0 +1,86 @@
+"""Parallel experiment scheduler: grid construction, ordering, failure
+capture, and jobs=N row-parity with jobs=1."""
+
+import pytest
+
+from repro.experiments import fig1, scheduler
+from repro.experiments.scheduler import (
+    JobFailure,
+    RowJob,
+    SchedulerError,
+    VariantJob,
+    raise_failures,
+    row_grid,
+    run_jobs,
+    variant_grid,
+)
+
+BENCHES = ["JACOBI", "NW"]
+
+
+class TestGrids:
+    def test_variant_grid_is_benchmark_major_cross_product(self):
+        grid = variant_grid(BENCHES, ("optimized", "naive"), "tiny", 0)
+        assert [(j.bench, j.variant) for j in grid] == [
+            ("JACOBI", "optimized"), ("JACOBI", "naive"),
+            ("NW", "optimized"), ("NW", "naive"),
+        ]
+
+    def test_row_grid_one_job_per_benchmark(self):
+        grid = row_grid("repro.experiments.fig1", BENCHES, "tiny", 0)
+        assert [j.bench for j in grid] == BENCHES
+        assert all(j.experiment == "repro.experiments.fig1" for j in grid)
+
+    def test_row_grid_extra_kwargs_are_sorted_and_hashable(self):
+        job = row_grid("m", ["A"], "tiny", 0, zeta=1, alpha=2)[0]
+        assert job.extra == (("alpha", 2), ("zeta", 1))
+        hash(job)  # frozen dataclasses must stay hashable (picklable keys)
+
+
+class TestRunJobs:
+    def test_variant_jobs_inline_return_stripped_outcomes(self):
+        grid = variant_grid(["JACOBI"], ("optimized",), "tiny", 0)
+        results = run_jobs(grid, 1)
+        assert len(results) == 1
+        assert results[0].ok and results[0].interp is None
+
+    def test_parallel_results_preserve_input_order(self):
+        grid = row_grid("repro.experiments.fig1", BENCHES, "tiny", 0)
+        results = run_jobs(grid, 2)
+        assert [r.benchmark for r in raise_failures(results)] == BENCHES
+
+    def test_parallel_rows_identical_to_sequential(self):
+        grid = row_grid("repro.experiments.fig1", BENCHES, "tiny", 0)
+        sequential = raise_failures(run_jobs(grid, 1))
+        parallel = raise_failures(run_jobs(grid, 2))
+        assert sequential == parallel
+
+    def test_row_job_exception_becomes_picklable_failure(self):
+        grid = row_grid("repro.experiments.fig1", ["NO_SUCH_BENCH"], "tiny", 0)
+        results = run_jobs(grid, 1)
+        assert len(results) == 1
+        failure = results[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "KeyError"
+        with pytest.raises(SchedulerError) as exc:
+            raise_failures(results)
+        assert "NO_SUCH_BENCH" in str(exc.value)
+
+    def test_unknown_job_type_is_captured_not_raised(self):
+        results = run_jobs([object()], 1)
+        assert isinstance(results[0], JobFailure)
+        assert results[0].error_type == "TypeError"
+
+
+class TestExperimentParity:
+    """The acceptance property: --jobs N output is byte-identical to
+    --jobs 1 (full fig1 here; the other experiments share the same
+    scheduler path and are covered by their own smoke tests)."""
+
+    def test_fig1_tiny_tables_identical_across_jobs(self):
+        assert fig1.table("tiny", jobs=1) == fig1.table("tiny", jobs=2)
+
+    def test_fig1_isolated_sweep_parallel_matches_sequential(self):
+        seq = fig1.run_isolated("tiny", timeout_s=120.0, jobs=1)
+        par = fig1.run_isolated("tiny", timeout_s=120.0, jobs=2)
+        assert [o.describe() for o in seq] == [o.describe() for o in par]

@@ -169,6 +169,76 @@ void main()
         assert "repro: error [pragma]" in capsys.readouterr().err
 
 
+class TestObservabilityFlags:
+    def test_cache_stats_printed(self, good_file, capsys):
+        assert main(["compile", good_file, "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "compile caches" in out
+        assert "parse_misses" in out
+        assert "pass_misses" in out
+        assert "semantics closure caches" in out
+        assert "expr_hits" in out
+
+    def test_time_passes_report(self, good_file, capsys):
+        assert main(["compile", good_file, "--time-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "pass timing" in out
+        assert "kernelgen" in out
+        assert "passes account for" in out
+
+    def test_dump_after_pipeline_pass(self, good_file, capsys):
+        assert main(["compile", good_file, "--dump-after", "regions"]) == 0
+        assert "after pass 'regions'" in capsys.readouterr().out
+
+    def test_dump_after_unknown_pass_rejected(self, good_file):
+        with pytest.raises(SystemExit):
+            main(["compile", good_file, "--dump-after", "nonsense"])
+
+
+class TestExperimentsFlags:
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "rows.json"
+        code = main(["experiments", "fig1", "--size", "tiny",
+                     "--json", str(json_path)])
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert set(data) == {"fig1"}
+        assert len(data["fig1"]) == 12
+        row = data["fig1"][0]
+        assert row["Benchmark"] == "BACKPROP"
+        assert row["Norm. total execution time"] >= 1.0
+
+    def test_jobs_flag_rows_identical_to_sequential(self, tmp_path, capsys):
+        import json
+
+        seq_path, par_path = tmp_path / "seq.json", tmp_path / "par.json"
+        assert main(["experiments", "fig1", "--size", "tiny",
+                     "--json", str(seq_path)]) == 0
+        seq_out = capsys.readouterr().out
+        assert main(["experiments", "fig1", "--size", "tiny", "--jobs", "2",
+                     "--json", str(par_path)]) == 0
+        par_out = capsys.readouterr().out
+        assert json.loads(seq_path.read_text()) == json.loads(par_path.read_text())
+        assert seq_out.replace(str(seq_path), "X") == \
+            par_out.replace(str(par_path), "X")
+
+    def test_json_with_chaos_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["experiments", "fig1", "--size", "tiny",
+                  "--chaos-seed", "0", "--json", str(tmp_path / "x.json")])
+
+    def test_jobs_with_chaos_forced_sequential(self, capsys):
+        code = main(["experiments", "fig1", "--size", "tiny",
+                     "--chaos-seed", "0", "--chaos-spec", "alloc=1.0,",
+                     "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ignoring --jobs" in out
+        assert "under fault injection" in out
+
+
 class TestChaosFlags:
     def test_chaos_seed_run_recovers(self, good_file, capsys):
         assert main(["run", good_file, "-p", "N=64", "--chaos-seed", "1"]) == 0
