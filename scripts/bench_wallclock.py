@@ -26,8 +26,10 @@ from pathlib import Path
 
 from repro.bench import suite
 from repro.compiler import clear_compile_cache
+from repro.device.device import DeviceConfig
 from repro.interp import run_compiled
 from repro.runtime.profiler import CTR_LAUNCH_INTERLEAVED, CTR_LAUNCH_VECTORIZED
+from repro.toolchain import ToolchainContext
 
 
 def time_benchmark(name: str, size: str, repeat: int) -> dict:
@@ -48,6 +50,31 @@ def time_benchmark(name: str, size: str, repeat: int) -> dict:
         "launches_vectorized": counters.get(CTR_LAUNCH_VECTORIZED, 0),
         "launches_interleaved": counters.get(CTR_LAUNCH_INTERLEAVED, 0),
     }
+
+
+def measure_transfer_bytes(name: str, size: str) -> dict:
+    """Modeled transfer bytes for both source variants under whole-array and
+    delta (dirty-interval) transfer modes.  Deterministic: modeled byte
+    counts depend only on the program, inputs and transfer mode."""
+    bench = suite.get(name)
+    params = bench.params(size)
+    out = {}
+    for variant in ("optimized", "unoptimized"):
+        entry = {}
+        for mode, config in (
+            ("whole", None),
+            ("delta", DeviceConfig(delta_transfers=True)),
+        ):
+            ctx = ToolchainContext(device_config=config)
+            compiled = bench.compile(variant, ctx=ctx)
+            interp = run_compiled(compiled, params=params, ctx=ctx)
+            entry[mode] = interp.runtime.device.total_transferred_bytes()
+        whole = entry["whole"]
+        entry["saved_pct"] = (
+            100.0 * (whole - entry["delta"]) / whole if whole else 0.0
+        )
+        out[variant] = entry
+    return out
 
 
 def time_sweep(experiment: str, size: str, jobs_levels) -> dict:
@@ -85,14 +112,27 @@ def main() -> None:
 
     results = {}
     total = 0.0
+    best_savings = (0.0, None)   # (saved_pct, "BENCH variant")
     for name in suite.all_names():
         entry = time_benchmark(name, size, repeat)
+        entry["transfer_bytes"] = measure_transfer_bytes(name, size)
         results[name] = entry
         total += entry["seconds"]
+        xfer = entry["transfer_bytes"]
+        for variant, modes in xfer.items():
+            if modes["saved_pct"] > best_savings[0]:
+                best_savings = (modes["saved_pct"], f"{name} {variant}")
         print(f"{name:10s} {entry['seconds']:8.4f}s  "
               f"vec={entry['launches_vectorized']:5d} "
-              f"interleaved={entry['launches_interleaved']:4d}")
+              f"interleaved={entry['launches_interleaved']:4d}  "
+              f"bytes opt={xfer['optimized']['whole']}/"
+              f"{xfer['optimized']['delta']} "
+              f"unopt={xfer['unoptimized']['whole']}/"
+              f"{xfer['unoptimized']['delta']} (whole/delta)")
     print(f"{'TOTAL':10s} {total:8.4f}s")
+    if best_savings[1] is not None:
+        print(f"max delta-transfer savings: {best_savings[0]:.1f}% "
+              f"({best_savings[1]})")
 
     report = {
         "size": size,
@@ -100,6 +140,8 @@ def main() -> None:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "total_seconds": total,
+        "max_transfer_saved_pct": best_savings[0],
+        "max_transfer_saved_at": best_savings[1],
         "benchmarks": results,
     }
     if args.sweep:

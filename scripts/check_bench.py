@@ -1,16 +1,32 @@
-"""Development helper: validate one benchmark module end to end.
+"""Development helper: validate benchmark modules end to end.
 
-Usage: python scripts/check_bench.py <module-name> [size]
+Usage:
+    python scripts/check_bench.py <module-name> [size]
+    python scripts/check_bench.py --guard BENCH_bytes.json [--update] [size]
+
+The first form runs one module's variants against the sequential reference
+and prints launch/transfer stats.  The ``--guard`` form measures every
+benchmark's modeled transfer bytes (both variants, whole-array and delta
+transfer modes) and compares them against a committed baseline with exact
+equality — modeled byte counts are deterministic, so any drift is a real
+behavior change that must be explained (and the baseline regenerated with
+``--update``).
 """
 
 import importlib
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.compiler import CompilerOptions, compile_source
+from repro.device.device import DeviceConfig
 from repro.interp import run_compiled, run_sequential
 from repro.runtime.profiler import CTR_LAUNCH_INTERLEAVED, CTR_LAUNCH_VECTORIZED
+from repro.toolchain import ToolchainContext
+
+MODES = (("whole", None), ("delta", DeviceConfig(delta_transfers=True)))
 
 
 def check(mod_name: str, size: str = "tiny") -> None:
@@ -49,5 +65,65 @@ def check(mod_name: str, size: str = "tiny") -> None:
               f"interleaved={counters.get(CTR_LAUNCH_INTERLEAVED, 0)}")
 
 
+def measure_all(size: str = "tiny") -> dict:
+    """Per-benchmark modeled transfer bytes (variant x transfer mode)."""
+    from repro.bench import suite
+
+    out = {}
+    for name in suite.all_names():
+        bench = suite.get(name)
+        params = bench.params(size)
+        entry = {}
+        for variant in ("optimized", "unoptimized"):
+            modes = {}
+            for mode, config in MODES:
+                ctx = ToolchainContext(device_config=config)
+                compiled = bench.compile(variant, ctx=ctx)
+                interp = run_compiled(compiled, params=params, ctx=ctx)
+                modes[mode] = interp.runtime.device.total_transferred_bytes()
+            entry[variant] = modes
+        out[name] = entry
+    return out
+
+
+def guard(baseline_path: str, size: str = "tiny", update: bool = False) -> int:
+    path = Path(baseline_path)
+    current = {"size": size, "benchmarks": measure_all(size)}
+    if update or not path.exists():
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0
+    baseline = json.loads(path.read_text())
+    failures = []
+    for name, entry in current["benchmarks"].items():
+        expect = baseline.get("benchmarks", {}).get(name)
+        if expect != entry:
+            failures.append(f"{name}: expected {expect}, got {entry}")
+    missing = set(baseline.get("benchmarks", {})) - set(current["benchmarks"])
+    failures.extend(f"{name}: benchmark disappeared" for name in sorted(missing))
+    if failures:
+        print("transfer-byte guard FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        print(f"(regenerate with: python scripts/check_bench.py --guard "
+              f"{baseline_path} --update {size})")
+        return 1
+    print(f"transfer-byte guard OK: {len(current['benchmarks'])} benchmarks "
+          f"match {path}")
+    return 0
+
+
+def main(argv) -> int:
+    if argv and argv[0] == "--guard":
+        baseline = argv[1]
+        rest = argv[2:]
+        update = "--update" in rest
+        rest = [a for a in rest if a != "--update"]
+        size = rest[0] if rest else "tiny"
+        return guard(baseline, size=size, update=update)
+    check(argv[0], argv[1] if len(argv) > 1 else "tiny")
+    return 0
+
+
 if __name__ == "__main__":
-    check(sys.argv[1], sys.argv[2] if len(sys.argv) > 2 else "tiny")
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,138 @@
+"""CI gate: delta transfers must be a pure cost optimization.
+
+Runs every benchmark (both source variants) twice — whole-array transfers
+vs dirty-interval delta transfers — and asserts:
+
+* every program global is **bit-identical** between the two modes;
+* memory verification reports the **same findings** (kind/var/site/context)
+  in both modes — interval bookkeeping never changes what the §III-B state
+  machine says;
+* at least one benchmark saves >= 30% of modeled transfer bytes, so the
+  delta engine demonstrably earns its keep.
+
+Writes a transfer-bytes JSON report (uploaded as a CI artifact).
+
+Usage: PYTHONPATH=src python scripts/check_delta_equivalence.py
+           [--size SIZE] [--output PATH] [--min-saved-pct PCT]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import suite
+from repro.device.device import DeviceConfig
+from repro.interp import run_compiled
+from repro.toolchain import ToolchainContext
+from repro.verify.memverify import MemVerifier
+
+MODES = (("whole", None), ("delta", DeviceConfig(delta_transfers=True)))
+
+
+def run_modes(bench, variant: str, params: dict) -> dict:
+    """One (benchmark, variant) in both transfer modes: final globals,
+    modeled transfer bytes, and memverify findings."""
+    out = {}
+    for mode, config in MODES:
+        ctx = ToolchainContext(device_config=config)
+        compiled = bench.compile(variant, ctx=ctx)
+        interp = run_compiled(compiled, params=params, ctx=ctx)
+        arrays = {}
+        for decl in compiled.program.decls:
+            value = interp.env.load(decl.name)
+            arrays[decl.name] = (
+                value.tobytes() if isinstance(value, np.ndarray) else value
+            )
+        verify_ctx = ToolchainContext(device_config=config)
+        report = MemVerifier(
+            bench.compile(variant, ctx=verify_ctx), params=params,
+            ctx=verify_ctx,
+        ).run()
+        out[mode] = {
+            "arrays": arrays,
+            "bytes": interp.runtime.device.total_transferred_bytes(),
+            "findings": [
+                (f.kind, f.var, f.site, f.context) for f in report.findings
+            ],
+        }
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="tiny",
+                        choices=["tiny", "small", "large"])
+    parser.add_argument("--output", default="BENCH_delta_equivalence.json")
+    parser.add_argument("--min-saved-pct", type=float, default=30.0,
+                        help="fail unless some benchmark saves at least "
+                             "this percentage of modeled transfer bytes")
+    args = parser.parse_args()
+
+    failures = []
+    report = {"size": args.size, "benchmarks": {}}
+    best = (0.0, None)
+    for name in suite.all_names():
+        bench = suite.get(name)
+        params = bench.params(args.size)
+        entry = {}
+        for variant in ("optimized", "unoptimized"):
+            modes = run_modes(bench, variant, params)
+            whole, delta = modes["whole"], modes["delta"]
+            mismatched = [
+                var for var in whole["arrays"]
+                if whole["arrays"][var] != delta["arrays"][var]
+            ]
+            if mismatched:
+                failures.append(
+                    f"{name} {variant}: outputs differ between whole-array "
+                    f"and delta modes for {mismatched}"
+                )
+            if whole["findings"] != delta["findings"]:
+                failures.append(
+                    f"{name} {variant}: coherence findings differ between "
+                    f"transfer modes"
+                )
+            saved_pct = (
+                100.0 * (whole["bytes"] - delta["bytes"]) / whole["bytes"]
+                if whole["bytes"] else 0.0
+            )
+            if saved_pct > best[0]:
+                best = (saved_pct, f"{name} {variant}")
+            entry[variant] = {
+                "whole_bytes": whole["bytes"],
+                "delta_bytes": delta["bytes"],
+                "saved_pct": saved_pct,
+                "findings": len(whole["findings"]),
+            }
+            print(f"{name:10s} {variant:12s} whole={whole['bytes']:8d} "
+                  f"delta={delta['bytes']:8d} saved={saved_pct:5.1f}% "
+                  f"findings={len(whole['findings'])}")
+        report["benchmarks"][name] = entry
+
+    report["max_saved_pct"] = best[0]
+    report["max_saved_at"] = best[1]
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+
+    if best[0] < args.min_saved_pct:
+        failures.append(
+            f"no benchmark reaches {args.min_saved_pct:.0f}% transfer-byte "
+            f"savings (best: {best[0]:.1f}% at {best[1]})"
+        )
+    if failures:
+        print("\ndelta-equivalence check FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"\ndelta-equivalence OK: outputs and findings identical across "
+          f"modes; max savings {best[0]:.1f}% ({best[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,7 +36,7 @@ from repro.toolchain import ToolchainContext
 def _context(args) -> ToolchainContext:
     """One fresh context per CLI invocation, configured from the common
     observability flags."""
-    ctx = ToolchainContext()
+    ctx = ToolchainContext(device_config=_device_config(args))
     dump_after = getattr(args, "dump_after", None)
     if dump_after is not None:
         from repro.compiler.passes import pass_names
@@ -48,6 +48,18 @@ def _context(args) -> ToolchainContext:
             )
         ctx.dump_after = dump_after
     return ctx
+
+
+def _device_config(args):
+    """Build a DeviceConfig from --delta-transfers/--merge-gap (None when
+    neither flag was given: the stock whole-array device)."""
+    delta = getattr(args, "delta_transfers", False)
+    gap = getattr(args, "merge_gap", None)
+    if not delta and gap is None:
+        return None
+    from repro.device.device import DeviceConfig
+
+    return DeviceConfig(delta_transfers=delta, transfer_merge_gap_bytes=gap)
 
 
 def _chaos_plan(args):
@@ -157,6 +169,51 @@ def cmd_run(args, ctx: ToolchainContext) -> int:
                 bad.append(decl.name)
         print(f"-- sequential comparison: {'MISMATCH in ' + str(bad) if bad else 'OK'}")
         return 1 if bad else 0
+    return 0
+
+
+def cmd_profile(args, ctx: ToolchainContext) -> int:
+    from repro.runtime.profiler import CTR_BYTES_D2H, CTR_BYTES_H2D, CTR_BYTES_SAVED
+
+    compiled = _load(args.file, args, ctx)
+    run = run_compiled(compiled, params=_parse_params(args.param), ctx=ctx)
+    runtime = run.runtime
+    profiler = runtime.profiler
+    counters = profiler.counters
+
+    # Aggregate the transfer log per (var, site, direction).
+    sites: Dict[tuple, Dict[str, int]] = {}
+    for rec in runtime.transfer_log:
+        entry = sites.setdefault(
+            (rec.var, rec.site, rec.direction),
+            {"count": 0, "bytes": 0, "saved": 0, "batches": 0},
+        )
+        entry["count"] += 1
+        entry["bytes"] += rec.nbytes
+        entry["saved"] += rec.nbytes_saved
+        entry["batches"] += rec.batches
+
+    print(f"-- modeled time: {profiler.total() * 1e3:.3f} ms")
+    print(f"-- transfers: {len(runtime.transfer_log)} "
+          f"({runtime.device.total_transferred_bytes()} bytes)")
+    print(f"   h2d bytes  {counters.get(CTR_BYTES_H2D, 0):12d}")
+    print(f"   d2h bytes  {counters.get(CTR_BYTES_D2H, 0):12d}")
+    print(f"   saved      {counters.get(CTR_BYTES_SAVED, 0):12d}")
+    for cat, seconds in profiler.breakdown().items():
+        if seconds:
+            print(f"   {cat:15s} {seconds * 1e6:12.1f} us")
+
+    top = sorted(sites.items(), key=lambda kv: (-kv[1]["bytes"], kv[0]))
+    top = top[: args.top_transfers]
+    if top:
+        print(f"\n-- top {len(top)} transfer sites by bytes moved")
+        header = (f"   {'var':12s} {'site':20s} {'dir':4s} {'count':>6s} "
+                  f"{'batches':>8s} {'bytes':>10s} {'saved':>10s}")
+        print(header)
+        print("   " + "-" * (len(header) - 3))
+        for (var, site, direction), entry in top:
+            print(f"   {var:12s} {site:20s} {direction:4s} {entry['count']:6d} "
+                  f"{entry['batches']:8d} {entry['bytes']:10d} {entry['saved']:10d}")
     return 0
 
 
@@ -299,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help='fault kinds and rates, e.g. "alloc=0.05,transfer.corrupt=0.1" '
                             "(implies --chaos-seed 0 when the seed is omitted)")
 
+    def add_transfer(p):
+        p.add_argument("--delta-transfers", action="store_true",
+                       help="move only dirty intervals across the modeled "
+                            "PCIe link instead of whole arrays")
+        p.add_argument("--merge-gap", type=int, metavar="BYTES",
+                       help="coalesce dirty intervals closer than this many "
+                            "bytes into one batch (default: the cost model's "
+                            "latency/bandwidth break-even)")
+
     p = sub.add_parser("run", help="execute on the simulated GPU")
     add_common(p)
     p.add_argument("--compare-sequential", action="store_true",
@@ -306,7 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(device-scratch arrays never copied out will "
                         "legitimately differ)")
     add_chaos(p)
+    add_transfer(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("profile", help="transfer-byte profile of one run")
+    add_common(p)
+    p.add_argument("--top-transfers", type=int, default=5, metavar="N",
+                   help="list the N largest transfer sites by bytes moved "
+                        "(default: 5)")
+    add_transfer(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("verify", help="kernel verification (paper §III-A)")
     add_common(p)

@@ -33,6 +33,9 @@ class DeviceEvent:
     steps: int = 0
     seconds: float = 0.0
     async_queue: Optional[int] = None
+    # Number of coalesced interval batches for h2d/d2h events (1 for a
+    # classic whole-array or sectioned copy, 0 for an empty delta transfer).
+    batches: int = 1
 
 
 @dataclass
@@ -44,6 +47,20 @@ class DeviceConfig:
     # Vectorized fast path for race-free launches (repro.device.vectorize);
     # False forces every launch onto the interleaved stepper.
     vectorize: bool = True
+    # Delta transfers: update/region transfers move only dirty intervals
+    # (plus a bitwise host/device diff as the soundness net) instead of the
+    # whole array.  Off by default — whole-array mode is bit-identical to
+    # the historical behavior in both values and modeled time.
+    delta_transfers: bool = False
+    # Dirty intervals closer than this many bytes are coalesced into one
+    # batch; the filler bytes ride along.  None picks the cost model's
+    # latency/bandwidth break-even (60 bytes at the default constants).
+    transfer_merge_gap_bytes: Optional[int] = None
+
+    def merge_gap_bytes(self) -> int:
+        if self.transfer_merge_gap_bytes is not None:
+            return self.transfer_merge_gap_bytes
+        return self.costs.merge_break_even_bytes()
 
 
 class Device:
@@ -89,15 +106,24 @@ class Device:
     # Transfers
     # ------------------------------------------------------------------
     def memcpy_h2d(self, handle: int, host: np.ndarray, async_queue: Optional[int] = None,
-                   section: Optional[Tuple[int, int]] = None) -> float:
+                   section: Optional[Tuple[int, int]] = None,
+                   intervals: Optional[List[Tuple[int, int]]] = None) -> float:
         """Copy host -> device; ``section=(start, length)`` transfers a slice
-        of the (1D-flattened) buffer, paying only its bytes."""
+        of the (1D-flattened) buffer, paying only its bytes.  ``intervals``
+        (sorted, disjoint ``[start, stop)`` element intervals, already
+        coalesced by the caller) performs an interval-batched delta copy:
+        one latency per batch, bandwidth per byte, one chaos draw per batch.
+        """
         dev = self.mem.get(handle)
         if dev.data.shape != host.shape:
             raise DeviceError(
                 f"h2d shape mismatch for '{dev.name}': host {host.shape} vs device {dev.data.shape}"
             )
-        fault, snapshot = self._transfer_fault(f"h2d:{dev.name}", dev.data)
+        if intervals is not None:
+            return self._memcpy_batched(EV_H2D, dev, dev.data, host,
+                                        intervals, async_queue)
+        fault, snapshot = self._transfer_fault(f"h2d:{dev.name}", dev.data,
+                                               self._full_or_section(dev, section))
         if section is None:
             np.copyto(dev.data, host, casting="same_kind")
             nbytes = dev.nbytes
@@ -115,13 +141,18 @@ class Device:
         return seconds
 
     def memcpy_d2h(self, host: np.ndarray, handle: int, async_queue: Optional[int] = None,
-                   section: Optional[Tuple[int, int]] = None) -> float:
+                   section: Optional[Tuple[int, int]] = None,
+                   intervals: Optional[List[Tuple[int, int]]] = None) -> float:
         dev = self.mem.get(handle)
         if dev.data.shape != host.shape:
             raise DeviceError(
                 f"d2h shape mismatch for '{dev.name}': host {host.shape} vs device {dev.data.shape}"
             )
-        fault, snapshot = self._transfer_fault(f"d2h:{dev.name}", host)
+        if intervals is not None:
+            return self._memcpy_batched(EV_D2H, dev, host, dev.data,
+                                        intervals, async_queue)
+        fault, snapshot = self._transfer_fault(f"d2h:{dev.name}", host,
+                                               self._full_or_section(dev, section))
         if section is None:
             np.copyto(host, dev.data, casting="same_kind")
             nbytes = dev.nbytes
@@ -138,10 +169,53 @@ class Device:
                               async_queue=async_queue))
         return seconds
 
-    def _transfer_fault(self, site: str, dest: np.ndarray):
+    def _memcpy_batched(self, kind: str, dev, dest: np.ndarray,
+                        src: np.ndarray, intervals: List[Tuple[int, int]],
+                        async_queue: Optional[int]) -> float:
+        """Delta transfer: copy each coalesced interval batch, drawing the
+        chaos plan once per batch so corruption/truncation recovery works at
+        batch granularity.  An aborting fault raises mid-sequence; earlier
+        batches already landed, and the runtime's retry re-issues the whole
+        plan (idempotent — re-copying equal data is harmless)."""
+        size = dev.data.size
+        last = 0
+        for start, stop in intervals:
+            if start < last or stop <= start or stop > size:
+                raise DeviceError(
+                    f"bad transfer interval [{start},{stop}) for '{dev.name}' "
+                    f"of size {size}"
+                )
+            last = stop
+        dest_flat = dest.reshape(-1)
+        src_flat = src.reshape(-1)
+        nbytes = 0
+        for start, stop in intervals:
+            sl = slice(start, stop)
+            fault, snapshot = self._transfer_fault(f"{kind}:{dev.name}", dest, sl)
+            dest_flat[sl] = src_flat[sl]
+            if fault is not None:
+                self._damage_payload(dest, snapshot, fault, sl)
+            nbytes += (stop - start) * dev.data.itemsize
+        seconds = self.config.costs.transfer_time_batched(len(intervals), nbytes)
+        if kind == EV_H2D:
+            self.bytes_h2d += nbytes
+        else:
+            self.bytes_d2h += nbytes
+        self._log(DeviceEvent(kind, dev.name, nbytes=nbytes, seconds=seconds,
+                              async_queue=async_queue, batches=len(intervals)))
+        return seconds
+
+    @staticmethod
+    def _full_or_section(dev, section: Optional[Tuple[int, int]]) -> slice:
+        if section is None:
+            return slice(0, dev.data.size)
+        return Device._section_slice(dev, section)
+
+    def _transfer_fault(self, site: str, dest: np.ndarray, sl: slice):
         """Consult the chaos plan before a copy.  An aborting fault raises
         here, before any data moved; a damaging fault returns with a snapshot
-        of the destination so truncation can restore the un-arrived suffix."""
+        of the destination range so truncation can restore the un-arrived
+        suffix."""
         if self.chaos is None:
             return None, None
         fault = self.chaos.draw("transfer", site=site)
@@ -149,7 +223,7 @@ class Device:
             return None, None
         if fault.aborts:
             raise fault.to_error("injected transient transfer failure")
-        return fault, dest.reshape(-1).copy()
+        return fault, dest.reshape(-1)[sl].copy()
 
     @staticmethod
     def _damage_payload(dest: np.ndarray, snapshot: np.ndarray, fault,
@@ -162,7 +236,7 @@ class Device:
         if fault.corrupts:
             corrupt_payload(flat, fault)
         elif fault.truncates:
-            truncate_payload(flat, snapshot[sl], fault)
+            truncate_payload(flat, snapshot, fault)
 
     @staticmethod
     def _section_slice(dev, section: Tuple[int, int]) -> slice:

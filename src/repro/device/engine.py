@@ -81,6 +81,7 @@ class LaunchSpec:
         cached_vars: Optional[Dict[str, object]] = None,
         shared_writable: Optional[set] = None,
         reductions: Optional[Sequence[Tuple[str, str, object]]] = None,
+        array_names: Optional[Dict[str, str]] = None,
     ):
         self.name = name
         self.instrs = instrs
@@ -93,6 +94,9 @@ class LaunchSpec:
         self.cached_vars = dict(cached_vars or {})       # name -> initial shared value
         self.shared_writable = set(shared_writable or ())
         self.reductions = list(reductions or [])         # (name, op, dtype|None)
+        # Kernel-local array name -> canonical (present-table) name, so the
+        # runtime can attribute per-launch write footprints to the dirty map.
+        self.array_names = dict(array_names or {})
 
     @property
     def nthreads(self) -> int:
@@ -102,13 +106,19 @@ class LaunchSpec:
 class LaunchResult:
     def __init__(self, name: str, total_steps: int, max_thread_steps: int,
                  reductions: Dict[str, object], shared_final: Dict[str, object],
-                 backend: str = "interleaved"):
+                 backend: str = "interleaved",
+                 write_sets: Optional[Dict[str, List[Tuple[int, int]]]] = None):
         self.name = name
         self.total_steps = total_steps
         self.max_thread_steps = max_thread_steps
         self.reductions = reductions
         self.shared_final = shared_final
         self.backend = backend  # "vectorized" | "interleaved"
+        # Per-array element intervals this launch wrote (kernel-local array
+        # name -> [start, stop) intervals over the flattened buffer), when
+        # the engine collected them; None = unknown (interleaved stepper),
+        # which the runtime treats as a conservative full-array write.
+        self.write_sets = write_sets
 
     def __repr__(self):
         return f"LaunchResult({self.name}: {self.total_steps} steps)"
@@ -190,6 +200,11 @@ class KernelEngine:
     def __init__(self, max_total_steps: int = 50_000_000, vectorize: bool = True):
         self.max_total_steps = max_total_steps
         self.vectorize = vectorize
+        # When True, vectorized launches report per-array write footprints
+        # (LaunchResult.write_sets) for the runtime's dirty-interval map.
+        # Off by default: the footprint diff costs one array comparison per
+        # written array, only worth paying when something consumes it.
+        self.collect_write_sets = False
 
     def launch(self, spec: LaunchSpec, schedule: Optional[Schedule] = None,
                backend: Optional[str] = None) -> LaunchResult:
@@ -201,12 +216,13 @@ class KernelEngine:
             plan = vectorize.plan_for(spec)
             if plan is not None:
                 try:
-                    total, max_steps, reductions = vectorize.execute(
-                        spec, plan, self.max_total_steps
+                    total, max_steps, reductions, write_sets = vectorize.execute(
+                        spec, plan, self.max_total_steps,
+                        collect_writes=self.collect_write_sets,
                     )
                     return LaunchResult(
                         spec.name, total, max_steps, reductions, {},
-                        backend="vectorized",
+                        backend="vectorized", write_sets=write_sets,
                     )
                 except DeviceError:
                     raise

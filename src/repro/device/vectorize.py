@@ -831,10 +831,18 @@ def _compile_vstmt(stmt: ast.Stmt) -> Callable:
 # SIMT executor
 # ---------------------------------------------------------------------------
 
-def execute(spec, plan: VectorPlan, max_total_steps: int):
+def execute(spec, plan: VectorPlan, max_total_steps: int,
+            collect_writes: bool = False):
     """Run ``spec`` vectorized.  Returns (total_steps, max_thread_steps,
-    reductions) and commits array writes; raises :class:`VectorBailout`
-    (device memory untouched) when exact semantics cannot be guaranteed."""
+    reductions, write_sets) and commits array writes; raises
+    :class:`VectorBailout` (device memory untouched) when exact semantics
+    cannot be guaranteed.
+
+    With ``collect_writes``, ``write_sets`` maps each written array to the
+    element intervals whose bytes changed (scratch copy vs. pre-launch
+    contents) — an under-approximation of the true store footprint (a store
+    of an identical value is invisible), which is exactly the safe direction
+    for the runtime's dirty-interval tracking; otherwise it is None."""
     nlanes = len(spec.threads)
     instrs = spec.instrs
     n = len(instrs)
@@ -911,7 +919,16 @@ def execute(spec, plan: VectorPlan, max_total_steps: int):
                 "steps (possible infinite loop in kernel body)"
             )
 
-    # Commit scratch copies into the real device buffers.
+    # Diff scratch against the pristine buffers (write footprints), then
+    # commit scratch copies into the real device buffers.
+    write_sets = None
+    if collect_writes:
+        from repro.device.transfer import diff_intervals
+
+        write_sets = {
+            name: diff_intervals(arrays[name], spec.arrays[name])
+            for name in plan.written_arrays
+        }
     for name in plan.written_arrays:
         spec.arrays[name][...] = arrays[name]
 
@@ -920,4 +937,4 @@ def execute(spec, plan: VectorPlan, max_total_steps: int):
         partials = ctx.regs[name].tolist()
         reductions[name] = tree_reduce(op, partials, dtype)
 
-    return total, int(steps.max()) if nlanes else 0, reductions
+    return total, int(steps.max()) if nlanes else 0, reductions, write_sets

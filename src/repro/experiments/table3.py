@@ -47,6 +47,8 @@ HEADERS = [
     "# total iterations",
     "# incorrect iterations",
     "# uncaught redundancy",
+    "tool bytes",
+    "manual bytes",
     "(paper T/I/U)",
 ]
 
@@ -127,6 +129,8 @@ def table(size: str = "small", seed: int = 0, jobs: int = 1,
                 r.total_iterations,
                 r.incorrect_iterations,
                 r.uncaught_redundancy,
+                r.final_bytes,
+                r.manual_bytes,
                 "/".join(map(str, PAPER[r.benchmark])),
             ]
             for r in rows

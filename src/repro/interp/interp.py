@@ -432,9 +432,11 @@ class Interp:
         ranges = [loop.iteration_values(ev) for loop in plan.loops]
         threads = list(itertools.product(*ranges))
         arrays = {}
+        array_names = {}
         for var in plan.arrays:
             cname = env.canonical_name(var)
             arrays[var] = self.runtime.device_array(cname)
+            array_names[var] = cname
         scalars = {name: env.load(name) for name in plan.scalars}
         for var in plan.split_vars:
             scalars[var] = _safe_load(env, var)
@@ -452,6 +454,7 @@ class Interp:
             cached_vars=cached,
             shared_writable=set(plan.split_vars) | set(plan.cached_vars),
             reductions=plan.reductions,
+            array_names=array_names,
         )
 
     # ------------------------------------------------------------------

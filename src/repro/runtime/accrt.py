@@ -9,15 +9,18 @@ the §III-B coherence hooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.device import Device
 from repro.device.engine import LaunchResult, LaunchSpec, Schedule
+from repro.device.transfer import coalesce_intervals, diff_intervals
 from repro.errors import RuntimeFault, TransferCorruptionError, TransientFault
 from repro.runtime.chaos import FaultPlan
 from repro.runtime.coherence import CPU, GPU, CoherenceTracker
+from repro.runtime.intervals import D2H, H2D, DirtyMap
 from repro.runtime.present import PresentTable
 from repro.runtime.profiler import (
     CAT_ASYNC_WAIT,
@@ -29,6 +32,9 @@ from repro.runtime.profiler import (
     CAT_RESULT_COMP,
     CAT_TRANSFER,
     CTR_ALLOC_RETRIED,
+    CTR_BYTES_D2H,
+    CTR_BYTES_H2D,
+    CTR_BYTES_SAVED,
     CTR_LAUNCH_INTERLEAVED,
     CTR_LAUNCH_RETRIED,
     CTR_LAUNCH_VECTORIZED,
@@ -36,6 +42,35 @@ from repro.runtime.profiler import (
     Profiler,
 )
 from repro.runtime.queues import AsyncQueues
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One successful dynamic transfer (the typed replacement for the old
+    ``(var, site, direction)`` tuples in ``transfer_log``)."""
+
+    var: str
+    site: str
+    direction: str      # "h2d" | "d2h"
+    nbytes: int = 0     # bytes that actually crossed the link
+    full_nbytes: int = 0  # bytes a whole-array/section transfer would move
+    batches: int = 1    # coalesced interval batches (1 = classic copy)
+
+    @property
+    def nbytes_saved(self) -> int:
+        return max(0, self.full_nbytes - self.nbytes)
+
+
+@dataclass(frozen=True)
+class _TransferPlan:
+    """Delta-transfer decision for one copy: which element intervals to move
+    (None = classic whole-array/section copy) and the byte accounting."""
+
+    intervals: Optional[List[Tuple[int, int]]]
+    nbytes: int
+    full_nbytes: int
+    batches: int
+    span: Tuple[int, int]
 
 
 class AccRuntime:
@@ -50,7 +85,9 @@ class AccRuntime:
         max_retries: int = 3,
         ctx=None,
     ):
-        self.device = device or Device()
+        if device is None:
+            device = Device(config=getattr(ctx, "device_config", None))
+        self.device = device
         self.profiler = profiler or Profiler()
         # The owning ToolchainContext, when the caller threads one through.
         # Chaos stays an explicit constructor argument — the context default
@@ -69,9 +106,19 @@ class AccRuntime:
         self.present = PresentTable()
         self.coherence = coherence
         self.launch_log: List[LaunchResult] = []
-        # (var, site, direction) per dynamic transfer; the suggestion engine
-        # aggregates these against the coherence findings.
-        self.transfer_log: List[tuple] = []
+        # One TransferRecord per successful dynamic transfer; the suggestion
+        # engine aggregates these against the coherence findings.
+        self.transfer_log: List[TransferRecord] = []
+        # Dead-interval bookkeeping.  When a tracker is attached its map is
+        # shared, so write checks (tracker) and alloc/launch/transfer events
+        # (runtime) feed the same per-variable interval sets.
+        self.dirty: DirtyMap = coherence.dirty if coherence is not None else DirtyMap()
+        self.delta_transfers = bool(self.device.config.delta_transfers)
+        # Footprints are worth collecting when delta transfers consume them
+        # or a coherence tracker prices redundant transfers in bytes.
+        self._track_writes = self.delta_transfers or coherence is not None
+        if self._track_writes:
+            self.device.engine.collect_write_sets = True
         # Dead-target pins to apply right after the next allocation of a
         # variable (compiler-directed; see checkinsert).
         self._pending_pins: Dict[str, tuple] = {}
@@ -96,6 +143,8 @@ class AccRuntime:
         )
         entry = self.present.add(var, handle)
         entry.copyout_on_exit.append(False)
+        self.dirty.bind(var, host.size, host.itemsize)
+        self.dirty.note_alloc(var)
         if self.coherence is not None and self.coherence.tracked(var):
             # A fresh device buffer holds no valid data: the GPU copy is
             # stale until the first transfer or device write (otherwise the
@@ -124,7 +173,9 @@ class AccRuntime:
             self.profiler.spend(CAT_MEM_FREE, self.device.config.costs.free_latency_s)
             self.device.free(released.handle)
             if self.coherence is not None and self.coherence.tracked(var):
-                self.coherence.on_free(var, site=site)
+                self.coherence.on_free(var, site=site)  # also clears intervals
+            else:
+                self.dirty.note_free(var)
             return True
         return False
 
@@ -134,31 +185,94 @@ class AccRuntime:
     def copy_to_device(self, var: str, host: np.ndarray, queue: Optional[int] = None,
                        site: str = "", section=None) -> float:
         handle = self.present.handle_of(var)
+        plan = self._plan_transfer(var, handle, host, section, H2D)
         seconds = self._hardened_transfer(
             lambda: self.device.memcpy_h2d(handle, host, async_queue=queue,
-                                           section=section),
+                                           section=section,
+                                           intervals=plan.intervals),
             var, handle, host, section, site,
         )
         # Coherence hooks and the transfer log record only *successful*
         # transfers: a copy that faulted away must never mark its
         # destination fresh (notstale) or count as a dynamic transfer.
-        self._coherence_transfer(var, CPU, GPU, site, section)
-        self.transfer_log.append((var, site, "h2d"))
+        self._transfer_done(var, CPU, GPU, site, section, plan, "h2d")
         self._charge_transfer(seconds, queue)
         return seconds
 
     def copy_to_host(self, var: str, host: np.ndarray, queue: Optional[int] = None,
                      site: str = "", section=None) -> float:
         handle = self.present.handle_of(var)
+        plan = self._plan_transfer(var, handle, host, section, D2H)
         seconds = self._hardened_transfer(
             lambda: self.device.memcpy_d2h(host, handle, async_queue=queue,
-                                           section=section),
+                                           section=section,
+                                           intervals=plan.intervals),
             var, handle, host, section, site,
         )
-        self._coherence_transfer(var, GPU, CPU, site, section)
-        self.transfer_log.append((var, site, "d2h"))
+        self._transfer_done(var, GPU, CPU, site, section, plan, "d2h")
         self._charge_transfer(seconds, queue)
         return seconds
+
+    def _plan_transfer(self, var: str, handle: int, host: np.ndarray,
+                       section, direction: str) -> _TransferPlan:
+        """Decide what a transfer moves.
+
+        Whole-array mode (the default) always returns the classic plan — a
+        single batch covering the full array/section, priced exactly as
+        before.  Delta mode moves the union of the tracked dirty intervals
+        and a bitwise host/device diff: the diff is the soundness net (a
+        write the tracking missed still differs, so it still transfers),
+        and full-dirty variables degenerate to the classic whole plan, so
+        values are bit-identical to whole-array mode in every case."""
+        dev = self.device.array(handle)
+        size, itemsize = dev.size, dev.itemsize
+        if section is None:
+            lo, hi = 0, size
+        else:
+            start, length = section
+            lo, hi = start, start + length
+        full_nbytes = (hi - lo) * itemsize
+        whole = _TransferPlan(None, full_nbytes, full_nbytes, 1, (lo, hi))
+        self.dirty.bind(var, size, itemsize)
+        if not self.delta_transfers:
+            return whole
+        pending = self.dirty.pending(var, direction)
+        if pending is None:
+            return whole
+        need = pending.intersect(lo, hi)
+        if need.covers(lo, hi):
+            return whole  # full-dirty: degenerate whole-array fast path
+        window = slice(lo, hi)
+        host_flat = host.reshape(-1)[window]
+        dev_flat = dev.reshape(-1)[window]
+        for a, b in diff_intervals(host_flat, dev_flat):
+            need.add(lo + a, lo + b)
+        if need.covers(lo, hi):
+            return whole
+        gap_elems = max(0, self.device.config.merge_gap_bytes() // itemsize)
+        batches = coalesce_intervals(need.intervals(), gap_elems)
+        if batches and batches[0] == (lo, hi):
+            return whole
+        nbytes = sum(stop - start for start, stop in batches) * itemsize
+        return _TransferPlan(batches, nbytes, full_nbytes, len(batches), (lo, hi))
+
+    def _transfer_done(self, var: str, src: str, dst: str, site: str,
+                       section, plan: _TransferPlan, direction: str) -> None:
+        """Post-success bookkeeping: coherence hooks, dirty-interval drain,
+        the transfer log, and the profiler's byte counters."""
+        handled = self._coherence_transfer(var, src, dst, site, section, plan.span)
+        if not handled:
+            self.dirty.note_transfer(var, direction, span=plan.span)
+        self.transfer_log.append(TransferRecord(
+            var, site, direction, nbytes=plan.nbytes,
+            full_nbytes=plan.full_nbytes, batches=plan.batches,
+        ))
+        self.profiler.count(
+            CTR_BYTES_H2D if direction == "h2d" else CTR_BYTES_D2H, plan.nbytes
+        )
+        saved = plan.full_nbytes - plan.nbytes
+        if saved > 0:
+            self.profiler.count(CTR_BYTES_SAVED, saved)
 
     def _hardened_transfer(self, op, var: str, handle: int, host: np.ndarray,
                            section, site: str) -> float:
@@ -217,19 +331,21 @@ class AccRuntime:
                 attempt += 1
 
     def _coherence_transfer(self, var: str, src: str, dst: str, site: str,
-                            section) -> None:
+                            section, span: Tuple[int, int]) -> bool:
         """Run the §III-B transfer hooks.  Whole-array coherence: a
         *sectioned* transfer refreshes only part of the destination, so a
         previously stale destination becomes may-stale instead of adopting
-        the source's state outright."""
+        the source's state outright.  Returns True when a tracker handled
+        the transfer (it then also drained the dirty intervals)."""
         if self.coherence is None or not self.coherence.tracked(var):
-            return
+            return False
         from repro.runtime.coherence import MAYSTALE, STALE
 
         was_stale = self.coherence.state(var, dst) == STALE
-        self.coherence.on_transfer(var, src, dst, site=site)
+        self.coherence.on_transfer(var, src, dst, site=site, span=span)
         if section is not None and was_stale:
             self.coherence.reset_status(var, dst, MAYSTALE, site=site)
+        return True
 
     def update_host(self, var: str, host: np.ndarray, queue: Optional[int] = None,
                     site: str = "", section=None) -> float:
@@ -267,7 +383,26 @@ class AccRuntime:
         else:
             self.queues.issue(queue, seconds, category=CAT_ASYNC_WAIT)
         self.launch_log.append(result)
+        if self._track_writes:
+            self._note_launch_writes(spec, result)
         return result
+
+    def _note_launch_writes(self, spec: LaunchSpec, result: LaunchResult) -> None:
+        """Feed the launch's write footprints into the dirty map.  The
+        interleaved stepper reports no footprints (write_sets=None): every
+        array it could have touched is treated as an unknown partial write —
+        the conservative direction for both transfer sizing and coherence
+        byte estimates."""
+        write_sets = result.write_sets
+        for kname, arr in spec.arrays.items():
+            cname = spec.array_names.get(kname, kname)
+            self.dirty.bind(cname, arr.size, arr.itemsize)
+            if write_sets is None:
+                self.dirty.note_write(cname, GPU)
+            else:
+                footprint = write_sets.get(kname)
+                if footprint:
+                    self.dirty.note_write(cname, GPU, footprint=footprint)
 
     def wait(self, queue: Optional[int] = None) -> float:
         if queue is None:
@@ -282,10 +417,14 @@ class AccRuntime:
         if self.coherence is not None and self.coherence.tracked(var):
             self.coherence.check_read(var, side, site=site)
 
-    def check_write(self, var: str, side: str, site: str = "", full: bool = False) -> None:
+    def check_write(self, var: str, side: str, site: str = "", full: bool = False,
+                    footprint=None) -> None:
         self._charge_check()
         if self.coherence is not None and self.coherence.tracked(var):
-            self.coherence.check_write(var, side, site=site, full=full)
+            self.coherence.check_write(var, side, site=site, full=full,
+                                       footprint=footprint)
+        elif full or footprint is not None:
+            self.dirty.note_write(var, side, footprint=footprint, full=full)
 
     def reset_status(self, var: str, side: str, status: str, site: str = "") -> None:
         self._charge_check()

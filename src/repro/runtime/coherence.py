@@ -26,9 +26,10 @@ report reads like the paper's Listing 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import RuntimeFault
+from repro.runtime.intervals import D2H, H2D, DirtyMap, IntervalSet
 
 NOTSTALE = "notstale"
 MAYSTALE = "maystale"
@@ -58,6 +59,10 @@ class Finding:
     var: str
     site: str
     context: Tuple[Tuple[str, int], ...] = ()  # ((loop_var, iteration), ...)
+    # For redundant/may-redundant transfers: bytes the transfer moved beyond
+    # what the dirty-interval tracking says was needed (0 when the variable's
+    # geometry is unknown; purely informational — never changes the kind).
+    nbytes_wasted: int = 0
 
     @property
     def is_error(self) -> bool:
@@ -74,7 +79,10 @@ class Finding:
             REDUNDANT: "copying '{v}' at {s}{c} is redundant",
             MAY_REDUNDANT: "copying '{v}' at {s}{c} may be redundant",
         }
-        return templates[self.kind].format(v=self.var, s=self.site, c=ctx)
+        text = templates[self.kind].format(v=self.var, s=self.site, c=ctx)
+        if self.nbytes_wasted:
+            text += f" (~{self.nbytes_wasted} bytes wasted)"
+        return text
 
 
 @dataclass
@@ -97,7 +105,14 @@ def _other(side: str) -> str:
 
 
 class CoherenceTracker:
-    """State machine + findings log; enabled only during verification runs."""
+    """State machine + findings log; enabled only during verification runs.
+
+    Alongside the whole-array state machine the tracker keeps a
+    :class:`~repro.runtime.intervals.DirtyMap` of sub-array dirty intervals,
+    fed by write footprints (``check_write``/kernel launch write sets, via
+    the runtime) and drained by ``on_transfer``.  The interval bookkeeping
+    never changes what the state machine reports — it sizes delta transfers
+    and prices the bytes wasted by redundant ones."""
 
     def __init__(self):
         self._states: Dict[str, _VarState] = {}
@@ -105,6 +120,10 @@ class CoherenceTracker:
         self.check_calls = 0
         # Context stack: the interpreter pushes (loop_var, iteration).
         self._context: List[Tuple[str, int]] = []
+        # Shared with the runtime when this tracker is attached: the runtime
+        # binds geometry and reports alloc/free/launch events, the tracker
+        # folds in write checks and transfers.
+        self.dirty = DirtyMap()
 
     # -- registration / context --------------------------------------------
     def register(self, var: str) -> None:
@@ -135,10 +154,21 @@ class CoherenceTracker:
         elif status == MAYSTALE:
             self._report(MAY_MISSING, var, site)
 
-    def check_write(self, var: str, side: str, site: str = "", full: bool = False) -> None:
+    def check_write(self, var: str, side: str, site: str = "", full: bool = False,
+                    footprint: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        """Write transition.  ``footprint`` (element intervals over the
+        flattened array) feeds the dirty-interval map; a footprint covering
+        the whole array is promoted to a full write — the own-side copy
+        becomes notstale exactly as if ``full=True`` had been passed."""
         self.check_calls += 1
         state = self._require(var)
         status = state.get(side)
+        footprint = list(footprint) if footprint is not None else None
+        if footprint is not None and not full:
+            geometry = self.dirty.geometry(var)
+            if geometry is not None:
+                covered = IntervalSet(footprint)
+                full = covered.covers(0, geometry[0])
         if full:
             state.set(side, NOTSTALE)
         elif status == STALE:
@@ -147,31 +177,54 @@ class CoherenceTracker:
             self._report(MAY_MISSING, var, site)
             state.set(side, MAYSTALE)
         state.set(_other(side), STALE)
+        self.dirty.note_write(var, side, footprint=footprint, full=full)
 
     def reset_status(self, var: str, side: str, status: str, site: str = "") -> None:
         if status not in _STATES:
             raise RuntimeFault(f"bad coherence status {status!r}")
         self._require(var).set(side, status)
 
-    def on_transfer(self, var: str, src: str, dst: str, site: str = "") -> None:
+    def on_transfer(self, var: str, src: str, dst: str, site: str = "",
+                    span: Optional[Tuple[int, int]] = None) -> None:
+        """Transfer hook.  ``span=(lo, hi)`` is the transferred element range
+        over the flattened array (None = whole array); it prices redundant
+        findings in wasted bytes against the dirty-interval map and then
+        drains the map — the state machine itself is untouched by intervals.
+        """
         self.check_calls += 1
         state = self._require(var)
         src_status = state.get(src)
         dst_status = state.get(dst)
+        direction = H2D if src == CPU else D2H
+        wasted = self._wasted_bytes(var, direction, span)
         if src_status == STALE:
             self._report(INCORRECT, var, site)
         elif src_status == MAYSTALE:
             self._report(MAY_INCORRECT, var, site)
         if dst_status == NOTSTALE:
-            self._report(REDUNDANT, var, site)
+            self._report(REDUNDANT, var, site, nbytes_wasted=wasted)
         elif dst_status == MAYSTALE:
-            self._report(MAY_REDUNDANT, var, site)
+            self._report(MAY_REDUNDANT, var, site, nbytes_wasted=wasted)
         # set_status: the destination now holds whatever the source held.
         state.set(dst, src_status)
+        self.dirty.note_transfer(var, direction, span=span)
+
+    def _wasted_bytes(self, var: str, direction: str,
+                      span: Optional[Tuple[int, int]]) -> int:
+        """Bytes a transfer moves beyond what the interval tracking says the
+        destination lacks (0 when geometry is unknown)."""
+        geometry = self.dirty.geometry(var)
+        if geometry is None:
+            return 0
+        size, itemsize = geometry
+        lo, hi = span if span is not None else (0, size)
+        needed = self.dirty.pending_bytes(var, direction, (lo, hi)) or 0
+        return max(0, (hi - lo) * itemsize - needed)
 
     def on_free(self, var: str, site: str = "") -> None:
         state = self._require(var)
         state.set(GPU, STALE)
+        self.dirty.note_free(var)
 
     def on_reduction_kernel(self, var: str, site: str = "") -> None:
         """Kernel reduction whose final value only the CPU receives."""
@@ -187,8 +240,12 @@ class CoherenceTracker:
     def findings_of(self, *kinds: str) -> List[Finding]:
         return [f for f in self.findings if f.kind in kinds]
 
-    def _report(self, kind: str, var: str, site: str) -> None:
-        self.findings.append(Finding(kind, var, site, tuple(self._context)))
+    def _report(self, kind: str, var: str, site: str,
+                nbytes_wasted: int = 0) -> None:
+        self.findings.append(
+            Finding(kind, var, site, tuple(self._context),
+                    nbytes_wasted=nbytes_wasted)
+        )
 
     def _require(self, var: str) -> _VarState:
         state = self._states.get(var)

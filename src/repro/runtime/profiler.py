@@ -38,6 +38,14 @@ CTR_ALLOC_RETRIED = "alloc.retried"
 CTR_LAUNCH_RETRIED = "launch.retried"
 CTR_LAUNCH_DEGRADED = "launch.degraded"
 
+# Transfer-byte accounting (the byte-accurate transfer engine): bytes that
+# actually crossed the modeled PCIe link in each direction, and bytes a
+# whole-array transfer would have moved that delta transfers skipped.
+# bytes.saved stays zero when delta transfers are off.
+CTR_BYTES_H2D = "bytes.h2d"
+CTR_BYTES_D2H = "bytes.d2h"
+CTR_BYTES_SAVED = "bytes.saved"
+
 ALL_CATEGORIES = (
     CAT_MEM_FREE,
     CAT_MEM_ALLOC,

@@ -177,12 +177,16 @@ class ToolchainContext:
     """Explicit toolchain state threaded compiler → interp → runtime →
     verify → experiments (see module docstring)."""
 
-    def __init__(self, default_chaos=None):
+    def __init__(self, default_chaos=None, device_config=None):
         self.caches = CacheRegistry()
         self.pass_stats = PassStats()
         # Default FaultPlan for runs that do not pass one explicitly
         # (shared on purpose: one plan's fault budget spans a whole sweep).
         self.default_chaos = default_chaos
+        # Default DeviceConfig for runtimes this context spawns (None keeps
+        # the stock device).  The CLI's --delta-transfers/--merge-gap flags
+        # and the delta-equivalence harness configure runs through this.
+        self.device_config = device_config
         # CLI observability hooks.
         self.dump_after: Optional[str] = None
         self.dump_sink: Callable[[str], None] = print

@@ -30,6 +30,11 @@ class MemVerificationReport:
     site_directions: Dict[Tuple[str, str], str]  # (var, site) -> "h2d"/"d2h"
     instrumented_source: str
     inserted_checks: int
+    # Byte accounting per transfer site: bytes moved across the run, and
+    # bytes the coherence findings say were wasted there (redundant /
+    # may-redundant transfers priced against the dirty-interval map).
+    transfer_bytes: Dict[Tuple[str, str], int] = None
+    wasted_bytes: Dict[Tuple[str, str], int] = None
 
     @property
     def errors(self) -> List[Finding]:
@@ -88,12 +93,23 @@ class MemVerifier:
 
         transfer_counts: Dict[Tuple[str, str], int] = {}
         site_directions: Dict[Tuple[str, str], str] = {}
-        for var, site, direction in runtime.transfer_log:
-            key = (var, site)
+        transfer_bytes: Dict[Tuple[str, str], int] = {}
+        for rec in runtime.transfer_log:
+            key = (rec.var, rec.site)
             transfer_counts[key] = transfer_counts.get(key, 0) + 1
-            site_directions[key] = direction
+            site_directions[key] = rec.direction
+            transfer_bytes[key] = transfer_bytes.get(key, 0) + rec.nbytes
 
-        suggestions = derive_suggestions(tracker.findings, transfer_counts)
+        wasted_bytes: Dict[Tuple[str, str], int] = {}
+        for f in tracker.findings:
+            if f.nbytes_wasted:
+                key = (f.var, f.site)
+                wasted_bytes[key] = wasted_bytes.get(key, 0) + f.nbytes_wasted
+
+        suggestions = derive_suggestions(
+            tracker.findings, transfer_counts,
+            transfer_bytes=transfer_bytes, wasted_bytes=wasted_bytes,
+        )
         return MemVerificationReport(
             findings=list(tracker.findings),
             suggestions=suggestions,
@@ -103,4 +119,6 @@ class MemVerifier:
             site_directions=site_directions,
             instrumented_source=instr.compiled.to_source(),
             inserted_checks=len(instr.checks),
+            transfer_bytes=transfer_bytes,
+            wasted_bytes=wasted_bytes,
         )

@@ -14,7 +14,7 @@ Table III dynamic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.coherence import (
     Finding,
@@ -41,13 +41,17 @@ class Suggestion:
     speculative: bool   # derived from may-* findings only
     detail: str = ""
     occurrences: int = 0   # dynamic findings backing this suggestion
+    est_saved_bytes: int = 0   # modeled bytes applying the edit would save
 
     def key(self) -> Tuple[str, str, str]:
         return (self.action, self.var, self.site)
 
     def message(self) -> str:
         spec = " (speculative)" if self.speculative else ""
-        return f"{self.action} {self.var} @ {self.site}{spec}: {self.detail}"
+        text = f"{self.action} {self.var} @ {self.site}{spec}: {self.detail}"
+        if self.est_saved_bytes:
+            text += f" [saves ~{self.est_saved_bytes} bytes]"
+        return text
 
 
 @dataclass
@@ -85,8 +89,18 @@ def aggregate_transfer_findings(
 def derive_suggestions(
     findings: List[Finding],
     transfer_counts: Dict[Tuple[str, str], int],
+    transfer_bytes: Optional[Dict[Tuple[str, str], int]] = None,
+    wasted_bytes: Optional[Dict[Tuple[str, str], int]] = None,
 ) -> List[Suggestion]:
-    """Turn one run's findings into directive-edit suggestions."""
+    """Turn one run's findings into directive-edit suggestions.
+
+    ``transfer_bytes`` / ``wasted_bytes`` (per (var, site), both optional)
+    price each edit: deleting an always-redundant transfer saves everything
+    the site moved, deferring saves the wasted portion.  Suggestions are
+    ranked by estimated savings (stable, so the unpriced order survives
+    when no byte info is supplied)."""
+    transfer_bytes = transfer_bytes or {}
+    wasted_bytes = wasted_bytes or {}
     out: List[Suggestion] = []
     seen = set()
 
@@ -101,6 +115,8 @@ def derive_suggestions(
         if not bad and not st.incorrect and not st.may_incorrect:
             continue
         speculative = st.redundant == 0 and st.may_redundant > 0
+        moved = transfer_bytes.get((var, site), 0)
+        wasted = wasted_bytes.get((var, site), 0)
         if st.incorrect:
             add(Suggestion(
                 DELETE_TRANSFER, var, site, False,
@@ -113,12 +129,14 @@ def derive_suggestions(
                 DELETE_TRANSFER, var, site, speculative,
                 f"redundant on every execution ({bad}/{st.total})",
                 occurrences=bad,
+                est_saved_bytes=max(moved, wasted),
             ))
         elif bad:
             add(Suggestion(
                 DEFER_TRANSFER, var, site, speculative,
                 f"redundant on {bad}/{st.total} executions: move out of the loop",
                 occurrences=bad,
+                est_saved_bytes=wasted,
             ))
 
     for f in findings:
@@ -131,6 +149,9 @@ def derive_suggestions(
         elif f.kind == MAY_MISSING:
             # Partial write over stale data; not actionable automatically.
             pass
+    # Biggest modeled savings first; Python's sort is stable, so suggestions
+    # without byte pricing keep their discovery order.
+    out.sort(key=lambda s: -s.est_saved_bytes)
     return out
 
 

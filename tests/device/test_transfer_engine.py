@@ -1,0 +1,177 @@
+"""Byte-accurate transfer engine: batching, diffing, and batched copies."""
+
+import numpy as np
+import pytest
+
+from repro.device.device import Device, DeviceConfig
+from repro.device.transfer import (
+    CostModel,
+    bitwise_neq_mask,
+    coalesce_intervals,
+    diff_intervals,
+    mask_to_intervals,
+)
+from repro.errors import DeviceError
+
+
+class TestBatchedCost:
+    def test_single_batch_matches_classic_transfer(self):
+        costs = CostModel()
+        assert costs.transfer_time_batched(1, 4096) == costs.transfer_time(4096)
+
+    def test_zero_batches_cost_nothing(self):
+        assert CostModel().transfer_time_batched(0, 0) == 0.0
+
+    def test_each_batch_pays_latency(self):
+        costs = CostModel()
+        assert (costs.transfer_time_batched(3, 100)
+                == pytest.approx(3 * costs.transfer_latency_s
+                                 + 100 / costs.transfer_bandwidth_Bps))
+
+    def test_merge_break_even(self):
+        costs = CostModel()
+        gap = costs.merge_break_even_bytes()
+        # Moving `gap` filler bytes costs the same as one extra latency.
+        assert gap / costs.transfer_bandwidth_Bps == pytest.approx(
+            costs.transfer_latency_s)
+        assert DeviceConfig().merge_gap_bytes() == gap
+        assert DeviceConfig(transfer_merge_gap_bytes=7).merge_gap_bytes() == 7
+
+
+class TestCoalesce:
+    def test_merges_within_gap(self):
+        assert coalesce_intervals([(0, 4), (6, 10)], 2) == [(0, 10)]
+
+    def test_keeps_beyond_gap(self):
+        assert coalesce_intervals([(0, 4), (7, 10)], 2) == [(0, 4), (7, 10)]
+
+    def test_zero_gap_merges_only_adjacent(self):
+        assert coalesce_intervals([(0, 4), (4, 6), (8, 9)], 0) == [(0, 6), (8, 9)]
+
+    def test_empty(self):
+        assert coalesce_intervals([], 5) == []
+
+
+class TestDiff:
+    def test_mask_to_intervals_runs(self):
+        mask = np.array([1, 1, 0, 0, 1, 0, 1], dtype=bool)
+        assert mask_to_intervals(mask) == [(0, 2), (4, 5), (6, 7)]
+
+    def test_mask_all_false(self):
+        assert mask_to_intervals(np.zeros(8, dtype=bool)) == []
+
+    def test_mask_all_true(self):
+        assert mask_to_intervals(np.ones(5, dtype=bool)) == [(0, 5)]
+
+    def test_equal_arrays_no_diff(self):
+        a = np.arange(10, dtype=np.float64)
+        assert diff_intervals(a, a.copy()) == []
+
+    def test_negative_zero_differs_bitwise(self):
+        # -0.0 == +0.0 numerically, but the bytes differ: skipping the copy
+        # would leave the destination bit-different from a whole-array copy.
+        a = np.array([0.0, 1.0])
+        b = np.array([-0.0, 1.0])
+        assert bitwise_neq_mask(a, b).tolist() == [True, False]
+
+    def test_nan_vs_nan_same_bits_is_equal(self):
+        a = np.array([np.nan, 2.0])
+        assert diff_intervals(a, a.copy()) == []
+
+    def test_nan_vs_value_differs(self):
+        a = np.array([np.nan, 2.0])
+        b = np.array([1.0, 2.0])
+        assert diff_intervals(a, b) == [(0, 1)]
+
+    def test_2d_arrays_flattened(self):
+        a = np.zeros((3, 3))
+        b = a.copy()
+        b[1, 1] = 5.0
+        assert diff_intervals(a, b) == [(4, 5)]
+
+    def test_int8_fast_path(self):
+        a = np.array([1, 2, 3], dtype=np.int8)
+        b = np.array([1, 9, 3], dtype=np.int8)
+        assert diff_intervals(a, b) == [(1, 2)]
+
+
+class TestBatchedMemcpy:
+    @pytest.fixture
+    def device(self):
+        return Device(DeviceConfig(delta_transfers=True))
+
+    def test_h2d_copies_only_intervals(self, device):
+        handle = device.alloc("a", (10,), np.float64)
+        host = np.arange(10, dtype=np.float64)
+        device.memcpy_h2d(handle, host, intervals=[(0, 3), (7, 10)])
+        dev = device.array(handle)
+        assert np.array_equal(dev[0:3], host[0:3])
+        assert np.array_equal(dev[7:10], host[7:10])
+        assert np.all(dev[3:7] == 0)   # untouched
+
+    def test_d2h_copies_only_intervals(self, device):
+        handle = device.alloc("a", (8,), np.float64)
+        device.array(handle)[:] = 7.0
+        host = np.zeros(8)
+        device.memcpy_d2h(host, handle, intervals=[(2, 5)])
+        assert np.all(host[2:5] == 7.0)
+        assert np.all(host[:2] == 0) and np.all(host[5:] == 0)
+
+    def test_event_records_batches_and_bytes(self, device):
+        handle = device.alloc("a", (10,), np.float64)
+        device.memcpy_h2d(handle, np.ones(10), intervals=[(0, 2), (5, 8)])
+        event = device.events[-1]
+        assert event.kind == "h2d"
+        assert event.batches == 2
+        assert event.nbytes == 5 * 8
+        assert device.bytes_h2d == 5 * 8
+
+    def test_batched_cost_formula(self, device):
+        handle = device.alloc("a", (10,), np.float64)
+        seconds = device.memcpy_h2d(handle, np.ones(10),
+                                    intervals=[(0, 2), (5, 8)])
+        assert seconds == pytest.approx(
+            device.config.costs.transfer_time_batched(2, 40))
+
+    def test_whole_array_single_batch_matches_classic(self, device):
+        h1 = device.alloc("a", (16,), np.float64)
+        h2 = device.alloc("b", (16,), np.float64)
+        host = np.random.default_rng(0).random(16)
+        classic = device.memcpy_h2d(h1, host)
+        batched = device.memcpy_h2d(h2, host, intervals=[(0, 16)])
+        assert batched == pytest.approx(classic)
+        assert np.array_equal(device.array(h1), device.array(h2))
+
+    @pytest.mark.parametrize("intervals", [
+        [(3, 2)],            # empty/reversed
+        [(0, 4), (2, 6)],    # overlapping
+        [(5, 3)],            # stop < start
+        [(0, 99)],           # out of bounds
+    ])
+    def test_bad_intervals_rejected(self, device, intervals):
+        handle = device.alloc("a", (10,), np.float64)
+        with pytest.raises(DeviceError):
+            device.memcpy_h2d(handle, np.ones(10), intervals=intervals)
+
+
+class _CountingPlan:
+    """Chaos stand-in: counts transfer draws, never injects."""
+
+    def __init__(self):
+        self.draws = 0
+
+    def draw(self, kind, site=""):
+        if kind == "transfer":
+            self.draws += 1
+        return None
+
+
+def test_chaos_drawn_once_per_batch():
+    device = Device(DeviceConfig(delta_transfers=True))
+    plan = _CountingPlan()
+    device.attach_chaos(plan)
+    handle = device.alloc("a", (10,), np.float64)
+    device.memcpy_h2d(handle, np.ones(10), intervals=[(0, 2), (4, 6), (8, 10)])
+    assert plan.draws == 3
+    device.memcpy_h2d(handle, np.ones(10))   # classic path: one draw
+    assert plan.draws == 4

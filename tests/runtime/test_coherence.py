@@ -204,3 +204,86 @@ class TestJacobiScenario:
         t.pop_context()
         assert findings_per_iter == [0, 1, 1]  # redundant from iteration 2 on
         assert all(f.kind == REDUNDANT for f in t.findings)
+
+
+class TestIntervalAwareTransitions:
+    """Satellite coverage: partial-write transitions and the dirty-interval
+    map riding alongside the state machine."""
+
+    def _tracker(self, size=100, itemsize=8):
+        t = CoherenceTracker()
+        t.register("a")
+        t.dirty.bind("a", size=size, itemsize=itemsize)
+        return t
+
+    def test_stale_copy_partially_written_becomes_maystale(self):
+        t = self._tracker()
+        t.check_write("a", GPU)                       # cpu stale
+        t.check_write("a", CPU, footprint=[(0, 40)])  # partial overwrite
+        assert t.state("a", CPU) == MAYSTALE
+        assert [f.kind for f in t.findings] == [MAY_MISSING]
+
+    def test_full_coverage_footprint_promotes_to_notstale(self):
+        t = self._tracker()
+        t.check_write("a", GPU)                        # cpu stale
+        t.check_write("a", CPU, footprint=[(0, 100)])  # covers everything
+        assert t.state("a", CPU) == NOTSTALE
+        assert not t.findings
+
+    def test_adjacent_footprints_merge_to_full_coverage(self):
+        t = self._tracker()
+        t.check_write("a", GPU)                        # cpu stale
+        # Two adjacent pieces in one footprint normalize to [0, 100).
+        t.check_write("a", CPU, footprint=[(0, 60), (60, 100)])
+        assert t.state("a", CPU) == NOTSTALE
+        assert not t.findings
+
+    def test_footprint_without_geometry_stays_partial(self):
+        t = CoherenceTracker()          # no bind: geometry unknown
+        t.register("a")
+        t.check_write("a", GPU)
+        t.check_write("a", CPU, footprint=[(0, 100)])
+        assert t.state("a", CPU) == MAYSTALE
+        assert [f.kind for f in t.findings] == [MAY_MISSING]
+
+    def test_footprints_accumulate_in_dirty_map(self):
+        t = self._tracker()
+        t.check_write("a", CPU, footprint=[(0, 10)])
+        t.check_write("a", CPU, footprint=[(10, 25)])
+        from repro.runtime.intervals import H2D
+
+        assert t.dirty.pending("a", H2D).intervals() == [(0, 25)]
+
+    def test_redundant_finding_priced_in_wasted_bytes(self):
+        t = self._tracker()
+        # Device copy fully current, then an h2d anyway: 100% waste.
+        t.on_transfer("a", CPU, GPU, site="u0")
+        (f,) = t.findings
+        assert f.kind == REDUNDANT
+        assert f.nbytes_wasted == 100 * 8
+        assert "bytes wasted" in f.message()
+
+    def test_partially_needed_transfer_wastes_only_remainder(self):
+        t = self._tracker()
+        t.check_write("a", CPU, footprint=[(0, 25)])   # gpu stale
+        t.reset_status("a", GPU, NOTSTALE)             # force "redundant"
+        t.on_transfer("a", CPU, GPU, site="u0")
+        (f,) = t.findings
+        assert f.kind == REDUNDANT
+        assert f.nbytes_wasted == 75 * 8               # 25 elems were needed
+
+    def test_transfer_drains_dirty_map(self):
+        from repro.runtime.intervals import H2D
+
+        t = self._tracker()
+        t.check_write("a", CPU, footprint=[(0, 25)])
+        t.on_transfer("a", CPU, GPU)
+        assert not t.dirty.pending("a", H2D)
+
+    def test_wasted_bytes_zero_without_geometry(self):
+        t = CoherenceTracker()
+        t.register("a")
+        t.on_transfer("a", CPU, GPU, site="u0")
+        (f,) = t.findings
+        assert f.kind == REDUNDANT and f.nbytes_wasted == 0
+        assert "bytes wasted" not in f.message()

@@ -1,0 +1,152 @@
+"""Delta transfers at the runtime level: equivalence, savings, records."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.device.device import DeviceConfig
+from repro.interp import run_compiled
+from repro.runtime.accrt import TransferRecord
+from repro.runtime.profiler import (
+    CTR_BYTES_D2H,
+    CTR_BYTES_H2D,
+    CTR_BYTES_SAVED,
+)
+from repro.toolchain import ToolchainContext
+
+# A Listing-3 shaped program: the kernel writes only [1, N-1) and the eager
+# per-iteration ``update host`` re-copies data that stopped changing after
+# the first sweep — exactly what delta transfers exploit.
+SRC = """
+int N; double a[N]; double b[N];
+void main()
+{
+    #pragma acc data copy(a) copyin(b)
+    {
+        for (int t = 0; t < 3; t++)
+        {
+            #pragma acc kernels loop
+            for (int i = 1; i < N - 1; i++) { a[i] = b[i] + 1.0; }
+            #pragma acc update host(a)
+        }
+    }
+}
+"""
+
+
+def run_mode(config, src=SRC, params=None):
+    ctx = ToolchainContext(device_config=config)
+    compiled = compile_source(src, ctx=ctx)
+    return run_compiled(compiled, params=params or {"N": 16}, ctx=ctx)
+
+
+class TestEquivalence:
+    def test_outputs_bit_identical_across_modes(self):
+        whole = run_mode(None)
+        delta = run_mode(DeviceConfig(delta_transfers=True))
+        for var in ("a", "b"):
+            assert (whole.env.load(var).tobytes()
+                    == delta.env.load(var).tobytes())
+
+    def test_delta_moves_fewer_bytes(self):
+        whole = run_mode(None)
+        delta = run_mode(DeviceConfig(delta_transfers=True))
+        wb = whole.runtime.device.total_transferred_bytes()
+        db = delta.runtime.device.total_transferred_bytes()
+        assert db < wb
+        # The repeated update-host of unchanged data should be mostly free.
+        assert db <= wb * 0.7
+
+    def test_delta_off_by_default(self):
+        interp = run_mode(None)
+        assert not interp.runtime.delta_transfers
+        counters = interp.runtime.profiler.counters
+        assert counters.get(CTR_BYTES_SAVED, 0) == 0
+
+
+class TestTransferRecords:
+    def test_records_are_typed(self):
+        interp = run_mode(None)
+        assert interp.runtime.transfer_log
+        for rec in interp.runtime.transfer_log:
+            assert isinstance(rec, TransferRecord)
+            assert rec.direction in ("h2d", "d2h")
+            assert rec.nbytes >= 0
+            assert rec.var
+
+    def test_saved_bytes_accounted(self):
+        interp = run_mode(DeviceConfig(delta_transfers=True))
+        records = interp.runtime.transfer_log
+        saved = sum(r.nbytes_saved for r in records)
+        assert saved > 0
+        counters = interp.runtime.profiler.counters
+        assert counters[CTR_BYTES_SAVED] == saved
+        moved = counters.get(CTR_BYTES_H2D, 0) + counters.get(CTR_BYTES_D2H, 0)
+        assert moved == sum(r.nbytes for r in records)
+        assert moved == interp.runtime.device.total_transferred_bytes()
+
+    def test_full_nbytes_vs_nbytes(self):
+        interp = run_mode(DeviceConfig(delta_transfers=True))
+        for rec in interp.runtime.transfer_log:
+            assert rec.nbytes <= rec.full_nbytes
+            assert rec.nbytes_saved == rec.full_nbytes - rec.nbytes
+
+
+class TestMergeGap:
+    def test_huge_merge_gap_behaves_like_whole_span(self):
+        # A merge gap spanning the whole array coalesces every dirty
+        # interval into one batch over the full span; outputs stay equal.
+        whole = run_mode(None)
+        fused = run_mode(DeviceConfig(delta_transfers=True,
+                                      transfer_merge_gap_bytes=1 << 20))
+        assert (whole.env.load("a").tobytes()
+                == fused.env.load("a").tobytes())
+
+    def test_zero_gap_more_batches_than_default(self):
+        src = """
+        int N; double a[N];
+        void main()
+        {
+            #pragma acc data copy(a)
+            {
+                #pragma acc kernels loop
+                for (int i = 0; i < N; i++) {
+                    if (i % 4 == 0) { a[i] = 1.0; }
+                }
+            }
+        }
+        """
+        strided = run_mode(
+            DeviceConfig(delta_transfers=True, transfer_merge_gap_bytes=0),
+            src=src, params={"N": 32},
+        )
+        fused = run_mode(
+            DeviceConfig(delta_transfers=True, transfer_merge_gap_bytes=1 << 20),
+            src=src, params={"N": 32},
+        )
+        batches = lambda interp: max(
+            (e.batches for e in interp.runtime.device.events
+             if e.kind == "d2h"), default=0)
+        assert batches(strided) > batches(fused)
+        assert (strided.env.load("a").tobytes()
+                == fused.env.load("a").tobytes())
+
+
+class TestChaosUnderDelta:
+    def test_corruption_recovery_with_delta_transfers(self):
+        from repro.runtime.chaos import FaultPlan, FaultSpec
+
+        ctx = ToolchainContext(
+            device_config=DeviceConfig(delta_transfers=True))
+        compiled = compile_source(SRC, ctx=ctx)
+        from repro.runtime.accrt import AccRuntime
+
+        runtime = AccRuntime(
+            chaos=FaultPlan(FaultSpec.parse("transfer.corrupt=0.5", seed=3)),
+            ctx=ctx,
+        )
+        from repro.interp import run_compiled as rc
+
+        interp = rc(compiled, params={"N": 16}, runtime=runtime, ctx=ctx)
+        clean = run_mode(DeviceConfig(delta_transfers=True))
+        assert np.array_equal(interp.env.load("a"), clean.env.load("a"))

@@ -269,3 +269,28 @@ class TestChaosFlags:
         assert "under fault injection" in out
         assert "FAILED" in out
         assert "chaos:" in out
+
+
+class TestProfileCommand:
+    def test_reports_byte_counters_and_top_sites(self, good_file, capsys):
+        assert main(["profile", good_file, "-p", "N=8"]) == 0
+        out = capsys.readouterr().out
+        assert "h2d bytes" in out
+        assert "d2h bytes" in out
+        assert "top" in out and "transfer sites" in out
+        assert "a" in out
+
+    def test_top_transfers_limits_rows(self, good_file, capsys):
+        assert main(["profile", good_file, "-p", "N=8",
+                     "--top-transfers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "top 1 transfer sites" in out
+
+    def test_delta_transfers_flag(self, good_file, capsys):
+        assert main(["profile", good_file, "-p", "N=8",
+                     "--delta-transfers", "--merge-gap", "16"]) == 0
+        assert "saved" in capsys.readouterr().out
+
+    def test_run_accepts_delta_flags(self, good_file, capsys):
+        assert main(["run", good_file, "-p", "N=8", "--delta-transfers"]) == 0
+        assert "transfers:" in capsys.readouterr().out

@@ -90,3 +90,48 @@ class TestFormatting:
 
     def test_empty_report(self):
         assert format_report([], []) == "(no findings)"
+
+
+class TestBytePricing:
+    def test_delete_priced_by_bytes_moved(self):
+        findings = [finding("redundant"), finding("redundant")]
+        out = derive_suggestions(
+            findings, {("a", "update0"): 2},
+            transfer_bytes={("a", "update0"): 1600},
+        )
+        (s,) = out
+        assert s.action == DELETE_TRANSFER
+        assert s.est_saved_bytes == 1600
+        assert "saves ~1600 bytes" in s.message()
+
+    def test_defer_priced_by_wasted_bytes(self):
+        findings = [finding("redundant")]
+        out = derive_suggestions(
+            findings, {("a", "update0"): 3},
+            transfer_bytes={("a", "update0"): 2400},
+            wasted_bytes={("a", "update0"): 800},
+        )
+        (s,) = out
+        assert s.action == DEFER_TRANSFER
+        assert s.est_saved_bytes == 800
+
+    def test_ranked_by_estimated_savings(self):
+        findings = [
+            finding("redundant", var="small", site="u0"),
+            finding("redundant", var="big", site="u1"),
+        ]
+        out = derive_suggestions(
+            findings, {("small", "u0"): 1, ("big", "u1"): 1},
+            transfer_bytes={("small", "u0"): 8, ("big", "u1"): 8000},
+        )
+        assert [s.var for s in out] == ["big", "small"]
+
+    def test_unpriced_suggestions_keep_discovery_order(self):
+        findings = [
+            finding("redundant", var="x", site="u0"),
+            finding("redundant", var="y", site="u1"),
+        ]
+        out = derive_suggestions(
+            findings, {("x", "u0"): 1, ("y", "u1"): 1})
+        assert [s.var for s in out] == ["x", "y"]
+        assert all(s.est_saved_bytes == 0 for s in out)
