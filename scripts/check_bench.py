@@ -3,6 +3,7 @@
 Usage:
     python scripts/check_bench.py <module-name> [size]
     python scripts/check_bench.py --guard BENCH_bytes.json [--update] [size]
+    python scripts/check_bench.py --compare-reports A.json B.json
 
 The first form runs one module's variants against the sequential reference
 and prints launch/transfer stats.  The ``--guard`` form measures every
@@ -11,6 +12,11 @@ transfer modes) and compares them against a committed baseline with exact
 equality — modeled byte counts are deterministic, so any drift is a real
 behavior change that must be explained (and the baseline regenerated with
 ``--update``).
+
+The ``--compare-reports`` form diffs two RunReport artifacts (``repro run
+--report``) structurally: modeled time, byte/transfer/launch totals,
+counters, span-name counts, and finding kinds — wall-clock noise excluded —
+so CI can flag behavioral drift between a baseline and a candidate run.
 """
 
 import importlib
@@ -113,7 +119,33 @@ def guard(baseline_path: str, size: str = "tiny", update: bool = False) -> int:
     return 0
 
 
+def compare_reports(path_a: str, path_b: str) -> int:
+    from repro.obs.report import diff_reports, validate_report
+
+    reports = []
+    for path in (path_a, path_b):
+        obj = json.loads(Path(path).read_text())
+        problems = validate_report(obj)
+        if problems:
+            print(f"report {path} is invalid:")
+            for p in problems:
+                print(f"  - {p}")
+            return 2
+        reports.append(obj)
+    diffs = diff_reports(reports[0], reports[1])
+    if diffs:
+        print(f"report comparison FAILED ({path_a} vs {path_b}):")
+        for line in diffs:
+            print(f"  {line}")
+        return 1
+    print(f"report comparison OK: {path_a} and {path_b} are "
+          f"structurally identical")
+    return 0
+
+
 def main(argv) -> int:
+    if argv and argv[0] == "--compare-reports":
+        return compare_reports(argv[1], argv[2])
     if argv and argv[0] == "--guard":
         baseline = argv[1]
         rest = argv[2:]

@@ -1,0 +1,45 @@
+"""CI helper: validate RunReport JSON artifacts against the report schema.
+
+Usage:
+    python scripts/check_report_schema.py report.json [more.json ...]
+
+Loads each file, runs :func:`repro.obs.report.validate_report`, and prints
+every problem found.  Exits nonzero when any file fails to parse or
+validate, so CI can gate on structurally sound reports.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.report import SCHEMA, validate_report
+
+
+def check_file(path: str) -> int:
+    try:
+        obj = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"[FAIL] {path}: cannot load: {err}")
+        return 1
+    problems = validate_report(obj)
+    if problems:
+        print(f"[FAIL] {path}: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    spans = len(obj.get("spans") or [])
+    counters = len((obj.get("metrics") or {}).get("counters") or {})
+    print(f"[OK]   {path}: schema {SCHEMA}, {spans} spans, "
+          f"{counters} counters")
+    return 0
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip())
+        return 2
+    return max(check_file(path) for path in argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

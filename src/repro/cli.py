@@ -37,6 +37,12 @@ def _context(args) -> ToolchainContext:
     """One fresh context per CLI invocation, configured from the common
     observability flags."""
     ctx = ToolchainContext(device_config=_device_config(args))
+    if (getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
+            or getattr(args, "report", None)
+            or getattr(args, "trace_enabled", False)):
+        from repro.obs import Tracer
+
+        ctx.tracer = Tracer()
     dump_after = getattr(args, "dump_after", None)
     if dump_after is not None:
         from repro.compiler.passes import pass_names
@@ -78,6 +84,43 @@ def _chaos_plan(args):
     except ValueError as err:
         raise SystemExit(f"bad --chaos-spec: {err}")
     return FaultPlan(spec)
+
+
+def _write_observability(args, ctx: ToolchainContext, error=None) -> None:
+    """Write the --trace/--trace-jsonl/--report artifacts (also on the
+    error path, so a failed run's report carries its typed error — and,
+    for ConvergenceError, the per-iteration convergence history)."""
+    trace_path = getattr(args, "trace", None)
+    jsonl_path = getattr(args, "trace_jsonl", None)
+    report_path = getattr(args, "report", None)
+    if not (trace_path or jsonl_path or report_path):
+        return
+    if trace_path:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(ctx.tracer, trace_path)
+        sys.stderr.write(f"-- chrome trace written to {trace_path}\n")
+    if jsonl_path:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(ctx.tracer, jsonl_path)
+        sys.stderr.write(f"-- jsonl trace written to {jsonl_path}\n")
+    if report_path:
+        import json
+
+        from repro.obs.report import build_report
+
+        report = build_report(
+            ctx,
+            command=getattr(args, "command", None),
+            program=getattr(args, "file", None),
+            params=_parse_params(getattr(args, "param", None)),
+            error=error,
+        )
+        with open(report_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True, default=repr)
+            handle.write("\n")
+        sys.stderr.write(f"-- run report written to {report_path}\n")
 
 
 def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
@@ -155,6 +198,9 @@ def cmd_run(args, ctx: ToolchainContext) -> int:
             print(f"   {cat:15s} {seconds * 1e6:12.1f} us")
     if args.compare_sequential:
         seq = run_sequential(compiled, params=params, ctx=ctx)
+        # The report should describe the accelerated run, not the
+        # sequential reference that just registered itself.
+        ctx.last_runtime = run.runtime
         import numpy as np
 
         bad = []
@@ -193,6 +239,24 @@ def cmd_profile(args, ctx: ToolchainContext) -> int:
         entry["saved"] += rec.nbytes_saved
         entry["batches"] += rec.batches
 
+    if args.format == "json":
+        # Machine-readable profile: the RunReport schema plus the per-site
+        # transfer aggregation.
+        import json
+
+        from repro.obs.report import build_report
+
+        report = build_report(
+            ctx, command="profile", program=args.file,
+            params=_parse_params(args.param),
+            extra={"transfer_sites": [
+                {"var": var, "site": site, "direction": direction, **entry}
+                for (var, site, direction), entry in sorted(sites.items())
+            ]},
+        )
+        print(json.dumps(report, indent=2, sort_keys=True, default=repr))
+        return 0
+
     print(f"-- modeled time: {profiler.total() * 1e3:.3f} ms")
     print(f"-- transfers: {len(runtime.transfer_log)} "
           f"({runtime.device.total_transferred_bytes()} bytes)")
@@ -214,6 +278,42 @@ def cmd_profile(args, ctx: ToolchainContext) -> int:
         for (var, site, direction), entry in top:
             print(f"   {var:12s} {site:20s} {direction:4s} {entry['count']:6d} "
                   f"{entry['batches']:8d} {entry['bytes']:10d} {entry['saved']:10d}")
+    return 0
+
+
+def cmd_trace(args, ctx: ToolchainContext) -> int:
+    """Execute one program with tracing on and render the span timeline."""
+    import json
+
+    from repro.obs.export import chrome_trace_events, render_tree, to_jsonl_lines
+
+    compiled = _load(args.file, args, ctx)
+    plan = _chaos_plan(args)
+    runtime = None
+    if plan is not None:
+        from repro.runtime.accrt import AccRuntime
+
+        runtime = AccRuntime(chaos=plan, ctx=ctx)
+    run = run_compiled(compiled, params=_parse_params(args.param),
+                       runtime=runtime, ctx=ctx)
+    ctx.last_runtime = run.runtime
+    tracer = ctx.tracer
+    if args.format == "tree":
+        text = render_tree(tracer)
+    elif args.format == "chrome":
+        text = json.dumps(
+            {"traceEvents": chrome_trace_events(tracer),
+             "displayTimeUnit": "ms"},
+            indent=None, separators=(",", ":"),
+        )
+    else:
+        text = "\n".join(to_jsonl_lines(tracer))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"{args.format} trace written to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -332,6 +432,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the per-pass timing/cache table on exit")
         p.add_argument("--dump-after", metavar="PASS",
                        help="dump the named pass's output each time it runs")
+        p.add_argument("--trace", metavar="FILE",
+                       help="record a span trace and write it as Chrome-trace "
+                            "JSON (load in chrome://tracing or Perfetto)")
+        p.add_argument("--trace-jsonl", metavar="FILE",
+                       help="record a span trace and write it as a JSONL "
+                            "event stream")
+        p.add_argument("--report", metavar="FILE",
+                       help="write a structured RunReport JSON (spans, "
+                            "metrics, findings, byte totals; written even "
+                            "when the run fails)")
 
     def add_common(p, params=True):
         p.add_argument("file", help="mini-C source file with #pragma acc")
@@ -380,8 +490,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top-transfers", type=int, default=5, metavar="N",
                    help="list the N largest transfer sites by bytes moved "
                         "(default: 5)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="output format: human text (default) or the "
+                        "RunReport JSON schema plus per-site aggregation")
     add_transfer(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("trace", help="execute with tracing on and render the "
+                                     "span timeline")
+    add_common(p)
+    p.add_argument("--format", default="tree",
+                   choices=["tree", "chrome", "jsonl"],
+                   help="rendering: human tree (default), Chrome-trace "
+                        "JSON, or JSONL event stream")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the rendering here instead of stdout")
+    add_chaos(p)
+    add_transfer(p)
+    p.set_defaults(func=cmd_trace, trace_enabled=True)
 
     p = sub.add_parser("verify", help="kernel verification (paper §III-A)")
     add_common(p)
@@ -426,6 +552,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # One structured line instead of a traceback: the failing stage and
         # the message (source errors already carry their line:col).
         sys.stderr.write(f"repro: error [{error_stage(err)}]: {err}\n")
+        # The trace/report artifacts are written for failed runs too: the
+        # report embeds the typed error (and ConvergenceError's history).
+        _write_observability(args, ctx, error=err)
         return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
@@ -434,6 +563,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    _write_observability(args, ctx)
     if getattr(args, "time_passes", False):
         print()
         print(ctx.pass_stats.report())

@@ -147,17 +147,20 @@ class PassManager:
         start = time.perf_counter()
         self._entry_depth += 1
         try:
-            fingerprint = _source_fingerprint(source)
-            cache = self.ctx.caches.get("compile")
-            key = (fingerprint, _options_key(options))
-            cached = cache.get(key)
-            self.ctx.pass_stats.record_cache("pipeline", cached is not None)
-            if cached is not None:
-                return cached
-            program = self._parse(source, fingerprint)
-            compiled = self._pipeline(program, options, fingerprint)
-            cache.put(key, compiled)
-            return compiled
+            with self.ctx.tracer.span("compile", category="compiler",
+                                      source_bytes=len(source)) as sp:
+                fingerprint = _source_fingerprint(source)
+                cache = self.ctx.caches.get("compile")
+                key = (fingerprint, _options_key(options))
+                cached = cache.get(key)
+                self.ctx.pass_stats.record_cache("pipeline", cached is not None)
+                sp.set_attr("cache", "hit" if cached is not None else "miss")
+                if cached is not None:
+                    return cached
+                program = self._parse(source, fingerprint)
+                compiled = self._pipeline(program, options, fingerprint)
+                cache.put(key, compiled)
+                return compiled
         finally:
             self._leave_entry(start)
 
@@ -201,6 +204,8 @@ class PassManager:
         cache = self.ctx.caches.get("parse")
         program = cache.get(fingerprint)
         self.ctx.pass_stats.record_cache("parse", program is not None)
+        if program is not None:
+            self.ctx.tracer.event("pass.cache_hit", name="parse")
         if program is None:
             program = self._run_pass("parse", lambda: parse_program(source))
             cache.put(fingerprint, program)
@@ -322,6 +327,8 @@ class PassManager:
             if result is None:
                 result = self._run_pass(name, thunk)
                 cache.put(key, result)
+            else:
+                self.ctx.tracer.event("pass.cache_hit", name=name)
         self._maybe_dump(name, result)
         return result
 
@@ -329,7 +336,8 @@ class PassManager:
         frame = _Frame(time.perf_counter())
         self._stack.append(frame)
         try:
-            return thunk()
+            with self.ctx.tracer.span(f"pass.{name}", category="compiler"):
+                return thunk()
         finally:
             self._stack.pop()
             elapsed = time.perf_counter() - frame.start

@@ -74,6 +74,10 @@ class Device:
         self.events: List[DeviceEvent] = []
         self.bytes_h2d = 0
         self.bytes_d2h = 0
+        # Span tracer (repro.obs); AccRuntime swaps in the live one.
+        from repro.obs.tracer import NULL_TRACER
+
+        self.tracer = NULL_TRACER
         # Chaos FaultPlan (repro.runtime.chaos); None in normal operation.
         self.chaos = None
         if chaos is not None:
@@ -195,7 +199,10 @@ class Device:
             dest_flat[sl] = src_flat[sl]
             if fault is not None:
                 self._damage_payload(dest, snapshot, fault, sl)
-            nbytes += (stop - start) * dev.data.itemsize
+            batch_bytes = (stop - start) * dev.data.itemsize
+            nbytes += batch_bytes
+            self.tracer.event("transfer.batch", var=dev.name, start=start,
+                              stop=stop, bytes=batch_bytes)
         seconds = self.config.costs.transfer_time_batched(len(intervals), nbytes)
         if kind == EV_H2D:
             self.bytes_h2d += nbytes

@@ -354,6 +354,8 @@ class Interp:
         except ChaosFault:
             pass
         self.runtime.profiler.count(CTR_LAUNCH_DEGRADED)
+        self.runtime.tracer.event("launch.degraded", kernel=spec.name,
+                                  to="interleaved")
         try:
             return self.runtime.launch(spec, queue=queue, schedule=self.schedule,
                                        backend="interleaved")
@@ -362,6 +364,8 @@ class Interp:
         except ChaosFault:
             pass
         self.runtime.profiler.count(CTR_LAUNCH_DEGRADED)
+        self.runtime.tracer.event("launch.degraded", kernel=spec.name,
+                                  to="interleaved-sequential")
         return self.runtime.launch(spec, queue=queue,
                                    schedule=Schedule.sequential(),
                                    backend="interleaved")

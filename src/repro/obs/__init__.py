@@ -1,0 +1,27 @@
+"""Unified observability layer: span tracing, metrics, exports, run reports.
+
+One :class:`~repro.obs.tracer.Tracer` records nested, timestamped spans
+(wall-clock and, where a modeled clock is wired, modeled time) across the
+whole toolchain — compiler passes, runtime operations, verification — with
+structured attributes and events.  Tracing is off by default: the shared
+:data:`~repro.obs.tracer.NULL_TRACER` swallows every call without
+allocating, and traced runs stay bit-identical in outputs and modeled time
+because the tracer only *reads* toolchain state.
+
+Exports: Chrome-trace JSON (``chrome://tracing`` / Perfetto), a JSONL event
+stream, a human tree view (:mod:`repro.obs.export`), and the self-describing
+:mod:`repro.obs.report` RunReport that CI diffs structurally.
+"""
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+]

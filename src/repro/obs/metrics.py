@@ -1,0 +1,105 @@
+"""Unified metrics registry: counters + histograms.
+
+The registry absorbs the historical ``Profiler.count`` counters (the
+profiler keeps its ``counters`` dict as a compatibility view into its
+registry) and adds power-of-two histograms for value distributions the
+counters flatten away — per-batch transfer bytes, retry backoff latencies.
+
+Registries chain: a per-profiler registry can point at a context-level
+``parent``, so every count/observation lands both in the owning runtime's
+view (what the historical tests and the byte guard read) and in the
+:class:`~repro.toolchain.ToolchainContext`'s run-wide aggregate (what the
+RunReport exports).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution (count/sum/min/max + buckets).
+
+    Bucket key ``k`` counts observations with ``2**(k-1) < value <= 2**k``
+    (``value <= 0`` lands in the dedicated ``zero`` bucket), which spans
+    bytes (large ints) and latencies (small floats) with one scheme.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+        # ``zero`` bucket rides in the dict under the sentinel key below.
+
+    _ZERO_BUCKET = -(10 ** 6)
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value <= 0.0:
+            key = self._ZERO_BUCKET
+        else:
+            key = math.ceil(math.log2(value))
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {
+            ("zero" if k == self._ZERO_BUCKET else f"le_2^{k}"): n
+            for k, n in sorted(self.buckets.items())
+        }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+    def __repr__(self):
+        return f"Histogram(count={self.count}, sum={self.total})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms, optionally mirrored into a parent."""
+
+    def __init__(self, parent: Optional["MetricsRegistry"] = None):
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.parent = parent
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+        if self.parent is not None:
+            self.parent.count(name, delta)
+
+    def observe(self, name: str, value) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+        if self.parent is not None:
+            self.parent.observe(name, value)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Clear this registry's own state (the parent keeps its aggregate)."""
+        self.counters.clear()
+        self.histograms.clear()

@@ -1,0 +1,253 @@
+"""Span-based tracer.
+
+A :class:`Span` is one named, nested unit of toolchain work — a compiler
+pass, a memory transfer, a kernel launch, a verification compare — carrying
+wall-clock start/end, the modeled-time window when a modeled clock is wired
+(:attr:`Tracer.modeled_clock`), structured attributes, and point-in-time
+:class:`SpanEvent`\\ s (chaos injections, retries, coherence transitions).
+
+Nesting is per thread: each thread owns its own open-span stack, so the
+parallel experiment scheduler's worker threads (and any future threaded
+stage) produce correctly parented spans without cross-talk.  Span ids are
+allocated under one lock and finished spans land in one shared list, so a
+multi-threaded trace still exports as a single coherent timeline.
+
+The tracer never touches the simulated clock, the chaos RNG, or any device
+state — a traced run is bit-identical to an untraced one by construction.
+Tracing is off by default via :data:`NULL_TRACER`, whose every method is a
+no-op returning the shared :data:`_NULL_SPAN`, so instrumented hot paths pay
+only one attribute lookup and one call when disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "SpanEvent", "Tracer"]
+
+
+class SpanEvent:
+    """One point-in-time occurrence attached to a span."""
+
+    __slots__ = ("name", "wall", "modeled", "attrs")
+
+    def __init__(self, name: str, wall: float, modeled: Optional[float],
+                 attrs: Dict[str, object]):
+        self.name = name
+        self.wall = wall
+        self.modeled = modeled
+        self.attrs = attrs
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name, "attrs": dict(self.attrs)}
+        if self.modeled is not None:
+            out["modeled_s"] = self.modeled
+        return out
+
+    def __repr__(self):
+        return f"SpanEvent({self.name!r}, {self.attrs})"
+
+
+class Span:
+    """One nested unit of traced work.  Used as a context manager:
+
+    >>> with tracer.span("transfer", category="runtime.transfer", var="a") as sp:
+    ...     sp.set_attr("bytes", 128)
+    ...     sp.event("retry", kind="transfer.transient")
+    """
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "category",
+                 "wall_start", "wall_end", "modeled_start", "modeled_end",
+                 "attrs", "events", "thread_id")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str,
+                 category: str, attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = 0
+        self.name = name
+        self.category = category
+        self.wall_start = 0.0
+        self.wall_end = 0.0
+        self.modeled_start: Optional[float] = None
+        self.modeled_end: Optional[float] = None
+        self.attrs = attrs
+        self.events: List[SpanEvent] = []
+        self.thread_id = 0
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._close(self)
+        return False
+
+    # -- payload -----------------------------------------------------------
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def event(self, name: str, /, **attrs) -> None:
+        self.events.append(SpanEvent(
+            name, self.tracer._wall(), self.tracer._modeled_now(), attrs
+        ))
+
+    @property
+    def wall_seconds(self) -> float:
+        return max(0.0, self.wall_end - self.wall_start)
+
+    @property
+    def modeled_seconds(self) -> Optional[float]:
+        if self.modeled_start is None or self.modeled_end is None:
+            return None
+        return max(0.0, self.modeled_end - self.modeled_start)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "wall_s": self.wall_seconds,
+            "attrs": dict(self.attrs),
+            "events": [e.to_dict() for e in self.events],
+        }
+        modeled = self.modeled_seconds
+        if modeled is not None:
+            out["modeled_s"] = modeled
+        return out
+
+    def __repr__(self):
+        return f"Span({self.name!r}, cat={self.category!r}, id={self.span_id})"
+
+
+class _NullSpan:
+    """Shared do-nothing span: what :data:`NULL_TRACER` hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+    def event(self, name: str, /, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a no-op (tracing off by default)."""
+
+    enabled = False
+    modeled_clock: Optional[Callable[[], float]] = None
+
+    def span(self, name: str, category: str = "run", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, /, **attrs) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans and events for one run (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self, wall_clock: Callable[[], float] = time.perf_counter):
+        self._wall = wall_clock
+        self.epoch = wall_clock()
+        # Modeled-time source (e.g. ``lambda: profiler.now``); installed by
+        # the runtime so spans carry both clocks.  None -> wall only.
+        self.modeled_clock: Optional[Callable[[], float]] = None
+        self.spans: List[Span] = []          # finished spans, finish order
+        self.orphan_events: List[SpanEvent] = []  # events with no open span
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        self._next_thread = 1
+
+    # -- internals ---------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_id(self) -> int:
+        tid = getattr(self._local, "tid", None)
+        if tid is None:
+            with self._lock:
+                tid = self._local.tid = self._next_thread
+                self._next_thread += 1
+        return tid
+
+    def _modeled_now(self) -> Optional[float]:
+        clock = self.modeled_clock
+        return clock() if clock is not None else None
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else 0
+        span.thread_id = self._thread_id()
+        span.modeled_start = self._modeled_now()
+        span.wall_start = self._wall()
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.wall_end = self._wall()
+        span.modeled_end = self._modeled_now()
+        stack = self._stack()
+        # Tolerate exception-driven unwinding: pop through to this span.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        with self._lock:
+            self.spans.append(span)
+
+    # -- public API ---------------------------------------------------------
+    def span(self, name: str, category: str = "run", **attrs) -> Span:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, span_id, name, category, attrs)
+
+    def event(self, name: str, /, **attrs) -> None:
+        """Attach an event to the innermost open span of this thread (or to
+        the orphan list when nothing is open)."""
+        stack = self._stack()
+        if stack:
+            stack[-1].event(name, **attrs)
+        else:
+            with self._lock:
+                self.orphan_events.append(SpanEvent(
+                    name, self._wall(), self._modeled_now(), attrs
+                ))
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def sorted_spans(self) -> List[Span]:
+        """Finished spans in start order (stable across the finish-order
+        nondeterminism of threaded runs)."""
+        with self._lock:
+            return sorted(self.spans, key=lambda s: (s.wall_start, s.span_id))

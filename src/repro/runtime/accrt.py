@@ -18,6 +18,7 @@ from repro.device import Device
 from repro.device.engine import LaunchResult, LaunchSpec, Schedule
 from repro.device.transfer import coalesce_intervals, diff_intervals
 from repro.errors import RuntimeFault, TransferCorruptionError, TransientFault
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.chaos import FaultPlan
 from repro.runtime.coherence import CPU, GPU, CoherenceTracker
 from repro.runtime.intervals import D2H, H2D, DirtyMap
@@ -39,6 +40,8 @@ from repro.runtime.profiler import (
     CTR_LAUNCH_RETRIED,
     CTR_LAUNCH_VECTORIZED,
     CTR_TRANSFER_RETRIED,
+    HIST_RETRY_BACKOFF_S,
+    HIST_TRANSFER_BATCH_BYTES,
     Profiler,
 )
 from repro.runtime.queues import AsyncQueues
@@ -71,6 +74,7 @@ class _TransferPlan:
     full_nbytes: int
     batches: int
     span: Tuple[int, int]
+    itemsize: int = 0   # element width; sizes per-batch histogram samples
 
 
 class AccRuntime:
@@ -94,6 +98,19 @@ class AccRuntime:
         # is applied by the layer that decides a run should see faults (the
         # experiment harness), never implicitly here.
         self.ctx = ctx
+        # Observability: the context's tracer (NULL_TRACER when tracing is
+        # off), mirrored into every collaborator that emits events.  The
+        # profiler's metrics chain into the context aggregate, and the
+        # modeled clock is wired so spans carry both time axes.  Only state
+        # is *read* — a traced run stays bit-identical to an untraced one.
+        self.tracer = getattr(ctx, "tracer", None) or NULL_TRACER
+        if ctx is not None:
+            self.profiler.metrics.parent = ctx.metrics
+            ctx.last_runtime = self
+        if self.tracer.enabled:
+            profiler = self.profiler
+            self.tracer.modeled_clock = lambda: profiler.now
+        self.device.tracer = self.tracer
         # Retry budget for operations that hit a fault marked transient
         # (TransientFault) or a detected transfer corruption.  Each retry
         # pays CostModel.backoff_time on the simulated clock.
@@ -101,10 +118,13 @@ class AccRuntime:
         self.chaos = chaos
         if chaos is not None:
             chaos.profiler = self.profiler
+            chaos.tracer = self.tracer
             self.device.attach_chaos(chaos)
         self.queues = AsyncQueues(self.profiler, chaos=chaos)
         self.present = PresentTable()
         self.coherence = coherence
+        if coherence is not None:
+            coherence.tracer = self.tracer
         self.launch_log: List[LaunchResult] = []
         # One TransferRecord per successful dynamic transfer; the suggestion
         # engine aggregates these against the coherence findings.
@@ -136,11 +156,13 @@ class AccRuntime:
             entry = self.present.retain(var)
             entry.copyout_on_exit.append(False)
             return False
-        self.profiler.spend(CAT_MEM_ALLOC, self.device.config.costs.alloc_latency_s)
-        handle = self._retrying(
-            lambda: self.device.alloc(var, host.shape, host.dtype),
-            CAT_MEM_ALLOC, CTR_ALLOC_RETRIED,
-        )
+        with self.tracer.span("mem.alloc", category="runtime.mem", var=var,
+                              nbytes=host.size * host.itemsize, site=site):
+            self.profiler.spend(CAT_MEM_ALLOC, self.device.config.costs.alloc_latency_s)
+            handle = self._retrying(
+                lambda: self.device.alloc(var, host.shape, host.dtype),
+                CAT_MEM_ALLOC, CTR_ALLOC_RETRIED,
+            )
         entry = self.present.add(var, handle)
         entry.copyout_on_exit.append(False)
         self.dirty.bind(var, host.size, host.itemsize)
@@ -170,8 +192,10 @@ class AccRuntime:
             self.copy_to_host(var, host, site=site or f"exit({var})", queue=queue)
         released = self.present.release(var)
         if released is not None:
-            self.profiler.spend(CAT_MEM_FREE, self.device.config.costs.free_latency_s)
-            self.device.free(released.handle)
+            with self.tracer.span("mem.free", category="runtime.mem",
+                                  var=var, site=site):
+                self.profiler.spend(CAT_MEM_FREE, self.device.config.costs.free_latency_s)
+                self.device.free(released.handle)
             if self.coherence is not None and self.coherence.tracked(var):
                 self.coherence.on_free(var, site=site)  # also clears intervals
             else:
@@ -186,31 +210,41 @@ class AccRuntime:
                        site: str = "", section=None) -> float:
         handle = self.present.handle_of(var)
         plan = self._plan_transfer(var, handle, host, section, H2D)
-        seconds = self._hardened_transfer(
-            lambda: self.device.memcpy_h2d(handle, host, async_queue=queue,
-                                           section=section,
-                                           intervals=plan.intervals),
-            var, handle, host, section, site,
-        )
-        # Coherence hooks and the transfer log record only *successful*
-        # transfers: a copy that faulted away must never mark its
-        # destination fresh (notstale) or count as a dynamic transfer.
-        self._transfer_done(var, CPU, GPU, site, section, plan, "h2d")
-        self._charge_transfer(seconds, queue)
+        with self.tracer.span("transfer.h2d", category="runtime.transfer",
+                              var=var, site=site, bytes=plan.nbytes,
+                              full_bytes=plan.full_nbytes,
+                              saved=max(0, plan.full_nbytes - plan.nbytes),
+                              batches=plan.batches):
+            seconds = self._hardened_transfer(
+                lambda: self.device.memcpy_h2d(handle, host, async_queue=queue,
+                                               section=section,
+                                               intervals=plan.intervals),
+                var, handle, host, section, site,
+            )
+            # Coherence hooks and the transfer log record only *successful*
+            # transfers: a copy that faulted away must never mark its
+            # destination fresh (notstale) or count as a dynamic transfer.
+            self._transfer_done(var, CPU, GPU, site, section, plan, "h2d")
+            self._charge_transfer(seconds, queue)
         return seconds
 
     def copy_to_host(self, var: str, host: np.ndarray, queue: Optional[int] = None,
                      site: str = "", section=None) -> float:
         handle = self.present.handle_of(var)
         plan = self._plan_transfer(var, handle, host, section, D2H)
-        seconds = self._hardened_transfer(
-            lambda: self.device.memcpy_d2h(host, handle, async_queue=queue,
-                                           section=section,
-                                           intervals=plan.intervals),
-            var, handle, host, section, site,
-        )
-        self._transfer_done(var, GPU, CPU, site, section, plan, "d2h")
-        self._charge_transfer(seconds, queue)
+        with self.tracer.span("transfer.d2h", category="runtime.transfer",
+                              var=var, site=site, bytes=plan.nbytes,
+                              full_bytes=plan.full_nbytes,
+                              saved=max(0, plan.full_nbytes - plan.nbytes),
+                              batches=plan.batches):
+            seconds = self._hardened_transfer(
+                lambda: self.device.memcpy_d2h(host, handle, async_queue=queue,
+                                               section=section,
+                                               intervals=plan.intervals),
+                var, handle, host, section, site,
+            )
+            self._transfer_done(var, GPU, CPU, site, section, plan, "d2h")
+            self._charge_transfer(seconds, queue)
         return seconds
 
     def _plan_transfer(self, var: str, handle: int, host: np.ndarray,
@@ -232,7 +266,7 @@ class AccRuntime:
             start, length = section
             lo, hi = start, start + length
         full_nbytes = (hi - lo) * itemsize
-        whole = _TransferPlan(None, full_nbytes, full_nbytes, 1, (lo, hi))
+        whole = _TransferPlan(None, full_nbytes, full_nbytes, 1, (lo, hi), itemsize)
         self.dirty.bind(var, size, itemsize)
         if not self.delta_transfers:
             return whole
@@ -254,7 +288,8 @@ class AccRuntime:
         if batches and batches[0] == (lo, hi):
             return whole
         nbytes = sum(stop - start for start, stop in batches) * itemsize
-        return _TransferPlan(batches, nbytes, full_nbytes, len(batches), (lo, hi))
+        return _TransferPlan(batches, nbytes, full_nbytes, len(batches), (lo, hi),
+                             itemsize)
 
     def _transfer_done(self, var: str, src: str, dst: str, site: str,
                        section, plan: _TransferPlan, direction: str) -> None:
@@ -273,6 +308,12 @@ class AccRuntime:
         saved = plan.full_nbytes - plan.nbytes
         if saved > 0:
             self.profiler.count(CTR_BYTES_SAVED, saved)
+        if plan.intervals is None:
+            self.profiler.observe(HIST_TRANSFER_BATCH_BYTES, plan.nbytes)
+        else:
+            for start, stop in plan.intervals:
+                self.profiler.observe(HIST_TRANSFER_BATCH_BYTES,
+                                      (stop - start) * plan.itemsize)
 
     def _hardened_transfer(self, op, var: str, handle: int, host: np.ndarray,
                            section, site: str) -> float:
@@ -294,11 +335,16 @@ class AccRuntime:
                         f"transfer of '{var}' at {site or '?'} corrupted in flight"
                     )
                 return seconds
-            except (TransientFault, TransferCorruptionError):
+            except (TransientFault, TransferCorruptionError) as err:
                 if attempt >= self.max_retries:
                     raise
-                self.profiler.spend(CAT_TRANSFER, costs.backoff_time(attempt))
+                backoff = costs.backoff_time(attempt)
+                self.profiler.spend(CAT_TRANSFER, backoff)
                 self.profiler.count(CTR_TRANSFER_RETRIED)
+                self.profiler.observe(HIST_RETRY_BACKOFF_S, backoff)
+                self.tracer.event("retry", op="transfer", attempt=attempt,
+                                  error=type(err).__name__,
+                                  backoff_s=backoff)
                 attempt += 1
 
     def _transfer_intact(self, handle: int, host: np.ndarray, section) -> bool:
@@ -323,11 +369,16 @@ class AccRuntime:
         while True:
             try:
                 return op()
-            except TransientFault:
+            except TransientFault as err:
                 if attempt >= self.max_retries:
                     raise
-                self.profiler.spend(category, costs.backoff_time(attempt))
+                backoff = costs.backoff_time(attempt)
+                self.profiler.spend(category, backoff)
                 self.profiler.count(counter)
+                self.profiler.observe(HIST_RETRY_BACKOFF_S, backoff)
+                self.tracer.event("retry", op=counter.split(".", 1)[0],
+                                  attempt=attempt, error=type(err).__name__,
+                                  backoff_s=backoff)
                 attempt += 1
 
     def _coherence_transfer(self, var: str, src: str, dst: str, site: str,
@@ -368,23 +419,29 @@ class AccRuntime:
     def launch(self, spec: LaunchSpec, queue: Optional[int] = None,
                schedule: Optional[Schedule] = None,
                backend: Optional[str] = None) -> LaunchResult:
-        result = self._retrying(
-            lambda: self.device.launch(spec, schedule=schedule,
-                                       async_queue=queue, backend=backend),
-            CAT_KERNEL, CTR_LAUNCH_RETRIED,
-        )
-        self.profiler.count(
-            CTR_LAUNCH_VECTORIZED if result.backend == "vectorized"
-            else CTR_LAUNCH_INTERLEAVED
-        )
-        seconds = self.device.config.costs.kernel_time(result.total_steps)
-        if queue is None:
-            self.profiler.spend(CAT_KERNEL, seconds)
-        else:
-            self.queues.issue(queue, seconds, category=CAT_ASYNC_WAIT)
-        self.launch_log.append(result)
-        if self._track_writes:
-            self._note_launch_writes(spec, result)
+        with self.tracer.span("kernel.launch", category="runtime.kernel",
+                              kernel=spec.name) as sp:
+            result = self._retrying(
+                lambda: self.device.launch(spec, schedule=schedule,
+                                           async_queue=queue, backend=backend),
+                CAT_KERNEL, CTR_LAUNCH_RETRIED,
+            )
+            sp.set_attr("backend", result.backend)
+            sp.set_attr("steps", result.total_steps)
+            if queue is not None:
+                sp.set_attr("queue", queue)
+            self.profiler.count(
+                CTR_LAUNCH_VECTORIZED if result.backend == "vectorized"
+                else CTR_LAUNCH_INTERLEAVED
+            )
+            seconds = self.device.config.costs.kernel_time(result.total_steps)
+            if queue is None:
+                self.profiler.spend(CAT_KERNEL, seconds)
+            else:
+                self.queues.issue(queue, seconds, category=CAT_ASYNC_WAIT)
+            self.launch_log.append(result)
+            if self._track_writes:
+                self._note_launch_writes(spec, result)
         return result
 
     def _note_launch_writes(self, spec: LaunchSpec, result: LaunchResult) -> None:

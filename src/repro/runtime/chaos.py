@@ -35,6 +35,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.errors import ChaosFault, TransientFault
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.profiler import CTR_FAULT_INJECTED
 
 # Fault kinds, grouped by injection point.
 KIND_ALLOC_OOM = "alloc.oom"                  # transient device OOM at alloc
@@ -82,8 +84,8 @@ _ALIASES = {
 DEFAULT_RATES = ("alloc=0.02,transfer.transient=0.03,transfer.corrupt=0.03,"
                  "transfer.truncate=0.02,stall=0.05,launch=0.03,launch.fail=0.02")
 
-# Counter names (Profiler.count).
-CTR_FAULT_INJECTED = "fault.injected"
+# CTR_FAULT_INJECTED is declared (and registered) in repro.runtime.profiler
+# and re-exported here for the historical import path.
 
 
 @dataclass(frozen=True)
@@ -180,6 +182,7 @@ class FaultPlan:
     def __init__(self, spec: FaultSpec, profiler=None):
         self.spec = spec
         self.profiler = profiler
+        self.tracer = NULL_TRACER  # AccRuntime swaps in the live tracer
         self.injected: List[Fault] = []
         self._rng = random.Random(spec.seed)
 
@@ -212,6 +215,8 @@ class FaultPlan:
                 if self.profiler is not None:
                     self.profiler.count(CTR_FAULT_INJECTED)
                     self.profiler.count(f"{CTR_FAULT_INJECTED}.{kind}")
+                self.tracer.event("chaos.fault", kind=kind, site=site,
+                                  seq=fault.seq)
                 return fault
         return None
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import RuntimeFault
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.intervals import D2H, H2D, DirtyMap, IntervalSet
 
 NOTSTALE = "notstale"
@@ -118,6 +119,9 @@ class CoherenceTracker:
         self._states: Dict[str, _VarState] = {}
         self.findings: List[Finding] = []
         self.check_calls = 0
+        # Span tracer (repro.obs): state transitions and findings become
+        # trace events.  AccRuntime swaps in the live tracer.
+        self.tracer = NULL_TRACER
         # Context stack: the interpreter pushes (loop_var, iteration).
         self._context: List[Tuple[str, int]] = []
         # Shared with the runtime when this tracker is attached: the runtime
@@ -170,19 +174,19 @@ class CoherenceTracker:
                 covered = IntervalSet(footprint)
                 full = covered.covers(0, geometry[0])
         if full:
-            state.set(side, NOTSTALE)
+            self._set_state(var, state, side, NOTSTALE, site)
         elif status == STALE:
             # Partial write to stale data: unwritten elements may be read
             # later from the stale copy.
             self._report(MAY_MISSING, var, site)
-            state.set(side, MAYSTALE)
-        state.set(_other(side), STALE)
+            self._set_state(var, state, side, MAYSTALE, site)
+        self._set_state(var, state, _other(side), STALE, site)
         self.dirty.note_write(var, side, footprint=footprint, full=full)
 
     def reset_status(self, var: str, side: str, status: str, site: str = "") -> None:
         if status not in _STATES:
             raise RuntimeFault(f"bad coherence status {status!r}")
-        self._require(var).set(side, status)
+        self._set_state(var, self._require(var), side, status, site)
 
     def on_transfer(self, var: str, src: str, dst: str, site: str = "",
                     span: Optional[Tuple[int, int]] = None) -> None:
@@ -206,7 +210,7 @@ class CoherenceTracker:
         elif dst_status == MAYSTALE:
             self._report(MAY_REDUNDANT, var, site, nbytes_wasted=wasted)
         # set_status: the destination now holds whatever the source held.
-        state.set(dst, src_status)
+        self._set_state(var, state, dst, src_status, site)
         self.dirty.note_transfer(var, direction, span=span)
 
     def _wasted_bytes(self, var: str, direction: str,
@@ -223,12 +227,12 @@ class CoherenceTracker:
 
     def on_free(self, var: str, site: str = "") -> None:
         state = self._require(var)
-        state.set(GPU, STALE)
+        self._set_state(var, state, GPU, STALE, site)
         self.dirty.note_free(var)
 
     def on_reduction_kernel(self, var: str, site: str = "") -> None:
         """Kernel reduction whose final value only the CPU receives."""
-        self._require(var).set(GPU, STALE)
+        self._set_state(var, self._require(var), GPU, STALE, site)
 
     # -- reporting -----------------------------------------------------------
     def errors(self) -> List[Finding]:
@@ -240,12 +244,24 @@ class CoherenceTracker:
     def findings_of(self, *kinds: str) -> List[Finding]:
         return [f for f in self.findings if f.kind in kinds]
 
+    def _set_state(self, var: str, state: _VarState, side: str, status: str,
+                   site: str = "") -> None:
+        """Single mutation point for the state machine, so real transitions
+        (old != new) surface as trace events exactly once."""
+        old = state.get(side)
+        if old != status:
+            self.tracer.event("coherence.transition", var=var, side=side,
+                              old=old, new=status, site=site)
+        state.set(side, status)
+
     def _report(self, kind: str, var: str, site: str,
                 nbytes_wasted: int = 0) -> None:
         self.findings.append(
             Finding(kind, var, site, tuple(self._context),
                     nbytes_wasted=nbytes_wasted)
         )
+        self.tracer.event("coherence.finding", kind=kind, var=var, site=site,
+                          nbytes_wasted=nbytes_wasted)
 
     def _require(self, var: str) -> _VarState:
         state = self._states.get(var)

@@ -4,11 +4,64 @@ Maintains a host clock in *modeled seconds* and per-category totals.  The
 categories are exactly the Figure-3 breakdown of the paper, plus a kernel
 category (synchronous launches block the host) and a coherence-check
 category (Figure-4 overhead).
+
+Counters live in a :class:`~repro.obs.metrics.MetricsRegistry` behind the
+historical ``Profiler.count``/``Profiler.counters`` surface.  Counter names
+are *registered*: every name must be declared up front via
+:func:`register_counter` (or fall under a registered dynamic prefix such as
+``fault.injected.``) and follow the dotted-lowercase ``noun.verb``
+convention, so a typo'd counter name fails loudly instead of silently
+splitting a metric in two.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+# ---------------------------------------------------------------------------
+# Counter-name registry.  One module-level source of truth for every counter
+# the toolchain may bump; ``Profiler.count`` rejects anything else.
+# ---------------------------------------------------------------------------
+
+_COUNTER_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+_REGISTERED_COUNTERS: set = set()
+_REGISTERED_PREFIXES: set = set()
+
+
+def register_counter(name: str) -> str:
+    """Declare a counter name (``noun.verb`` dotted lowercase) and return it,
+    so declarations double as the ``CTR_*`` constant definitions."""
+    if not _COUNTER_NAME_RE.match(name):
+        raise ValueError(
+            f"counter name {name!r} does not follow the dotted-lowercase "
+            f"noun.verb convention (e.g. 'launch.retried')")
+    _REGISTERED_COUNTERS.add(name)
+    return name
+
+
+def register_counter_prefix(prefix: str) -> str:
+    """Declare a dynamic counter family (e.g. ``fault.injected.<kind>``);
+    the prefix must itself end with a dot."""
+    if not prefix.endswith(".") or not _COUNTER_NAME_RE.match(prefix[:-1]):
+        raise ValueError(f"counter prefix {prefix!r} must be dotted lowercase "
+                         f"ending in '.'")
+    _REGISTERED_PREFIXES.add(prefix)
+    return prefix
+
+
+def is_registered_counter(name: str) -> bool:
+    if name in _REGISTERED_COUNTERS:
+        return True
+    return any(name.startswith(p) and _COUNTER_NAME_RE.match(name)
+               for p in _REGISTERED_PREFIXES)
+
+
+def registered_counters() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTERED_COUNTERS))
+
 
 # Figure-3 categories.
 CAT_MEM_FREE = "GPU Mem Free"
@@ -26,25 +79,36 @@ CAT_CHECK = "Coherence-Check"
 # stepper.  Modeled time is identical either way; the split is a wall-clock
 # diagnostic and lets tests assert that race-revealing launches (Table II
 # fault injection) really took the interleaved path.
-CTR_LAUNCH_VECTORIZED = "launch.vectorized"
-CTR_LAUNCH_INTERLEAVED = "launch.interleaved"
+CTR_LAUNCH_VECTORIZED = register_counter("launch.vectorized")
+CTR_LAUNCH_INTERLEAVED = register_counter("launch.interleaved")
 
 # Recovery counters: how often the hardened runtime re-issued a faulted
 # operation (retry-with-backoff in accrt) or downgraded a kernel launch one
 # rung on the degradation ladder (interp).  Zero in fault-free runs, so the
 # chaos tests can assert that every recovery is observable.
-CTR_TRANSFER_RETRIED = "transfer.retried"
-CTR_ALLOC_RETRIED = "alloc.retried"
-CTR_LAUNCH_RETRIED = "launch.retried"
-CTR_LAUNCH_DEGRADED = "launch.degraded"
+CTR_TRANSFER_RETRIED = register_counter("transfer.retried")
+CTR_ALLOC_RETRIED = register_counter("alloc.retried")
+CTR_LAUNCH_RETRIED = register_counter("launch.retried")
+CTR_LAUNCH_DEGRADED = register_counter("launch.degraded")
 
 # Transfer-byte accounting (the byte-accurate transfer engine): bytes that
 # actually crossed the modeled PCIe link in each direction, and bytes a
 # whole-array transfer would have moved that delta transfers skipped.
 # bytes.saved stays zero when delta transfers are off.
-CTR_BYTES_H2D = "bytes.h2d"
-CTR_BYTES_D2H = "bytes.d2h"
-CTR_BYTES_SAVED = "bytes.saved"
+CTR_BYTES_H2D = register_counter("bytes.h2d")
+CTR_BYTES_D2H = register_counter("bytes.d2h")
+CTR_BYTES_SAVED = register_counter("bytes.saved")
+
+# Chaos-injection counters (bumped by FaultPlan.draw); the per-kind family
+# is dynamic — one counter per fault kind actually injected.
+CTR_FAULT_INJECTED = register_counter("fault.injected")
+FAULT_COUNTER_PREFIX = register_counter_prefix("fault.injected.")
+
+# Histogram names (Profiler.observe): value distributions the flat counters
+# lose — how big each coalesced transfer batch was, and how long each
+# retry backed off for.
+HIST_TRANSFER_BATCH_BYTES = "transfer.batch_bytes"
+HIST_RETRY_BACKOFF_S = "retry.backoff_seconds"
 
 ALL_CATEGORIES = (
     CAT_MEM_FREE,
@@ -61,12 +125,19 @@ ALL_CATEGORIES = (
 class Profiler:
     """Host clock + category accounting."""
 
-    def __init__(self):
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
         self.now = 0.0
         self.totals: Dict[str, float] = {cat: 0.0 for cat in ALL_CATEGORIES}
-        self.counters: Dict[str, int] = {}
+        # Counters/histograms live in the registry; ``counters`` below is the
+        # historical dict view.  Pass ``metrics`` with a parent to mirror
+        # this profiler's metrics into a run-wide aggregate.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timeline: List[Tuple[float, str, float]] = []
         self.record_timeline = False
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self.metrics.counters
 
     def spend(self, category: str, seconds: float) -> None:
         """Advance the host clock doing ``category`` work."""
@@ -86,7 +157,15 @@ class Profiler:
         return wait
 
     def count(self, name: str, delta: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + delta
+        if not is_registered_counter(name):
+            raise ValueError(
+                f"unregistered counter {name!r}; declare it with "
+                f"repro.runtime.profiler.register_counter() first")
+        self.metrics.count(name, delta)
+
+    def observe(self, name: str, value) -> None:
+        """Record one histogram observation (power-of-two buckets)."""
+        self.metrics.observe(name, value)
 
     def total(self) -> float:
         return self.now
@@ -105,7 +184,7 @@ class Profiler:
     def reset(self) -> None:
         self.now = 0.0
         self.totals = {cat: 0.0 for cat in ALL_CATEGORIES}
-        self.counters.clear()
+        self.metrics.reset()
         self.timeline.clear()
 
     def __repr__(self):

@@ -190,6 +190,16 @@ class ToolchainContext:
         # CLI observability hooks.
         self.dump_after: Optional[str] = None
         self.dump_sink: Callable[[str], None] = print
+        # Observability layer: span tracer (NULL_TRACER = tracing off) and
+        # the run-wide metrics aggregate every runtime's profiler mirrors
+        # into.  ``last_runtime`` remembers the most recent AccRuntime this
+        # context spawned, so a RunReport can be built even after an error.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.tracer import NULL_TRACER
+
+        self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.last_runtime = None
         self._passes = None
 
     @property

@@ -137,65 +137,31 @@ class InteractiveOptimizer:
         banned: Set[Tuple[str, str, str]] = set()
 
         for index in range(1, self.max_rounds + 1):
-            compiled = compile_ast(current, self.options, ctx=self.ctx)
-            report = MemVerifier(compiled, self.params, ctx=self.ctx).run()
-            usable = [s for s in report.suggestions if s.key() not in banned]
-            certain = [s for s in usable if not s.speculative]
-            speculative = [s for s in usable if s.speculative]
-
-            if not usable:
-                trace.iterations.append(IterationRecord(
-                    index, len(report.findings), [], [], False, report))
-                trace.converged = True
-                break
-
-            batch = (
-                _resolve_conflicts(certain, report.site_directions)
-                if certain
-                else _resolve_conflicts(speculative, report.site_directions)
-            )
-            repairing = any(s.action.startswith("insert-update") for s in batch)
-            target_ref = ground_truth if repairing else reference
-            edited = self._apply(clone_tree(current), batch)
-            if edited is None or not self._outputs_match(edited, target_ref):
-                if len(batch) > 1:
-                    # A careful programmer bisects the failing round: retry
-                    # the edits one by one, keep the good ones, ban the rest.
-                    # Every banned edit cost its own revert-and-rerun cycle,
-                    # so each counts as one incorrect iteration.
-                    current, newly_banned = self._retry_individually(
-                        current, batch, target_ref
-                    )
-                    banned |= newly_banned
-                    trace.incorrect_iterations += len(newly_banned)
-                else:
-                    banned |= {s.key() for s in batch}
-                    trace.incorrect_iterations += 1
-                trace.iterations.append(IterationRecord(
-                    index, len(report.findings), usable, batch, True, report))
-                continue
-            current = edited
-            if repairing:
-                # The repaired program is the behaviour later edits preserve.
-                reference = run_compiled(
-                    compile_ast(clone_tree(current), self.options, ctx=self.ctx),
-                    params=self.params, ctx=self.ctx,
+            with self.ctx.tracer.span("optimize.iteration",
+                                      category="optimize",
+                                      iteration=index) as span:
+                current, reference = self._round(
+                    index, current, reference, ground_truth,
+                    trace, banned, span,
                 )
-            trace.iterations.append(IterationRecord(
-                index, len(report.findings), usable, batch, False, report))
+            if trace.converged:
+                break
         else:
+            history = [
+                {
+                    "iteration": r.index,
+                    "findings": r.findings,
+                    "suggestions": [s.key() for s in r.suggestions],
+                    "applied": [s.key() for s in r.applied],
+                    "reverted": r.reverted,
+                }
+                for r in trace.iterations
+            ]
+            self.ctx.tracer.event("optimize.no_convergence",
+                                  rounds=self.max_rounds)
             raise ConvergenceError(
                 f"no convergence within {self.max_rounds} verification rounds",
-                history=[
-                    {
-                        "iteration": r.index,
-                        "findings": r.findings,
-                        "suggestions": [s.key() for s in r.suggestions],
-                        "applied": [s.key() for s in r.applied],
-                        "reverted": r.reverted,
-                    }
-                    for r in trace.iterations
-                ],
+                history=history,
             )
 
         trace.final_program = current
@@ -204,6 +170,66 @@ class InteractiveOptimizer:
         trace.final_transfer_count = len(final_run.runtime.transfer_log)
         trace.final_transfer_bytes = final_run.runtime.device.total_transferred_bytes()
         return trace
+
+    def _round(self, index: int, current: ast.Program, reference,
+               ground_truth, trace: OptimizationTrace,
+               banned: Set[Tuple[str, str, str]], span):
+        """One verify-edit-validate round (the body of the Figure-2 loop).
+        Returns the possibly-updated ``(current, reference)`` pair; mutates
+        ``trace`` and ``banned``; sets ``trace.converged`` when a round
+        yields no applicable suggestion."""
+        compiled = compile_ast(current, self.options, ctx=self.ctx)
+        report = MemVerifier(compiled, self.params, ctx=self.ctx).run()
+        usable = [s for s in report.suggestions if s.key() not in banned]
+        certain = [s for s in usable if not s.speculative]
+        speculative = [s for s in usable if s.speculative]
+        span.set_attr("findings", len(report.findings))
+        span.set_attr("suggestions", len(usable))
+
+        if not usable:
+            trace.iterations.append(IterationRecord(
+                index, len(report.findings), [], [], False, report))
+            trace.converged = True
+            span.set_attr("converged", True)
+            return current, reference
+
+        batch = (
+            _resolve_conflicts(certain, report.site_directions)
+            if certain
+            else _resolve_conflicts(speculative, report.site_directions)
+        )
+        span.set_attr("applied", [".".join(s.key()) for s in batch])
+        repairing = any(s.action.startswith("insert-update") for s in batch)
+        target_ref = ground_truth if repairing else reference
+        edited = self._apply(clone_tree(current), batch)
+        if edited is None or not self._outputs_match(edited, target_ref):
+            if len(batch) > 1:
+                # A careful programmer bisects the failing round: retry
+                # the edits one by one, keep the good ones, ban the rest.
+                # Every banned edit cost its own revert-and-rerun cycle,
+                # so each counts as one incorrect iteration.
+                current, newly_banned = self._retry_individually(
+                    current, batch, target_ref
+                )
+                banned |= newly_banned
+                trace.incorrect_iterations += len(newly_banned)
+            else:
+                banned |= {s.key() for s in batch}
+                trace.incorrect_iterations += 1
+            trace.iterations.append(IterationRecord(
+                index, len(report.findings), usable, batch, True, report))
+            span.set_attr("reverted", True)
+            return current, reference
+        current = edited
+        if repairing:
+            # The repaired program is the behaviour later edits preserve.
+            reference = run_compiled(
+                compile_ast(clone_tree(current), self.options, ctx=self.ctx),
+                params=self.params, ctx=self.ctx,
+            )
+        trace.iterations.append(IterationRecord(
+            index, len(report.findings), usable, batch, False, report))
+        return current, reference
 
     def _retry_individually(self, current: ast.Program, batch: List[Suggestion],
                             reference) -> Tuple[ast.Program, Set[Tuple[str, str, str]]]:

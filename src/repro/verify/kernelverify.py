@@ -138,16 +138,21 @@ class _Session(VerifySession):
     def compare(self, kernel: str, var: str) -> None:
         env = self.interp.env
         policy = self._policy_for(kernel)
-        result: Optional[ComparisonResult] = None
-        if (kernel, var) in self._arrays:
-            candidate = self._arrays[(kernel, var)]
-            result = compare_arrays(var, env.array(var), candidate, policy)
-        elif (kernel, var) in self._scalars:
-            result = compare_scalars(var, float(env.load(var)),
-                                     float(self._scalars[(kernel, var)]), policy)
-        if result is not None:
-            self.interp.runtime.charge_compare(result.checked)
-            self.report.results[kernel].comparisons.append(result)
+        with self.interp.runtime.tracer.span(
+                "verify.compare", category="verify",
+                kernel=kernel, var=var) as sp:
+            result: Optional[ComparisonResult] = None
+            if (kernel, var) in self._arrays:
+                candidate = self._arrays[(kernel, var)]
+                result = compare_arrays(var, env.array(var), candidate, policy)
+            elif (kernel, var) in self._scalars:
+                result = compare_scalars(var, float(env.load(var)),
+                                         float(self._scalars[(kernel, var)]), policy)
+            if result is not None:
+                self.interp.runtime.charge_compare(result.checked)
+                sp.set_attr("passed", result.passed)
+                sp.set_attr("checked", result.checked)
+                self.report.results[kernel].comparisons.append(result)
 
     def end(self, kernel: str) -> None:
         for expr in self.asserts.get(kernel, ()):
@@ -210,30 +215,36 @@ class KernelVerifier:
         ), targets
 
     def run(self) -> VerificationReport:
-        transformed, targets = self.transformed_program()
-        vcompiled = compile_ast(
-            transformed, self.compiled.options.copy(strict_validation=False),
-            ctx=self.ctx,
-        )
-        report = VerificationReport()
-        session = _Session(
-            self.options.policy,
-            collect_bounds(self.compiled),
-            collect_asserts(self.compiled),
-            report,
-        )
-        interp = Interp(
-            vcompiled,
-            runtime=self.runtime,
-            params=self.params,
-            schedule=self.options.schedule,
-            verify=session,
-        )
-        session.interp = interp
-        self.runtime = interp.runtime
-        interp.run()
-        for name in targets:
-            report.results.setdefault(name, KernelResult(name))
+        with self.ctx.tracer.span("verify.kernels", category="verify") as sp:
+            transformed, targets = self.transformed_program()
+            sp.set_attr("targets", sorted(targets))
+            vcompiled = compile_ast(
+                transformed, self.compiled.options.copy(strict_validation=False),
+                ctx=self.ctx,
+            )
+            report = VerificationReport()
+            session = _Session(
+                self.options.policy,
+                collect_bounds(self.compiled),
+                collect_asserts(self.compiled),
+                report,
+            )
+            interp = Interp(
+                vcompiled,
+                runtime=self.runtime,
+                params=self.params,
+                schedule=self.options.schedule,
+                verify=session,
+                ctx=self.ctx,
+            )
+            session.interp = interp
+            self.runtime = interp.runtime
+            interp.run()
+            for name in targets:
+                report.results.setdefault(name, KernelResult(name))
+            sp.set_attr("passed", report.all_passed)
+            if not report.all_passed:
+                sp.set_attr("failed_kernels", report.failed_kernels())
         return report
 
 

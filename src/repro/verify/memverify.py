@@ -73,23 +73,28 @@ class MemVerifier:
         self.ctx = ctx or default_context()
 
     def run(self) -> MemVerificationReport:
-        instr = self.ctx.passes.rewrite(
-            "checkinsert", self.compiled,
-            optimize_placement=self.optimize_placement, ctx=self.ctx,
-        )
-        self.instrumentation = instr
-        tracker = CoherenceTracker()
-        for var in instr.universe:
-            tracker.register(var)
-        runtime = AccRuntime(coherence=tracker, ctx=self.ctx)
-        self.runtime = runtime
-        interp = Interp(
-            instr.compiled,
-            runtime=runtime,
-            params=self.params,
-            schedule=self.schedule,
-        )
-        interp.run()
+        with self.ctx.tracer.span("verify.mem", category="verify") as sp:
+            instr = self.ctx.passes.rewrite(
+                "checkinsert", self.compiled,
+                optimize_placement=self.optimize_placement, ctx=self.ctx,
+            )
+            self.instrumentation = instr
+            sp.set_attr("inserted_checks", len(instr.checks))
+            tracker = CoherenceTracker()
+            for var in instr.universe:
+                tracker.register(var)
+            runtime = AccRuntime(coherence=tracker, ctx=self.ctx)
+            self.runtime = runtime
+            interp = Interp(
+                instr.compiled,
+                runtime=runtime,
+                params=self.params,
+                schedule=self.schedule,
+                ctx=self.ctx,
+            )
+            interp.run()
+            sp.set_attr("findings", len(tracker.findings))
+            sp.set_attr("check_calls", tracker.check_calls)
 
         transfer_counts: Dict[Tuple[str, str], int] = {}
         site_directions: Dict[Tuple[str, str], str] = {}

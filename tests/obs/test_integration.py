@@ -1,0 +1,267 @@
+"""End-to-end observability tests.
+
+The load-bearing guarantee: tracing is observation only.  A traced run must
+be bit-identical to an untraced run — same outputs, same modeled time, same
+byte counts — across the whole benchmark suite and under chaos injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import suite
+from repro.compiler import compile_source
+from repro.interp import run_compiled
+from repro.obs import Tracer
+from repro.runtime.accrt import AccRuntime
+from repro.runtime.chaos import FaultPlan, FaultSpec
+from repro.toolchain import ToolchainContext
+
+SOURCE = """
+int N;
+double a[N];
+double b[N];
+double r;
+
+void main()
+{
+    for (int i = 0; i < N; i++) { b[i] = (double)i; }
+    #pragma acc data copyin(b) copyout(a)
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) { a[i] = 2.0 * b[i]; }
+    }
+    r = a[N - 1];
+}
+"""
+
+
+def run_once(source, params, traced, chaos_spec=None, seed=0):
+    ctx = ToolchainContext()
+    if traced:
+        ctx.tracer = Tracer()
+    compiled = compile_source(source, ctx=ctx)
+    runtime = None
+    if chaos_spec:
+        plan = FaultPlan(FaultSpec.parse(chaos_spec, seed=seed))
+        runtime = AccRuntime(chaos=plan, ctx=ctx)
+    interp = run_compiled(compiled, params=params, runtime=runtime, ctx=ctx)
+    return ctx, interp
+
+
+class TestBitIdentity:
+    def test_traced_run_bit_identical(self):
+        params = {"N": 32}
+        _, plain = run_once(SOURCE, params, traced=False)
+        _, traced = run_once(SOURCE, params, traced=True)
+        assert np.array_equal(plain.env.array("a"), traced.env.array("a"))
+        assert plain.env.load("r") == traced.env.load("r")
+        assert plain.runtime.profiler.total() == traced.runtime.profiler.total()
+        assert (plain.runtime.device.total_transferred_bytes()
+                == traced.runtime.device.total_transferred_bytes())
+
+    @pytest.mark.parametrize("name", suite.all_names())
+    def test_whole_benchmark_suite_bit_identical(self, name):
+        bench = suite.get(name)
+        params = bench.params("tiny")
+        runs = {}
+        for traced in (False, True):
+            ctx = ToolchainContext()
+            if traced:
+                ctx.tracer = Tracer()
+            compiled = bench.compile("optimized", ctx=ctx)
+            runs[traced] = run_compiled(compiled, params=params, ctx=ctx)
+        plain, traced_run_ = runs[False], runs[True]
+        for out in bench.outputs:
+            ref, got = plain.env.load(out), traced_run_.env.load(out)
+            if isinstance(ref, np.ndarray):
+                assert np.array_equal(ref, got), out
+            else:
+                assert ref == got, out
+        assert (plain.runtime.profiler.total()
+                == traced_run_.runtime.profiler.total())
+        assert (plain.runtime.device.total_transferred_bytes()
+                == traced_run_.runtime.device.total_transferred_bytes())
+
+    def test_traced_chaos_run_bit_identical(self):
+        """Tracing must not perturb the chaos RNG stream: the same seed
+        injects the same faults and recovers to the same outputs/time."""
+        params = {"N": 32}
+        spec = "transfer.transient=0.5,alloc=0.3"
+        _, plain = run_once(SOURCE, params, traced=False, chaos_spec=spec,
+                            seed=1)
+        _, traced = run_once(SOURCE, params, traced=True, chaos_spec=spec,
+                             seed=1)
+        assert np.array_equal(plain.env.array("a"), traced.env.array("a"))
+        assert plain.runtime.profiler.total() == traced.runtime.profiler.total()
+        plain_faults = {k: v for k, v in plain.runtime.profiler.counters.items()
+                        if k.startswith("fault.")}
+        traced_faults = {k: v for k, v in traced.runtime.profiler.counters.items()
+                        if k.startswith("fault.")}
+        assert plain_faults == traced_faults and plain_faults
+
+
+class TestChaosEvents:
+    # rate/seed chosen so faults are injected AND the retry layer recovers
+    # (the run completes; every fault shows up as a traced event).
+    def _chaos_trace(self, spec="transfer.transient=0.5", seed=1):
+        ctx, _ = run_once(SOURCE, {"N": 64}, traced=True,
+                          chaos_spec=spec, seed=seed)
+        spans = ctx.tracer.sorted_spans()
+        events = [e for s in spans for e in s.events]
+        return ctx, spans, events
+
+    def test_injected_faults_appear_as_events(self):
+        ctx, _, events = self._chaos_trace()
+        faults = [e for e in events if e.name == "chaos.fault"]
+        assert faults, "expected injected faults"
+        for e in faults:
+            assert e.attrs["kind"] == "transfer.transient"
+            assert "site" in e.attrs and "seq" in e.attrs
+        injected = ctx.metrics.counters.get(
+            "fault.injected.transfer.transient", 0)
+        assert len(faults) == injected
+
+    def test_retries_appear_as_events_with_backoff(self):
+        _, spans, events = self._chaos_trace()
+        retries = [e for e in events if e.name == "retry"]
+        assert retries
+        for e in retries:
+            assert e.attrs["op"] == "transfer"
+            assert e.attrs["error"] == "TransientFault"
+            assert e.attrs["backoff_s"] > 0
+        # Fault + retry events land inside the transfer span they hit.
+        transfer_spans = [s for s in spans if s.category == "runtime.transfer"]
+        assert any(s.events for s in transfer_spans)
+
+    def test_retry_backoff_histogram_populated(self):
+        ctx, _, _ = self._chaos_trace()
+        hist = ctx.metrics.histograms["retry.backoff_seconds"]
+        assert hist.count >= 1
+
+
+class TestSpanCoverage:
+    def test_transfer_spans_carry_bytes_and_batches(self):
+        ctx, _ = run_once(SOURCE, {"N": 16}, traced=True)
+        transfers = [s for s in ctx.tracer.sorted_spans()
+                     if s.category == "runtime.transfer"]
+        assert {s.name for s in transfers} == {"transfer.h2d", "transfer.d2h"}
+        for s in transfers:
+            assert s.attrs["bytes"] == 128
+            assert s.attrs["batches"] == 1
+            assert s.attrs["saved"] == 0
+
+    def test_delta_transfer_batches_appear_as_events(self):
+        from repro.device.device import DeviceConfig
+
+        ctx = ToolchainContext(device_config=DeviceConfig(delta_transfers=True))
+        ctx.tracer = Tracer()
+        compiled = compile_source(SOURCE, ctx=ctx)
+        run_compiled(compiled, params={"N": 16}, ctx=ctx)
+        transfers = [s for s in ctx.tracer.sorted_spans()
+                     if s.category == "runtime.transfer"]
+        batch_events = [e for s in transfers for e in s.events
+                        if e.name == "transfer.batch"]
+        assert batch_events
+        for e in batch_events:
+            assert e.attrs["bytes"] == (e.attrs["stop"] - e.attrs["start"]) * 8
+        # Within each interval-batched transfer, the batch events account
+        # for exactly the bytes the span reports moving.  (Whole-array
+        # fallback transfers legitimately carry no batch events.)
+        for s in transfers:
+            batches = [e for e in s.events if e.name == "transfer.batch"]
+            if batches:
+                assert sum(e.attrs["bytes"] for e in batches) == s.attrs["bytes"]
+
+    def test_kernel_launch_span_carries_backend(self):
+        ctx, _ = run_once(SOURCE, {"N": 16}, traced=True)
+        launches = [s for s in ctx.tracer.sorted_spans()
+                    if s.name == "kernel.launch"]
+        assert len(launches) == 1
+        assert launches[0].attrs["backend"] == "vectorized"
+        assert launches[0].attrs["steps"] == 16
+
+    def test_spans_nest_under_runtime_parents(self):
+        ctx, _ = run_once(SOURCE, {"N": 16}, traced=True)
+        spans = {s.span_id: s for s in ctx.tracer.sorted_spans()}
+        passes = [s for s in spans.values() if s.name.startswith("pass.")]
+        assert passes
+        for s in passes:
+            assert spans[s.parent_id].name == "compile"
+
+    def test_modeled_time_on_runtime_spans(self):
+        ctx, interp = run_once(SOURCE, {"N": 16}, traced=True)
+        kernel = next(s for s in ctx.tracer.sorted_spans()
+                      if s.name == "kernel.launch")
+        assert kernel.modeled_seconds is not None
+        assert 0 < kernel.modeled_seconds <= interp.runtime.profiler.total()
+
+    def test_coherence_transition_events(self):
+        from repro.runtime.coherence import CoherenceTracker
+
+        ctx = ToolchainContext()
+        ctx.tracer = Tracer()
+        compiled = compile_source(SOURCE, ctx=ctx)
+        tracker = CoherenceTracker()
+        for var in ("a", "b"):
+            tracker.register(var)
+        runtime = AccRuntime(coherence=tracker, ctx=ctx)
+        run_compiled(compiled, params={"N": 16}, runtime=runtime, ctx=ctx)
+        events = [e for s in ctx.tracer.sorted_spans() for e in s.events]
+        transitions = [e for e in events if e.name == "coherence.transition"]
+        assert transitions
+        assert {"var", "side", "old", "new"} <= set(transitions[0].attrs)
+
+    def test_verification_spans(self):
+        from repro.verify.kernelverify import KernelVerifier
+
+        ctx = ToolchainContext()
+        ctx.tracer = Tracer()
+        compiled = compile_source(SOURCE, ctx=ctx)
+        report = KernelVerifier(compiled, params={"N": 8}, ctx=ctx).run()
+        assert report.all_passed
+        spans = ctx.tracer.sorted_spans()
+        outer = [s for s in spans if s.name == "verify.kernels"]
+        compares = [s for s in spans if s.name == "verify.compare"]
+        assert len(outer) == 1 and outer[0].attrs["passed"] is True
+        assert compares and all(s.attrs.get("passed") for s in compares
+                                if "passed" in s.attrs)
+
+    def test_memverify_span(self):
+        from repro.verify.memverify import MemVerifier
+
+        ctx = ToolchainContext()
+        ctx.tracer = Tracer()
+        compiled = compile_source(SOURCE, ctx=ctx)
+        MemVerifier(compiled, params={"N": 8}, ctx=ctx).run()
+        span = next(s for s in ctx.tracer.sorted_spans()
+                    if s.name == "verify.mem")
+        assert span.attrs["inserted_checks"] >= 1
+        assert "findings" in span.attrs
+
+    def test_pass_cache_hit_events_on_recompile(self):
+        ctx = ToolchainContext()
+        ctx.tracer = Tracer()
+        compile_source(SOURCE, ctx=ctx)
+        compile_source(SOURCE, ctx=ctx)  # second compile hits the caches
+        compiles = [s for s in ctx.tracer.sorted_spans()
+                    if s.name == "compile"]
+        assert [s.attrs["cache"] for s in compiles] == ["miss", "hit"]
+
+
+class TestParallelScheduler:
+    def test_jobs2_rows_match_jobs1_with_tracer(self):
+        """The process-pool scheduler must produce identical experiment rows
+        whether the parent context traces or not, at --jobs 1 (inline, ctx
+        honoured) and --jobs 2 (pool, workers untraced) alike."""
+        from repro.experiments import scheduler
+
+        grid = scheduler.row_grid(
+            "repro.experiments.fig1", ["JACOBI", "SPMUL"], "tiny", 0)
+        rows = {}
+        for jobs, traced in ((1, True), (2, True), (1, False)):
+            ctx = ToolchainContext()
+            if traced:
+                ctx.tracer = Tracer()
+            rows[(jobs, traced)] = scheduler.raise_failures(
+                scheduler.run_jobs(grid, jobs, ctx=ctx))
+        assert rows[(1, True)] == rows[(2, True)] == rows[(1, False)]

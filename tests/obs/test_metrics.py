@@ -1,0 +1,147 @@
+"""MetricsRegistry + Histogram unit tests, and the counter-name registry."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.runtime.profiler import (
+    CTR_FAULT_INJECTED,
+    Profiler,
+    is_registered_counter,
+    register_counter,
+    register_counter_prefix,
+    registered_counters,
+)
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram()
+        for v in (1, 2, 3):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        h.observe(1)      # le_2^0
+        h.observe(2)      # le_2^1
+        h.observe(3)      # le_2^2
+        h.observe(1024)   # le_2^10
+        buckets = h.snapshot()["buckets"]
+        assert buckets == {"le_2^0": 1, "le_2^1": 1, "le_2^2": 1, "le_2^10": 1}
+
+    def test_zero_and_negative_bucket(self):
+        h = Histogram()
+        h.observe(0)
+        h.observe(-5)
+        assert h.snapshot()["buckets"] == {"zero": 2}
+
+    def test_fractional_values(self):
+        h = Histogram()
+        h.observe(0.3)    # 2^-2 < 0.3 <= 2^-1
+        assert h.snapshot()["buckets"] == {"le_2^-1": 1}
+
+
+class TestMetricsRegistry:
+    def test_count_and_observe(self):
+        m = MetricsRegistry()
+        m.count("a.b")
+        m.count("a.b", 2)
+        m.observe("h.x", 4)
+        snap = m.snapshot()
+        assert snap["counters"] == {"a.b": 3}
+        assert snap["histograms"]["h.x"]["count"] == 1
+
+    def test_parent_mirroring(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.count("a.b", 2)
+        child.observe("h.x", 8)
+        assert parent.counters == {"a.b": 2}
+        assert parent.histograms["h.x"].count == 1
+        # Parent totals aggregate across children.
+        other = MetricsRegistry(parent=parent)
+        other.count("a.b", 3)
+        assert parent.counters == {"a.b": 5}
+        assert child.counters == {"a.b": 2}
+
+    def test_reset_keeps_parent(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.count("a.b")
+        child.reset()
+        assert child.counters == {}
+        assert parent.counters == {"a.b": 1}
+
+
+class TestCounterNameRegistry:
+    def test_register_and_count(self):
+        name = register_counter("test.metrics.widget")
+        assert is_registered_counter(name)
+        p = Profiler()
+        p.count(name, 4)
+        assert p.counters[name] == 4
+
+    def test_unregistered_name_rejected(self):
+        p = Profiler()
+        with pytest.raises(ValueError, match="unregistered counter"):
+            p.count("test.metrics.never_registered_xyz")
+
+    @pytest.mark.parametrize("bad", [
+        "nodots",          # must be noun.verb (at least one dot)
+        "Upper.case",      # lowercase only
+        "a..b",            # empty segment
+        ".leading",        # empty first segment
+        "trailing.",       # empty last segment
+        "spa ce.x",        # no spaces
+    ])
+    def test_malformed_names_rejected_at_registration(self, bad):
+        with pytest.raises(ValueError):
+            register_counter(bad)
+
+    def test_prefix_families(self):
+        # Chaos counters are a dynamic family under one registered prefix.
+        assert is_registered_counter(CTR_FAULT_INJECTED + ".alloc.oom")
+        p = Profiler()
+        p.count(CTR_FAULT_INJECTED + ".transfer.corrupt")
+        assert p.counters[CTR_FAULT_INJECTED + ".transfer.corrupt"] == 1
+
+    def test_prefix_must_end_with_dot(self):
+        with pytest.raises(ValueError):
+            register_counter_prefix("test.badprefix")
+
+    def test_builtin_counters_all_registered(self):
+        from repro.runtime import profiler as prof
+
+        names = registered_counters()
+        for attr in dir(prof):
+            if attr.startswith("CTR_"):
+                assert getattr(prof, attr) in names, attr
+
+    def test_registered_names_follow_noun_verb_shape(self):
+        for name in registered_counters():
+            assert "." in name and name == name.lower(), name
+
+
+class TestProfilerMetricsShim:
+    def test_counters_view_is_registry(self):
+        p = Profiler()
+        name = register_counter("test.metrics.shim")
+        p.count(name)
+        assert p.counters is p.metrics.counters
+
+    def test_observe_delegates(self):
+        p = Profiler()
+        p.observe("test.histogram", 16)
+        assert p.metrics.histograms["test.histogram"].count == 1
+
+    def test_reset_clears_metrics(self):
+        p = Profiler()
+        name = register_counter("test.metrics.reset")
+        p.count(name)
+        p.observe("test.histogram.reset", 1)
+        p.reset()
+        assert p.counters == {}
+        assert p.metrics.histograms == {}

@@ -1,0 +1,186 @@
+"""RunReport build/validate/diff tests."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.errors import ConvergenceError
+from repro.interp import run_compiled
+from repro.lang import parse_program
+from repro.obs import Tracer
+from repro.obs.report import (
+    SCHEMA,
+    build_report,
+    diff_reports,
+    structural_projection,
+    validate_report,
+)
+from repro.toolchain import ToolchainContext
+from repro.verify.interactive import InteractiveOptimizer
+
+SOURCE = """
+int N;
+double a[N];
+double r;
+
+void main()
+{
+    #pragma acc data copyout(a)
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) { a[i] = (double)i; }
+    }
+    r = a[N - 1];
+}
+"""
+
+JACOBI_LIKE = """
+int N, ITER;
+double a[N], b[N];
+double r;
+
+void main()
+{
+    for (int i = 0; i < N; i++) { b[i] = (double)i; }
+    #pragma acc data copyin(b) create(a)
+    {
+        for (int k = 0; k < ITER; k++) {
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = b[i] + 1.0; }
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { b[i] = a[i] * 0.5; }
+            #pragma acc update host(b)
+        }
+    }
+    r = b[0];
+}
+"""
+
+
+def traced_run(params=None, trace=True):
+    ctx = ToolchainContext()
+    if trace:
+        ctx.tracer = Tracer()
+    compiled = compile_source(SOURCE, ctx=ctx)
+    run_compiled(compiled, params=params or {"N": 8}, ctx=ctx)
+    return ctx
+
+
+class TestBuildReport:
+    def test_round_trips_through_json_and_validates(self):
+        ctx = traced_run()
+        report = build_report(ctx, command="run", program="mini.c",
+                              params={"N": 8})
+        loaded = json.loads(json.dumps(report, sort_keys=True, default=repr))
+        assert validate_report(loaded) == []
+        assert loaded["schema"] == SCHEMA
+        assert loaded["command"] == "run"
+        assert loaded["launches"] == 1
+        assert loaded["bytes"]["d2h"] == 64
+        assert loaded["modeled_time_s"] > 0
+
+    def test_spans_cover_compiler_and_runtime(self):
+        ctx = traced_run()
+        report = build_report(ctx)
+        names = {(s["cat"], s["name"]) for s in report["spans"]}
+        assert ("compiler", "compile") in names
+        assert ("compiler", "pass.parse") in names
+        assert ("runtime.kernel", "kernel.launch") in names
+        assert ("runtime.transfer", "transfer.d2h") in names
+        assert ("runtime.mem", "mem.alloc") in names
+
+    def test_counters_and_histograms_aggregate_into_context(self):
+        ctx = traced_run()
+        snap = ctx.metrics.snapshot()
+        assert snap["counters"]["bytes.d2h"] == 64
+        assert snap["histograms"]["transfer.batch_bytes"]["count"] >= 1
+
+    def test_untraced_context_has_empty_spans(self):
+        ctx = traced_run(trace=False)
+        report = build_report(ctx)
+        assert report["spans"] == []
+        assert validate_report(json.loads(
+            json.dumps(report, default=repr))) == []
+
+    def test_no_runtime_report_still_valid(self):
+        ctx = ToolchainContext()
+        report = build_report(ctx)
+        assert report["modeled_time_s"] is None
+        assert validate_report(json.loads(
+            json.dumps(report, default=repr))) == []
+
+    def test_error_entry_with_convergence_history(self):
+        ctx = ToolchainContext()
+        ctx.tracer = Tracer()
+        with pytest.raises(ConvergenceError) as exc:
+            InteractiveOptimizer(
+                parse_program(JACOBI_LIKE), params={"N": 8, "ITER": 3},
+                max_rounds=1, ctx=ctx,
+            ).run()
+        report = build_report(ctx, error=exc.value)
+        err = report["error"]
+        assert err["type"] == "ConvergenceError"
+        assert err["stage"] == "optimize"
+        history = err["convergence_history"]
+        assert len(history) == 1 and history[0]["iteration"] == 1
+        # The failed loop also left its iteration spans + terminal event
+        # (emitted after the last span closed, so it lands top-level).
+        names = [s["name"] for s in report["spans"]]
+        assert "optimize.iteration" in names
+        events = [e["name"] for e in report["events"]]
+        assert "optimize.no_convergence" in events
+
+    def test_optimize_iteration_spans_on_success(self):
+        ctx = ToolchainContext()
+        ctx.tracer = Tracer()
+        InteractiveOptimizer(
+            parse_program(JACOBI_LIKE), params={"N": 8, "ITER": 3}, ctx=ctx,
+        ).run()
+        iters = [s for s in ctx.tracer.sorted_spans()
+                 if s.name == "optimize.iteration"]
+        assert [s.attrs["iteration"] for s in iters] == [1, 2]
+        assert iters[0].attrs["applied"]
+        assert iters[1].attrs.get("converged") is True
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_report([]) == ["report is not a JSON object"]
+
+    def test_rejects_wrong_schema_and_missing_keys(self):
+        problems = validate_report({"schema": "bogus/9"})
+        assert any("expected" in p for p in problems)
+        assert any("missing key" in p for p in problems)
+
+    def test_rejects_malformed_span(self):
+        ctx = traced_run()
+        report = json.loads(json.dumps(build_report(ctx), default=repr))
+        report["spans"][0].pop("wall_s")
+        assert any("wall_s" in p for p in validate_report(report))
+
+    def test_rejects_non_int_counter(self):
+        ctx = traced_run()
+        report = json.loads(json.dumps(build_report(ctx), default=repr))
+        report["metrics"]["counters"]["bytes.d2h"] = "lots"
+        assert any("not an int" in p for p in validate_report(report))
+
+
+class TestDiff:
+    def test_identical_runs_project_identically(self):
+        a = build_report(traced_run())
+        b = build_report(traced_run())
+        assert structural_projection(a) == structural_projection(b)
+        assert diff_reports(a, b) == []
+
+    def test_different_params_diff(self):
+        a = build_report(traced_run(params={"N": 8}))
+        b = build_report(traced_run(params={"N": 16}))
+        diffs = diff_reports(a, b)
+        assert any(d.startswith("bytes.") for d in diffs)
+        assert any(d.startswith("modeled_time_s") for d in diffs)
+
+    def test_wall_clock_noise_excluded(self):
+        a = build_report(traced_run())
+        proj = structural_projection(a)
+        assert "wall" not in json.dumps(proj)

@@ -1,0 +1,202 @@
+"""Tracer unit tests: nesting, events, exception unwinding, thread safety."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import NULL_TRACER, Span, Tracer
+from repro.obs.export import chrome_trace_events, render_tree, to_jsonl_lines
+
+
+class TestSpanNesting:
+    def test_parent_child(self):
+        t = Tracer()
+        with t.span("outer", category="a") as outer:
+            with t.span("inner", category="b") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+
+    def test_sibling_spans_share_parent(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("one") as one:
+                pass
+            with t.span("two") as two:
+                pass
+        assert one.parent_id == outer.span_id
+        assert two.parent_id == outer.span_id
+
+    def test_sorted_spans_start_order(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        # Finish order is inner-first; start order is outer-first.
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+        assert [s.name for s in t.sorted_spans()] == ["outer", "inner"]
+
+    def test_span_ids_unique(self):
+        t = Tracer()
+        for _ in range(5):
+            with t.span("s"):
+                pass
+        ids = [s.span_id for s in t.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_current(self):
+        t = Tracer()
+        assert t.current() is None
+        with t.span("outer") as outer:
+            assert t.current() is outer
+            with t.span("inner") as inner:
+                assert t.current() is inner
+            assert t.current() is outer
+        assert t.current() is None
+
+
+class TestEventsAndAttrs:
+    def test_event_attaches_to_innermost_span(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner") as inner:
+                t.event("hit", kind="cache")
+        assert [e.name for e in inner.events] == ["hit"]
+        assert inner.events[0].attrs == {"kind": "cache"}
+
+    def test_event_with_name_attribute(self):
+        # ``name`` as an event attribute must not collide with the
+        # positional event name (pass.cache_hit carries name=<pass>).
+        t = Tracer()
+        with t.span("s") as sp:
+            t.event("pass.cache_hit", name="parse")
+            sp.event("second", name="x")
+        assert sp.events[0].attrs == {"name": "parse"}
+        assert sp.events[1].attrs == {"name": "x"}
+
+    def test_orphan_event_without_open_span(self):
+        t = Tracer()
+        t.event("stray", detail=1)
+        assert [e.name for e in t.orphan_events] == ["stray"]
+
+    def test_set_attr(self):
+        t = Tracer()
+        with t.span("s", fixed=1) as sp:
+            sp.set_attr("late", "yes")
+        assert sp.attrs == {"fixed": 1, "late": "yes"}
+
+    def test_exception_recorded_and_stack_unwound(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("outer"):
+                with t.span("inner") as inner:
+                    raise ValueError("boom")
+        assert inner.attrs["error"] == "ValueError"
+        assert t.current() is None
+        assert {s.name for s in t.spans} == {"inner", "outer"}
+
+    def test_modeled_clock(self):
+        t = Tracer()
+        fake = [0.0]
+        t.modeled_clock = lambda: fake[0]
+        with t.span("s") as sp:
+            fake[0] = 2.5
+        assert sp.modeled_seconds == 2.5
+
+
+class TestThreading:
+    def test_per_thread_stacks(self):
+        """Worker threads nest independently — a thread's spans parent to
+        its own outer span, never to another thread's (the parallel
+        scheduler / --jobs N contract).  A barrier keeps all four workers
+        inside their spans at once, so the stacks genuinely interleave."""
+        import threading
+
+        t = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            with t.span(f"outer{i}") as outer:
+                barrier.wait(timeout=10)
+                with t.span(f"inner{i}") as inner:
+                    pass
+            return outer.span_id, inner
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(work, range(4)))
+
+        for i, (outer_id, inner) in enumerate(results):
+            assert inner.parent_id == outer_id
+            assert inner.name == f"inner{i}"
+        ids = [s.span_id for s in t.spans]
+        assert len(set(ids)) == len(ids) == 8
+        tids = {s.thread_id for s in t.spans}
+        assert len(tids) == 4
+
+
+class TestNullTracer:
+    def test_noops(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", category="x", a=1) as sp:
+            sp.set_attr("k", "v")
+            sp.event("e", name="n")
+        NULL_TRACER.event("stray", name="n")
+        assert NULL_TRACER.current() is None
+
+    def test_shared_span_instance(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestExport:
+    def _traced(self):
+        t = Tracer()
+        t.modeled_clock = lambda: 0.0
+        with t.span("compile", category="compiler", source_bytes=10):
+            with t.span("pass.parse", category="compiler"):
+                t.event("pass.cache_hit", name="parse")
+        t.event("orphan.event")
+        return t
+
+    def test_chrome_trace_shape(self):
+        events = chrome_trace_events(self._traced())
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in complete] == ["compile", "pass.parse"]
+        assert {e["name"] for e in instants} == {"pass.cache_hit", "orphan.event"}
+        for e in events:
+            assert {"name", "cat", "ph", "ts", "pid", "tid", "args"} <= set(e)
+
+    def test_jsonl_lines_parse(self):
+        import json
+
+        lines = to_jsonl_lines(self._traced())
+        records = [json.loads(line) for line in lines]
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["span", "span", "event"]
+        assert records[0]["name"] == "compile"
+        assert records[1]["events"][0]["name"] == "pass.cache_hit"
+
+    def test_render_tree(self):
+        text = render_tree(self._traced())
+        assert "compile (compiler)" in text
+        assert "\n  pass.parse" in text          # child indented under parent
+        assert "* pass.cache_hit" in text
+
+    def test_render_tree_empty(self):
+        assert render_tree(Tracer()) == "(no spans recorded)"
+
+    def test_chrome_trace_nonjson_attr_survives(self):
+        import json
+
+        t = Tracer()
+        with t.span("s", weird=object()):
+            pass
+        payload = json.dumps(chrome_trace_events(t))
+        assert "object" in payload
+
+    def test_span_repr_types(self):
+        t = Tracer()
+        with t.span("s") as sp:
+            pass
+        assert isinstance(sp, Span)
+        assert "Span(" in repr(sp)

@@ -18,6 +18,7 @@ from repro.runtime.profiler import (
     CAT_MEM_ALLOC,
     CAT_TRANSFER,
     Profiler,
+    register_counter,
 )
 from repro.runtime.queues import AsyncQueues
 
@@ -113,10 +114,16 @@ class TestProfiler:
         assert norm[CAT_CPU] == 1.0 and norm[CAT_TRANSFER] == 0.5
 
     def test_counters(self):
+        name = register_counter("test.launches")
         p = Profiler()
-        p.count("launches")
-        p.count("launches", 2)
-        assert p.counters["launches"] == 3
+        p.count(name)
+        p.count(name, 2)
+        assert p.counters[name] == 3
+
+    def test_unregistered_counter_rejected(self):
+        p = Profiler()
+        with pytest.raises(ValueError):
+            p.count("launches")  # no dot, never registered
 
     def test_reset(self):
         p = Profiler()

@@ -294,3 +294,127 @@ class TestProfileCommand:
     def test_run_accepts_delta_flags(self, good_file, capsys):
         assert main(["run", good_file, "-p", "N=8", "--delta-transfers"]) == 0
         assert "transfers:" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_tree_rendering(self, good_file, capsys):
+        assert main(["trace", good_file, "-p", "N=8"]) == 0
+        out = capsys.readouterr().out
+        assert "compile (compiler)" in out
+        assert "pass.kernelgen" in out
+        assert "kernel.launch (runtime.kernel)" in out
+        assert "transfer.d2h (runtime.transfer)" in out
+        assert "modeled" in out
+
+    def test_chrome_format_is_loadable_json(self, good_file, capsys):
+        import json
+
+        assert main(["trace", good_file, "-p", "N=8",
+                     "--format", "chrome"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"compile", "kernel.launch", "transfer.d2h"} <= names
+        assert all("ts" in e and "ph" in e for e in payload["traceEvents"])
+
+    def test_jsonl_format(self, good_file, capsys):
+        import json
+
+        assert main(["trace", good_file, "-p", "N=8",
+                     "--format", "jsonl"]) == 0
+        records = [json.loads(line)
+                   for line in capsys.readouterr().out.strip().splitlines()]
+        assert all(r["kind"] in ("span", "event") for r in records)
+        assert any(r["name"] == "kernel.launch" for r in records)
+
+    def test_output_file(self, good_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", good_file, "-p", "N=8", "--format", "chrome",
+                     "-o", str(out_path)]) == 0
+        assert "written to" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+
+    def test_chaos_events_in_trace(self, good_file, capsys):
+        assert main(["trace", good_file, "-p", "N=64",
+                     "--chaos-seed", "1",
+                     "--chaos-spec", "transfer.transient=0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos.fault" in out
+        assert "retry" in out
+
+
+class TestRunObservabilityArtifacts:
+    def test_trace_jsonl_and_report_files(self, good_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        report = tmp_path / "r.json"
+        assert main(["run", good_file, "-p", "N=8",
+                     "--trace", str(trace),
+                     "--trace-jsonl", str(jsonl),
+                     "--report", str(report)]) == 0
+        captured = capsys.readouterr()
+        # Artifact notices go to stderr; stdout stays the normal run output.
+        assert "written to" in captured.err
+        assert "written to" not in captured.out
+        payload = json.loads(trace.read_text())
+        assert {"compile", "kernel.launch"} <= {
+            e["name"] for e in payload["traceEvents"]}
+        assert all(json.loads(line)["kind"] in ("span", "event")
+                   for line in jsonl.read_text().strip().splitlines())
+        from repro.obs.report import validate_report
+
+        rep = json.loads(report.read_text())
+        assert validate_report(rep) == []
+        assert rep["command"] == "run"
+        assert rep["launches"] == 1
+
+    def test_traced_stdout_identical_to_untraced(self, good_file, tmp_path,
+                                                 capsys):
+        assert main(["run", good_file, "-p", "N=8"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", good_file, "-p", "N=8",
+                     "--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_failed_run_still_writes_report(self, good_file, tmp_path,
+                                            capsys):
+        import json
+
+        report = tmp_path / "r.json"
+        # Rate 1.0 exhausts the retry budget: the run fails, but the report
+        # is written on the error path and carries the typed error.
+        assert main(["run", good_file, "-p", "N=8",
+                     "--chaos-seed", "0",
+                     "--chaos-spec", "transfer.transient=1.0",
+                     "--report", str(report)]) == 2
+        assert "repro: error" in capsys.readouterr().err
+        from repro.obs.report import validate_report
+
+        rep = json.loads(report.read_text())
+        assert validate_report(rep) == []
+        assert rep["error"]["type"] == "TransientFault"
+        assert rep["metrics"]["counters"][
+            "fault.injected.transfer.transient"] >= 1
+
+
+class TestProfileJsonFormat:
+    def test_json_profile_validates_and_aggregates(self, good_file, capsys):
+        import json
+
+        assert main(["profile", good_file, "-p", "N=8",
+                     "--format", "json"]) == 0
+        from repro.obs.report import validate_report
+
+        rep = json.loads(capsys.readouterr().out)
+        assert validate_report(rep) == []
+        assert rep["command"] == "profile"
+        sites = rep["transfer_sites"]
+        assert sites and all(
+            {"var", "site", "direction", "count", "bytes"} <= set(s)
+            for s in sites)
+        assert sum(s["bytes"] for s in sites) == rep["bytes"]["total"]
