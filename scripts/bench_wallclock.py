@@ -9,11 +9,17 @@ launches into the ``vectorized`` column without changing any modeled output.
 Usage:
     PYTHONPATH=src python scripts/bench_wallclock.py [--quick] [--size SIZE]
         [--repeat N] [--output PATH] [--sweep EXP] [--sweep-jobs N]
+        [--sample] [--json]
 
 ``--quick`` runs a single repetition on the tiny inputs (CI smoke test).
 ``--sweep fig1`` additionally times that experiment's full benchmark sweep
 at ``--jobs 1`` vs ``--jobs N`` (the parallel scheduler's wall-clock win on
 multi-core machines) and records both in the report.
+``--sample`` additionally times each benchmark under phase-sampled
+execution (repro.sampling) and records sampled-vs-full wall/modeled-time
+ratios.  ``--json`` prints one machine-readable JSON row per benchmark to
+stdout instead of the human table, so CI artifacts are diffable without
+screen-scraping (the report file is written either way).
 """
 
 import argparse
@@ -21,6 +27,7 @@ import importlib
 import json
 import os
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -32,23 +39,38 @@ from repro.runtime.profiler import CTR_LAUNCH_INTERLEAVED, CTR_LAUNCH_VECTORIZED
 from repro.toolchain import ToolchainContext
 
 
-def time_benchmark(name: str, size: str, repeat: int) -> dict:
+def time_benchmark(name: str, size: str, repeat: int,
+                   sampled: bool = False) -> dict:
     bench = suite.get(name)
     params = bench.params(size)
     best = float("inf")
     counters = {}
+    modeled = 0.0
+    transferred = 0
     for _ in range(repeat):
         # Fresh compile each repetition so the timing includes the (memoized)
         # front-end, exactly what experiment harnesses pay.
-        compiled = bench.compile("optimized")
+        ctx = ToolchainContext()
+        if sampled:
+            from repro.sampling import SamplingConfig
+
+            ctx.sampling = SamplingConfig()
+        compiled = bench.compile("optimized", ctx=ctx)
         start = time.perf_counter()
-        interp = run_compiled(compiled, params=params)
+        interp = run_compiled(compiled, params=params, ctx=ctx)
         best = min(best, time.perf_counter() - start)
-        counters = dict(interp.runtime.profiler.counters)
+        profiler = interp.runtime.profiler
+        counters = dict(profiler.counters)
+        modeled = profiler.total()
+        transferred = interp.runtime.device.total_transferred_bytes()
     return {
         "seconds": best,
+        "modeled_seconds": modeled,
+        "transferred_bytes": transferred,
         "launches_vectorized": counters.get(CTR_LAUNCH_VECTORIZED, 0),
         "launches_interleaved": counters.get(CTR_LAUNCH_INTERLEAVED, 0),
+        "skipped_launches": counters.get("sample.skipped_launches", 0),
+        "skipped_iterations": counters.get("sample.skipped_iterations", 0),
     }
 
 
@@ -104,6 +126,12 @@ def main() -> None:
     parser.add_argument("--sweep-jobs", type=int,
                         default=max(2, min(4, os.cpu_count() or 1)),
                         help="parallel width for the --sweep comparison")
+    parser.add_argument("--sample", action="store_true",
+                        help="also time each benchmark under phase-sampled "
+                             "execution and record sampled-vs-full ratios")
+    parser.add_argument("--json", action="store_true", dest="json_rows",
+                        help="print one machine-readable JSON row per "
+                             "benchmark instead of the human table")
     args = parser.parse_args()
 
     size = args.size or ("tiny" if args.quick else "small")
@@ -116,23 +144,43 @@ def main() -> None:
     for name in suite.all_names():
         entry = time_benchmark(name, size, repeat)
         entry["transfer_bytes"] = measure_transfer_bytes(name, size)
+        if args.sample:
+            sampled = time_benchmark(name, size, repeat, sampled=True)
+            full_wall = entry["seconds"]
+            full_modeled = entry["modeled_seconds"]
+            sampled["wall_ratio"] = (
+                sampled["seconds"] / full_wall if full_wall else 1.0)
+            sampled["modeled_rel_error"] = (
+                abs(sampled["modeled_seconds"] - full_modeled)
+                / full_modeled if full_modeled else 0.0)
+            entry["sampled"] = sampled
         results[name] = entry
         total += entry["seconds"]
         xfer = entry["transfer_bytes"]
         for variant, modes in xfer.items():
             if modes["saved_pct"] > best_savings[0]:
                 best_savings = (modes["saved_pct"], f"{name} {variant}")
-        print(f"{name:10s} {entry['seconds']:8.4f}s  "
-              f"vec={entry['launches_vectorized']:5d} "
-              f"interleaved={entry['launches_interleaved']:4d}  "
-              f"bytes opt={xfer['optimized']['whole']}/"
-              f"{xfer['optimized']['delta']} "
-              f"unopt={xfer['unoptimized']['whole']}/"
-              f"{xfer['unoptimized']['delta']} (whole/delta)")
-    print(f"{'TOTAL':10s} {total:8.4f}s")
-    if best_savings[1] is not None:
-        print(f"max delta-transfer savings: {best_savings[0]:.1f}% "
-              f"({best_savings[1]})")
+        if args.json_rows:
+            print(json.dumps({"benchmark": name, "size": size, **entry},
+                             sort_keys=True))
+        else:
+            line = (f"{name:10s} {entry['seconds']:8.4f}s  "
+                    f"vec={entry['launches_vectorized']:5d} "
+                    f"interleaved={entry['launches_interleaved']:4d}  "
+                    f"bytes opt={xfer['optimized']['whole']}/"
+                    f"{xfer['optimized']['delta']} "
+                    f"unopt={xfer['unoptimized']['whole']}/"
+                    f"{xfer['unoptimized']['delta']} (whole/delta)")
+            if args.sample:
+                line += (f"  sampled={entry['sampled']['seconds']:.4f}s "
+                         f"({entry['sampled']['wall_ratio']:.0%} wall, "
+                         f"rel_err={entry['sampled']['modeled_rel_error']:.1e})")
+            print(line)
+    if not args.json_rows:
+        print(f"{'TOTAL':10s} {total:8.4f}s")
+        if best_savings[1] is not None:
+            print(f"max delta-transfer savings: {best_savings[0]:.1f}% "
+                  f"({best_savings[1]})")
 
     report = {
         "size": size,
@@ -159,7 +207,9 @@ def main() -> None:
                   f"({os.cpu_count()} cores)")
     out_path = Path(args.output)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    # Keep stdout pure JSONL under --json.
+    print(f"wrote {out_path}",
+          file=sys.stderr if args.json_rows else sys.stdout)
 
 
 if __name__ == "__main__":

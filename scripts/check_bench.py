@@ -3,6 +3,8 @@
 Usage:
     python scripts/check_bench.py <module-name> [size]
     python scripts/check_bench.py --guard BENCH_bytes.json [--update] [size]
+    python scripts/check_bench.py --guard-time BENCH_time.json [--update]
+        [--tolerance R] [size]
     python scripts/check_bench.py --compare-reports A.json B.json
 
 The first form runs one module's variants against the sequential reference
@@ -12,6 +14,13 @@ transfer modes) and compares them against a committed baseline with exact
 equality — modeled byte counts are deterministic, so any drift is a real
 behavior change that must be explained (and the baseline regenerated with
 ``--update``).
+
+The ``--guard-time`` form does the same for modeled execution time (both
+variants, seconds from the cost-model profiler).  Modeled time is
+deterministic too, but floating-point accumulation order can shift by ulps
+across refactors, so the comparison uses a relative tolerance band
+(default 1e-6) instead of exact equality.  Anything outside the band is a
+real cost-model change: explain it and regenerate with ``--update``.
 
 The ``--compare-reports`` form diffs two RunReport artifacts (``repro run
 --report``) structurally: modeled time, byte/transfer/launch totals,
@@ -92,6 +101,67 @@ def measure_all(size: str = "tiny") -> dict:
     return out
 
 
+def measure_all_time(size: str = "tiny") -> dict:
+    """Per-benchmark modeled execution seconds (both source variants)."""
+    from repro.bench import suite
+
+    out = {}
+    for name in suite.all_names():
+        bench = suite.get(name)
+        params = bench.params(size)
+        entry = {}
+        for variant in ("optimized", "unoptimized"):
+            ctx = ToolchainContext()
+            compiled = bench.compile(variant, ctx=ctx)
+            interp = run_compiled(compiled, params=params, ctx=ctx)
+            entry[variant] = interp.runtime.profiler.total()
+        out[name] = entry
+    return out
+
+
+def guard_time(baseline_path: str, size: str = "tiny", update: bool = False,
+               tolerance: float = 1e-6) -> int:
+    path = Path(baseline_path)
+    current = {"size": size, "tolerance": tolerance,
+               "benchmarks": measure_all_time(size)}
+    if update or not path.exists():
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0
+    baseline = json.loads(path.read_text())
+    tol = float(baseline.get("tolerance", tolerance))
+    failures = []
+    for name, entry in current["benchmarks"].items():
+        expect = baseline.get("benchmarks", {}).get(name)
+        if expect is None:
+            failures.append(f"{name}: missing from baseline")
+            continue
+        for variant, seconds in entry.items():
+            want = expect.get(variant)
+            if want is None:
+                failures.append(f"{name}/{variant}: missing from baseline")
+                continue
+            scale = max(abs(want), abs(seconds), 1e-30)
+            rel = abs(seconds - want) / scale
+            if rel > tol:
+                failures.append(
+                    f"{name}/{variant}: modeled {seconds:.9g}s vs baseline "
+                    f"{want:.9g}s (rel err {rel:.3g} > tol {tol:g})"
+                )
+    missing = set(baseline.get("benchmarks", {})) - set(current["benchmarks"])
+    failures.extend(f"{name}: benchmark disappeared" for name in sorted(missing))
+    if failures:
+        print("modeled-time guard FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        print(f"(regenerate with: python scripts/check_bench.py --guard-time "
+              f"{baseline_path} --update {size})")
+        return 1
+    print(f"modeled-time guard OK: {len(current['benchmarks'])} benchmarks "
+          f"within rel tol {tol:g} of {path}")
+    return 0
+
+
 def guard(baseline_path: str, size: str = "tiny", update: bool = False) -> int:
     path = Path(baseline_path)
     current = {"size": size, "benchmarks": measure_all(size)}
@@ -153,6 +223,19 @@ def main(argv) -> int:
         rest = [a for a in rest if a != "--update"]
         size = rest[0] if rest else "tiny"
         return guard(baseline, size=size, update=update)
+    if argv and argv[0] == "--guard-time":
+        baseline = argv[1]
+        rest = argv[2:]
+        update = "--update" in rest
+        rest = [a for a in rest if a != "--update"]
+        tolerance = 1e-6
+        if "--tolerance" in rest:
+            idx = rest.index("--tolerance")
+            tolerance = float(rest[idx + 1])
+            del rest[idx:idx + 2]
+        size = rest[0] if rest else "tiny"
+        return guard_time(baseline, size=size, update=update,
+                          tolerance=tolerance)
     check(argv[0], argv[1] if len(argv) > 1 else "tiny")
     return 0
 

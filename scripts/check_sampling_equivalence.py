@@ -1,0 +1,153 @@
+"""CI gate: phase-sampled execution must stay within its declared bounds.
+
+Runs each iterative benchmark (both source variants) twice — full execution
+vs phase-sampled execution (``repro.sampling``) — and asserts:
+
+* modeled execution time agrees within the sampler's *declared* per-run
+  error bound (exact, up to a 1e-9 float-accumulation floor, when every
+  skipped cluster is signature-exact and kernel/transfer-bearing);
+* modeled transfer bytes are **exactly** equal — byte extrapolation is
+  integer arithmetic, so any drift is a bug, not noise;
+* memory verification reports the **same distinct findings**
+  (kind/var/site) under sampling — eliding warmed-up iterations never
+  changes what the coherence state machine concludes;
+* sampling actually skipped work on every iterative benchmark (otherwise
+  the gate is vacuous).
+
+Writes an extrapolation-report JSON (uploaded as a CI artifact) recording
+per-benchmark modeled times, declared bounds, observed errors, and cluster
+summaries.
+
+Usage: PYTHONPATH=src python scripts/check_sampling_equivalence.py
+           [--size SIZE] [--output PATH] [--max-wall-ratio R]
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.bench import suite
+from repro.errors import ExtrapolationBoundError
+from repro.interp import run_compiled
+from repro.sampling import SamplingConfig, check_bound
+from repro.toolchain import ToolchainContext
+from repro.verify.memverify import MemVerifier
+
+# The phase sampler targets iterative workloads: benchmarks whose main loop
+# re-launches the same kernels every trip.  Single-shot benchmarks gain
+# nothing and would make the skipped-work assertion vacuous.
+ITERATIVE = ("JACOBI", "CG", "SRAD", "KMEANS")
+
+
+def run_once(bench, variant: str, params: dict, sampled: bool) -> dict:
+    ctx = ToolchainContext()
+    if sampled:
+        ctx.sampling = SamplingConfig()
+    compiled = bench.compile(variant, ctx=ctx)
+    start = time.perf_counter()
+    interp = run_compiled(compiled, params=params, ctx=ctx)
+    wall = time.perf_counter() - start
+    verify_ctx = ToolchainContext()
+    if sampled:
+        verify_ctx.sampling = SamplingConfig()
+    findings = MemVerifier(
+        bench.compile(variant, ctx=verify_ctx), params=params, ctx=verify_ctx,
+    ).run().findings
+    sampler = getattr(interp, "sampler", None)
+    return {
+        "wall": wall,
+        "modeled": interp.runtime.profiler.total(),
+        "bytes": interp.runtime.device.total_transferred_bytes(),
+        "findings": sorted({(f.kind, f.var, f.site) for f in findings}),
+        "report": sampler.report() if sampler is not None else None,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="small",
+                        choices=["tiny", "small", "large"])
+    parser.add_argument("--output", default="BENCH_sampling_equivalence.json")
+    parser.add_argument("--max-wall-ratio", type=float, default=None,
+                        help="additionally fail if any sampled run's "
+                             "wall-clock exceeds this fraction of the full "
+                             "run's (meaningful at --size large)")
+    args = parser.parse_args()
+
+    failures = []
+    report = {"size": args.size, "benchmarks": {}}
+    for name in ITERATIVE:
+        bench = suite.get(name)
+        params = bench.params(args.size)
+        entry = {}
+        for variant in ("optimized", "unoptimized"):
+            full = run_once(bench, variant, params, sampled=False)
+            samp = run_once(bench, variant, params, sampled=True)
+            tag = f"{name} {variant}"
+            sample_report = samp["report"] or {}
+            bound = float(sample_report.get("error_bound", 0.0))
+            try:
+                rel_err = check_bound(
+                    f"{tag} modeled seconds", full["modeled"],
+                    samp["modeled"], bound,
+                )
+            except ExtrapolationBoundError as err:
+                rel_err = err.actual
+                failures.append(str(err))
+            if samp["bytes"] != full["bytes"]:
+                failures.append(
+                    f"{tag}: transfer bytes differ (full {full['bytes']}, "
+                    f"sampled {samp['bytes']})"
+                )
+            if samp["findings"] != full["findings"]:
+                failures.append(
+                    f"{tag}: coherence findings differ under sampling"
+                )
+            skipped = int(sample_report.get("skipped_iterations", 0))
+            if skipped <= 0:
+                failures.append(f"{tag}: sampling skipped no iterations")
+            wall_ratio = (
+                samp["wall"] / full["wall"] if full["wall"] else 1.0
+            )
+            if (args.max_wall_ratio is not None
+                    and wall_ratio > args.max_wall_ratio):
+                failures.append(
+                    f"{tag}: sampled wall-clock is {wall_ratio:.0%} of the "
+                    f"full run (limit {args.max_wall_ratio:.0%})"
+                )
+            entry[variant] = {
+                "full_modeled_seconds": full["modeled"],
+                "sampled_modeled_seconds": samp["modeled"],
+                "rel_error": rel_err,
+                "declared_bound": bound,
+                "transfer_bytes": full["bytes"],
+                "skipped_iterations": skipped,
+                "skipped_launches": int(
+                    sample_report.get("skipped_launches", 0)),
+                "wall_ratio": wall_ratio,
+                "findings": len(full["findings"]),
+                "loops": sample_report.get("loops"),
+            }
+            print(f"{name:8s} {variant:12s} skipped={skipped:5d} it  "
+                  f"rel_err={rel_err:.2e} bound={bound:g}  "
+                  f"wall={wall_ratio:5.0%}  findings={len(full['findings'])}")
+        report["benchmarks"][name] = entry
+
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nsampling-equivalence check FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nsampling-equivalence OK: modeled time within declared bounds, "
+          "bytes and findings identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -108,7 +108,10 @@ UNOPTIMIZED = (
 SIZES = {
     "tiny": {"N": 16, "NITER": 1, "CGITMAX": 2},
     "small": {"N": 48, "NITER": 1, "CGITMAX": 4},
-    "large": {"N": 128, "NITER": 2, "CGITMAX": 8},
+    # ~600k nonzeros over 150k rows; sized for phase-sampled execution
+    # (repro.sampling), which measures a few cgit iterations per solve and
+    # extrapolates the rest.
+    "large": {"N": 150_000, "NITER": 1, "CGITMAX": 25},
 }
 
 OUTPUTS = ["z", "znorm", "rho"]

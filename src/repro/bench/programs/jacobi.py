@@ -63,7 +63,10 @@ void main()
 SIZES = {
     "tiny": {"N": 16, "ITER": 3},
     "small": {"N": 64, "ITER": 5},
-    "large": {"N": 256, "ITER": 10},
+    # Realistic scale (millions of elements): tractable because the phase
+    # sampler (repro.sampling) measures a couple of iterations and
+    # extrapolates the rest; a full unsampled run still completes, slowly.
+    "large": {"N": 1_500_000, "ITER": 30},
 }
 
 OUTPUTS = ["a", "resid"]

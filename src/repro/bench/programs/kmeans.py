@@ -129,7 +129,10 @@ void main()
 SIZES = {
     "tiny": {"NPTS": 16, "NF": 2, "K": 2, "ITER": 2},
     "small": {"NPTS": 48, "NF": 3, "K": 3, "ITER": 3},
-    "large": {"NPTS": 256, "NF": 8, "K": 5, "ITER": 5},
+    # 50k points x 4 features; sized for phase-sampled execution
+    # (repro.sampling), which elides the O(NPTS) host update loops after a
+    # warmup iteration.
+    "large": {"NPTS": 50_000, "NF": 4, "K": 8, "ITER": 20},
 }
 
 OUTPUTS = ["cent", "assign", "delta"]

@@ -137,7 +137,9 @@ UNOPTIMIZED = _program(
 SIZES = {
     "tiny": {"N": 8, "ITER": 2, "ROI": 4},
     "small": {"N": 16, "ITER": 3, "ROI": 8},
-    "large": {"N": 48, "ITER": 4, "ROI": 16},
+    # 512x512 image (262k elements per array); sized for phase-sampled
+    # execution (repro.sampling).
+    "large": {"N": 512, "ITER": 16, "ROI": 32},
 }
 
 OUTPUTS = ["img", "imgchk"]

@@ -43,6 +43,12 @@ def _context(args) -> ToolchainContext:
         from repro.obs import Tracer
 
         ctx.tracer = Tracer()
+    if getattr(args, "sample", False):
+        from repro.sampling import SamplingConfig
+
+        tolerance = getattr(args, "sample_tolerance", None)
+        ctx.sampling = (SamplingConfig(tolerance=tolerance)
+                        if tolerance is not None else SamplingConfig())
     dump_after = getattr(args, "dump_after", None)
     if dump_after is not None:
         from repro.compiler.passes import pass_names
@@ -175,6 +181,11 @@ def cmd_compile(args, ctx: ToolchainContext) -> int:
 
 
 def cmd_run(args, ctx: ToolchainContext) -> int:
+    if getattr(args, "sample", False) and args.compare_sequential:
+        raise SystemExit(
+            "--sample is incompatible with --compare-sequential: sampled "
+            "runs extrapolate skipped iterations, so program outputs are "
+            "not faithful")
     compiled = _load(args.file, args, ctx)
     params = _parse_params(args.param)
     plan = _chaos_plan(args)
@@ -196,6 +207,19 @@ def cmd_run(args, ctx: ToolchainContext) -> int:
     for cat, seconds in profiler.breakdown().items():
         if seconds:
             print(f"   {cat:15s} {seconds * 1e6:12.1f} us")
+    sampler = getattr(run, "sampler", None)
+    if sampler is not None:
+        report = sampler.report()
+        print(f"-- sampling: {report['skipped_iterations']} iterations / "
+              f"{report['skipped_launches']} launches extrapolated "
+              f"({report['extrapolated_seconds'] * 1e3:.3f} ms modeled), "
+              f"error bound {report['error_bound']:g}")
+        for loop in report["loops"]:
+            if not loop["skipped"]:
+                continue
+            print(f"   loop {loop['loop']}: measured {loop['measured']}, "
+                  f"skipped {loop['skipped']}, "
+                  f"{len(loop['groups'])} cluster(s)")
     if args.compare_sequential:
         seq = run_sequential(compiled, params=params, ctx=ctx)
         # The report should describe the accelerated run, not the
@@ -475,6 +499,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "bytes into one batch (default: the cost model's "
                             "latency/bandwidth break-even)")
 
+    def add_sampling(p):
+        p.add_argument("--sample", action="store_true",
+                       help="phase-sampled execution: measure a few "
+                            "iterations of each stable host loop and "
+                            "extrapolate the rest (modeled time/bytes stay "
+                            "within the declared error bound; program "
+                            "outputs are not faithful)")
+        p.add_argument("--sample-tolerance", type=float, metavar="R",
+                       help="relative near-cluster tolerance / declared "
+                            "error bound (default 0.05)")
+
     p = sub.add_parser("run", help="execute on the simulated GPU")
     add_common(p)
     p.add_argument("--compare-sequential", action="store_true",
@@ -483,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "legitimately differ)")
     add_chaos(p)
     add_transfer(p)
+    add_sampling(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile", help="transfer-byte profile of one run")
@@ -518,6 +554,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("memcheck", help="memory-transfer verification (paper §III-B)")
     add_common(p)
     p.add_argument("--show-instrumented", action="store_true")
+    # Sampling preserves the distinct finding set (CI-enforced), so sampled
+    # memcheck reaches the same conclusions faster on iterative programs.
+    add_sampling(p)
     p.set_defaults(func=cmd_memcheck)
 
     p = sub.add_parser("optimize", help="interactive transfer optimization (Figure 2)")
@@ -537,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE",
                    help="also write every experiment's rows as JSON")
     add_chaos(p)
+    add_sampling(p)
     add_observability(p)
     p.set_defaults(func=cmd_experiments)
 

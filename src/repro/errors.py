@@ -96,6 +96,34 @@ class InterpError(ReproError):
     """Host interpreter fault (unbound name, bad subscript, ...)."""
 
 
+class SamplingError(ReproError):
+    """Fault in the phase-sampled execution mode (:mod:`repro.sampling`)."""
+
+
+class SamplingConflictError(SamplingError):
+    """Sampling was requested together with a feature it is unsound under
+    (today: chaos fault injection, whose stochastic draw sequence depends on
+    every operation actually executing)."""
+
+
+class ExtrapolationBoundError(SamplingError):
+    """An extrapolated quantity fell outside its declared per-cluster error
+    bound.  Raised by the validation path (sampled-vs-full gates, property
+    tests) instead of letting a silently-bad number propagate.
+
+    ``quantity``/``expected``/``actual``/``bound`` carry the violated
+    comparison for programmatic consumers."""
+
+    def __init__(self, message: str, quantity: str = "",
+                 expected: float = 0.0, actual: float = 0.0,
+                 bound: float = 0.0):
+        self.quantity = quantity
+        self.expected = expected
+        self.actual = actual
+        self.bound = bound
+        super().__init__(message)
+
+
 class VerificationError(ReproError):
     """Raised when a verification run itself cannot proceed (NOT raised for
     detected program errors, which are reported as findings)."""
@@ -130,6 +158,8 @@ _STAGES = (
     ("DeviceError", "device"),
     ("RuntimeFault", "runtime"),
     ("InterpError", "interp"),
+    ("ExtrapolationBoundError", "sample"),
+    ("SamplingError", "sample"),
     ("ConvergenceError", "optimize"),
     ("VerificationError", "verify"),
     ("ReproError", "toolchain"),

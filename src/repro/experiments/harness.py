@@ -25,6 +25,10 @@ from repro.interp import run_compiled, run_sequential
 from repro.interp.interp import Interp
 from repro.runtime.accrt import AccRuntime
 from repro.runtime.chaos import FaultPlan, FaultSpec
+from repro.runtime.profiler import (
+    CTR_SAMPLE_SKIPPED_ITERATIONS,
+    CTR_SAMPLE_SKIPPED_LAUNCHES,
+)
 from repro.toolchain import ToolchainContext, default_context
 
 VALID_VARIANTS = ("optimized", "unoptimized", "naive", "sequential")
@@ -97,6 +101,15 @@ class RunOutcome:
     error_stage: str = ""
     error: str = ""
     wall_seconds: float = 0.0
+    # Profiler-derived summary, filled on success.  Lives on the outcome
+    # (not just the interp) so it survives ``stripped()`` across the
+    # scheduler's process boundary — which is what keeps sampled sweeps
+    # byte-identical between --jobs 1 and --jobs N.
+    modeled_seconds: float = 0.0
+    transferred_bytes: int = 0
+    skipped_launches: int = 0
+    skipped_iterations: int = 0
+    sample: Optional[dict] = None
 
     def describe(self) -> str:
         if self.ok:
@@ -111,6 +124,11 @@ class RunOutcome:
             bench=self.bench, variant=self.variant, ok=self.ok, interp=None,
             error_type=self.error_type, error_stage=self.error_stage,
             error=self.error, wall_seconds=self.wall_seconds,
+            modeled_seconds=self.modeled_seconds,
+            transferred_bytes=self.transferred_bytes,
+            skipped_launches=self.skipped_launches,
+            skipped_iterations=self.skipped_iterations,
+            sample=self.sample,
         )
 
 
@@ -151,8 +169,19 @@ def run_variant_isolated(
             signal.setitimer(signal.ITIMER_REAL, timeout_s)
         interp = run_variant(bench, variant, size=size, seed=seed,
                              options=options, chaos=chaos, ctx=ctx)
-        return RunOutcome(bench.name, variant, True, interp=interp,
-                          wall_seconds=time.perf_counter() - start)
+        profiler = interp.runtime.profiler
+        sampler = getattr(interp, "sampler", None)
+        return RunOutcome(
+            bench.name, variant, True, interp=interp,
+            wall_seconds=time.perf_counter() - start,
+            modeled_seconds=profiler.total(),
+            transferred_bytes=interp.runtime.device.total_transferred_bytes(),
+            skipped_launches=int(profiler.counters.get(
+                CTR_SAMPLE_SKIPPED_LAUNCHES, 0)),
+            skipped_iterations=int(profiler.counters.get(
+                CTR_SAMPLE_SKIPPED_ITERATIONS, 0)),
+            sample=sampler.report() if sampler is not None else None,
+        )
     except TimeoutError as err:
         return RunOutcome(bench.name, variant, False,
                           error_type="TimeoutError", error_stage="timeout",

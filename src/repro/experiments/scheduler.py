@@ -10,18 +10,19 @@ CLI), always preserving input order, so a parallel sweep produces rows
 byte-identical to the sequential one.
 
 Parallel workers run the exact same job-execution function as the inline
-path; only the process boundary differs.  Two things do not cross it:
-
-* a caller-supplied :class:`~repro.toolchain.ToolchainContext` — workers
-  build their own process-default context (caches are per-process; the
-  results do not depend on them);
-* a shared :class:`~repro.runtime.chaos.FaultPlan` budget — chaos sweeps
-  must stay sequential (``jobs=1``) so one plan's fault budget spans the
-  whole figure.
+path; only the process boundary differs.  A caller-supplied
+:class:`~repro.toolchain.ToolchainContext` does not cross it wholesale —
+workers build their own context — but its *result-bearing* configuration
+(``sampling``, ``device_config``) is re-applied on the worker side, so a
+sampled or delta-transfer sweep stays byte-identical between ``--jobs 1``
+and ``--jobs N``.  One thing never crosses: a shared
+:class:`~repro.runtime.chaos.FaultPlan` budget — chaos sweeps must stay
+sequential (``jobs=1``) so one plan's fault budget spans the whole figure.
 """
 
 from __future__ import annotations
 
+import functools
 import importlib
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -124,19 +125,41 @@ def _execute(job, ctx=None):
                           error=f"{err} | {detail}")
 
 
+def _execute_in_worker(config, job):
+    """Pool-side job execution: rebuild a context carrying the sweep's
+    result-bearing configuration (picklable ``(sampling, device_config)``)
+    before running the job."""
+    ctx = None
+    if config is not None:
+        from repro.toolchain import ToolchainContext
+
+        sampling, device_config = config
+        ctx = ToolchainContext(device_config=device_config)
+        ctx.sampling = sampling
+    return _execute(job, ctx)
+
+
 def run_jobs(jobs: Sequence, jobs_n: int = 1, ctx=None) -> List:
     """Execute a job grid; results come back in input order.
 
     ``jobs_n <= 1`` runs inline in this process (and honours ``ctx``);
-    anything larger fans out over a process pool.  Either way the result
-    list lines up index-for-index with ``jobs``, which is what makes
-    ``--jobs N`` output identical to ``--jobs 1``.
+    anything larger fans out over a process pool, shipping ``ctx.sampling``
+    and ``ctx.device_config`` to each worker.  Either way the result list
+    lines up index-for-index with ``jobs``, which is what makes ``--jobs N``
+    output identical to ``--jobs 1``.
     """
     jobs = list(jobs)
     if jobs_n is None or jobs_n <= 1 or len(jobs) <= 1:
         return [_execute(job, ctx) for job in jobs]
+    config = None
+    if ctx is not None:
+        sampling = getattr(ctx, "sampling", None)
+        device_config = getattr(ctx, "device_config", None)
+        if sampling is not None or device_config is not None:
+            config = (sampling, device_config)
+    worker = functools.partial(_execute_in_worker, config)
     with ProcessPoolExecutor(max_workers=min(jobs_n, len(jobs))) as pool:
-        return list(pool.map(_execute, jobs))
+        return list(pool.map(worker, jobs))
 
 
 def raise_failures(results: Sequence) -> List:

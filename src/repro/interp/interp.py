@@ -91,6 +91,26 @@ class Interp:
         self.env = HostEnv(self.params, call_handler=self._handle_call)
         self._cpu_steps = 0
         self._verify_kernel: Optional[str] = None
+        # Phase-sampled execution: attach a sampler when the context asks
+        # for one.  ``None`` (the default) leaves every loop untouched.
+        self.sampler = None
+        sampling = getattr(ctx, "sampling", None) if ctx is not None else None
+        if sampling is not None:
+            from repro.errors import SamplingConflictError
+            from repro.sampling import PhaseSampler
+
+            if self.runtime.chaos is not None:
+                raise SamplingConflictError(
+                    "phase sampling cannot run under chaos fault injection: "
+                    "skipped iterations would starve the stochastic draw "
+                    "sequence")
+            if getattr(self.runtime.device.config, "delta_transfers", False):
+                raise SamplingConflictError(
+                    "phase sampling cannot run with delta transfers: "
+                    "skipped kernel launches leave the dirty-interval map "
+                    "(and host data) behind the modeled execution, so "
+                    "delta-planned byte counts would diverge")
+            self.sampler = PhaseSampler(sampling, self.runtime)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -187,6 +207,7 @@ class Interp:
         self.env.push_scope()
         tracker = self.runtime.coherence
         loop_var = None
+        ctl = None
         try:
             if stmt.init is not None:
                 semantics_stmt = stmt.init
@@ -198,6 +219,14 @@ class Interp:
                 loop_var = _loop_var_name(stmt)
             if tracker is not None and loop_var is not None:
                 tracker.push_context(loop_var, 0)
+            # Phase sampling: counted loops get a controller that records
+            # one phase per iteration and, once stable, extrapolates the
+            # remaining trips instead of executing them.
+            if self.sampler is not None:
+                ctl = self.sampler.controller_for(
+                    stmt, loop_var, semantics.compile_expr)
+                if ctl is not None:
+                    ctl.enter()
             # Hoist the per-iteration closures out of the hot loop (one
             # cache lookup per loop instead of one per iteration).
             env = self.env
@@ -208,6 +237,22 @@ class Interp:
                 self._tick()
                 if cond_fn is not None and not cond_fn(env):
                     break
+                if ctl is not None:
+                    # Iteration boundary: flush CPU accounting so the phase
+                    # just finished owns its ticks, close it, and either
+                    # extrapolate the rest of the loop or open the next
+                    # phase.  The trailing tick + failed condition of a
+                    # full run belongs to its last phase, so after
+                    # extrapolating we leave the loop directly.
+                    self._flush_cpu()
+                    ctl.finish_phase()
+                    if ctl.should_skip():
+                        n_rem = ctl.remaining(env)
+                        if n_rem is not None and n_rem > 0:
+                            ctl.charge_skip(n_rem)
+                            ctl.fast_forward(env, n_rem)
+                            break
+                    ctl.open_phase()
                 if tracker is not None and loop_var is not None:
                     tracker.set_context_iteration(iteration)
                 try:
@@ -221,6 +266,9 @@ class Interp:
                     self._tick()
                 iteration += 1
         finally:
+            if ctl is not None:
+                self._flush_cpu()
+                ctl.exit()
             if tracker is not None and loop_var is not None:
                 tracker.pop_context()
             self.env.pop_scope()

@@ -123,6 +123,9 @@ class AccRuntime:
         self.queues = AsyncQueues(self.profiler, chaos=chaos)
         self.present = PresentTable()
         self.coherence = coherence
+        # Phase sampler (repro.sampling.PhaseSampler) — attaches itself when
+        # the run is sampled; None keeps launch/transfer paths hook-free.
+        self.sampler = None
         if coherence is not None:
             coherence.tracer = self.tracer
         self.launch_log: List[LaunchResult] = []
@@ -305,6 +308,8 @@ class AccRuntime:
         self.profiler.count(
             CTR_BYTES_H2D if direction == "h2d" else CTR_BYTES_D2H, plan.nbytes
         )
+        if self.sampler is not None:
+            self.sampler.on_transfer(var, site, direction, plan.nbytes)
         saved = plan.full_nbytes - plan.nbytes
         if saved > 0:
             self.profiler.count(CTR_BYTES_SAVED, saved)
@@ -442,6 +447,8 @@ class AccRuntime:
             self.launch_log.append(result)
             if self._track_writes:
                 self._note_launch_writes(spec, result)
+            if self.sampler is not None:
+                self.sampler.on_launch(spec, result)
         return result
 
     def _note_launch_writes(self, spec: LaunchSpec, result: LaunchResult) -> None:

@@ -104,6 +104,12 @@ CTR_BYTES_SAVED = register_counter("bytes.saved")
 CTR_FAULT_INJECTED = register_counter("fault.injected")
 FAULT_COUNTER_PREFIX = register_counter_prefix("fault.injected.")
 
+# Phase-sampling counters (repro.sampling): kernel launches and host loop
+# iterations the sampler elided and charged by extrapolation instead of
+# executing.  Zero whenever sampling is off.
+CTR_SAMPLE_SKIPPED_LAUNCHES = register_counter("sample.skipped_launches")
+CTR_SAMPLE_SKIPPED_ITERATIONS = register_counter("sample.skipped_iterations")
+
 # Histogram names (Profiler.observe): value distributions the flat counters
 # lose — how big each coalesced transfer batch was, and how long each
 # retry backed off for.
@@ -134,6 +140,11 @@ class Profiler:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timeline: List[Tuple[float, str, float]] = []
         self.record_timeline = False
+        # Optional observer (repro.sampling.PhaseSampler) that sees every
+        # spend/count/observe as it happens.  None (the default) keeps the
+        # hot paths branch-cheap and the profiler bit-identical to a
+        # tap-free one.
+        self.tap = None
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -145,6 +156,8 @@ class Profiler:
             raise ValueError("negative duration")
         if self.record_timeline:
             self.timeline.append((self.now, category, seconds))
+        if self.tap is not None:
+            self.tap.on_spend(category, seconds)
         self.now += seconds
         self.totals[category] = self.totals.get(category, 0.0) + seconds
 
@@ -161,10 +174,14 @@ class Profiler:
             raise ValueError(
                 f"unregistered counter {name!r}; declare it with "
                 f"repro.runtime.profiler.register_counter() first")
+        if self.tap is not None:
+            self.tap.on_count(name, delta)
         self.metrics.count(name, delta)
 
     def observe(self, name: str, value) -> None:
         """Record one histogram observation (power-of-two buckets)."""
+        if self.tap is not None:
+            self.tap.on_observe(name, value)
         self.metrics.observe(name, value)
 
     def total(self) -> float:

@@ -1,0 +1,128 @@
+"""Phase clustering: greedy signature grouping plus a small k-means.
+
+The hot path is the greedy :class:`GroupTable` — SimPoint-style clustering
+reduced to the structure this simulator actually produces.  Exact-equality
+hashing catches the dominant case (iterative solvers repeat bit-identical
+iterations); a structural index plus a relative feature tolerance catches
+the near-identical case (branch-count jitter).  The dependency-free k-means
+here runs only on the report side, merging measured phases of one loop into
+at most ``max_clusters`` summary centroids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sampling.fingerprint import PhaseFingerprint, relative_distance
+
+__all__ = ["PhaseGroup", "GroupTable", "kmeans"]
+
+
+@dataclass
+class PhaseGroup:
+    """One cluster of measured phases sharing a representative."""
+
+    gid: int
+    rep: PhaseFingerprint
+    members: int = 1
+    exact: bool = True          # every member fingerprint-identical to rep
+    spread: float = 0.0         # worst observed feature distance from rep
+    skipped: int = 0            # iterations extrapolated from this group
+    features: List[Tuple[float, ...]] = field(default_factory=list)
+
+    def declared_bound(self, tolerance: float) -> float:
+        """Error bound this group's extrapolations are declared to honor:
+        exact clusters extrapolate exactly, near clusters within the
+        membership tolerance."""
+        return 0.0 if self.exact else tolerance
+
+
+class GroupTable:
+    """Greedy online grouping of a single loop's phases."""
+
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.groups: List[PhaseGroup] = []
+        self._exact: Dict[PhaseFingerprint, int] = {}
+        self._by_struct: Dict[Tuple[tuple, ...], List[int]] = {}
+
+    def assign(self, fp: PhaseFingerprint) -> int:
+        """Place ``fp`` in a group (exact match, then near match within the
+        structural family, else a new group) and return the group id."""
+        gid = self._exact.get(fp)
+        if gid is not None:
+            grp = self.groups[gid]
+            grp.members += 1
+            grp.features.append(fp.features())
+            return gid
+        feats = fp.features()
+        for gid in self._by_struct.get(fp.events, ()):
+            grp = self.groups[gid]
+            dist = relative_distance(feats, grp.rep.features())
+            if dist <= self.tolerance:
+                grp.members += 1
+                grp.exact = False
+                grp.spread = max(grp.spread, dist)
+                grp.features.append(feats)
+                self._exact[fp] = gid
+                return gid
+        gid = len(self.groups)
+        grp = PhaseGroup(gid=gid, rep=fp)
+        grp.features.append(feats)
+        self.groups.append(grp)
+        self._exact[fp] = gid
+        self._by_struct.setdefault(fp.events, []).append(gid)
+        return gid
+
+
+def kmeans(points: List[Tuple[float, ...]], k: int,
+           iterations: int = 20) -> Tuple[List[Tuple[float, ...]], List[int]]:
+    """Deterministic, dependency-free k-means.
+
+    Initial centroids are picked evenly from the points *sorted* (no RNG, so
+    two runs over the same phases report the same clusters).  Returns
+    ``(centroids, assignment)`` with ``assignment[i]`` the centroid index of
+    ``points[i]``.  Empty clusters collapse — fewer than ``k`` centroids can
+    come back.
+    """
+    if not points:
+        return [], []
+    k = max(1, min(k, len(points)))
+    ordered = sorted(set(points))
+    k = min(k, len(ordered))
+    step = len(ordered) / k
+    centroids = [ordered[int(i * step)] for i in range(k)]
+
+    assignment = [0] * len(points)
+    for _ in range(iterations):
+        changed = False
+        for i, p in enumerate(points):
+            best, best_d = 0, None
+            for ci, c in enumerate(centroids):
+                d = sum((x - y) ** 2 for x, y in zip(p, c))
+                if best_d is None or d < best_d:
+                    best, best_d = ci, d
+            if assignment[i] != best:
+                assignment[i] = best
+                changed = True
+        sums: Dict[int, List[float]] = {}
+        counts: Dict[int, int] = {}
+        for i, p in enumerate(points):
+            ci = assignment[i]
+            acc = sums.setdefault(ci, [0.0] * len(p))
+            for j, x in enumerate(p):
+                acc[j] += x
+            counts[ci] = counts.get(ci, 0) + 1
+        new_centroids: List[Tuple[float, ...]] = []
+        remap: Dict[int, int] = {}
+        for ci in range(len(centroids)):
+            if ci in counts:
+                remap[ci] = len(new_centroids)
+                new_centroids.append(
+                    tuple(s / counts[ci] for s in sums[ci]))
+        assignment = [remap[ci] for ci in assignment]
+        centroids = new_centroids
+        if not changed:
+            break
+    return centroids, assignment

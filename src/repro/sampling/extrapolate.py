@@ -1,0 +1,53 @@
+"""Extrapolation arithmetic and its validation surface.
+
+The sampler charges skipped iterations by bulk-replaying the representative
+phase's per-category charge sums (see ``PhaseSampler``); the helpers here
+are the *checking* side: relative error, and :func:`check_bound`, which
+turns a bound violation into a typed :class:`ExtrapolationBoundError`
+instead of a silently-bad number.  The sampled-vs-full equivalence gate and
+the property tests both go through ``check_bound``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExtrapolationBoundError
+
+__all__ = ["relative_error", "check_bound", "EXACT_REL_TOL",
+           "ExtrapolationBoundError"]
+
+# Signature-exact clusters extrapolate the *same float charges* the full run
+# would make — but in bulk (one multiply per category) rather than one add
+# per iteration, and with CPU flushes batched at iteration boundaries rather
+# than every 4096 ticks.  Associativity slack between the two summation
+# orders is a handful of ulps; 1e-9 relative is "exact" for this purpose
+# while still catching any real accounting bug by ~6 orders of magnitude.
+EXACT_REL_TOL = 1e-9
+
+
+def relative_error(expected: float, actual: float) -> float:
+    """|expected - actual| relative to the larger magnitude (0.0 when both
+    are zero)."""
+    denom = max(abs(expected), abs(actual))
+    if denom == 0.0:
+        return 0.0
+    return abs(expected - actual) / denom
+
+
+def check_bound(quantity: str, expected: float, actual: float,
+                bound: float) -> float:
+    """Validate an extrapolated ``actual`` against a full-run ``expected``.
+
+    ``bound`` is the declared per-cluster error bound; ``0.0`` (an exact
+    cluster) is checked at :data:`EXACT_REL_TOL` to absorb float summation
+    order.  Returns the observed relative error; raises
+    :class:`ExtrapolationBoundError` when it exceeds the bound.
+    """
+    effective = max(bound, EXACT_REL_TOL)
+    err = relative_error(expected, actual)
+    if err > effective:
+        raise ExtrapolationBoundError(
+            f"extrapolated {quantity} off by {err:.3e} relative "
+            f"(expected {expected!r}, got {actual!r}, declared bound "
+            f"{bound!r})",
+            quantity=quantity, expected=expected, actual=actual, bound=bound)
+    return err

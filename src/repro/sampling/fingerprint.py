@@ -1,0 +1,112 @@
+"""Phase fingerprints — the analogue of LoopPoint's basic-block vectors.
+
+A *phase* is one iteration of a counted host loop.  While a phase is open
+the sampler records every atomic profiler operation that lands inside it
+(``charges`` = ``Profiler.spend`` calls in order, ``counts`` =
+``Profiler.count`` deltas, ``observes`` = histogram observations) plus a
+*structural* event stream:
+
+* ``("L", kernel, backend, write_sig)`` per kernel launch, where
+  ``write_sig`` canonicalizes the vectorized backend's write-set footprints;
+* ``("T", var, site, direction)`` per dynamic transfer;
+* ``("S", loop, group, n)`` when a nested loop extrapolated ``n`` of its own
+  iterations while this phase was open.
+
+Two phases with equal events *and* equal numeric payloads are
+signature-exact — extrapolating from either is exact by construction.
+Phases that match structurally but drift numerically (a clamp kernel whose
+step count wanders, a distance kernel whose branch counts follow centroid
+drift) are compared on a fixed-order feature vector: per-category modeled
+seconds plus device bytes moved in each direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.runtime.profiler import ALL_CATEGORIES
+
+__all__ = ["PhaseFingerprint", "OpenPhase", "relative_distance", "FEATURE_NAMES"]
+
+FEATURE_NAMES: Tuple[str, ...] = tuple(ALL_CATEGORIES) + ("bytes_h2d", "bytes_d2h")
+
+
+@dataclass(frozen=True)
+class PhaseFingerprint:
+    """Immutable record of everything one measured phase did."""
+
+    events: Tuple[tuple, ...]
+    charges: Tuple[Tuple[str, float], ...]
+    counts: Tuple[Tuple[str, int], ...]
+    observes: Tuple[Tuple[str, float], ...]
+    dev_h2d: int
+    dev_d2h: int
+
+    def charge_sums(self) -> List[Tuple[str, float]]:
+        """Per-category totals in first-occurrence order (deterministic, so
+        bulk replay charges in a stable order)."""
+        sums: Dict[str, float] = {}
+        for cat, sec in self.charges:
+            sums[cat] = sums.get(cat, 0.0) + sec
+        return list(sums.items())
+
+    def count_sums(self) -> List[Tuple[str, int]]:
+        sums: Dict[str, int] = {}
+        for name, delta in self.counts:
+            sums[name] = sums.get(name, 0) + delta
+        return list(sums.items())
+
+    def seconds(self) -> float:
+        return sum(sec for _, sec in self.charges)
+
+    def features(self) -> Tuple[float, ...]:
+        """Fixed-order numeric summary used for near-cluster matching."""
+        sums = dict(self.charge_sums())
+        return tuple(sums.get(cat, 0.0) for cat in ALL_CATEGORIES) + (
+            float(self.dev_h2d), float(self.dev_d2h))
+
+    def launches(self) -> int:
+        """Kernel launches inside the phase, including launches a nested
+        skip extrapolated (carried by ``("S", ...)`` events' replayed
+        counters, which live in ``counts``, not here)."""
+        return sum(1 for ev in self.events if ev and ev[0] == "L")
+
+
+def relative_distance(a: Tuple[float, ...], b: Tuple[float, ...]) -> float:
+    """Max componentwise relative distance between two feature vectors
+    (0.0 = identical; a component present in only one vector maxes out)."""
+    worst = 0.0
+    for x, y in zip(a, b):
+        if x == y:
+            continue
+        denom = max(abs(x), abs(y))
+        if denom == 0.0:
+            continue
+        worst = max(worst, abs(x - y) / denom)
+    return worst
+
+
+class OpenPhase:
+    """Mutable accumulator for the phase currently executing."""
+
+    __slots__ = ("charges", "counts", "observes", "events",
+                 "dev_h2d0", "dev_d2h0")
+
+    def __init__(self, dev_h2d0: int, dev_d2h0: int):
+        self.charges: List[Tuple[str, float]] = []
+        self.counts: List[Tuple[str, int]] = []
+        self.observes: List[Tuple[str, float]] = []
+        self.events: List[tuple] = []
+        self.dev_h2d0 = dev_h2d0
+        self.dev_d2h0 = dev_d2h0
+
+    def seal(self, dev_h2d: int, dev_d2h: int) -> PhaseFingerprint:
+        return PhaseFingerprint(
+            events=tuple(self.events),
+            charges=tuple(self.charges),
+            counts=tuple(self.counts),
+            observes=tuple(self.observes),
+            dev_h2d=dev_h2d - self.dev_h2d0,
+            dev_d2h=dev_d2h - self.dev_d2h0,
+        )

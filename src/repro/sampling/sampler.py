@@ -1,0 +1,470 @@
+"""The phase sampler: measure a few iterations, extrapolate the rest.
+
+``PhaseSampler`` attaches to one run (one ``AccRuntime``/``Interp`` pair)
+when ``ToolchainContext.sampling`` is set.  It taps the profiler (every
+``spend``/``count``/``observe``), the runtime (kernel launches, transfers),
+and the interpreter's counted-``for`` loops.  Each loop gets a
+:class:`LoopController` that:
+
+1. records one :class:`~repro.sampling.fingerprint.PhaseFingerprint` per
+   iteration (a *phase*),
+2. groups phases greedily — exact fingerprint equality first, then
+   structural match within a relative feature tolerance
+   (:class:`~repro.sampling.cluster.GroupTable`),
+3. once ``stability`` consecutive phases land in one group (and ``warmup``
+   iterations have been measured since loop entry), computes the loop's
+   remaining trip count from its counted-loop shape and *extrapolates*: the
+   representative phase's per-category charge sums are bulk-replayed
+   ``n_rem`` times, counters are bulk-multiplied, device byte odometers
+   advanced, the loop variable fast-forwarded to its exit value, and the
+   loop exited without executing the remaining iterations.
+
+Replay goes through the ordinary ``Profiler``/device surfaces, so an
+*enclosing* loop's open phase absorbs the extrapolated charges exactly as
+it would have absorbed the measured ones — nested loops (CG's ``cgit``
+inside ``it``, KMEANS' feature loops inside the point loop) sample
+recursively, with a synthetic ``("S", loop, group, n)`` event keeping outer
+structural signatures comparable across iterations.
+
+Controllers persist across loop re-entries: an inner loop that stabilized
+during the first outer iteration re-measures only ``warmup`` iterations on
+each subsequent entry before skipping again.
+
+Sampling is a modeling mode: host code inside skipped iterations never
+runs, so program *outputs* are not faithful — modeled time, transfer bytes,
+counters, and the distinct coherence finding set are (validated by
+``scripts/check_sampling_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExtrapolationBoundError
+from repro.lang import ast
+from repro.runtime.profiler import (
+    CTR_SAMPLE_SKIPPED_ITERATIONS,
+    CTR_SAMPLE_SKIPPED_LAUNCHES,
+)
+from repro.sampling.cluster import GroupTable, kmeans
+from repro.sampling.config import SamplingConfig
+from repro.sampling.fingerprint import OpenPhase, PhaseFingerprint
+
+__all__ = ["PhaseSampler", "LoopController", "CountedLoop",
+           "analyze_counted_loop", "remaining_trips"]
+
+# Replaying per-iteration histogram observations costs one ``observe`` per
+# skipped value; past this many replayed observations the distribution is
+# dropped instead (flat counters and modeled time stay exact either way).
+_MAX_REPLAY_OBSERVES = 100_000
+
+
+# ---------------------------------------------------------------------------
+# Counted-loop shape analysis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CountedLoop:
+    """A ``for`` loop whose trip count is computable from its header:
+    ``var`` compared against a ``bound`` expression free of ``var``, stepped
+    by a constant integer ``delta`` each iteration.  ``op`` is normalized so
+    the loop variable reads on the left."""
+
+    var: str
+    delta: int
+    op: str
+    bound: object
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _is_name(node, var: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == var
+
+
+def _mentions(node, var: str) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == var
+    if isinstance(node, (list, tuple)):
+        return any(_mentions(item, var) for item in node)
+    if hasattr(node, "__dict__"):
+        return any(_mentions(value, var) for key, value in vars(node).items()
+                   if key not in ("line", "col"))
+    return False
+
+
+def _step_delta(step, var: str) -> Optional[int]:
+    """Constant per-iteration increment of ``var``, or None."""
+    if isinstance(step, ast.ExprStmt):
+        expr = step.expr
+        if isinstance(expr, ast.Unary) and _is_name(expr.operand, var):
+            if expr.op in ("++", "p++"):
+                return 1
+            if expr.op in ("--", "p--"):
+                return -1
+        return None
+    if not (isinstance(step, ast.Assign) and _is_name(step.target, var)):
+        return None
+    if step.op in ("+", "-") and isinstance(step.value, ast.IntLit):
+        return step.value.value if step.op == "+" else -step.value.value
+    if step.op == "":
+        value = step.value
+        if isinstance(value, ast.Binary) and value.op in ("+", "-"):
+            left, right = value.left, value.right
+            if _is_name(left, var) and isinstance(right, ast.IntLit):
+                return right.value if value.op == "+" else -right.value
+            if (value.op == "+" and _is_name(right, var)
+                    and isinstance(left, ast.IntLit)):
+                return left.value
+    return None
+
+
+def analyze_counted_loop(stmt, loop_var: str) -> Optional[CountedLoop]:
+    """Recognize ``for (init; var REL bound; var += c)`` over ``loop_var``.
+
+    Returns None for anything else — such loops simply never sample.  The
+    bound is re-evaluated at skip time, so a bound the loop body itself
+    mutates can mis-extrapolate; iterative-benchmark headers (``it < NITER``,
+    ``i < n``) are loop-invariant.
+    """
+    cond, step = stmt.cond, stmt.step
+    if cond is None or step is None or loop_var is None:
+        return None
+    if not (isinstance(cond, ast.Binary) and cond.op in _FLIP):
+        return None
+    if _is_name(cond.left, loop_var) and not _mentions(cond.right, loop_var):
+        op, bound = cond.op, cond.right
+    elif _is_name(cond.right, loop_var) and not _mentions(cond.left, loop_var):
+        op, bound = _FLIP[cond.op], cond.left
+    else:
+        return None
+    delta = _step_delta(step, loop_var)
+    if not delta:
+        return None
+    if delta > 0 and op not in ("<", "<="):
+        return None
+    if delta < 0 and op not in (">", ">="):
+        return None
+    return CountedLoop(var=loop_var, delta=delta, op=op, bound=bound)
+
+
+def remaining_trips(v0: int, bound: int, delta: int, op: str) -> int:
+    """Trips still to run given the loop variable's current value ``v0``
+    (the not-yet-executed current iteration counts)."""
+    if op == "<":
+        return 0 if v0 >= bound else (bound - v0 + delta - 1) // delta
+    if op == "<=":
+        return 0 if v0 > bound else (bound - v0) // delta + 1
+    step = -delta
+    if op == ">":
+        return 0 if v0 <= bound else (v0 - bound + step - 1) // step
+    if op == ">=":
+        return 0 if v0 < bound else (v0 - bound) // step + 1
+    raise ValueError(f"unsupported relation {op!r}")
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _write_sig(write_sets) -> tuple:
+    """Canonical hashable form of LaunchResult.write_sets (None when the
+    backend reported no footprints)."""
+    if not write_sets:
+        return ()
+    return tuple(sorted(
+        (name, tuple((int(a), int(b)) for a, b in intervals))
+        for name, intervals in write_sets.items()))
+
+
+# ---------------------------------------------------------------------------
+# Per-loop controller
+# ---------------------------------------------------------------------------
+
+class LoopController:
+    """Owns one counted loop's phases, clusters, and skip decision."""
+
+    def __init__(self, sampler: "PhaseSampler", label: str,
+                 counted: CountedLoop, bound_fn: Callable):
+        self.sampler = sampler
+        self.config = sampler.config
+        self.label = label
+        self.counted = counted
+        self.bound_fn = bound_fn
+        self.table = GroupTable(self.config.tolerance)
+        self.run_gid = -1
+        self.run_len = 0
+        self.entry_measured = 0
+        self.measured = 0
+        self.skipped = 0
+        self._open: Optional[OpenPhase] = None
+
+    # -- phase lifecycle ----------------------------------------------------
+    def enter(self) -> None:
+        """Loop (re-)entry: cluster history persists, but ``warmup``
+        iterations must be re-measured before this entry may skip."""
+        self.entry_measured = 0
+
+    def open_phase(self) -> None:
+        device = self.sampler.device
+        phase = OpenPhase(device.bytes_h2d, device.bytes_d2h)
+        self._open = phase
+        self.sampler._stack.append(phase)
+
+    def finish_phase(self) -> None:
+        phase = self._open
+        if phase is None:
+            return
+        self._open = None
+        stack = self.sampler._stack
+        if stack and stack[-1] is phase:
+            stack.pop()
+        else:
+            stack.remove(phase)
+        device = self.sampler.device
+        fp = phase.seal(device.bytes_h2d, device.bytes_d2h)
+        gid = self.table.assign(fp)
+        if gid == self.run_gid:
+            self.run_len += 1
+        else:
+            self.run_gid = gid
+            self.run_len = 1
+        self.entry_measured += 1
+        self.measured += 1
+
+    def exit(self) -> None:
+        """Loop exit (any path — normal, break, exception): close a phase
+        left open mid-iteration."""
+        self.finish_phase()
+
+    # -- skip decision ------------------------------------------------------
+    def should_skip(self) -> bool:
+        return (self.entry_measured >= self.config.warmup
+                and self.run_len >= self.config.stability)
+
+    def remaining(self, env) -> Optional[int]:
+        """Trips left from the loop variable's current value, or None when
+        the header's values are not plain ints right now."""
+        counted = self.counted
+        try:
+            v0 = env.load(counted.var)
+            bound = self.bound_fn(env)
+        except Exception:
+            return None
+        if not (_is_int(v0) and _is_int(bound)):
+            return None
+        return remaining_trips(v0, bound, counted.delta, counted.op)
+
+    def fast_forward(self, env, n_rem: int) -> None:
+        counted = self.counted
+        env.store(counted.var, env.load(counted.var) + counted.delta * n_rem)
+
+    # -- extrapolation ------------------------------------------------------
+    def charge_skip(self, n_rem: int) -> None:
+        """Charge ``n_rem`` iterations by bulk-replaying the current run's
+        representative phase: one ``spend`` per category, counters and
+        device byte odometers multiplied, histogram values replayed (up to
+        a budget).  Enclosing open phases absorb all of it through the
+        ordinary profiler tap, plus a synthetic ``("S", ...)`` event."""
+        group = self.table.groups[self.run_gid]
+        if group.spread > self.config.tolerance:
+            raise ExtrapolationBoundError(
+                f"loop {self.label}: representative group {group.gid} spread "
+                f"{group.spread:.3e} exceeds tolerance "
+                f"{self.config.tolerance}",
+                quantity=f"{self.label}.spread",
+                expected=self.config.tolerance, actual=group.spread,
+                bound=self.config.tolerance)
+        rep = group.rep
+        sampler = self.sampler
+        profiler = sampler.profiler
+        with sampler.tracer.span(
+                "sample.extrapolate", category="sample", loop=self.label,
+                group=group.gid, skipped=n_rem, exact=group.exact) as sp:
+            seconds = 0.0
+            for category, total in rep.charge_sums():
+                amount = total * n_rem
+                seconds += amount
+                profiler.spend(category, amount)
+            for name, delta in rep.count_sums():
+                profiler.count(name, delta * n_rem)
+            if rep.observes and n_rem * len(rep.observes) <= _MAX_REPLAY_OBSERVES:
+                for _ in range(n_rem):
+                    for name, value in rep.observes:
+                        profiler.observe(name, value)
+            device = sampler.device
+            device.bytes_h2d += rep.dev_h2d * n_rem
+            device.bytes_d2h += rep.dev_d2h * n_rem
+            launches = rep.launches()
+            profiler.count(CTR_SAMPLE_SKIPPED_ITERATIONS, n_rem)
+            if launches:
+                profiler.count(CTR_SAMPLE_SKIPPED_LAUNCHES, launches * n_rem)
+            sp.set_attr("seconds", seconds)
+        group.skipped += n_rem
+        self.skipped += n_rem
+        sampler.extrapolated_seconds += seconds
+        event = ("S", self.label, group.gid, n_rem)
+        for phase in sampler._stack:
+            phase.events.append(event)
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> dict:
+        config = self.config
+        groups = []
+        points: List[Tuple[float, ...]] = []
+        for group in self.table.groups:
+            points.extend(group.features)
+            groups.append({
+                "id": group.gid,
+                "members": group.members,
+                "skipped": group.skipped,
+                "exact": group.exact,
+                "spread": group.spread,
+                "error_bound": group.declared_bound(config.tolerance),
+                "seconds_per_iteration": group.rep.seconds(),
+                "launches_per_iteration": group.rep.launches(),
+                "bytes_per_iteration": group.rep.dev_h2d + group.rep.dev_d2h,
+            })
+        centroids, _ = kmeans(points, config.max_clusters)
+        return {
+            "loop": self.label,
+            "measured": self.measured,
+            "skipped": self.skipped,
+            "groups": groups,
+            "kmeans_clusters": len(centroids),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The run-wide sampler
+# ---------------------------------------------------------------------------
+
+class PhaseSampler:
+    """One per sampled run; the profiler tap and runtime event sink."""
+
+    def __init__(self, config: SamplingConfig, runtime):
+        self.config = config
+        self.runtime = runtime
+        self.profiler = runtime.profiler
+        self.device = runtime.device
+        self.tracer = runtime.tracer
+        self._stack: List[OpenPhase] = []
+        self._controllers: Dict[int, Tuple[object, Optional[LoopController]]] = {}
+        self.extrapolated_seconds = 0.0
+        runtime.sampler = self
+        self.profiler.tap = self
+        # Launch write footprints feed the fingerprint's write-set
+        # signature; collecting them never changes modeled time.
+        self.device.collect_write_sets = True
+
+    # -- profiler tap --------------------------------------------------------
+    def on_spend(self, category: str, seconds: float) -> None:
+        for phase in self._stack:
+            phase.charges.append((category, seconds))
+
+    def on_count(self, name: str, delta: int) -> None:
+        for phase in self._stack:
+            phase.counts.append((name, delta))
+
+    def on_observe(self, name: str, value) -> None:
+        for phase in self._stack:
+            phase.observes.append((name, value))
+
+    # -- runtime hooks -------------------------------------------------------
+    def on_launch(self, spec, result) -> None:
+        if not self._stack:
+            return
+        event = ("L", spec.name, result.backend, _write_sig(result.write_sets))
+        for phase in self._stack:
+            phase.events.append(event)
+
+    def on_transfer(self, var: str, site: str, direction: str,
+                    nbytes: int) -> None:
+        if not self._stack:
+            return
+        event = ("T", var, site, direction)
+        for phase in self._stack:
+            phase.events.append(event)
+
+    # -- interpreter surface -------------------------------------------------
+    def controller_for(self, stmt, loop_var: Optional[str],
+                       compile_expr: Callable) -> Optional[LoopController]:
+        """The (cached) controller for a ``for`` statement; None when the
+        loop is not counted.  ``compile_expr`` compiles the bound expression
+        once (the interpreter's own expression compiler)."""
+        key = id(stmt)
+        entry = self._controllers.get(key)
+        if entry is not None:
+            return entry[1]
+        counted = analyze_counted_loop(stmt, loop_var)
+        controller = None
+        if counted is not None:
+            bound_fn = compile_expr(counted.bound)
+            label = f"{counted.var}@L{getattr(stmt, 'line', 0)}"
+            controller = LoopController(self, label, counted, bound_fn)
+        self._controllers[key] = (stmt, controller)
+        return controller
+
+    # -- totals / report -----------------------------------------------------
+    @property
+    def skipped_iterations(self) -> int:
+        return sum(ctl.skipped for _, ctl in self._controllers.values()
+                   if ctl is not None)
+
+    @property
+    def skipped_launches(self) -> int:
+        return int(self.profiler.counters.get(CTR_SAMPLE_SKIPPED_LAUNCHES, 0))
+
+    def error_bound(self) -> float:
+        """Declared bound for the whole run's modeled time / transfer bytes.
+
+        Per cluster the bound is exact (0.0) for signature-identical groups
+        and ``tolerance`` for near groups.  One cross-cluster effect has to
+        be priced in at run level: skipping a *pure host* loop (no launches,
+        no transfers in its representative) elides host writes, so later
+        measured phases run on drifted data and their data-dependent charges
+        can wander — bounded by ``tolerance``, not zero.  A run whose only
+        skips are kernel-bearing exact clusters (JACOBI) stays declared
+        exact."""
+        bound = 0.0
+        tolerance = self.config.tolerance
+        for _, controller in self._controllers.values():
+            if controller is None:
+                continue
+            for group in controller.table.groups:
+                if not group.skipped:
+                    continue
+                declared = group.declared_bound(tolerance)
+                if declared == 0.0 and not any(
+                        ev and ev[0] in ("L", "T")
+                        for ev in group.rep.events):
+                    declared = tolerance
+                bound = max(bound, declared)
+        return bound
+
+    def report(self) -> dict:
+        """Cluster summary + extrapolation accounting (JSON-ready)."""
+        with self.tracer.span("sample.cluster", category="sample") as sp:
+            loops = []
+            for _, controller in self._controllers.values():
+                if controller is None or controller.measured == 0:
+                    continue
+                loops.append(controller.summary())
+            sp.set_attr("loops", len(loops))
+            sp.set_attr("skipped_iterations", self.skipped_iterations)
+        return {
+            "config": {
+                "warmup": self.config.warmup,
+                "stability": self.config.stability,
+                "tolerance": self.config.tolerance,
+                "max_clusters": self.config.max_clusters,
+            },
+            "loops": loops,
+            "skipped_iterations": self.skipped_iterations,
+            "skipped_launches": self.skipped_launches,
+            "extrapolated_seconds": self.extrapolated_seconds,
+            "modeled_seconds": self.profiler.total(),
+            "error_bound": self.error_bound(),
+        }

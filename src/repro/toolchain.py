@@ -187,6 +187,9 @@ class ToolchainContext:
         # the stock device).  The CLI's --delta-transfers/--merge-gap flags
         # and the delta-equivalence harness configure runs through this.
         self.device_config = device_config
+        # Phase-sampled execution (repro.sampling.SamplingConfig); None —
+        # the default — keeps every run bit-identical to an unsampled one.
+        self.sampling = None
         # CLI observability hooks.
         self.dump_after: Optional[str] = None
         self.dump_sink: Callable[[str], None] = print

@@ -1,0 +1,138 @@
+"""Properties of phase fingerprints, clustering, and extrapolation checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExtrapolationBoundError
+from repro.runtime.profiler import ALL_CATEGORIES, CAT_KERNEL
+from repro.sampling import (
+    EXACT_REL_TOL,
+    GroupTable,
+    PhaseFingerprint,
+    check_bound,
+    kmeans,
+    relative_distance,
+    relative_error,
+)
+
+categories = st.sampled_from(list(ALL_CATEGORIES))
+seconds = st.floats(min_value=1e-9, max_value=1e-2,
+                    allow_nan=False, allow_infinity=False)
+charge_lists = st.lists(st.tuples(categories, seconds),
+                        min_size=1, max_size=20)
+
+
+def make_fp(charges, events=(("L", "k0", "vectorized", ()),),
+            dev_h2d=0, dev_d2h=0):
+    return PhaseFingerprint(
+        events=tuple(events), charges=tuple(charges), counts=(),
+        observes=(), dev_h2d=dev_h2d, dev_d2h=dev_d2h,
+    )
+
+
+@given(charges=charge_lists, n_rem=st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_exact_cluster_extrapolates_with_zero_error(charges, n_rem):
+    """Bulk-replaying a signature-exact phase's per-category sums n times
+    must reproduce n iterations of individual charges within the
+    float-accumulation floor — the sampler's core exactness claim."""
+    fp = make_fp(charges)
+    # Full run: n_rem iterations, each charging every op in order.
+    full = 0.0
+    for _ in range(n_rem):
+        for _, sec in fp.charges:
+            full += sec
+    # Sampled run: one bulk spend of (per-category sum * n_rem).
+    bulk = sum(sec * n_rem for _, sec in fp.charge_sums())
+    err = check_bound("modeled seconds", full, bulk, bound=0.0)
+    assert err <= EXACT_REL_TOL
+
+
+@given(charges=charge_lists, n_rem=st.integers(min_value=1, max_value=10**6),
+       h2d=st.integers(min_value=0, max_value=2**32),
+       d2h=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=100, deadline=None)
+def test_byte_extrapolation_is_integer_exact(charges, n_rem, h2d, d2h):
+    fp = make_fp(charges, dev_h2d=h2d, dev_d2h=d2h)
+    assert fp.dev_h2d * n_rem == sum(fp.dev_h2d for _ in range(n_rem))
+    assert fp.dev_d2h * n_rem == sum(fp.dev_d2h for _ in range(n_rem))
+
+
+@given(expected=st.floats(min_value=1e-6, max_value=1e3),
+       rel=st.floats(min_value=1e-7, max_value=0.5))
+@settings(max_examples=200, deadline=None)
+def test_bound_violation_raises_typed_error(expected, rel):
+    """Any actual value whose relative error exceeds the declared bound must
+    raise ExtrapolationBoundError carrying the quantities involved."""
+    actual = expected * (1.0 + rel)
+    bound = rel / 4.0
+    if relative_error(expected, actual) <= max(bound, EXACT_REL_TOL):
+        return  # float rounding collapsed the perturbation; nothing to check
+    with pytest.raises(ExtrapolationBoundError) as exc:
+        check_bound("modeled seconds", expected, actual, bound=bound)
+    err = exc.value
+    assert err.quantity == "modeled seconds"
+    assert err.expected == expected
+    assert err.actual == actual
+    assert err.bound == bound
+
+
+@given(expected=st.floats(min_value=1e-6, max_value=1e3),
+       rel=st.floats(min_value=0.0, max_value=0.04))
+@settings(max_examples=100, deadline=None)
+def test_within_bound_returns_error(expected, rel):
+    actual = expected * (1.0 + rel)
+    err = check_bound("q", expected, actual, bound=0.05)
+    assert 0.0 <= err <= 0.05
+
+
+@given(charges=charge_lists, copies=st.integers(min_value=2, max_value=30))
+@settings(max_examples=100, deadline=None)
+def test_identical_fingerprints_form_one_exact_group(charges, copies):
+    table = GroupTable(tolerance=0.05)
+    fp = make_fp(charges)
+    gids = {table.assign(fp) for _ in range(copies)}
+    assert gids == {0}
+    grp = table.groups[0]
+    assert grp.members == copies
+    assert grp.exact
+    assert grp.declared_bound(0.05) == 0.0
+
+
+def test_near_match_joins_group_and_loses_exactness():
+    table = GroupTable(tolerance=0.05)
+    base = make_fp([(CAT_KERNEL, 1.0)])
+    near = make_fp([(CAT_KERNEL, 1.02)])    # 2% off, same structure
+    far = make_fp([(CAT_KERNEL, 2.0)])      # 50% off
+    other = make_fp([(CAT_KERNEL, 1.0)],
+                    events=(("L", "k1", "vectorized", ()),))
+    assert table.assign(base) == 0
+    assert table.assign(near) == 0
+    assert not table.groups[0].exact
+    assert 0.0 < table.groups[0].spread <= 0.05
+    assert table.groups[0].declared_bound(0.05) == 0.05
+    assert table.assign(far) == 1           # outside tolerance: new group
+    assert table.assign(other) == 2         # different structure: new group
+
+
+@given(points=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=10.0),
+              st.floats(min_value=0.0, max_value=10.0)),
+    min_size=1, max_size=40),
+    k=st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_kmeans_deterministic_and_well_formed(points, k):
+    c1, a1 = kmeans(points, k)
+    c2, a2 = kmeans(points, k)
+    assert (c1, a1) == (c2, a2)             # no RNG anywhere
+    assert len(a1) == len(points)
+    assert 1 <= len(c1) <= k
+    assert all(0 <= ci < len(c1) for ci in a1)
+
+
+def test_relative_distance_basics():
+    assert relative_distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+    d = relative_distance((1.0, 2.0), (1.1, 2.0))
+    assert d == pytest.approx(0.1 / 1.1)
+    assert relative_distance((1.0,), (2.0,)) == relative_distance((2.0,), (1.0,))

@@ -1,0 +1,142 @@
+"""End-to-end phase-sampled execution: equivalence, defaults, conflicts."""
+
+import pytest
+
+from repro.bench import suite
+from repro.device.device import DeviceConfig
+from repro.errors import SamplingConflictError
+from repro.experiments.harness import run_variant
+from repro.interp import run_compiled
+from repro.runtime.chaos import FaultSpec
+from repro.sampling import EXACT_REL_TOL, SamplingConfig, check_bound
+from repro.toolchain import ToolchainContext
+from repro.verify.memverify import MemVerifier
+
+ITERATIVE = ("JACOBI", "CG", "SRAD", "KMEANS")
+
+
+def run_bench(name, variant="optimized", size="small", sampled=False):
+    bench = suite.get(name)
+    ctx = ToolchainContext()
+    if sampled:
+        ctx.sampling = SamplingConfig()
+    compiled = bench.compile(variant, ctx=ctx)
+    return run_compiled(compiled, params=bench.params(size), ctx=ctx)
+
+
+@pytest.mark.parametrize("name", ITERATIVE)
+def test_sampled_matches_full_within_declared_bound(name):
+    full = run_bench(name)
+    samp = run_bench(name, sampled=True)
+    report = samp.sampler.report()
+    assert report["skipped_iterations"] > 0
+    # Modeled time: within the bound the sampler itself declared.
+    check_bound(f"{name} modeled seconds",
+                full.runtime.profiler.total(),
+                samp.runtime.profiler.total(),
+                report["error_bound"])
+    # Transfer bytes: integer extrapolation, exactly equal.
+    assert (samp.runtime.device.total_transferred_bytes()
+            == full.runtime.device.total_transferred_bytes())
+
+
+@pytest.mark.parametrize("name", ("JACOBI", "CG"))
+def test_kernel_loop_extrapolation_is_exact(name):
+    """JACOBI and CG skip kernel-bearing loops whose iterations are
+    signature-exact, so their declared bound is tight and the observed
+    error sits at float-accumulation level."""
+    full = run_bench(name)
+    samp = run_bench(name, sampled=True)
+    err = check_bound(name, full.runtime.profiler.total(),
+                      samp.runtime.profiler.total(), 0.0)
+    assert err <= EXACT_REL_TOL
+
+
+def test_sampling_off_by_default_leaves_no_trace():
+    a = run_bench("JACOBI", size="tiny")
+    assert a.sampler is None
+    assert a.runtime.profiler.tap is None
+    assert not any(k.startswith("sample.") for k in a.runtime.profiler.counters)
+    b = run_bench("JACOBI", size="tiny")
+    assert a.runtime.profiler.total() == b.runtime.profiler.total()
+    assert a.runtime.profiler.totals == b.runtime.profiler.totals
+
+
+def test_sampled_run_reports_skip_counters():
+    samp = run_bench("JACOBI", size="tiny", sampled=True)
+    counters = samp.runtime.profiler.counters
+    assert counters.get("sample.skipped_iterations", 0) > 0
+    report = samp.sampler.report()
+    assert report["skipped_iterations"] == counters["sample.skipped_iterations"]
+    assert set(report) >= {"config", "loops", "skipped_iterations",
+                           "skipped_launches", "extrapolated_seconds",
+                           "modeled_seconds", "error_bound"}
+    assert report["loops"]  # at least the main iteration loop was tracked
+
+
+def test_findings_identical_under_sampling():
+    bench = suite.get("SRAD")
+    params = bench.params("tiny")
+    sets = []
+    for sampled in (False, True):
+        ctx = ToolchainContext()
+        if sampled:
+            ctx.sampling = SamplingConfig()
+        report = MemVerifier(bench.compile("optimized", ctx=ctx),
+                             params=params, ctx=ctx).run()
+        sets.append({(f.kind, f.var, f.site) for f in report.findings})
+    assert sets[0] == sets[1]
+
+
+def test_sampling_conflicts_with_chaos():
+    ctx = ToolchainContext()
+    ctx.sampling = SamplingConfig()
+    with pytest.raises(SamplingConflictError):
+        run_variant(suite.get("JACOBI"), "optimized", size="tiny",
+                    chaos=FaultSpec(rates={"transfer.corrupt": 0.5}), ctx=ctx)
+
+
+def test_sampling_conflicts_with_delta_transfers():
+    ctx = ToolchainContext(device_config=DeviceConfig(delta_transfers=True))
+    ctx.sampling = SamplingConfig()
+    with pytest.raises(SamplingConflictError):
+        run_variant(suite.get("JACOBI"), "optimized", size="tiny", ctx=ctx)
+
+
+def test_sampling_config_validation():
+    with pytest.raises(ValueError):
+        SamplingConfig(warmup=0)
+    with pytest.raises(ValueError):
+        SamplingConfig(tolerance=-0.1)
+    with pytest.raises(ValueError):
+        SamplingConfig(stability=0)
+
+
+@pytest.mark.parametrize("name", ITERATIVE)
+def test_large_params_exist(name):
+    params = suite.get(name).params("large")
+    assert params  # millions-of-operations scale, reachable only via sampling
+
+
+def test_sampled_sweep_identical_across_scheduler_widths():
+    """A sampled sweep must produce byte-identical outcome numbers at
+    --jobs 1 and --jobs 2: ctx.sampling crosses the pool boundary."""
+    from repro.experiments.scheduler import (
+        raise_failures,
+        run_jobs,
+        variant_grid,
+    )
+
+    ctx = ToolchainContext()
+    ctx.sampling = SamplingConfig()
+    grid = variant_grid(["JACOBI", "CG"], ["optimized"], size="tiny")
+    seq = raise_failures(run_jobs(grid, 1, ctx=ctx))
+    par = raise_failures(run_jobs(grid, 2, ctx=ctx))
+    for a, b in zip(seq, par):
+        assert a.ok and b.ok
+        assert a.modeled_seconds == b.modeled_seconds
+        assert a.transferred_bytes == b.transferred_bytes
+        assert a.skipped_launches == b.skipped_launches
+        assert a.skipped_iterations == b.skipped_iterations
+        assert a.sample == b.sample
+        assert a.skipped_iterations > 0  # sampling was actually on
