@@ -1,0 +1,217 @@
+"""CI gate: checkpoint/rollback recovery must never change what a run computes.
+
+Three invariants, per iterative benchmark (unoptimized source variant — its
+in-loop transfers are where faults can strike mid-iteration):
+
+* **Fault-free overhead is zero**: running with checkpointing enabled is
+  bit-identical to running without it — program outputs, transfer bytes,
+  modeled time, and every profiler counter except the ``recovery.*`` trail.
+* **Recovered equals fault-free**: across a chaos seed sweep (with retries
+  disabled so every fault escalates), each run either *completes* with
+  outputs/bytes/time/counters bit-identical to the fault-free baseline
+  (rollback rewinds all accounting before replaying — modulo ``recovery.*``
+  and ``fault.*`` counters, which deliberately survive), or fails with a
+  *typed* error (fault outside the protected loop, or budget exhausted).
+  Silent divergence — a completed run whose outputs differ — fails the gate.
+  The sweep must exercise at least one real rollback-and-replay, or the
+  gate is vacuous.
+* **Crash resume is exact**: a run killed right after a checkpoint
+  (deterministic ``InjectedCrash`` hook) and auto-resumed from its on-disk
+  snapshot by the harness finishes with the same bit-identical outputs.
+
+Writes a recovery-report JSON (uploaded as a CI artifact) recording
+per-benchmark seed outcomes, rollback/replay counts, and resume results.
+
+Usage: PYTHONPATH=src python scripts/check_recovery_equivalence.py
+           [--size SIZE] [--seeds N] [--soak] [--output PATH]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import suite
+from repro.errors import ReproError
+from repro.experiments.harness import run_variant, run_variant_isolated
+from repro.runtime.chaos import FaultSpec
+from repro.runtime.checkpoint import CheckpointConfig, InjectedCrash
+from repro.toolchain import ToolchainContext
+
+# Iterative benchmarks whose unoptimized variant transfers inside the main
+# loop: the only place a mid-iteration fault can trigger a rollback.
+BENCHMARKS = ("JACOBI", "CG", "SRAD")
+
+# Transfer-fault rates + max_retries=0 so faults escalate past the PR 2
+# retry layer and reach the rollback path.  Moderate rates on purpose: a
+# benchmark like CG copies in 7 arrays before its iteration loop, and a
+# fault there (outside any checkpointable loop) is a typed error, not a
+# rollback — heavy rates would kill nearly every seed at that entry.
+CHAOS_RATES = "transfer=0.06,transfer.corrupt=0.06"
+
+
+def snapshot_run(interp) -> dict:
+    """The bit-identity fingerprint of one completed run."""
+    profiler = interp.runtime.profiler
+    device = interp.runtime.device
+    return {
+        "outputs": {
+            name: value.copy()
+            for name, value in interp.env.scopes[0].items()
+            if isinstance(value, np.ndarray)
+        },
+        "bytes_h2d": device.bytes_h2d,
+        "bytes_d2h": device.bytes_d2h,
+        "modeled": profiler.total(),
+        "counters": {
+            name: count for name, count in profiler.counters.items()
+            if not name.startswith(("recovery.", "fault."))
+        },
+    }
+
+
+def identical(a: dict, b: dict) -> list:
+    """Differences between two fingerprints (empty = bit-identical)."""
+    problems = []
+    if set(a["outputs"]) != set(b["outputs"]):
+        problems.append("different output variable sets")
+    for name in a["outputs"]:
+        if name in b["outputs"] and not np.array_equal(
+                a["outputs"][name], b["outputs"][name]):
+            problems.append(f"output {name!r} differs bitwise")
+    for key in ("bytes_h2d", "bytes_d2h", "modeled", "counters"):
+        if a[key] != b[key]:
+            problems.append(f"{key} differs: {a[key]!r} != {b[key]!r}")
+    return problems
+
+
+def check_benchmark(name: str, size: str, seeds: int, report: dict) -> list:
+    bench = suite.get(name)
+    failures = []
+    entry = report["benchmarks"][name] = {"seeds": {}, "rollback_seeds": []}
+
+    baseline = snapshot_run(
+        run_variant(bench, "unoptimized", size=size, seed=1,
+                    ctx=ToolchainContext()))
+
+    # -- invariant 1: fault-free checkpointing is bit-identical ------------
+    ctx = ToolchainContext()
+    ctx.checkpoint = CheckpointConfig(every=2)
+    interp = run_variant(bench, "unoptimized", size=size, seed=1, ctx=ctx)
+    problems = identical(baseline, snapshot_run(interp))
+    if interp.ckpt.saves == 0:
+        problems.append("no checkpoints were saved (gate is vacuous)")
+    if problems:
+        failures.append(f"{name}: fault-free checkpointing diverged: "
+                        + "; ".join(problems))
+    entry["fault_free_saves"] = interp.ckpt.saves
+
+    # -- invariant 2: chaos sweep — bit-identical or typed error -----------
+    rollbacks_seen = 0
+    for seed in range(seeds):
+        ctx = ToolchainContext()
+        ctx.checkpoint = CheckpointConfig(every=1, max_rollbacks=50)
+        ctx.max_retries = 0
+        chaos = FaultSpec.parse(CHAOS_RATES, seed=seed)
+        try:
+            interp = run_variant(bench, "unoptimized", size=size, seed=1,
+                                 chaos=chaos, ctx=ctx)
+        except ReproError as err:
+            entry["seeds"][seed] = {"result": "typed-error",
+                                    "error": type(err).__name__}
+            continue
+        except Exception as err:  # noqa: BLE001 - the gate's whole point
+            failures.append(f"{name} seed {seed}: untyped "
+                            f"{type(err).__name__}: {err}")
+            entry["seeds"][seed] = {"result": "UNTYPED-ERROR",
+                                    "error": type(err).__name__}
+            continue
+        problems = identical(baseline, snapshot_run(interp))
+        entry["seeds"][seed] = {
+            "result": "completed" if not problems else "DIVERGED",
+            "rollbacks": interp.ckpt.rollbacks,
+            "replayed": interp.ckpt.replayed_iterations,
+            "faults": len(interp.runtime.chaos.injected),
+        }
+        if problems:
+            failures.append(f"{name} seed {seed}: completed but diverged "
+                            f"from fault-free: " + "; ".join(problems))
+        if interp.ckpt.rollbacks:
+            rollbacks_seen += interp.ckpt.rollbacks
+            entry["rollback_seeds"].append(seed)
+    entry["rollbacks_seen"] = rollbacks_seen
+    if rollbacks_seen == 0:
+        failures.append(f"{name}: no sweep seed exercised a rollback "
+                        f"(raise --seeds or the chaos rates)")
+
+    # -- invariant 3: crash + auto-resume is bit-identical -----------------
+    with tempfile.TemporaryDirectory() as tmp:
+        ctx = ToolchainContext()
+        ctx.checkpoint = CheckpointConfig(every=2, dir=tmp, tag=name,
+                                          crash_after_saves=2)
+        outcome = run_variant_isolated(bench, "unoptimized", size=size,
+                                       seed=1, ctx=ctx)
+        entry["resume"] = {"ok": outcome.ok, "resumed": outcome.resumed,
+                           "error": outcome.error_type}
+        if not outcome.ok:
+            failures.append(f"{name}: crashed run did not auto-resume: "
+                            f"{outcome.error_type}: {outcome.error}")
+        elif not outcome.resumed:
+            failures.append(f"{name}: run completed without resuming — the "
+                            f"InjectedCrash hook never fired")
+        else:
+            problems = identical(baseline, snapshot_run(outcome.interp))
+            if problems:
+                failures.append(f"{name}: resumed run diverged: "
+                                + "; ".join(problems))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="small",
+                        choices=["tiny", "small", "large"])
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="chaos seeds per benchmark (default: 20)")
+    parser.add_argument("--soak", action="store_true",
+                        help="soak mode: 4x the seed sweep")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the recovery-report JSON here")
+    args = parser.parse_args(argv)
+
+    seeds = args.seeds * (4 if args.soak else 1)
+    report = {"size": args.size, "seeds_per_benchmark": seeds,
+              "chaos_rates": CHAOS_RATES, "benchmarks": {}}
+    failures = []
+    start = time.perf_counter()
+    for name in BENCHMARKS:
+        failures.extend(check_benchmark(name, args.size, seeds, report))
+        entry = report["benchmarks"][name]
+        results = [s["result"] for s in entry["seeds"].values()]
+        print(f"{name}: {results.count('completed')} completed identical, "
+              f"{results.count('typed-error')} typed errors, "
+              f"{entry['rollbacks_seen']} rollback(s) over "
+              f"{len(entry['rollback_seeds'])} seed(s), "
+              f"resume ok={entry['resume']['ok']} "
+              f"resumed={entry['resume']['resumed']}")
+    report["wall_seconds"] = time.perf_counter() - start
+    report["failures"] = failures
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n")
+        print(f"recovery report written to {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("recovery equivalence: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

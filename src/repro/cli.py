@@ -49,6 +49,33 @@ def _context(args) -> ToolchainContext:
         tolerance = getattr(args, "sample_tolerance", None)
         ctx.sampling = (SamplingConfig(tolerance=tolerance)
                         if tolerance is not None else SamplingConfig())
+    every = getattr(args, "checkpoint_every", None)
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    resume = getattr(args, "resume", None)
+    if every is not None or ckpt_dir is not None or resume is not None:
+        from repro.runtime.checkpoint import CheckpointConfig
+
+        if every is not None and every <= 0:
+            raise SystemExit("bad --checkpoint-every: must be a positive "
+                             "iteration count")
+        if ckpt_dir is not None and every is None and resume is None:
+            raise SystemExit("--checkpoint-dir needs --checkpoint-every N "
+                             "(or --resume PATH)")
+        kwargs = {"every": every or 0, "dir": ckpt_dir, "resume_path": resume}
+        max_rollbacks = getattr(args, "max_rollbacks", None)
+        if max_rollbacks is not None:
+            kwargs["max_rollbacks"] = max_rollbacks
+        ctx.checkpoint = CheckpointConfig(**kwargs)
+    max_retries = getattr(args, "max_retries", None)
+    if max_retries is not None:
+        if max_retries < 0:
+            raise SystemExit("bad --max-retries: must be >= 0")
+        ctx.max_retries = max_retries
+    backoff_base = getattr(args, "backoff_base", None)
+    if backoff_base is not None:
+        if backoff_base < 0:
+            raise SystemExit("bad --backoff-base: must be >= 0 seconds")
+        ctx.backoff_base = backoff_base
     dump_after = getattr(args, "dump_after", None)
     if dump_after is not None:
         from repro.compiler.passes import pass_names
@@ -207,6 +234,16 @@ def cmd_run(args, ctx: ToolchainContext) -> int:
     for cat, seconds in profiler.breakdown().items():
         if seconds:
             print(f"   {cat:15s} {seconds * 1e6:12.1f} us")
+    ckpt = getattr(run, "ckpt", None)
+    if ckpt is not None:
+        line = (f"-- recovery: {ckpt.saves} checkpoint(s), "
+                f"{ckpt.rollbacks} rollback(s), "
+                f"{ckpt.replayed_iterations} replayed iteration(s)")
+        if ckpt.resumed:
+            line += " [resumed from snapshot]"
+        if ckpt.last_disk_path:
+            line += f"\n   last snapshot: {ckpt.last_disk_path}"
+        print(line)
     sampler = getattr(run, "sampler", None)
     if sampler is not None:
         report = sampler.report()
@@ -394,6 +431,53 @@ def cmd_optimize(args, ctx: ToolchainContext) -> int:
     return 0
 
 
+def cmd_chaos(args, ctx: ToolchainContext) -> int:
+    """Dry-run a FaultSpec: walk the deterministic draw sequence over a
+    synthetic probe pattern and print which draws would fire.  No program
+    runs — this answers "what would --chaos-seed S --chaos-spec X inject?"
+    before committing to a sweep."""
+    from repro.runtime.chaos import KINDS_AT, FaultPlan, FaultSpec
+
+    try:
+        spec = (FaultSpec.parse(args.spec, seed=args.seed,
+                                max_faults=args.max_faults)
+                if args.spec
+                else FaultSpec.default(seed=args.seed,
+                                       max_faults=args.max_faults))
+    except ValueError as err:
+        raise SystemExit(f"bad --spec: {err}")
+    points = [p.strip() for p in args.points.split(",") if p.strip()]
+    bad = [p for p in points if p not in KINDS_AT]
+    if not points or bad:
+        raise SystemExit(
+            f"bad --points: unknown injection point(s) "
+            f"{', '.join(bad) or '(empty)'}; valid points: "
+            + ", ".join(KINDS_AT))
+
+    plan = FaultPlan(spec)
+    rates = ", ".join(f"{k}={r:g}" for k, r in sorted(spec.rates.items()))
+    print(f"-- chaos dry-run: seed={spec.seed} rates=[{rates}]"
+          + (f" max_faults={spec.max_faults}" if spec.max_faults is not None
+             else ""))
+    print(f"-- probing {args.draws} draw(s) over pattern: {', '.join(points)}")
+    for i in range(args.draws):
+        point = points[i % len(points)]
+        fault = plan.draw(point, site=f"dryrun[{i}]")
+        if fault is not None:
+            extra = ""
+            if fault.kind == "queue.stall":
+                extra = f" stall={fault.stall_seconds * 1e6:.0f}us"
+            print(f"   draw {i:4d} {point:8s} -> FIRES {fault.kind}"
+                  f" (seq {fault.seq}){extra}")
+        elif args.verbose:
+            print(f"   draw {i:4d} {point:8s} -> clean")
+        if plan.exhausted:
+            print(f"   draw {i:4d} -- fault budget exhausted")
+            break
+    print(f"-- {plan.summary()}")
+    return 0
+
+
 def cmd_experiments(args, ctx: ToolchainContext) -> int:
     import importlib
 
@@ -510,6 +594,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative near-cluster tolerance / declared "
                             "error bound (default 0.05)")
 
+    def add_recovery(p):
+        p.add_argument("--checkpoint-every", type=int, metavar="N",
+                       help="snapshot the complete execution state every N "
+                            "iterations of the outermost counted loop; "
+                            "faults that exhaust their retries roll back "
+                            "and replay instead of aborting")
+        p.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="also persist each snapshot atomically to "
+                            "DIR/<tag>.ckpt so a killed run can resume")
+        p.add_argument("--max-rollbacks", type=int, metavar="K",
+                       help="fault-budget circuit breaker: abort with a "
+                            "typed error after K rollbacks (default: 5)")
+        p.add_argument("--resume", metavar="PATH",
+                       help="resume from an on-disk checkpoint written by "
+                            "--checkpoint-dir (bit-identical continuation)")
+        p.add_argument("--max-retries", type=int, metavar="N",
+                       help="transient-fault retry ceiling per operation "
+                            "(default: 3)")
+        p.add_argument("--backoff-base", type=float, metavar="SECONDS",
+                       help="modeled exponential-backoff base between "
+                            "retries (default: the cost model's)")
+
     p = sub.add_parser("run", help="execute on the simulated GPU")
     add_common(p)
     p.add_argument("--compare-sequential", action="store_true",
@@ -519,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_chaos(p)
     add_transfer(p)
     add_sampling(p)
+    add_recovery(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile", help="transfer-byte profile of one run")
@@ -566,6 +673,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", metavar="FILE",
                    help="write the optimized program here")
     p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("chaos", help="dry-run a fault-injection spec (no "
+                                     "program executes)")
+    p.add_argument("--seed", type=int, default=0, metavar="N",
+                   help="rng seed for the draw sequence (default: 0)")
+    p.add_argument("--spec", metavar="KIND=RATE,...",
+                   help="fault kinds and rates (default: the built-in "
+                        "default campaign)")
+    p.add_argument("--max-faults", type=int, metavar="N",
+                   help="total fault budget for the plan")
+    p.add_argument("--draws", type=int, default=50, metavar="N",
+                   help="how many injection-point draws to probe (default: 50)")
+    p.add_argument("--points", default="alloc,transfer,transfer,launch,queue",
+                   metavar="P1,P2,...",
+                   help="cyclic probe pattern of injection points "
+                        "(default: alloc,transfer,transfer,launch,queue — "
+                        "roughly one data region + kernel per cycle)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print draws that do not fire")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("which", choices=["fig1", "fig3", "fig4", "table2", "table3", "all"])

@@ -10,13 +10,14 @@ across a whole sweep.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
 import traceback
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.suite import Benchmark
 from repro.compiler.driver import CompilerOptions, compile_ast
@@ -110,6 +111,12 @@ class RunOutcome:
     skipped_launches: int = 0
     skipped_iterations: int = 0
     sample: Optional[dict] = None
+    # Recovery trail (PR 7): filled whenever the run's context carried a
+    # CheckpointConfig, on success AND failure paths alike.
+    resumed: bool = False
+    checkpoints_saved: int = 0
+    rollbacks: int = 0
+    replayed_iterations: int = 0
 
     def describe(self) -> str:
         if self.ok:
@@ -129,26 +136,71 @@ class RunOutcome:
             skipped_launches=self.skipped_launches,
             skipped_iterations=self.skipped_iterations,
             sample=self.sample,
+            resumed=self.resumed,
+            checkpoints_saved=self.checkpoints_saved,
+            rollbacks=self.rollbacks,
+            replayed_iterations=self.replayed_iterations,
         )
 
 
-def run_variant_isolated(
+def _fill_recovery(outcome: RunOutcome, ctx: ToolchainContext) -> None:
+    """Copy the checkpoint manager's trail onto the outcome (all exit
+    paths: the trail of a crashed run is exactly what a post-mortem needs)."""
+    runtime = getattr(ctx, "last_runtime", None)
+    ckpt = getattr(runtime, "checkpointer", None) if runtime is not None else None
+    if ckpt is None:
+        return
+    outcome.resumed = bool(ckpt.resumed)
+    outcome.checkpoints_saved = ckpt.saves
+    outcome.rollbacks = ckpt.rollbacks
+    outcome.replayed_iterations = ckpt.replayed_iterations
+
+
+def _write_outcome_report(ctx: ToolchainContext, outcome: RunOutcome,
+                          error: Optional[BaseException],
+                          report_path: str) -> None:
+    """Persist a RunReport for this isolated run.  Writes on *every* exit
+    path — clean, typed error, crash, and watchdog/SIGALRM timeout — so a
+    killed sweep still leaves its recovery counters behind as an artifact."""
+    import json
+
+    from repro.obs.report import build_report
+
+    report = build_report(
+        ctx,
+        command=f"harness:{outcome.bench}/{outcome.variant}",
+        program=outcome.bench,
+        error=error,
+        extra={"outcome": {
+            "ok": outcome.ok,
+            "error_type": outcome.error_type,
+            "error_stage": outcome.error_stage,
+            "resumed": outcome.resumed,
+            "checkpoints_saved": outcome.checkpoints_saved,
+            "rollbacks": outcome.rollbacks,
+            "replayed_iterations": outcome.replayed_iterations,
+        }},
+    )
+    try:
+        with open(report_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True, default=repr)
+            handle.write("\n")
+    except OSError as err:
+        warnings.warn(f"cannot write run report {report_path!r}: {err}",
+                      stacklevel=2)
+
+
+def _guarded_attempt(
     bench: Benchmark,
     variant: str,
-    size: str = "small",
-    seed: int = 0,
-    options: Optional[CompilerOptions] = None,
-    chaos: Union[FaultPlan, FaultSpec, None] = None,
-    timeout_s: Optional[float] = None,
-    ctx: Optional[ToolchainContext] = None,
-) -> RunOutcome:
-    """Run one variant, capturing crashes and enforcing a wall-clock timeout.
-
-    Never raises: a failure (typed toolchain error, unexpected crash, or
-    timeout) comes back as a ``RunOutcome`` with ``ok=False`` so a sweep can
-    keep going.  The timeout uses SIGALRM and is only armed on the main
-    thread of a POSIX process; elsewhere the run is simply unguarded.
-    """
+    size: str,
+    seed: int,
+    options: Optional[CompilerOptions],
+    chaos: Union[FaultPlan, FaultSpec, None],
+    timeout_s: Optional[float],
+    ctx: ToolchainContext,
+) -> Tuple[RunOutcome, Optional[BaseException]]:
+    """One guarded execution; returns (outcome, caught error or None)."""
     use_alarm = (
         timeout_s is not None and timeout_s > 0
         and hasattr(signal, "SIGALRM")
@@ -181,28 +233,82 @@ def run_variant_isolated(
             skipped_iterations=int(profiler.counters.get(
                 CTR_SAMPLE_SKIPPED_ITERATIONS, 0)),
             sample=sampler.report() if sampler is not None else None,
-        )
+        ), None
     except TimeoutError as err:
         return RunOutcome(bench.name, variant, False,
                           error_type="TimeoutError", error_stage="timeout",
                           error=str(err),
-                          wall_seconds=time.perf_counter() - start)
+                          wall_seconds=time.perf_counter() - start), err
     except ReproError as err:
         return RunOutcome(bench.name, variant, False,
                           error_type=type(err).__name__,
                           error_stage=error_stage(err), error=str(err),
-                          wall_seconds=time.perf_counter() - start)
+                          wall_seconds=time.perf_counter() - start), err
     except Exception as err:
         detail = traceback.format_exc(limit=8)
         return RunOutcome(bench.name, variant, False,
                           error_type=type(err).__name__,
                           error_stage="internal",
                           error=f"{err} | {detail.splitlines()[-1].strip()}",
-                          wall_seconds=time.perf_counter() - start)
+                          wall_seconds=time.perf_counter() - start), err
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old_handler)
+
+
+def run_variant_isolated(
+    bench: Benchmark,
+    variant: str,
+    size: str = "small",
+    seed: int = 0,
+    options: Optional[CompilerOptions] = None,
+    chaos: Union[FaultPlan, FaultSpec, None] = None,
+    timeout_s: Optional[float] = None,
+    ctx: Optional[ToolchainContext] = None,
+    report_path: Optional[str] = None,
+) -> RunOutcome:
+    """Run one variant, capturing crashes and enforcing a wall-clock timeout.
+
+    Never raises: a failure (typed toolchain error, unexpected crash, or
+    timeout) comes back as a ``RunOutcome`` with ``ok=False`` so a sweep can
+    keep going.  The timeout uses SIGALRM and is only armed on the main
+    thread of a POSIX process; elsewhere the run is simply unguarded.
+
+    Crash recovery: when the context's :class:`CheckpointConfig` writes
+    on-disk snapshots and the run died abnormally (timeout / unexpected
+    crash — not a typed toolchain error, which would just recur), one resume
+    attempt is made from the last snapshot.  ``report_path`` writes a
+    RunReport on every exit path, recovery counters included.
+    """
+    ctx = ctx or default_context()
+    outcome, error = _guarded_attempt(bench, variant, size, seed, options,
+                                      chaos, timeout_s, ctx)
+    _fill_recovery(outcome, ctx)
+
+    ckpt_cfg = getattr(ctx, "checkpoint", None)
+    if (not outcome.ok
+            and ckpt_cfg is not None
+            and ckpt_cfg.dir is not None
+            and outcome.error_stage in ("timeout", "internal")):
+        snap_path = ckpt_cfg.snapshot_path()
+        if snap_path is not None and os.path.exists(snap_path):
+            ctx.checkpoint = ckpt_cfg.for_resume(snap_path)
+            try:
+                resumed_outcome, resumed_error = _guarded_attempt(
+                    bench, variant, size, seed, options, chaos, timeout_s, ctx)
+            finally:
+                ctx.checkpoint = ckpt_cfg
+            if resumed_outcome.ok:
+                # Wall clock spans both attempts; everything else describes
+                # the successful resumed execution.
+                resumed_outcome.wall_seconds += outcome.wall_seconds
+                outcome, error = resumed_outcome, resumed_error
+                _fill_recovery(outcome, ctx)
+
+    if report_path is not None:
+        _write_outcome_report(ctx, outcome, error, report_path)
+    return outcome
 
 
 def render_table(

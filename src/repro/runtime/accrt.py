@@ -80,13 +80,16 @@ class _TransferPlan:
 class AccRuntime:
     """One runtime instance per program execution."""
 
+    # Retry budget used when neither the constructor nor the context sets one.
+    DEFAULT_MAX_RETRIES = 3
+
     def __init__(
         self,
         device: Optional[Device] = None,
         profiler: Optional[Profiler] = None,
         coherence: Optional[CoherenceTracker] = None,
         chaos: Optional[FaultPlan] = None,
-        max_retries: int = 3,
+        max_retries: Optional[int] = None,
         ctx=None,
     ):
         if device is None:
@@ -113,8 +116,17 @@ class AccRuntime:
         self.device.tracer = self.tracer
         # Retry budget for operations that hit a fault marked transient
         # (TransientFault) or a detected transfer corruption.  Each retry
-        # pays CostModel.backoff_time on the simulated clock.
-        self.max_retries = max_retries
+        # pays an exponential backoff on the simulated clock.  Both the
+        # budget and the backoff base resolve explicit argument > context
+        # knob > default, so recovery policy is tunable from the CLI
+        # (--max-retries / --backoff-base) without code edits.
+        if max_retries is None:
+            max_retries = getattr(ctx, "max_retries", None)
+        self.max_retries = (self.DEFAULT_MAX_RETRIES if max_retries is None
+                            else max_retries)
+        backoff_base = getattr(ctx, "backoff_base", None)
+        self.backoff_base = (self.device.config.costs.retry_backoff_s
+                             if backoff_base is None else backoff_base)
         self.chaos = chaos
         if chaos is not None:
             chaos.profiler = self.profiler
@@ -126,6 +138,9 @@ class AccRuntime:
         # Phase sampler (repro.sampling.PhaseSampler) — attaches itself when
         # the run is sampled; None keeps launch/transfer paths hook-free.
         self.sampler = None
+        # Checkpoint/rollback manager (repro.runtime.checkpoint) — attaches
+        # itself when the run is checkpointed; None in normal operation.
+        self.checkpointer = None
         if coherence is not None:
             coherence.tracer = self.tracer
         self.launch_log: List[LaunchResult] = []
@@ -330,7 +345,6 @@ class AccRuntime:
         modeled time, and a re-copy repairs the payload exactly).  Retries
         beyond ``max_retries`` surface the typed error."""
         attempt = 0
-        costs = self.device.config.costs
         while True:
             try:
                 seconds = op()
@@ -343,7 +357,7 @@ class AccRuntime:
             except (TransientFault, TransferCorruptionError) as err:
                 if attempt >= self.max_retries:
                     raise
-                backoff = costs.backoff_time(attempt)
+                backoff = self.backoff_time(attempt)
                 self.profiler.spend(CAT_TRANSFER, backoff)
                 self.profiler.count(CTR_TRANSFER_RETRIED)
                 self.profiler.observe(HIST_RETRY_BACKOFF_S, backoff)
@@ -370,14 +384,13 @@ class AccRuntime:
         """Generic retry-with-backoff for operations whose faults are marked
         transient (device allocation, kernel launch)."""
         attempt = 0
-        costs = self.device.config.costs
         while True:
             try:
                 return op()
             except TransientFault as err:
                 if attempt >= self.max_retries:
                     raise
-                backoff = costs.backoff_time(attempt)
+                backoff = self.backoff_time(attempt)
                 self.profiler.spend(category, backoff)
                 self.profiler.count(counter)
                 self.profiler.observe(HIST_RETRY_BACKOFF_S, backoff)
@@ -530,3 +543,51 @@ class AccRuntime:
 
     def _charge_check(self) -> None:
         self.profiler.spend(CAT_CHECK, self.device.config.costs.check_call_s)
+
+    def backoff_time(self, attempt: int) -> float:
+        """Modeled backoff before retry ``attempt`` (doubles per attempt,
+        from the context-tunable base)."""
+        return self.backoff_base * (2 ** attempt)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Deep copy of every stateful runtime layer.  The dirty map is
+        captured here even when a coherence tracker shares it (one capture,
+        restored in place, keeps both references coherent); the chaos entry
+        is captured always but applied only on disk resume (see
+        :meth:`FaultPlan.snapshot_state` for why rollback skips it)."""
+        return {
+            "device": self.device.snapshot_state(),
+            "present": self.present.snapshot_state(),
+            "queues": self.queues.snapshot_state(),
+            "profiler": self.profiler.snapshot_state(),
+            "dirty": self.dirty.snapshot_state(),
+            "coherence": (self.coherence.snapshot_state()
+                          if self.coherence is not None else None),
+            "chaos": (self.chaos.snapshot_state()
+                      if self.chaos is not None else None),
+            "launch_log": list(self.launch_log),
+            "transfer_log": list(self.transfer_log),
+            "pending_pins": dict(self._pending_pins),
+        }
+
+    def restore_state(self, state: Dict[str, object],
+                      restore_chaos: bool = False) -> None:
+        from repro.runtime.profiler import RECOVERY_COUNTER_PREFIX
+
+        self.device.restore_state(state["device"])
+        self.present.restore_state(state["present"])
+        self.queues.restore_state(state["queues"])
+        self.profiler.restore_state(
+            state["profiler"],
+            keep_counter_prefixes=(RECOVERY_COUNTER_PREFIX,))
+        self.dirty.restore_state(state["dirty"])
+        if self.coherence is not None and state["coherence"] is not None:
+            self.coherence.restore_state(state["coherence"])
+        if restore_chaos and self.chaos is not None and state["chaos"] is not None:
+            self.chaos.restore_state(state["chaos"])
+        self.launch_log[:] = state["launch_log"]
+        self.transfer_log[:] = state["transfer_log"]
+        self._pending_pins = dict(state["pending_pins"])

@@ -190,6 +190,14 @@ class ToolchainContext:
         # Phase-sampled execution (repro.sampling.SamplingConfig); None —
         # the default — keeps every run bit-identical to an unsampled one.
         self.sampling = None
+        # Checkpoint/rollback recovery (repro.runtime.checkpoint
+        # .CheckpointConfig); None — the default — runs without snapshots.
+        self.checkpoint = None
+        # Fault-handling knobs: retry ceiling for transient faults and the
+        # backoff base seconds.  None defers to AccRuntime defaults / the
+        # cost model, keeping existing runs bit-identical.
+        self.max_retries: Optional[int] = None
+        self.backoff_base: Optional[float] = None
         # CLI observability hooks.
         self.dump_after: Optional[str] = None
         self.dump_sink: Callable[[str], None] = print

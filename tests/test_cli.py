@@ -418,3 +418,120 @@ class TestProfileJsonFormat:
             {"var", "site", "direction", "count", "bytes"} <= set(s)
             for s in sites)
         assert sum(s["bytes"] for s in sites) == rep["bytes"]["total"]
+
+
+LOOPY = """
+int N;
+int T;
+double a[N];
+
+void main()
+{
+    for (int i = 0; i < N; i++) { a[i] = (double)i; }
+    #pragma acc data copy(a)
+    {
+        for (int t = 0; t < T; t++) {
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            #pragma acc update host(a)
+        }
+    }
+    printf("a0=%f\\n", a[0]);
+}
+"""
+
+
+@pytest.fixture
+def loopy_file(tmp_path):
+    path = tmp_path / "loopy.c"
+    path.write_text(LOOPY)
+    return str(path)
+
+
+class TestRecoveryFlags:
+    def test_checkpoint_every_reports_recovery_line(self, loopy_file, capsys):
+        assert main(["run", loopy_file, "-p", "N=16", "-p", "T=6",
+                     "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "a0=6.0" in out
+        assert "-- recovery:" in out
+        assert "0 rollback(s)" in out
+
+    def test_checkpointed_chaos_run_rolls_back(self, loopy_file, capsys):
+        # Seeded so a mid-loop transfer fault triggers rollback-and-replay
+        # (retries disabled so the fault escalates past the retry layer).
+        assert main(["run", loopy_file, "-p", "N=16", "-p", "T=6",
+                     "--checkpoint-every", "1", "--max-retries", "0",
+                     "--chaos-seed", "6",
+                     "--chaos-spec", "transfer=0.25,transfer.corrupt=0.15",
+                     ]) == 0
+        out = capsys.readouterr().out
+        assert "a0=6.0" in out          # same answer as the fault-free run
+        assert "-- recovery:" in out
+        assert "0 rollback(s)" not in out
+
+    def test_resume_round_trip(self, loopy_file, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert main(["run", loopy_file, "-p", "N=16", "-p", "T=6",
+                     "--checkpoint-every", "2",
+                     "--checkpoint-dir", ckpt_dir]) == 0
+        first = capsys.readouterr().out
+        assert "last snapshot:" in first
+        snap = str(tmp_path / "ckpts" / "run.ckpt")
+        assert main(["run", loopy_file, "-p", "N=16", "-p", "T=6",
+                     "--resume", snap]) == 0
+        resumed = capsys.readouterr().out
+        assert "[resumed from snapshot]" in resumed
+        assert "a0=6.0" in resumed
+
+    def test_retry_knobs_accepted(self, good_file, capsys):
+        assert main(["run", good_file, "-p", "N=8",
+                     "--max-retries", "5", "--backoff-base", "0.001"]) == 0
+        assert "r=7.0" in capsys.readouterr().out
+
+    def test_bad_checkpoint_every_rejected(self, loopy_file):
+        with pytest.raises(SystemExit):
+            main(["run", loopy_file, "-p", "N=16", "-p", "T=6",
+                  "--checkpoint-every", "0"])
+
+    def test_checkpoint_dir_requires_every(self, loopy_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", loopy_file, "-p", "N=16", "-p", "T=6",
+                  "--checkpoint-dir", str(tmp_path)])
+
+    def test_negative_retry_knobs_rejected(self, good_file):
+        with pytest.raises(SystemExit):
+            main(["run", good_file, "-p", "N=8", "--max-retries", "-1"])
+        with pytest.raises(SystemExit):
+            main(["run", good_file, "-p", "N=8", "--backoff-base", "-0.5"])
+
+
+class TestChaosCommand:
+    def test_dry_run_prints_fires_and_summary(self, capsys):
+        assert main(["chaos", "--spec", "transfer=1.0", "--draws", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "-- chaos dry-run: seed=0" in out
+        assert "FIRES" in out
+        assert "chaos:" in out  # plan.summary() trailer
+
+    def test_default_spec(self, capsys):
+        assert main(["chaos", "--seed", "3", "--draws", "10"]) == 0
+        assert "-- probing 10 draw(s)" in capsys.readouterr().out
+
+    def test_verbose_shows_clean_draws(self, capsys):
+        assert main(["chaos", "--spec", "alloc=0.0", "--draws", "3",
+                     "-v"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_budget_exhaustion_reported(self, capsys):
+        assert main(["chaos", "--spec", "transfer=1.0", "--max-faults", "2",
+                     "--draws", "20"]) == 0
+        assert "fault budget exhausted" in capsys.readouterr().out
+
+    def test_bad_points_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--points", "bogus"])
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--spec", "nope=1.0"])
