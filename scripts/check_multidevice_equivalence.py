@@ -1,0 +1,221 @@
+"""CI gate: multi-device sharding must be a pure cost optimization.
+
+Runs every benchmark (both source variants) at ``--devices 1`` and at each
+multi-device count (default 2 and 4) and asserts:
+
+* every program global is **bit-identical** across device counts — the
+  shard/halo-exchange machinery never changes program results;
+* host<->device transfer bytes are **identical** across counts (the gateway
+  model keeps PCIe traffic single-device-exact; peer traffic is D2D only);
+* memory verification reports the **same host<->device findings**
+  (kind/var/site/context) at every device count;
+* modeled GPU-kernel time **strictly decreases** on every benchmark that
+  shards, so the partitioner demonstrably earns its keep;
+* D2D byte accounting is **exact**: the DeviceSet total equals the sum over
+  its copy log and equals the ``bytes.d2d`` / ``transfer.d2d_copies``
+  metrics counters;
+* the set of benchmarks that *cannot* shard (typed
+  :class:`ShardingConflictError`) matches the committed expectation — a
+  benchmark silently regressing from shardeable to conflicted fails the
+  gate, as does a conflict clearing without this list being updated.
+
+Writes a JSON report (uploaded as a CI artifact).
+
+Usage: PYTHONPATH=src python scripts/check_multidevice_equivalence.py
+           [--size SIZE] [--devices N ...] [--output PATH]
+           [--min-sharded N]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import suite
+from repro.device.device import DeviceConfig
+from repro.errors import ShardingConflictError
+from repro.interp import run_compiled
+from repro.runtime.coherence import HOST_DEVICE_KINDS
+from repro.runtime.profiler import CAT_KERNEL, CTR_BYTES_D2D, CTR_TRANSFER_D2D
+from repro.toolchain import ToolchainContext
+from repro.verify.memverify import MemVerifier
+
+# Benchmarks whose kernels the vectorizer accepts but whose write/read
+# structure cannot shard (non-one-element-per-thread writes, cross-lane
+# reads, or interleaved-only kernels).  Every entry is (benchmark, variant).
+EXPECTED_CONFLICTS = frozenset({
+    ("BFS", "optimized"), ("BFS", "unoptimized"),
+    ("CFD", "optimized"),
+    ("EP", "optimized"), ("EP", "unoptimized"),
+    ("LUD", "optimized"), ("LUD", "unoptimized"),
+    ("NW", "optimized"), ("NW", "unoptimized"),
+    ("SRAD", "optimized"), ("SRAD", "unoptimized"),
+})
+
+
+def run_one(bench, variant: str, params: dict, devices: int) -> dict:
+    """One (benchmark, variant) at one device count: final globals, byte
+    accounting, kernel seconds, and memverify findings.  Raises
+    ShardingConflictError when the benchmark cannot shard at this count."""
+    config = DeviceConfig(devices=devices) if devices > 1 else None
+    ctx = ToolchainContext(device_config=config)
+    compiled = bench.compile(variant, ctx=ctx)
+    interp = run_compiled(compiled, params=params, ctx=ctx)
+    arrays = {}
+    for decl in compiled.program.decls:
+        value = interp.env.load(decl.name)
+        arrays[decl.name] = (
+            value.tobytes() if isinstance(value, np.ndarray) else value
+        )
+    runtime = interp.runtime
+    devset = runtime.devset
+    counters = runtime.profiler.counters
+
+    verify_ctx = ToolchainContext(device_config=config)
+    report = MemVerifier(
+        bench.compile(variant, ctx=verify_ctx), params=params,
+        ctx=verify_ctx,
+    ).run()
+    return {
+        "arrays": arrays,
+        "host_bytes": runtime.device.total_transferred_bytes(),
+        "kernel_seconds": runtime.profiler.breakdown().get(CAT_KERNEL, 0.0),
+        "d2d_bytes": devset.bytes_d2d,
+        "d2d_copies": devset.d2d_copies,
+        "d2d_log_bytes": sum(c.nbytes for c in devset.d2d_log),
+        "d2d_log_copies": len(devset.d2d_log),
+        "ctr_d2d_bytes": int(counters.get(CTR_BYTES_D2D, 0)),
+        "ctr_d2d_copies": int(counters.get(CTR_TRANSFER_D2D, 0)),
+        "findings": [
+            (f.kind, f.var, f.site, f.context)
+            for f in report.findings if f.kind in HOST_DEVICE_KINDS
+        ],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="tiny",
+                        choices=["tiny", "small", "large"])
+    parser.add_argument("--devices", type=int, nargs="+", default=[2, 4],
+                        help="multi-device counts to compare against 1")
+    parser.add_argument("--output", default="BENCH_multidevice.json")
+    parser.add_argument("--min-sharded", type=int, default=6,
+                        help="fail unless at least this many "
+                             "(benchmark, variant) pairs actually shard "
+                             "at every device count")
+    args = parser.parse_args()
+    counts = sorted(set(args.devices) - {1})
+    if not counts or any(n < 2 for n in counts):
+        parser.error("--devices wants counts >= 2")
+
+    failures = []
+    report = {"size": args.size, "devices": counts, "benchmarks": {}}
+    sharded = {n: 0 for n in counts}
+    seen_conflicts = set()
+    for name in suite.all_names():
+        bench = suite.get(name)
+        params = bench.params(args.size)
+        entry = {}
+        for variant in ("optimized", "unoptimized"):
+            base = run_one(bench, variant, params, 1)
+            ventry = {
+                "host_bytes": base["host_bytes"],
+                "kernel_seconds_1": base["kernel_seconds"],
+                "per_count": {},
+            }
+            for n in counts:
+                try:
+                    multi = run_one(bench, variant, params, n)
+                except ShardingConflictError as err:
+                    seen_conflicts.add((name, variant))
+                    ventry["per_count"][n] = {"conflict": str(err)}
+                    print(f"{name:10s} {variant:12s} x{n}: conflict "
+                          f"({type(err).__name__})")
+                    continue
+                mismatched = [
+                    var for var in base["arrays"]
+                    if not (np.array_equal(base["arrays"][var],
+                                           multi["arrays"][var])
+                            if not isinstance(base["arrays"][var], bytes)
+                            else base["arrays"][var] == multi["arrays"][var])
+                ]
+                if mismatched:
+                    failures.append(
+                        f"{name} {variant} x{n}: outputs differ from "
+                        f"single-device for {mismatched}")
+                if multi["host_bytes"] != base["host_bytes"]:
+                    failures.append(
+                        f"{name} {variant} x{n}: host<->device bytes "
+                        f"{multi['host_bytes']} != {base['host_bytes']}")
+                if multi["findings"] != base["findings"]:
+                    failures.append(
+                        f"{name} {variant} x{n}: host<->device coherence "
+                        f"findings differ from single-device")
+                if not multi["kernel_seconds"] < base["kernel_seconds"]:
+                    failures.append(
+                        f"{name} {variant} x{n}: kernel time did not "
+                        f"decrease ({multi['kernel_seconds']:.3e} vs "
+                        f"{base['kernel_seconds']:.3e})")
+                exact = (multi["d2d_bytes"] == multi["d2d_log_bytes"]
+                         == multi["ctr_d2d_bytes"]
+                         and multi["d2d_copies"] == multi["d2d_log_copies"]
+                         == multi["ctr_d2d_copies"])
+                if not exact:
+                    failures.append(
+                        f"{name} {variant} x{n}: D2D accounting inexact "
+                        f"(set={multi['d2d_bytes']} "
+                        f"log={multi['d2d_log_bytes']} "
+                        f"ctr={multi['ctr_d2d_bytes']})")
+                sharded[n] += 1
+                ventry["per_count"][n] = {
+                    "kernel_seconds": multi["kernel_seconds"],
+                    "d2d_bytes": multi["d2d_bytes"],
+                    "d2d_copies": multi["d2d_copies"],
+                }
+                print(f"{name:10s} {variant:12s} x{n}: ok "
+                      f"kernel {base['kernel_seconds'] * 1e6:8.1f}us -> "
+                      f"{multi['kernel_seconds'] * 1e6:8.1f}us, "
+                      f"d2d {multi['d2d_bytes']:8d}B "
+                      f"in {multi['d2d_copies']} copies")
+            entry[variant] = ventry
+        report["benchmarks"][name] = entry
+
+    if seen_conflicts != EXPECTED_CONFLICTS:
+        regressed = sorted(seen_conflicts - EXPECTED_CONFLICTS)
+        cleared = sorted(EXPECTED_CONFLICTS - seen_conflicts)
+        if regressed:
+            failures.append(
+                f"newly unshardeable benchmarks: {regressed}")
+        if cleared:
+            failures.append(
+                f"benchmarks now shard but are still listed as expected "
+                f"conflicts (update EXPECTED_CONFLICTS): {cleared}")
+    for n, count in sharded.items():
+        if count < args.min_sharded:
+            failures.append(
+                f"only {count} (benchmark, variant) pairs sharded at "
+                f"x{n} (need >= {args.min_sharded})")
+
+    report["sharded"] = sharded
+    report["conflicts"] = sorted(f"{b}/{v}" for b, v in seen_conflicts)
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nmultidevice-equivalence check FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"\nmultidevice-equivalence OK: outputs, host bytes and findings "
+          f"identical across device counts {[1] + counts}; "
+          f"{sharded} pairs sharded with exact D2D accounting")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

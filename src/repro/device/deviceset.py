@@ -1,0 +1,230 @@
+"""DeviceSet: N simulated GPUs behind one runtime, with modeled P2P links.
+
+The single-device runtime talks to one :class:`~repro.device.device.Device`;
+under ``--devices N`` it talks to a :class:`DeviceSet` instead — N devices
+plus a :class:`Topology` of peer-to-peer links (their own latency and
+bandwidth, NVLink-style defaults in the cost model).  The set owns the
+cross-device bookkeeping the partitioner needs:
+
+* a :class:`~repro.runtime.intervals.ReplicaMap` tracking which elements of
+  each device's replica are stale relative to the logical (single-device)
+  value;
+* the halo-exchange executor (:meth:`DeviceSet.pull`): given the interval
+  set a destination device needs fresh, it synthesizes the minimal D2D
+  copies from whichever peers hold those elements fresh;
+* per-device and total D2D byte accounting, plus cross-device coherence
+  findings (``p2p-missing`` / ``p2p-redundant`` / ``stale-replica``) that
+  go beyond the paper's host<->device finding kinds.
+
+Device 0 is the *gateway*: all host<->device traffic lands on it, so the
+host-side :class:`~repro.runtime.coherence.CoherenceTracker` and
+:class:`~repro.runtime.intervals.DirtyMap` keep their exact single-device
+semantics.  Multi-device traffic is explicit D2D only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.device import Device, DeviceConfig
+from repro.errors import ShardingError
+from repro.runtime.intervals import IntervalSet, ReplicaMap
+
+__all__ = ["P2PLink", "Topology", "D2DCopy", "DeviceSet"]
+
+
+@dataclass(frozen=True)
+class P2PLink:
+    """One modeled peer-to-peer link."""
+
+    latency_s: float
+    bandwidth_Bps: float
+
+    def time_batched(self, nbatches: int, nbytes: int) -> float:
+        """One link latency per contiguous batch, bandwidth per byte."""
+        return nbatches * self.latency_s + nbytes / self.bandwidth_Bps
+
+
+class Topology:
+    """All-to-all uniform crossbar: every device pair shares one link
+    model (an NVSwitch-style fabric).  Kept as its own class so richer
+    topologies (rings, PCIe trees) can drop in without touching callers."""
+
+    def __init__(self, ndevices: int, link: P2PLink):
+        self.ndevices = ndevices
+        self._link = link
+
+    def link(self, src: int, dst: int) -> P2PLink:
+        if not (0 <= src < self.ndevices and 0 <= dst < self.ndevices):
+            raise ShardingError(
+                f"no P2P link between devices {src} and {dst} "
+                f"(topology has {self.ndevices} devices)")
+        return self._link
+
+    @classmethod
+    def from_config(cls, config: DeviceConfig) -> "Topology":
+        costs = config.costs
+        return cls(max(1, config.devices),
+                   P2PLink(costs.p2p_latency_s, costs.p2p_bandwidth_Bps))
+
+
+@dataclass(frozen=True)
+class D2DCopy:
+    """One executed device-to-device copy (possibly several interval
+    batches over the same link, charged as one transfer)."""
+
+    var: str
+    src: int
+    dst: int
+    intervals: Tuple[Tuple[int, int], ...]
+    nbytes: int
+
+
+class DeviceSet:
+    """N simulated devices + links + replica-validity bookkeeping."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None, chaos=None,
+                 devices: Optional[List[Device]] = None):
+        self.config = config or DeviceConfig()
+        if devices is not None:
+            self.devices = devices
+        else:
+            n = max(1, self.config.devices)
+            # Chaos only ever attaches on the single-device path (the
+            # runtime rejects chaos at N>1), so the gateway carries it.
+            self.devices = [Device(self.config, chaos if d == 0 else None,
+                                   index=d)
+                            for d in range(n)]
+        self.ndevices = len(self.devices)
+        costs = self.config.costs
+        self.topology = Topology(
+            self.ndevices, P2PLink(costs.p2p_latency_s, costs.p2p_bandwidth_Bps))
+        self.replicas = ReplicaMap(self.ndevices)
+        self.bytes_d2d = 0
+        self.d2d_copies = 0
+        self.d2d_sent = [0] * self.ndevices
+        self.d2d_recv = [0] * self.ndevices
+        self.d2d_log: List[D2DCopy] = []
+        # Cross-device coherence findings (repro.runtime.coherence kinds
+        # P2P_MISSING / P2P_REDUNDANT / STALE_REPLICA).
+        self.findings: List = []
+
+    @classmethod
+    def wrap(cls, device: Device) -> "DeviceSet":
+        """Adopt an explicitly constructed single device (tests and direct
+        runtime embedding pass a Device; behavior must stay identical)."""
+        return cls(config=device.config, devices=[device])
+
+    @property
+    def primary(self) -> Device:
+        """The gateway device: all host<->device traffic goes through it."""
+        return self.devices[0]
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle (mirrored allocation)
+    # ------------------------------------------------------------------
+    def alloc_peers(self, var: str, shape: Tuple[int, ...], dtype) -> List[int]:
+        """Mirror an allocation the gateway already made onto every peer.
+        Peer allocations overlap the gateway's in modeled time (simultaneous
+        cudaMalloc on independent devices), so they charge nothing extra.
+        All replicas start zero-filled and identical -> no stale intervals."""
+        handles = []
+        for dev in self.devices[1:]:
+            handles.append(dev.alloc(var, shape, dtype))
+        size = 1
+        for dim in shape:
+            size *= dim
+        self.replicas.bind(var, size)
+        return handles
+
+    def free_peers(self, var: str, handles: List[int]) -> None:
+        for dev, handle in zip(self.devices[1:], handles):
+            dev.free(handle)
+        self.replicas.drop(var)
+
+    # ------------------------------------------------------------------
+    # Halo exchange
+    # ------------------------------------------------------------------
+    def pull(self, var: str, dst: int, needed: IntervalSet,
+             handles: List[int], site: str = "") -> List[D2DCopy]:
+        """Make device ``dst`` fresh over ``needed``: synthesize the minimal
+        D2D copies from peers that hold the missing elements fresh, execute
+        them, update the replica map, and return the executed copies (the
+        runtime charges their modeled P2P time).  ``handles[d]`` is ``var``'s
+        buffer on device ``d``."""
+        missing = self.replicas.missing(var, dst, needed)
+        if not missing:
+            return []
+        copies: List[D2DCopy] = []
+        for src in range(self.ndevices):
+            if src == dst or not missing:
+                continue
+            avail = missing.difference(self.replicas.stale(var, src))
+            if not avail:
+                continue
+            copies.append(self._copy(var, src, dst, avail, handles))
+            missing = missing.difference(avail)
+        if missing:
+            # Invariant breach: no replica holds these elements fresh.  A
+            # correct exchange plan never reaches here; record the error
+            # finding and fall back to the gateway so execution stays
+            # deterministic rather than reading junk silently.
+            from repro.runtime.coherence import P2P_MISSING, Finding
+
+            self.findings.append(Finding(
+                P2P_MISSING, var, site or f"dev{dst}",
+                context=(), nbytes_wasted=0))
+            copies.append(self._copy(var, 0, dst, missing, handles))
+        return copies
+
+    def _copy(self, var: str, src: int, dst: int, ivs: IntervalSet,
+              handles: List[int]) -> D2DCopy:
+        src_flat = self.devices[src].array(handles[src]).reshape(-1)
+        dst_flat = self.devices[dst].array(handles[dst]).reshape(-1)
+        itemsize = dst_flat.itemsize
+        nbytes = 0
+        for a, b in ivs:
+            dst_flat[a:b] = src_flat[a:b]
+            nbytes += (b - a) * itemsize
+        self.replicas.mark_fresh(var, dst, ivs)
+        copy = D2DCopy(var, src, dst, tuple(ivs.intervals()), nbytes)
+        self.bytes_d2d += nbytes
+        self.d2d_copies += 1
+        self.d2d_sent[src] += nbytes
+        self.d2d_recv[dst] += nbytes
+        self.d2d_log.append(copy)
+        return copy
+
+    def p2p_time(self, copy: D2DCopy) -> float:
+        return self.topology.link(copy.src, copy.dst).time_batched(
+            len(copy.intervals), copy.nbytes)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Peer device states + replica validity + D2D accounting.  The
+        gateway device is snapshotted by the runtime itself (under the
+        historical 'device' key), not here."""
+        return {
+            "peers": [dev.snapshot_state() for dev in self.devices[1:]],
+            "replicas": self.replicas.snapshot_state(),
+            "bytes_d2d": self.bytes_d2d,
+            "d2d_copies": self.d2d_copies,
+            "d2d_sent": list(self.d2d_sent),
+            "d2d_recv": list(self.d2d_recv),
+            "d2d_log": list(self.d2d_log),
+            "findings": list(self.findings),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        for dev, snap in zip(self.devices[1:], state["peers"]):
+            dev.restore_state(snap)
+        self.replicas.restore_state(state["replicas"])
+        self.bytes_d2d = state["bytes_d2d"]
+        self.d2d_copies = state["d2d_copies"]
+        self.d2d_sent[:] = state["d2d_sent"]
+        self.d2d_recv[:] = state["d2d_recv"]
+        self.d2d_log[:] = state["d2d_log"]
+        self.findings[:] = state["findings"]

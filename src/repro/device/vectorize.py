@@ -75,12 +75,25 @@ class VectorBailout(Exception):
 # ---------------------------------------------------------------------------
 
 class VectorPlan:
-    """A positive vectorizability verdict for one kernel program."""
+    """A positive vectorizability verdict for one kernel program.
 
-    __slots__ = ("written_arrays",)
+    Besides the verdict itself the plan retains the *access shapes* the
+    analysis already proved safe: for every device array, the distinct
+    subscript-component AST tuples it is accessed through (``accesses``),
+    and for written arrays the single proven one-element-per-thread write
+    tuple (``write_tuples``).  The multi-device partitioner re-evaluates
+    these ASTs over a shard's lanes to predict per-shard footprints without
+    executing the kernel."""
 
-    def __init__(self, written_arrays: frozenset):
+    __slots__ = ("written_arrays", "accesses", "write_tuples")
+
+    def __init__(self, written_arrays: frozenset, accesses=None,
+                 write_tuples=None):
         self.written_arrays = written_arrays
+        # root -> tuple of component-AST tuples (reads and writes, deduped).
+        self.accesses: Dict[str, tuple] = accesses or {}
+        # root -> the unique write component-AST tuple.
+        self.write_tuples: Dict[str, tuple] = write_tuples or {}
 
 
 class _Reject(Exception):
@@ -154,6 +167,10 @@ def _analyze(spec) -> VectorPlan:
     writes: Dict[str, set] = {}
     # For each write tuple, which components are bare partition index vars.
     bare_vars: Dict[Tuple[str, Tuple[str, ...]], set] = {}
+    # Retained ASTs: root -> {source-key: component-AST tuple}, plus the
+    # write tuple per root (for the multi-device footprint probe).
+    access_asts: Dict[str, Dict[Tuple[str, ...], tuple]] = {}
+    write_asts: Dict[str, tuple] = {}
 
     def subscript_parts(expr: ast.Subscript):
         comps: List[ast.Expr] = []
@@ -175,9 +192,11 @@ def _analyze(spec) -> VectorPlan:
         root, comps = subscript_parts(expr)
         key = tuple(expr_to_source(c) for c in comps)
         (writes if is_write else reads).setdefault(root, set()).add(key)
+        access_asts.setdefault(root, {}).setdefault(key, tuple(comps))
         if is_write:
             bare = {c.id for c in comps if isinstance(c, ast.Name) and c.id in index_vars}
             bare_vars[(root, key)] = bare
+            write_asts[root] = tuple(comps)
         for comp in comps:
             check_expr(comp)
 
@@ -292,7 +311,12 @@ def _analyze(spec) -> VectorPlan:
                 f"array {root!r} read through a different index tuple than written"
             )
 
-    return VectorPlan(frozenset(writes))
+    return VectorPlan(
+        frozenset(writes),
+        accesses={root: tuple(per_key.values())
+                  for root, per_key in access_asts.items()},
+        write_tuples=dict(write_asts),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -832,7 +856,7 @@ def _compile_vstmt(stmt: ast.Stmt) -> Callable:
 # ---------------------------------------------------------------------------
 
 def execute(spec, plan: VectorPlan, max_total_steps: int,
-            collect_writes: bool = False):
+            collect_writes: bool = False, partials_out=None):
     """Run ``spec`` vectorized.  Returns (total_steps, max_thread_steps,
     reductions, write_sets) and commits array writes; raises
     :class:`VectorBailout` (device memory untouched) when exact semantics
@@ -935,6 +959,11 @@ def execute(spec, plan: VectorPlan, max_total_steps: int,
     reductions = {}
     for name, (op, dtype) in red_info.items():
         partials = ctx.regs[name].tolist()
+        if partials_out is not None:
+            # Lane-order partials for the multi-device merger: reducing the
+            # concatenation of every shard's partials in one tree reproduces
+            # the single-device combine order bit-for-bit.
+            partials_out[name] = list(partials)
         reductions[name] = tree_reduce(op, partials, dtype)
 
     return total, int(steps.max()) if nlanes else 0, reductions, write_sets

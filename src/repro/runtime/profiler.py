@@ -73,6 +73,9 @@ CAT_CPU = "CPU Time"
 # Extra categories.
 CAT_KERNEL = "GPU Kernel"
 CAT_CHECK = "Coherence-Check"
+# Device-to-device traffic over modeled P2P links (multi-device runs only;
+# always 0.0 at --devices 1, so single-device breakdowns are unchanged).
+CAT_P2P = "P2P Transfer"
 
 # Counter names (Profiler.count) for the execution-backend split: how many
 # kernel launches ran on the vectorized fast path vs. the interleaved
@@ -98,6 +101,11 @@ CTR_LAUNCH_DEGRADED = register_counter("launch.degraded")
 CTR_BYTES_H2D = register_counter("bytes.h2d")
 CTR_BYTES_D2H = register_counter("bytes.d2h")
 CTR_BYTES_SAVED = register_counter("bytes.saved")
+
+# Multi-device (DeviceSet) traffic: bytes that crossed a modeled peer-to-peer
+# link and how many D2D copies carried them.  Both stay zero at --devices 1.
+CTR_BYTES_D2D = register_counter("bytes.d2d")
+CTR_TRANSFER_D2D = register_counter("transfer.d2d_copies")
 
 # Chaos-injection counters (bumped by FaultPlan.draw); the per-kind family
 # is dynamic — one counter per fault kind actually injected.
@@ -137,6 +145,7 @@ ALL_CATEGORIES = (
     CAT_CPU,
     CAT_KERNEL,
     CAT_CHECK,
+    CAT_P2P,
 )
 
 

@@ -1,0 +1,143 @@
+"""Properties of the gang-loop partitioner and halo-exchange planner.
+
+Two load-bearing invariants from the multi-device design:
+
+* the lane split is a partition: per-shard ranges are disjoint and cover
+  ``[0, nthreads)`` exactly, and per-shard *predicted write footprints* of
+  exact probes are disjoint and union to the full launch's footprint — a
+  statically race-free launch stays race-free across devices;
+* a synthesized halo-exchange plan moves exactly the interval-set
+  difference of what the reader needs versus what it already holds fresh —
+  no byte twice, no byte missing (any shortfall is surfaced explicitly as
+  ``unsatisfied``, never silently dropped).
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import suite
+from repro.device import vectorize
+from repro.device.engine import KernelEngine
+from repro.interp import run_compiled
+from repro.runtime.intervals import IntervalSet
+from repro.runtime.partition import plan_pulls, shard_footprints, shard_ranges
+
+# ---------------------------------------------------------------------------
+# shard_ranges: the lane split is a balanced partition
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 4096), st.integers(1, 12))
+@settings(max_examples=300)
+def test_shard_ranges_partition_iteration_space(nthreads, ndevices):
+    shards = shard_ranges(nthreads, ndevices)
+    assert len(shards) == ndevices
+    cursor = 0
+    for lo, hi in shards:
+        assert lo == cursor      # contiguous, in order, no gap
+        assert hi >= lo          # possibly empty, never inverted
+        cursor = hi
+    assert cursor == max(0, nthreads)
+    sizes = [hi - lo for lo, hi in shards]
+    assert max(sizes) - min(sizes) <= 1   # balanced to within one lane
+
+
+# ---------------------------------------------------------------------------
+# plan_pulls: copies == needed & stale[dst], minus the explicit shortfall
+# ---------------------------------------------------------------------------
+
+interval_sets = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(1, 16)), max_size=6
+).map(lambda pairs: IntervalSet([(a, a + n) for a, n in pairs]))
+
+
+@given(interval_sets, st.lists(interval_sets, min_size=1, max_size=5),
+       st.data())
+@settings(max_examples=300)
+def test_plan_pulls_is_exact_set_difference(needed, stale, data):
+    dst = data.draw(st.integers(0, len(stale) - 1))
+    copies, unsatisfied = plan_pulls(needed, stale, dst)
+
+    target = needed.intersection(stale[dst])
+    moved = IntervalSet()
+    for src, ivs in copies:
+        assert src != dst
+        # A source only ever serves bytes it holds fresh.
+        assert not ivs.intersection(stale[src])
+        # No byte crosses the fabric twice.
+        assert not moved.intersection(ivs)
+        moved = moved.union(ivs)
+    # Exactly the reader-needed-minus-locally-fresh bytes move (plus the
+    # surfaced shortfall), and nothing else.
+    assert moved.union(unsatisfied) == target
+    assert not moved.intersection(unsatisfied)
+    # The shortfall is precisely the bytes no replica holds fresh.
+    expected_short = target
+    for src in range(len(stale)):
+        if src != dst:
+            expected_short = expected_short.intersection(stale[src])
+    assert unsatisfied == expected_short
+
+
+# ---------------------------------------------------------------------------
+# shard_footprints: per-shard planned writes partition the launch's writes
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _captured_specs(name, variant="optimized"):
+    """Run one benchmark single-device and capture every LaunchSpec the
+    engine sees (the same specs the multi-device runtime would shard)."""
+    specs = []
+    bench = suite.get(name)
+    orig = KernelEngine.launch
+
+    def spy(self, spec, *a, **k):
+        specs.append(spec)
+        return orig(self, spec, *a, **k)
+
+    KernelEngine.launch = spy
+    try:
+        run_compiled(bench.compile(variant), params=bench.params("tiny"))
+    finally:
+        KernelEngine.launch = orig
+    return tuple(specs)
+
+
+def _footprint_partition_holds(spec, ndev):
+    plan = vectorize.plan_for(spec)
+    if plan is None:
+        return
+    shards = shard_ranges(spec.nthreads, ndev)
+    foots = shard_footprints(spec, plan, shards)
+    whole = shard_footprints(spec, plan, [(0, spec.nthreads)])[0]
+    for root in plan.written_arrays:
+        per_shard = [per[root] for per in foots]
+        if not all(fp.exact for fp in per_shard) or not whole[root].exact:
+            continue   # inexact probes fall back to whole-array; no claim
+        union = IntervalSet()
+        for fp in per_shard:
+            # Disjoint: the static race-free proof (one element per thread)
+            # survives the lane split — no two shards plan the same write.
+            assert not union.intersection(fp.planned), (
+                f"{spec.name}/{root}: overlapping shard writes at x{ndev}")
+            union = union.union(fp.planned)
+            # A shard's pull set covers everything it plans to write.
+            assert not fp.planned.difference(fp.needed)
+        # Covering: shard writes union to exactly the full launch's writes.
+        assert union == whole[root].planned, (
+            f"{spec.name}/{root}: shard writes do not cover the launch "
+            f"footprint at x{ndev}")
+
+
+@pytest.mark.parametrize("name", ["JACOBI", "HOTSPOT", "KMEANS", "SPMUL",
+                                  "BACKPROP", "CG"])
+@pytest.mark.parametrize("ndev", [2, 3, 4, 7])
+def test_shard_write_footprints_partition_launch_writes(name, ndev):
+    specs = _captured_specs(name)
+    assert specs, f"{name}: no launches captured"
+    for spec in specs:
+        _footprint_partition_holds(spec, ndev)

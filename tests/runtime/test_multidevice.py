@@ -1,0 +1,295 @@
+"""Multi-device (DeviceSet) runtime: sharding equivalence, conflict typing,
+D2D routes/accounting, trace lanes, and checkpoint round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import suite
+from repro.cli import main
+from repro.device.device import Device, DeviceConfig
+from repro.device.deviceset import DeviceSet
+from repro.device.engine import Schedule
+from repro.errors import ShardingConflictError
+from repro.interp import run_compiled
+from repro.runtime.accrt import AccRuntime, TransferRecord
+from repro.runtime.chaos import FaultPlan, FaultSpec
+from repro.runtime.intervals import IntervalSet
+from repro.runtime.profiler import (
+    CAT_KERNEL,
+    CAT_P2P,
+    CTR_BYTES_D2D,
+    CTR_TRANSFER_D2D,
+    Profiler,
+)
+from repro.toolchain import ToolchainContext
+
+
+def _run(name, variant, devices, size="tiny"):
+    bench = suite.get(name)
+    config = DeviceConfig(devices=devices) if devices > 1 else None
+    ctx = ToolchainContext(device_config=config)
+    compiled = bench.compile(variant, ctx=ctx)
+    interp = run_compiled(compiled, params=bench.params(size), ctx=ctx)
+    return interp, compiled
+
+
+# ---------------------------------------------------------------------------
+# TransferRecord routes
+# ---------------------------------------------------------------------------
+
+class TestTransferRecordRoutes:
+    def test_h2d_defaults_to_host_to_gateway(self):
+        rec = TransferRecord("a", "s", "h2d", nbytes=8)
+        assert (rec.src_device, rec.dst_device) == ("host", "dev0")
+        assert rec.route == "host->dev0"
+
+    def test_d2h_defaults_to_gateway_to_host(self):
+        rec = TransferRecord("a", "s", "d2h", nbytes=8)
+        assert (rec.src_device, rec.dst_device) == ("dev0", "host")
+        assert rec.route == "dev0->host"
+
+    def test_d2d_carries_explicit_endpoints(self):
+        rec = TransferRecord("a", "s", "d2d", nbytes=8,
+                             src_device="dev2", dst_device="dev1")
+        assert rec.route == "dev2->dev1"
+
+
+# ---------------------------------------------------------------------------
+# Typed conflicts: feature combinations that cannot shard
+# ---------------------------------------------------------------------------
+
+class TestShardingConflicts:
+    def test_chaos_conflicts_with_multidevice(self):
+        devset = DeviceSet(config=DeviceConfig(devices=2))
+        plan = FaultPlan(FaultSpec.parse("transfer=0.5"))
+        with pytest.raises(ShardingConflictError, match="fault injection"):
+            AccRuntime(devset, Profiler(), chaos=plan)
+
+    def test_no_vectorize_conflicts_with_multidevice(self):
+        devset = DeviceSet(config=DeviceConfig(devices=2, vectorize=False))
+        with pytest.raises(ShardingConflictError, match="no-vectorize"):
+            AccRuntime(devset, Profiler())
+
+    def test_random_schedule_conflicts_with_multidevice(self):
+        devset = DeviceSet(
+            config=DeviceConfig(devices=2,
+                                schedule=Schedule(Schedule.RANDOM, seed=1)))
+        with pytest.raises(ShardingConflictError, match="random schedule"):
+            AccRuntime(devset, Profiler())
+
+    def test_sampling_conflicts_with_multidevice(self):
+        from repro.sampling import SamplingConfig
+
+        bench = suite.get("JACOBI")
+        ctx = ToolchainContext(device_config=DeviceConfig(devices=2))
+        ctx.sampling = SamplingConfig()
+        compiled = bench.compile("optimized", ctx=ctx)
+        with pytest.raises(ShardingConflictError, match="phase sampling"):
+            run_compiled(compiled, params=bench.params("tiny"), ctx=ctx)
+
+    def test_unshardeable_benchmark_raises_typed_conflict(self):
+        with pytest.raises(ShardingConflictError, match="cannot shard"):
+            _run("NW", "optimized", devices=2)[0]
+
+    def test_conflict_is_a_sharding_error(self):
+        from repro.errors import ShardingError
+
+        assert issubclass(ShardingConflictError, ShardingError)
+
+
+# ---------------------------------------------------------------------------
+# Sharding is a pure cost optimization: outputs and host traffic identical
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["JACOBI", "HOTSPOT"])
+class TestMultiDeviceEquivalence:
+    def test_outputs_bit_identical_and_kernel_time_drops(self, name):
+        base, compiled = _run(name, "optimized", devices=1)
+        multi, _ = _run(name, "optimized", devices=2)
+
+        for decl in compiled.program.decls:
+            ref, got = base.env.load(decl.name), multi.env.load(decl.name)
+            if isinstance(ref, np.ndarray):
+                assert ref.tobytes() == got.tobytes(), decl.name
+            else:
+                assert ref == got, decl.name
+
+        # The gateway model keeps host<->device traffic single-device-exact.
+        assert (multi.runtime.device.total_transferred_bytes()
+                == base.runtime.device.total_transferred_bytes())
+
+        base_k = base.runtime.profiler.breakdown().get(CAT_KERNEL, 0.0)
+        multi_k = multi.runtime.profiler.breakdown().get(CAT_KERNEL, 0.0)
+        assert multi_k < base_k
+
+    def test_d2d_accounting_exact_and_routed(self, name):
+        multi, _ = _run(name, "optimized", devices=2)
+        runtime = multi.runtime
+        devset = runtime.devset
+
+        log_bytes = sum(c.nbytes for c in devset.d2d_log)
+        counters = runtime.profiler.counters
+        assert devset.bytes_d2d == log_bytes == counters.get(CTR_BYTES_D2D, 0)
+        assert (devset.d2d_copies == len(devset.d2d_log)
+                == counters.get(CTR_TRANSFER_D2D, 0))
+        assert sum(devset.d2d_sent) == sum(devset.d2d_recv) == devset.bytes_d2d
+
+        d2d_recs = [r for r in runtime.transfer_log if r.direction == "d2d"]
+        assert len(d2d_recs) == devset.d2d_copies
+        for rec in d2d_recs:
+            assert rec.src_device.startswith("dev")
+            assert rec.dst_device.startswith("dev")
+            assert rec.src_device != rec.dst_device
+        assert sum(r.nbytes for r in d2d_recs) == devset.bytes_d2d
+        if devset.d2d_copies:
+            assert runtime.profiler.breakdown().get(CAT_P2P, 0.0) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# DeviceSet halo exchange + snapshot/restore
+# ---------------------------------------------------------------------------
+
+class TestDeviceSetStateRoundTrip:
+    def _exercised_set(self):
+        devset = DeviceSet(config=DeviceConfig(devices=3))
+        handle = devset.primary.alloc("a", (16,), np.float64)
+        handles = [handle] + devset.alloc_peers("a", (16,), np.float64)
+        # Device 1 writes [0, 8): every other replica goes stale there.
+        devset.devices[1].array(handles[1])[:8] = 7.0
+        devset.replicas.mark_stale_others("a", 1, [(0, 8)])
+        # Device 2 then needs [0, 16): pulls [0, 8) from the only fresh peer.
+        copies = devset.pull("a", 2, IntervalSet([(0, 16)]), handles)
+        assert [(-c.src, c.dst) for c in copies] == [(-1, 2)]
+        assert devset.bytes_d2d == 8 * 8
+        assert not devset.findings   # a fresh source existed: no breach
+        np.testing.assert_array_equal(
+            devset.devices[2].array(handles[2])[:8], 7.0)
+        return devset, handles
+
+    def test_pull_satisfies_need_and_updates_replicas(self):
+        devset, _ = self._exercised_set()
+        assert not devset.replicas.missing("a", 2, IntervalSet([(0, 16)]))
+        # The gateway never received the write: still stale over [0, 8).
+        assert devset.replicas.stale("a", 0) == IntervalSet([(0, 8)])
+
+    def test_snapshot_restore_round_trip(self):
+        devset, handles = self._exercised_set()
+        snap = devset.snapshot_state()
+        before = (devset.bytes_d2d, devset.d2d_copies,
+                  list(devset.d2d_sent), list(devset.d2d_recv))
+        stale0 = devset.replicas.stale("a", 0)
+
+        # Mutate everything the snapshot covers.
+        devset.devices[1].array(handles[1])[:] = -1.0
+        devset.replicas.mark_stale_others("a", 0, [(0, 16)])
+        devset.pull("a", 1, IntervalSet([(8, 16)]), handles)
+
+        devset.restore_state(snap)
+        assert (devset.bytes_d2d, devset.d2d_copies,
+                list(devset.d2d_sent), list(devset.d2d_recv)) == before
+        assert devset.replicas.stale("a", 0) == stale0
+        np.testing.assert_array_equal(
+            devset.devices[1].array(handles[1])[:8], 7.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI surfacing: trace lanes and checkpoint/resume at --devices 2
+# ---------------------------------------------------------------------------
+
+LOOPY = """
+int N;
+int T;
+double a[N];
+
+void main()
+{
+    for (int i = 0; i < N; i++) { a[i] = (double)i; }
+    #pragma acc data copy(a)
+    {
+        for (int t = 0; t < T; t++) {
+            #pragma acc kernels loop
+            for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            #pragma acc update host(a)
+        }
+    }
+    printf("a0=%f\\n", a[0]);
+}
+"""
+
+
+@pytest.fixture
+def loopy_file(tmp_path):
+    path = tmp_path / "loopy.c"
+    path.write_text(LOOPY)
+    return str(path)
+
+
+class TestCliMultiDevice:
+    def test_run_reports_device_and_d2d_lines(self, loopy_file, capsys):
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=4",
+                     "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "a0=4.0" in out
+        assert "-- devices: 2" in out
+        assert "dev0:" in out and "dev1:" in out
+
+    def test_devices_2_output_matches_single_device(self, loopy_file, capsys):
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=4"]) == 0
+        single = capsys.readouterr().out
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=4",
+                     "--devices", "2"]) == 0
+        multi = capsys.readouterr().out
+        assert single.splitlines()[0] == multi.splitlines()[0] == "a0=4.000000"
+
+    def test_trace_gets_per_device_lanes(self, loopy_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=4",
+                     "--devices", "2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        events = json.loads(trace.read_text())["traceEvents"]
+
+        lane_names = {e["args"]["name"] for e in events
+                      if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"dev0", "dev1"} <= lane_names
+
+        lanes = {e.get("tid") for e in events
+                 if e["ph"] == "X" and e.get("tid", 0) >= 1000000}
+        assert len(lanes) == 2
+        d2d = [e for e in events
+               if e["ph"] == "X" and e["name"] == "transfer.d2d"]
+        assert d2d and all(e["tid"] >= 1000000 for e in d2d)
+
+    def test_single_device_trace_has_no_device_lanes(self, loopy_file,
+                                                     tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=4",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert all(e.get("tid", 0) < 1000000 for e in events)
+
+    def test_checkpoint_resume_round_trip_at_devices_2(self, loopy_file,
+                                                       tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=6",
+                     "--devices", "2", "--checkpoint-every", "2",
+                     "--checkpoint-dir", ckpt_dir]) == 0
+        first = capsys.readouterr().out
+        assert "a0=6.0" in first
+        assert "last snapshot:" in first
+        snap = str(tmp_path / "ckpts" / "run.ckpt")
+        assert main(["run", loopy_file, "-p", "N=64", "-p", "T=6",
+                     "--devices", "2", "--resume", snap]) == 0
+        resumed = capsys.readouterr().out
+        assert "[resumed from snapshot]" in resumed
+        assert "a0=6.0" in resumed
+
+    def test_profile_routes_split_by_device_pair(self, loopy_file, capsys):
+        assert main(["profile", loopy_file, "-p", "N=64", "-p", "T=4",
+                     "--devices", "2", "--format", "json"]) == 0
+        rep = json.loads(capsys.readouterr().out)
+        routes = {s["route"] for s in rep["transfer_sites"]}
+        assert "host->dev0" in routes
+        assert any(r.startswith("dev") and "->dev" in r for r in routes)
