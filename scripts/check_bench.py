@@ -5,6 +5,8 @@ Usage:
     python scripts/check_bench.py --guard BENCH_bytes.json [--update] [size]
     python scripts/check_bench.py --guard-time BENCH_time.json [--update]
         [--tolerance R] [size]
+    python scripts/check_bench.py --guard-service BENCH_service.json
+        [--results bench_out.json] [--update]
     python scripts/check_bench.py --compare-reports A.json B.json
 
 The first form runs one module's variants against the sequential reference
@@ -215,6 +217,81 @@ def guard(baseline_path: str, size: str = "tiny", update: bool = False) -> int:
     return 0
 
 
+def guard_service(baseline_path: str, results_path: str = None,
+                  update: bool = False) -> int:
+    """Guard the toolchain service's deterministic outputs.
+
+    Wall-clock latency is machine noise, so the guard pins what *is*
+    deterministic about the service: the per-program sha256 of each compile
+    response's stdout (byte-identity with the offline CLI), the workload
+    size, and the result schema.  Any digest drift means served responses
+    changed — explain it and regenerate with ``--update``.
+
+    With ``--results FILE`` an existing ``bench_service.py --output``
+    document is checked (the CI flow); without it a private in-process
+    daemon is measured on the spot.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_service
+
+    path = Path(baseline_path)
+    if results_path:
+        doc = json.loads(Path(results_path).read_text())
+    else:
+        import os
+        import tempfile
+
+        from repro.service import ServiceConfig, ToolchainDaemon
+
+        tmp = tempfile.mkdtemp(prefix="repro-guard-service-")
+        daemon = ToolchainDaemon(ServiceConfig(
+            socket=os.path.join(tmp, "repro.sock"), workers=4,
+            cache_dir=os.path.join(tmp, "cache"),
+            spool_dir=os.path.join(tmp, "spool")))
+        daemon.start_in_thread()
+        try:
+            doc = bench_service.run_bench(os.path.join(tmp, "repro.sock"),
+                                          concurrency=4)
+        finally:
+            daemon.request_shutdown()
+            daemon.join()
+    current = {"schema": doc["schema"], "programs": doc["programs"],
+               "digests": doc["digests"]}
+    if update or not path.exists():
+        snapshot = {**current,
+                    "informational": {"concurrency": doc["concurrency"],
+                                      "phases": doc["phases"],
+                                      "speedup": doc["speedup"]}}
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0
+    baseline = json.loads(path.read_text())
+    failures = []
+    for field in ("schema", "programs"):
+        if baseline.get(field) != current[field]:
+            failures.append(f"{field}: {current[field]!r} vs baseline "
+                            f"{baseline.get(field)!r}")
+    want = baseline.get("digests", {})
+    for label in sorted(set(want) | set(current["digests"])):
+        a, b = want.get(label), current["digests"].get(label)
+        if a != b:
+            failures.append(f"{label}: response digest {b} vs baseline {a}")
+    if not doc.get("digests_stable", True):
+        failures.append("digests varied across cache tiers within the run")
+    if doc.get("errors"):
+        failures.append(f"{len(doc['errors'])} request(s) failed")
+    if failures:
+        print("service guard FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        print(f"(regenerate with: python scripts/check_bench.py "
+              f"--guard-service {baseline_path} --update)")
+        return 1
+    print(f"service guard OK: {len(current['digests'])} program responses "
+          f"match {path}")
+    return 0
+
+
 def compare_reports(path_a: str, path_b: str) -> int:
     from repro.obs.report import diff_reports, validate_report
 
@@ -249,6 +326,16 @@ def main(argv) -> int:
         rest = [a for a in rest if a != "--update"]
         size = rest[0] if rest else "tiny"
         return guard(baseline, size=size, update=update)
+    if argv and argv[0] == "--guard-service":
+        baseline = argv[1]
+        rest = argv[2:]
+        update = "--update" in rest
+        rest = [a for a in rest if a != "--update"]
+        results = None
+        if "--results" in rest:
+            idx = rest.index("--results")
+            results = rest[idx + 1]
+        return guard_service(baseline, results_path=results, update=update)
     if argv and argv[0] == "--guard-time":
         baseline = argv[1]
         rest = argv[2:]

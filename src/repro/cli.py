@@ -23,6 +23,7 @@ per-pass timing table and ``--dump-after=<pass>`` dumps that pass's output.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -569,6 +570,95 @@ def cmd_experiments(args, ctx: ToolchainContext) -> int:
     return 0
 
 
+def _parse_address(text: str):
+    """``host:port`` → tuple, anything else → unix-socket path.  An
+    existing path wins even if it contains a colon."""
+    if ":" in text and not os.path.exists(text):
+        host, _, port = text.rpartition(":")
+        try:
+            return (host or "127.0.0.1", int(port))
+        except ValueError:
+            pass
+    return text
+
+
+def cmd_serve(args, ctx: ToolchainContext) -> int:
+    from repro.service import ServiceConfig, ToolchainDaemon
+
+    if not args.socket and args.port is None:
+        raise SystemExit("repro serve needs --socket PATH or --port N")
+    config = ServiceConfig(socket=args.socket, host=args.host, port=args.port,
+                           workers=args.workers, cache_dir=args.cache_dir,
+                           cache_disk_bytes=args.cache_disk_bytes,
+                           report_dir=args.report_dir,
+                           spool_dir=args.spool_dir)
+    if args.cache_mem_entries is not None:
+        config.cache_mem_entries = args.cache_mem_entries
+    if args.cache_mem_bytes is not None:
+        config.cache_mem_bytes = args.cache_mem_bytes
+    daemon = ToolchainDaemon(config)
+    # Announce on stderr: the daemon routes stdout through the per-request
+    # capture layer for its whole lifetime.
+    sys.stderr.write(f"repro-serve: listening on {config.address()} "
+                     f"({config.workers} workers, disk cache "
+                     f"{config.cache_dir or 'off'})\n")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stats = daemon.stats()
+        sys.stderr.write(f"repro-serve: exiting after {stats['requests']} "
+                         f"request(s), {stats['errors']} error(s)\n")
+    return 0
+
+
+def cmd_cache(args, ctx: ToolchainContext) -> int:
+    import json
+
+    action = args.action
+    if args.connect:
+        from repro.service.client import connect
+
+        with connect(_parse_address(args.connect)) as client:
+            if action == "stats":
+                response = client.request("cache.stats")
+            elif action == "clear":
+                response = client.request("cache.clear", tier=args.tier)
+            else:
+                if not args.files:
+                    raise SystemExit("repro cache warm needs program files")
+                response = client.request(
+                    "cache.warm",
+                    files=[os.path.abspath(f) for f in args.files])
+        print(json.dumps(response, indent=2, sort_keys=True, default=repr))
+        return 0 if response.get("ok") else 2
+    if not args.cache_dir:
+        raise SystemExit("repro cache needs --connect ADDR (live daemon) "
+                         "or --cache-dir DIR (on-disk tier)")
+    from repro.service.cache import DiskTier, ServiceCache
+
+    disk = DiskTier(args.cache_dir)
+    if action == "stats":
+        print(json.dumps({"disk": disk.stats()}, indent=2, sort_keys=True))
+        return 0
+    if action == "clear":
+        if args.tier == "mem":
+            raise SystemExit("offline mode has no memory tier; use --connect")
+        removed = disk.clear()
+        print(f"removed {removed} disk entrie(s) from {args.cache_dir}")
+        return 0
+    if not args.files:
+        raise SystemExit("repro cache warm needs program files")
+    cache = ServiceCache(ctx.caches, disk)
+    for path in args.files:
+        with open(path) as handle:
+            source = handle.read()
+        tier = cache.warm(source, CompilerOptions(), ctx)
+        print(f"{path}: {tier}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -745,6 +835,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also print draws that do not fire")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("serve", help="long-lived toolchain daemon serving "
+                                     "NDJSON requests over a socket")
+    p.add_argument("--socket", metavar="PATH",
+                   help="listen on this unix-domain socket")
+    p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                   help="TCP bind host (with --port; default: 127.0.0.1)")
+    p.add_argument("--port", type=int, metavar="N", help="TCP bind port")
+    p.add_argument("--workers", type=int, default=4, metavar="N",
+                   help="request-handler thread pool size (default: 4)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent pass-cache directory (off when omitted: "
+                        "memory tier only)")
+    p.add_argument("--cache-mem-entries", type=int, metavar="N",
+                   help="per-cache entry cap for the shared memory tier "
+                        "(default: 512)")
+    p.add_argument("--cache-mem-bytes", type=int, metavar="BYTES",
+                   help="per-cache byte budget for the shared memory tier "
+                        "(default: 256 MiB)")
+    p.add_argument("--cache-disk-bytes", type=int, metavar="BYTES",
+                   help="byte budget for the disk tier (oldest entries "
+                        "evicted; default: unbounded)")
+    p.add_argument("--report-dir", metavar="DIR",
+                   help="write one RunReport JSON per request here "
+                        "(crash paths included)")
+    p.add_argument("--spool-dir", metavar="DIR",
+                   help="where inline 'source' programs are spooled "
+                        "(default: a fresh temp dir)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache", help="inspect, clear, or warm the service "
+                                     "pass cache")
+    p.add_argument("action", choices=["stats", "clear", "warm"])
+    p.add_argument("files", nargs="*",
+                   help="programs to warm (action warm)")
+    p.add_argument("--connect", metavar="ADDR",
+                   help="operate on a live daemon (unix-socket path or "
+                        "host:port)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="operate on an on-disk tier directly (no daemon)")
+    p.add_argument("--tier", default="all", choices=["mem", "disk", "all"],
+                   help="which tier to clear (default: all)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("which", choices=["fig1", "fig3", "fig4", "table2", "table3", "all"])

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import hashlib
 import time
-import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -133,8 +132,10 @@ class PassManager:
         self._stack: List[_Frame] = []
         self._entry_depth = 0
         # AST -> fingerprint, identity-keyed and weak: only parse-cache
-        # trees appear here; clones (deepcopy) never do.
-        self._fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # trees appear here; clones (deepcopy) never do.  The table lives on
+        # the cache registry so contexts sharing a registry (daemon request
+        # contexts) share fingerprint knowledge along with the parse cache.
+        self._fingerprints = self.ctx.caches.fingerprints
 
     # ------------------------------------------------------------------
     # Entry points

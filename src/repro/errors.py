@@ -167,6 +167,19 @@ class RecoveryExhaustedError(ReproError):
         super().__init__(message)
 
 
+class ServiceError(ReproError):
+    """Fault in the toolchain service layer (:mod:`repro.service`):
+    malformed request, unknown operation, or a daemon-side failure that is
+    not attributable to the program being served."""
+
+
+class ServiceProtocolError(ServiceError):
+    """The request violates the wire protocol: not a JSON object, missing
+    or unknown ``op``, bad field types, or disallowed arguments.  Always
+    answered with a typed error payload — a protocol error must never tear
+    down the connection or the daemon."""
+
+
 class VerificationError(ReproError):
     """Raised when a verification run itself cannot proceed (NOT raised for
     detected program errors, which are reported as findings)."""
@@ -208,6 +221,8 @@ _STAGES = (
     ("CheckpointConflictError", "checkpoint"),
     ("CheckpointError", "checkpoint"),
     ("RecoveryExhaustedError", "recovery"),
+    ("ServiceProtocolError", "service"),
+    ("ServiceError", "service"),
     ("ConvergenceError", "optimize"),
     ("VerificationError", "verify"),
     ("ReproError", "toolchain"),

@@ -26,8 +26,10 @@ a cached closure can never go stale.
 from __future__ import annotations
 
 import math
+import threading
 import weakref
-from typing import Callable, Dict, Sequence
+from collections import deque
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -76,19 +78,55 @@ _BINOPS: Dict[str, Callable] = {
 # ---------------------------------------------------------------------------
 # Compiled-expression cache
 # ---------------------------------------------------------------------------
+#
+# Closures are weakly keyed by AST node, so in a short-lived process entries
+# simply die with their program.  A long-lived daemon changes the picture:
+# its shared parse cache pins many ASTs alive, so the weak tables would grow
+# without limit.  Each table therefore carries an *entry cap*: when an
+# insert pushes a table past its cap, the oldest inserts are evicted (and
+# counted) until it fits.  Eviction order is insertion order, not
+# least-recently-used, by design — a closure lookup sits on the interpreter's
+# per-statement hot path (the very path PR 1's closure cache made fast), and
+# maintaining recency there would tax every statement executed.  A closure's
+# useful life tracks its program's, so insertion order is an excellent
+# proxy.  Evicting a live node's closure is always safe: the next lookup
+# recompiles it.
+
+DEFAULT_CLOSURE_CACHE_MAX = 65536
 
 _EXPR_CACHE: "weakref.WeakKeyDictionary[ast.Expr, Callable]" = weakref.WeakKeyDictionary()
 _STMT_CACHE: "weakref.WeakKeyDictionary[ast.Stmt, Callable]" = weakref.WeakKeyDictionary()
 _STORE_CACHE: "weakref.WeakKeyDictionary[ast.Expr, Callable]" = weakref.WeakKeyDictionary()
-_CACHE_STATS = {"expr_hits": 0, "expr_misses": 0, "stmt_hits": 0, "stmt_misses": 0}
+_CACHE_STATS = {"expr_hits": 0, "expr_misses": 0, "stmt_hits": 0,
+                "stmt_misses": 0, "expr_evictions": 0, "stmt_evictions": 0,
+                "store_evictions": 0}
+_CACHE_MAX = {"max_entries": DEFAULT_CLOSURE_CACHE_MAX}
+# Insertion-order rings of weakrefs (dead refs are skipped at evict time).
+_EXPR_ORDER: "deque[weakref.ref]" = deque()
+_STMT_ORDER: "deque[weakref.ref]" = deque()
+_STORE_ORDER: "deque[weakref.ref]" = deque()
+# Guards the miss/insert path only; the hit path stays lock-free (CPython
+# dict reads are atomic, and a racing double-compile is benign — both
+# closures are equivalent and one wins).
+_INSERT_LOCK = threading.Lock()
 
 
 def expr_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters plus current cache sizes (diagnostics)."""
+    """Hit/miss/eviction counters plus current cache sizes (diagnostics)."""
     stats = dict(_CACHE_STATS)
     stats["expr_entries"] = len(_EXPR_CACHE)
     stats["stmt_entries"] = len(_STMT_CACHE)
+    stats["max_entries"] = _CACHE_MAX["max_entries"]
     return stats
+
+
+def set_closure_cache_limit(max_entries: Optional[int]) -> int:
+    """Set the per-table entry cap (None restores the default); returns the
+    previous cap.  The daemon exposes this as a serving knob."""
+    previous = _CACHE_MAX["max_entries"]
+    _CACHE_MAX["max_entries"] = (DEFAULT_CLOSURE_CACHE_MAX
+                                 if max_entries is None else max_entries)
+    return previous
 
 
 def clear_expr_cache() -> None:
@@ -97,8 +135,41 @@ def clear_expr_cache() -> None:
     _EXPR_CACHE.clear()
     _STMT_CACHE.clear()
     _STORE_CACHE.clear()
+    _EXPR_ORDER.clear()
+    _STMT_ORDER.clear()
+    _STORE_ORDER.clear()
     for key in _CACHE_STATS:
         _CACHE_STATS[key] = 0
+
+
+def _insert_bounded(cache, order, node, fn, evict_counter: str) -> None:
+    """Insert under the entry cap, evicting oldest inserts on overflow."""
+    with _INSERT_LOCK:
+        cache[node] = fn
+        try:
+            order.append(weakref.ref(node))
+        except TypeError:
+            return  # unweakrefable key: the weak table rejected it anyway
+        cap = _CACHE_MAX["max_entries"]
+        if len(order) > max(2 * cap, 1024):
+            # Entries that died with their AST leave dead refs behind in the
+            # ring; compact so the ring stays O(cap) even when the weak
+            # tables never overflow.
+            live = [ref for ref in order if ref() is not None]
+            order.clear()
+            order.extend(live)
+        while len(cache) > cap and order:
+            ref = order.popleft()
+            old = ref()
+            if old is None or old is node:
+                # Dead node (entry already gone) — or the cap is so small
+                # the brand-new entry is the only one left; keep it.
+                if old is node:
+                    order.append(ref)
+                    break
+                continue
+            if cache.pop(old, None) is not None:
+                _CACHE_STATS[evict_counter] += 1
 
 
 def compile_expr(expr: ast.Expr) -> Callable:
@@ -107,7 +178,7 @@ def compile_expr(expr: ast.Expr) -> Callable:
     if fn is None:
         _CACHE_STATS["expr_misses"] += 1
         fn = _compile_expr(expr)
-        _EXPR_CACHE[expr] = fn
+        _insert_bounded(_EXPR_CACHE, _EXPR_ORDER, expr, fn, "expr_evictions")
     else:
         _CACHE_STATS["expr_hits"] += 1
     return fn
@@ -118,7 +189,8 @@ def compile_store(target: ast.Expr) -> Callable:
     fn = _STORE_CACHE.get(target)
     if fn is None:
         fn = _compile_store(target)
-        _STORE_CACHE[target] = fn
+        _insert_bounded(_STORE_CACHE, _STORE_ORDER, target, fn,
+                        "store_evictions")
     return fn
 
 
@@ -129,7 +201,7 @@ def compile_stmt(stmt: ast.Stmt) -> Callable:
     if fn is None:
         _CACHE_STATS["stmt_misses"] += 1
         fn = _compile_stmt(stmt)
-        _STMT_CACHE[stmt] = fn
+        _insert_bounded(_STMT_CACHE, _STMT_ORDER, stmt, fn, "stmt_evictions")
     else:
         _CACHE_STATS["stmt_hits"] += 1
     return fn

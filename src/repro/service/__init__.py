@@ -1,0 +1,27 @@
+"""Toolchain-as-a-service: a long-lived daemon over the offline toolchain.
+
+The offline CLI pays the full parse → analyze → lower pipeline on every
+invocation.  This package keeps one process alive and makes the pipeline's
+pass-result caches *shared across requests* and *persistent across
+restarts*:
+
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire protocol;
+* :mod:`repro.service.cache` — the two-tier pass cache (shared in-memory
+  LRU + checksummed on-disk store);
+* :mod:`repro.service.daemon` — the asyncio server and request handlers;
+* :mod:`repro.service.client` — a small blocking client.
+"""
+
+from repro.service.cache import DiskTier, ServiceCache, compile_key
+from repro.service.client import ServiceClient, connect
+from repro.service.daemon import ServiceConfig, ToolchainDaemon
+
+__all__ = [
+    "DiskTier",
+    "ServiceCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ToolchainDaemon",
+    "compile_key",
+    "connect",
+]

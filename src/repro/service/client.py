@@ -1,0 +1,81 @@
+"""A minimal blocking client for the toolchain daemon.
+
+One :class:`ServiceClient` owns one connection; requests on it answer in
+order.  For concurrent load (the harness, the concurrency tests) open one
+client per thread — the daemon interleaves across connections.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ServiceError, ServiceProtocolError
+
+__all__ = ["ServiceClient", "connect"]
+
+
+def connect(address: Union[str, Tuple[str, int]],
+            timeout: Optional[float] = 60.0) -> "ServiceClient":
+    """Connect to a daemon at a unix-socket path or ``(host, port)``."""
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+    else:
+        host, port = address
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+    return ServiceClient(sock)
+
+
+class ServiceClient:
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._recv = sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._recv.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, op: str, **fields) -> Dict:
+        """Send one request, block for its response, check the id echo."""
+        request = {"id": next(self._ids), "op": op}
+        request.update(fields)
+        line = (json.dumps(request, sort_keys=True) + "\n").encode()
+        self._sock.sendall(line)
+        answer = self._recv.readline()
+        if not answer:
+            raise ServiceError("daemon closed the connection mid-request")
+        try:
+            response = json.loads(answer.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise ServiceProtocolError(f"unparseable response: {err}")
+        if response.get("id") != request["id"]:
+            raise ServiceProtocolError(
+                f"response id {response.get('id')!r} does not echo "
+                f"request id {request['id']!r}")
+        return response
+
+    # Conveniences mirroring the wire ops -------------------------------
+    def ping(self) -> Dict:
+        return self.request("ping")
+
+    def stats(self) -> Dict:
+        return self.request("cache.stats")["stats"]
+
+    def clear(self, tier: str = "all") -> Dict:
+        return self.request("cache.clear", tier=tier)
+
+    def shutdown(self) -> Dict:
+        return self.request("shutdown")

@@ -1,0 +1,538 @@
+"""The toolchain daemon: a long-lived async server over the offline CLI.
+
+Architecture (Devito-style separation of lowering from backend: the
+*service* layer owns scheduling and caching, the *toolchain* stays the
+stateless library PR 3 made it):
+
+* one **asyncio event loop** accepts connections (unix socket or TCP) and
+  reads newline-delimited JSON requests (:mod:`repro.service.protocol`);
+* CPU-bound request handling runs on a bounded **worker pool**
+  (``ThreadPoolExecutor``) so the loop never blocks; requests on one
+  connection answer in order, requests across connections interleave;
+* every request gets a fresh request-scoped
+  :class:`~repro.toolchain.ToolchainContext` whose *cache registry is the
+  daemon's shared one* (the cross-request memory tier) and whose metrics
+  registry chains into the server-wide aggregate, under a per-request
+  tracer rooted at a ``service.request`` span;
+* compiles resolve through the two-tier
+  :class:`~repro.service.cache.ServiceCache` (memory → disk → cold);
+* when a report directory is configured, **every request — including every
+  crash path — writes a RunReport artifact** before the socket is
+  answered, mirroring the PR 7 every-exit-path guarantee.
+
+Toolchain ops execute the *offline CLI's own command functions* against the
+CLI's own argument parser, so a served response's ``stdout``/``exit_code``
+are byte-identical to the offline ``python -m repro ...`` invocation.  The
+CLI prints to ``sys.stdout``; worker threads capture it through a
+thread-local router installed for the daemon's lifetime (``start`` /
+``close``), so concurrent handlers never interleave output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import io
+import itertools
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError, ServiceProtocolError
+from repro.obs.metrics import MetricsRegistry
+from repro.service import protocol
+from repro.service.cache import DiskTier, ServiceCache
+from repro.toolchain import CacheRegistry, ToolchainContext
+
+__all__ = ["ServiceConfig", "ToolchainDaemon"]
+
+# Serving defaults: entries/bytes per named memory-tier cache.
+DEFAULT_MEM_ENTRIES = 512
+DEFAULT_MEM_BYTES = 256 * 1024 * 1024
+
+_PARSER_CACHE = threading.local()
+
+
+def _cli_parser():
+    """The offline CLI's parser, built once per worker thread: building the
+    full subparser tree costs more than a whole warm-cache compile, so the
+    daemon must not pay it per request."""
+    parser = getattr(_PARSER_CACHE, "parser", None)
+    if parser is None:
+        from repro.cli import build_parser
+
+        parser = _PARSER_CACHE.parser = build_parser()
+    return parser
+
+
+@dataclass
+class ServiceConfig:
+    """One daemon's serving policy."""
+
+    socket: Optional[str] = None        # unix-socket path…
+    host: str = "127.0.0.1"             # …or TCP host/port
+    port: Optional[int] = None
+    workers: int = 4
+    cache_dir: Optional[str] = None     # persistent disk tier (None = off)
+    cache_mem_entries: int = DEFAULT_MEM_ENTRIES
+    cache_mem_bytes: int = DEFAULT_MEM_BYTES
+    cache_disk_bytes: Optional[int] = None
+    report_dir: Optional[str] = None    # per-request RunReport artifacts
+    spool_dir: Optional[str] = None     # inline-source spool (None = tmpdir)
+
+    def address(self) -> str:
+        if self.socket:
+            return self.socket
+        return f"{self.host}:{self.port}"
+
+
+class _StdoutRouter(io.TextIOBase):
+    """A ``sys.stdout`` stand-in that routes writes to a thread-local
+    capture buffer when one is pushed, and to the real stream otherwise."""
+
+    def __init__(self, fallback):
+        self.fallback = fallback
+        self._local = threading.local()
+
+    def _stack(self) -> List:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def push(self, buffer) -> None:
+        self._stack().append(buffer)
+
+    def pop(self):
+        return self._stack().pop()
+
+    @property
+    def _target(self):
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else self.fallback
+
+    def write(self, text):
+        return self._target.write(text)
+
+    def flush(self):
+        target = self._target
+        if hasattr(target, "flush"):
+            target.flush()
+
+    def writable(self):
+        return True
+
+
+class ToolchainDaemon:
+    """Serve concurrent toolchain requests over one shared cache.
+
+    Usable three ways: ``serve_forever()`` (the ``repro serve`` CLI),
+    ``start_in_thread()`` (tests and the load harness), or direct
+    ``handle_request(dict)`` calls inside ``with daemon:`` (the baseline
+    guard, which wants deterministic in-process behavior).
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.registry = CacheRegistry(max_entries=config.cache_mem_entries,
+                                      max_bytes=config.cache_mem_bytes)
+        disk = (DiskTier(config.cache_dir, max_bytes=config.cache_disk_bytes)
+                if config.cache_dir else None)
+        self.cache = ServiceCache(self.registry, disk, metrics=self.metrics)
+        self.started = threading.Event()
+        self._stop = threading.Event()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._seq = itertools.count(1)
+        self._spool = config.spool_dir
+        self._router: Optional[_StdoutRouter] = None
+        self._stdout_prior = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._client_tasks: set = set()
+        self._client_writers: set = set()
+        if config.report_dir:
+            os.makedirs(config.report_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ToolchainDaemon":
+        """Install the stdout router and worker pool (idempotent)."""
+        if self._router is None:
+            self._stdout_prior = sys.stdout
+            self._router = _StdoutRouter(sys.stdout)
+            sys.stdout = self._router
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(1, self.config.workers),
+                thread_name_prefix="repro-serve")
+        if self._spool is None:
+            self._spool = tempfile.mkdtemp(prefix="repro-spool-")
+        else:
+            os.makedirs(self._spool, exist_ok=True)
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._router is not None:
+            sys.stdout = self._stdout_prior
+            self._router = None
+            self._stdout_prior = None
+
+    def __enter__(self) -> "ToolchainDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Async serving
+    # ------------------------------------------------------------------
+    async def serve_async(self) -> None:
+        self.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        if self.config.socket:
+            path = self.config.socket
+            if os.path.exists(path):
+                os.unlink(path)     # stale socket from a killed daemon
+            server = await asyncio.start_unix_server(self._serve_client,
+                                                     path=path)
+        elif self.config.port is not None:
+            server = await asyncio.start_server(
+                self._serve_client, host=self.config.host,
+                port=self.config.port)
+        else:
+            raise ServiceError("daemon needs a unix-socket path or TCP port")
+        try:
+            async with server:
+                self.started.set()
+                await self._stop_async.wait()
+                # Graceful drain: handlers mid-request finish and answer
+                # (the shutdown response included); connections idle in
+                # readline are then unblocked by closing their transports,
+                # so every handler task *returns* instead of being
+                # cancelled at loop teardown.
+                if self._client_tasks:
+                    await asyncio.wait(set(self._client_tasks), timeout=1.0)
+                for writer in list(self._client_writers):
+                    try:
+                        writer.close()
+                    except Exception:
+                        pass
+                if self._client_tasks:
+                    await asyncio.wait(set(self._client_tasks), timeout=5.0)
+        finally:
+            self.started.clear()
+            if self.config.socket and os.path.exists(self.config.socket):
+                try:
+                    os.unlink(self.config.socket)
+                except OSError:
+                    pass
+
+    def serve_forever(self) -> None:
+        try:
+            asyncio.run(self.serve_async())
+        finally:
+            self.close()
+
+    def start_in_thread(self, timeout: float = 10.0) -> "ToolchainDaemon":
+        """Run the server on a daemon thread; returns once it accepts."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self.started.wait(timeout):
+            raise ServiceError("daemon failed to start listening "
+                               f"on {self.config.address()}")
+        return self
+
+    def join(self, timeout: float = 10.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def request_shutdown(self) -> None:
+        self._stop.set()
+        if self._loop is not None and self._stop_async is not None:
+            self._loop.call_soon_threadsafe(self._stop_async.set)
+
+    async def _serve_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        self._client_tasks.add(task)
+        self._client_writers.add(writer)
+        try:
+            while not self._stop.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await loop.run_in_executor(
+                    self._pool, self.handle_line, line)
+                writer.write(protocol.encode_response(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        finally:
+            self._client_tasks.discard(task)
+            self._client_writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Request handling (worker threads; also callable in-process)
+    # ------------------------------------------------------------------
+    def handle_line(self, line: bytes) -> Dict:
+        try:
+            request = protocol.decode_request(line)
+        except ServiceProtocolError as err:
+            self.metrics.count("service.requests")
+            self.metrics.count("service.errors")
+            request_id = None
+            try:
+                parsed = json.loads(line.decode("utf-8", "replace"))
+                if isinstance(parsed, dict):
+                    request_id = parsed.get("id")
+            except Exception:
+                pass
+            return {"id": request_id, "ok": False, "exit_code": 2,
+                    "stdout": "", "error": protocol.error_payload(err),
+                    "report": None}
+        return self.handle_request(request)
+
+    def handle_request(self, request: Dict) -> Dict:
+        """One request → one response dict.  Never raises: every failure —
+        protocol violation, typed toolchain error, or handler crash — is
+        answered with a typed error payload, and (when a report directory
+        is configured) leaves a RunReport artifact behind."""
+        self.metrics.count("service.requests")
+        op = request.get("op")
+        started = time.perf_counter()
+        try:
+            if op in protocol.ADMIN_OPS:
+                response = self._admin_op(op, request)
+            else:
+                response = self._toolchain_op(op, request)
+        except ReproError as err:
+            response = self._error_response(request, op, err)
+        except Exception as err:   # crash path: answer, don't die
+            response = self._error_response(request, op, err)
+        response.setdefault("id", request.get("id"))
+        response.setdefault("op", op)
+        response["elapsed_ms"] = (time.perf_counter() - started) * 1e3
+        if not response.get("ok"):
+            self.metrics.count("service.errors")
+        return response
+
+    def _error_response(self, request: Dict, op, err: BaseException,
+                        stdout: str = "", ctx=None,
+                        params=None, program=None) -> Dict:
+        report = self._write_report(op, program, params, ctx=ctx, error=err)
+        return {"id": request.get("id"), "ok": False, "exit_code": 2,
+                "stdout": stdout, "error": protocol.error_payload(err),
+                "report": report}
+
+    # -- toolchain ops -------------------------------------------------------
+    def _request_context(self, args) -> ToolchainContext:
+        from repro.cli import _context
+        from repro.obs.tracer import Tracer
+
+        ctx = _context(args)
+        ctx.caches = self.registry          # shared cross-request mem tier
+        ctx.metrics = MetricsRegistry(parent=self.metrics)
+        ctx.tracer = Tracer()
+        return ctx
+
+    def _toolchain_op(self, op: str, request: Dict) -> Dict:
+        from repro.cli import _parse_params
+        from repro.compiler.driver import CompilerOptions
+
+        file, source = protocol.request_program(request)
+        if source is not None:
+            path = self._spool_source(source)
+        else:
+            path = file
+            try:
+                with open(path) as handle:
+                    source = handle.read()
+            except OSError as err:
+                raise ServiceError(f"cannot read program {path!r}: {err}")
+
+        argv = protocol.build_argv(request, path)
+        try:
+            args = _cli_parser().parse_args(argv)
+        except SystemExit as err:       # argparse rejected the argv
+            raise ServiceProtocolError(
+                f"request maps to invalid CLI arguments {argv!r} "
+                f"(exit {err.code})")
+        ctx = self._request_context(args)
+        params = _parse_params(getattr(args, "param", None))
+
+        buffer = io.StringIO()
+        tier: Optional[str] = None
+        assert self._router is not None, "daemon not started"
+        if sys.stdout is not self._router:
+            # Another actor (pytest's capture machinery, a nested tool) may
+            # re-patch the global between requests; reclaim it so the
+            # thread-local capture keeps routing.
+            sys.stdout = self._router
+        self._router.push(buffer)
+        try:
+            with ctx.tracer.span("service.request", category="service",
+                                 op=op, program=os.path.basename(path)) as sp:
+                if op != "optimize":
+                    # optimize re-parses and rewrites its own program; the
+                    # other ops all start from the memoized compile.
+                    options = CompilerOptions(
+                        auto_privatize=not getattr(args, "no_auto_privatize",
+                                                   False),
+                        auto_reduction=not getattr(args, "no_auto_reduction",
+                                                   False),
+                    )
+                    _, tier = self.cache.ensure_compiled(source, options, ctx)
+                    sp.set_attr("cache", tier)
+                exit_code = args.func(args, ctx)
+        except ReproError as err:
+            return self._error_response(request, op, err,
+                                        stdout=buffer.getvalue(), ctx=ctx,
+                                        params=params, program=path)
+        except Exception as err:
+            return self._error_response(request, op, err,
+                                        stdout=buffer.getvalue(), ctx=ctx,
+                                        params=params, program=path)
+        finally:
+            self._router.pop()
+        report = self._write_report(op, path, params, ctx=ctx)
+        return {"id": request.get("id"), "ok": True, "op": op,
+                "exit_code": int(exit_code or 0), "stdout": buffer.getvalue(),
+                "cache": tier, "report": report}
+
+    def _spool_source(self, source: str) -> str:
+        """Inline source → a deterministic fingerprint-named spool file (so
+        identical sources map to identical paths, keeping responses
+        byte-identical across requests and daemon restarts)."""
+        assert self._spool is not None, "daemon not started"
+        name = hashlib.sha256(source.encode()).hexdigest()[:16] + ".c"
+        path = os.path.join(self._spool, name)
+        if not os.path.exists(path):
+            tmp = f"{path}.{threading.get_ident()}.tmp"
+            with open(tmp, "w") as handle:
+                handle.write(source)
+            os.replace(tmp, path)
+        return path
+
+    # -- admin ops -----------------------------------------------------------
+    def _admin_op(self, op: str, request: Dict) -> Dict:
+        if op == "ping":
+            from repro import __version__
+
+            return {"ok": True, "pong": True, "version": __version__,
+                    "workers": self.config.workers}
+        if op == "cache.stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "cache.clear":
+            tier = request.get("tier", "all")
+            if tier not in ("mem", "disk", "all"):
+                raise ServiceProtocolError(
+                    f"bad tier {tier!r} (mem, disk, or all)")
+            return {"ok": True, "cleared": self.cache.clear(tier)}
+        if op == "cache.warm":
+            return {"ok": True, "warmed": self._warm(request)}
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"ok": True, "shutdown": True}
+        raise ServiceProtocolError(f"unhandled admin op {op!r}")
+
+    def _warm(self, request: Dict) -> List[Dict]:
+        from repro.compiler.driver import CompilerOptions
+
+        files = request.get("files") or []
+        sources = request.get("sources") or []
+        if not isinstance(files, list) or not isinstance(sources, list):
+            raise ServiceProtocolError("'files'/'sources' must be lists")
+        if not files and not sources:
+            raise ServiceProtocolError("cache.warm needs 'files' or 'sources'")
+        args = _cli_parser().parse_args(["compile", "ignored.c"])
+        results: List[Dict] = []
+        for label, source in self._warm_inputs(files, sources):
+            ctx = self._request_context(args)
+            try:
+                tier = self.cache.warm(source, CompilerOptions(), ctx)
+            except ReproError as err:
+                results.append({"program": label, "ok": False,
+                                "error": protocol.error_payload(err)})
+            else:
+                results.append({"program": label, "ok": True, "tier": tier})
+        return results
+
+    def _warm_inputs(self, files: List, sources: List):
+        for path in files:
+            if not isinstance(path, str):
+                raise ServiceProtocolError("'files' entries must be paths")
+            try:
+                with open(path) as handle:
+                    yield path, handle.read()
+            except OSError as err:
+                raise ServiceError(f"cannot read program {path!r}: {err}")
+        for i, source in enumerate(sources):
+            if not isinstance(source, str):
+                raise ServiceProtocolError("'sources' entries must be strings")
+            yield f"<source[{i}]>", source
+
+    # -- reports -------------------------------------------------------------
+    def _write_report(self, op, program, params, ctx=None,
+                      error: Optional[BaseException] = None) -> Optional[str]:
+        """The per-request RunReport artifact (crash paths included).  A
+        failure to *write* the report must never mask the response."""
+        if not self.config.report_dir:
+            return None
+        from repro.obs.report import build_report
+
+        if ctx is None:
+            # The request died before a context existed (protocol errors,
+            # unreadable programs): report against an empty context so the
+            # artifact still records the typed error.
+            ctx = ToolchainContext()
+        seq = next(self._seq)
+        name = f"req-{seq:06d}-{(op or 'invalid').replace('.', '_')}.json"
+        path = os.path.join(self.config.report_dir, name)
+        try:
+            report = build_report(ctx, command=op, program=program,
+                                  params=params, error=error)
+            tmp = f"{path}.tmp"
+            with open(tmp, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True,
+                          default=repr)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except Exception:
+            return None
+        return path
+
+    # -- stats ---------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        tiers = self.cache.stats()
+        counters = self.metrics.snapshot()["counters"]
+        return {
+            "requests": counters.get("service.requests", 0),
+            "errors": counters.get("service.errors", 0),
+            "tiers": tiers,
+            "counters": counters,
+        }

@@ -22,7 +22,11 @@ keeps working.
 
 from __future__ import annotations
 
+import sys
+import threading
 import time
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -40,54 +44,125 @@ DEFAULT_CACHE_MAX = 256
 
 
 class BoundedCache:
-    """A dict with an entry bound and hit/miss counters.
+    """An LRU dict with an entry bound, an optional byte budget, and
+    hit/miss/eviction counters.
 
-    Eviction is wholesale (clear on overflow), matching the original
-    compile memo: the workloads either fit comfortably or are adversarial
-    (cache-bound tests), and LRU bookkeeping is not worth the bookkeeping.
+    Eviction is per-entry (least-recently-used first) so a long-lived
+    process — the toolchain daemon in particular — degrades gracefully
+    instead of dumping its whole working set on overflow.  Entry costs
+    default to a shallow :func:`sys.getsizeof` estimate; callers that know
+    the real footprint (the service's disk tier pickles entries anyway)
+    pass ``cost=`` explicitly.  All operations are thread-safe: the daemon
+    shares one registry across concurrent request handlers.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_CACHE_MAX):
+    def __init__(self, max_entries: int = DEFAULT_CACHE_MAX,
+                 max_bytes: Optional[int] = None):
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
-        self._data: Dict = {}
+        self.evictions = 0
+        self.bytes_held = 0
+        self.on_evict: Optional[Callable[[int], None]] = None
+        self._lock = threading.RLock()
+        self._data: "OrderedDict" = OrderedDict()
+        self._costs: Dict = {}
 
     def get(self, key, default=None):
-        entry = self._data.get(key, default)
-        if entry is not default:
-            self.hits += 1
-        else:
-            self.misses += 1
-        return entry
+        with self._lock:
+            entry = self._data.get(key, default)
+            if entry is not default:
+                self.hits += 1
+                self._data.move_to_end(key)
+            else:
+                self.misses += 1
+            return entry
 
-    def put(self, key, value) -> None:
-        if len(self._data) >= self.max_entries:
-            self._data.clear()
-        self._data[key] = value
+    def peek(self, key, default=None):
+        """Like :meth:`get` but touches neither counters nor LRU order."""
+        with self._lock:
+            return self._data.get(key, default)
+
+    def put(self, key, value, cost: Optional[int] = None) -> None:
+        if cost is None:
+            cost = sys.getsizeof(value)
+        with self._lock:
+            if key in self._data:
+                self.bytes_held -= self._costs.get(key, 0)
+                del self._data[key]
+            self._data[key] = value
+            self._costs[key] = cost
+            self.bytes_held += cost
+            evicted = 0
+            while len(self._data) > self.max_entries or (
+                self.max_bytes is not None
+                and self.bytes_held > self.max_bytes
+                and len(self._data) > 1
+            ):
+                old_key, _ = self._data.popitem(last=False)
+                self.bytes_held -= self._costs.pop(old_key, 0)
+                evicted += 1
+            self.evictions += evicted
+        if evicted and self.on_evict is not None:
+            self.on_evict(evicted)
 
     def __len__(self) -> int:
         return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self._costs.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.bytes_held = 0
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._data)}
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._data), "evictions": self.evictions,
+                "bytes_held": self.bytes_held}
 
 
 class CacheRegistry:
-    """Named :class:`BoundedCache` instances, created on first use."""
+    """Named :class:`BoundedCache` instances, created on first use.
 
-    def __init__(self):
+    ``fingerprints`` is the AST → source-hash side table the pass manager
+    consults for analysis caching.  It lives on the registry — not on the
+    manager — so that contexts *sharing* a registry (the daemon's request
+    contexts share the server-wide one) also share fingerprint knowledge:
+    a parse-cache tree resident from one request still gets analysis-level
+    cache hits on the next.
+
+    ``on_evict(name, n)``, when set, is called for every eviction in every
+    cache created afterwards — the daemon wires it to the
+    ``cache.tier.mem.evict`` counter.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_MAX,
+                 max_bytes: Optional[int] = None):
         self._caches: Dict[str, BoundedCache] = {}
+        self._lock = threading.Lock()
+        self.default_max_entries = max_entries
+        self.default_max_bytes = max_bytes
+        self.fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.on_evict: Optional[Callable[[str, int], None]] = None
 
-    def get(self, name: str, max_entries: int = DEFAULT_CACHE_MAX) -> BoundedCache:
+    def get(self, name: str, max_entries: Optional[int] = None) -> BoundedCache:
         cache = self._caches.get(name)
         if cache is None:
-            cache = self._caches[name] = BoundedCache(max_entries)
+            with self._lock:
+                cache = self._caches.get(name)
+                if cache is None:
+                    cache = BoundedCache(
+                        max_entries or self.default_max_entries,
+                        max_bytes=self.default_max_bytes,
+                    )
+                    if self.on_evict is not None:
+                        hook = self.on_evict
+                        cache.on_evict = lambda n, _name=name: hook(_name, n)
+                    self._caches[name] = cache
         return cache
 
     def names(self) -> List[str]:

@@ -91,3 +91,78 @@ class TestNoLeaksBetweenPrograms:
         assert stats["expr_entries"] == 0
         assert stats["expr_hits"] == 0
         assert stats["expr_misses"] == 0
+
+
+class TestBoundedTables:
+    """The daemon pins ASTs alive in its shared parse cache, so the weak
+    tables need an entry cap: oldest inserts are evicted (and counted)."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_cap(self):
+        previous = semantics.set_closure_cache_limit(None)
+        yield
+        semantics.set_closure_cache_limit(previous)
+
+    def test_cap_bounds_entries_with_pinned_asts(self):
+        semantics.set_closure_cache_limit(8)
+        pinned = [parse_expression(f"x + {i}") for i in range(30)]
+        for expr in pinned:
+            semantics.compile_expr(expr)
+        stats = semantics.expr_cache_stats()
+        assert stats["expr_entries"] <= 8
+        assert stats["expr_evictions"] >= 22
+        del pinned
+
+    def test_eviction_is_oldest_first(self):
+        # Compiling `y + i` inserts closures for the subexpressions too, so
+        # the cap must leave room for one whole expression; the ordering
+        # property under test is that the *oldest* top-level closure is the
+        # one sacrificed while the newest survives.
+        semantics.set_closure_cache_limit(4)
+        exprs = [parse_expression(f"y + {i}") for i in range(3)]
+        fns = [semantics.compile_expr(e) for e in exprs]
+        assert semantics.compile_expr(exprs[2]) is fns[2]
+        assert semantics.compile_expr(exprs[0]) is not fns[0]
+        del exprs, fns
+
+    def test_evicted_node_recompiles_correctly(self):
+        semantics.set_closure_cache_limit(1)
+        expr = parse_expression("a[i] + 1.0")
+        env = _Env(a=np.arange(4.0), i=2)
+        assert semantics.evaluate(expr, env) == 3.0
+        # Flood the cache so expr's top-level closure is evicted...
+        flood = [parse_expression(f"z + {i}") for i in range(5)]
+        for other in flood:
+            semantics.compile_expr(other)
+        # ...the next evaluation silently recompiles and still agrees.
+        assert semantics.evaluate(expr, env) == 3.0
+        del flood
+
+    def test_set_limit_returns_previous_and_none_restores_default(self):
+        previous = semantics.set_closure_cache_limit(16)
+        assert semantics.set_closure_cache_limit(None) == 16
+        assert (semantics.expr_cache_stats()["max_entries"]
+                == semantics.DEFAULT_CLOSURE_CACHE_MAX)
+        semantics.set_closure_cache_limit(previous)
+
+    def test_stmt_table_is_bounded_too(self):
+        semantics.set_closure_cache_limit(4)
+        programs = [parse_program(f"void main() {{ int x; x = {i}; }}")
+                    for i in range(12)]
+        for program in programs:
+            semantics.compile_stmt(program.func("main").body.body[1])
+        stats = semantics.expr_cache_stats()
+        assert stats["stmt_entries"] <= 4
+        assert stats["stmt_evictions"] >= 8
+        del programs
+
+    def test_dead_refs_compact_without_evictions(self):
+        # Entries that die with their AST must not count as evictions, and
+        # the insertion ring must not grow unboundedly from their corpses.
+        semantics.set_closure_cache_limit(4)
+        for i in range(50):
+            semantics.compile_expr(parse_expression(f"w + {i}"))
+            gc.collect()
+        stats = semantics.expr_cache_stats()
+        assert stats["expr_entries"] <= 4
+        assert stats["expr_evictions"] == 0

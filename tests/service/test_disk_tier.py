@@ -1,0 +1,230 @@
+"""Persistent disk tier: atomicity, checksums, collisions, eviction, and
+pickle fidelity of cached CompiledPrograms."""
+
+import hashlib
+import os
+import pickle
+
+import numpy as np
+
+from repro.compiler import CompilerOptions
+from repro.interp import run_compiled
+from repro.service.cache import (CACHE_FORMAT, DiskTier, ServiceCache,
+                                 _key_string, compile_key)
+from repro.toolchain import CacheRegistry, ToolchainContext
+
+PROGRAM = """
+int N;
+double a[N];
+double r;
+
+void main()
+{
+    #pragma acc data copyout(a)
+    {
+        #pragma acc kernels loop
+        for (int i = 0; i < N; i++) { a[i] = (double)i * 2.0; }
+    }
+    r = a[N - 1];
+}
+"""
+
+
+def make_cache(tmp_path, **disk_kwargs):
+    registry = CacheRegistry()
+    disk = DiskTier(str(tmp_path / "cache"), **disk_kwargs)
+    return ServiceCache(registry, disk), registry, disk
+
+
+def fresh_ctx(registry):
+    ctx = ToolchainContext()
+    ctx.caches = registry
+    return ctx
+
+
+class TestDiskTier:
+    def test_roundtrip(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        tier.put("key-a", b"payload-a")
+        assert tier.get("key-a") == b"payload-a"
+        assert tier.stats()["entries"] == 1
+
+    def test_missing_is_miss(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        assert tier.get("nope") is None
+        assert tier.stats()["misses"] == 1
+        assert tier.stats()["rejected"] == 0
+
+    def test_corrupted_file_is_miss_not_error(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        path = tier.put("key-a", b"payload-a")
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xff\xff\xff\xff")
+        assert tier.get("key-a") is None
+        assert tier.stats()["rejected"] == 1
+
+    def test_checksum_mismatch_is_miss(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        path = tier.put("key-a", b"payload-a")
+        envelope = pickle.load(open(path, "rb"))
+        envelope["payload"] = b"tampered!"
+        pickle.dump(envelope, open(path, "wb"))
+        assert tier.get("key-a") is None
+        assert tier.stats()["rejected"] == 1
+
+    def test_filename_collision_degrades_to_miss(self, tmp_path):
+        # Simulate a truncated-hash collision: a file at key B's path whose
+        # stored key string says A.  The key comparison must reject it —
+        # collision safety means a wrong entry is never served.
+        tier = DiskTier(str(tmp_path))
+        path_a = tier.put("key-a", b"payload-a")
+        os.rename(path_a, tier._path("key-b"))
+        assert tier.get("key-b") is None
+        assert tier.stats()["rejected"] == 1
+        # ...and the imposter never contaminates a later write.
+        tier.put("key-b", b"payload-b")
+        assert tier.get("key-b") == b"payload-b"
+
+    def test_wrong_format_version_is_miss(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        path = tier.put("key-a", b"payload-a")
+        envelope = pickle.load(open(path, "rb"))
+        envelope["format"] = "repro.passcache/0"
+        pickle.dump(envelope, open(path, "wb"))
+        assert tier.get("key-a") is None
+
+    def test_byte_budget_evicts_oldest(self, tmp_path):
+        tier = DiskTier(str(tmp_path), max_bytes=1)
+        tier.put("key-a", b"a" * 100)
+        tier.put("key-b", b"b" * 100)
+        # Budget of 1 byte: every put sweeps everything older out.
+        assert tier.stats()["entries"] <= 1
+        assert tier.evictions >= 1
+
+    def test_clear_counts_removals(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        tier.put("key-a", b"a")
+        tier.put("key-b", b"b")
+        assert tier.clear() == 2
+        assert tier.stats()["entries"] == 0
+
+    def test_key_string_is_version_salted(self):
+        key = compile_key("int x;", CompilerOptions())
+        assert CACHE_FORMAT in _key_string(key)
+
+
+class TestServiceCacheTiers:
+    def test_cold_then_mem_then_disk(self, tmp_path):
+        cache, registry, disk = make_cache(tmp_path)
+        options = CompilerOptions()
+        _, tier = cache.ensure_compiled(PROGRAM, options, fresh_ctx(registry))
+        assert tier == "cold"
+        _, tier = cache.ensure_compiled(PROGRAM, options, fresh_ctx(registry))
+        assert tier == "mem"
+        # A fresh registry models a daemon restart: disk must serve it.
+        registry2 = CacheRegistry()
+        cache2 = ServiceCache(registry2, disk)
+        _, tier = cache2.ensure_compiled(PROGRAM, options,
+                                         fresh_ctx(registry2))
+        assert tier == "disk"
+        # ...and the promotion makes the next one a memory hit.
+        _, tier = cache2.ensure_compiled(PROGRAM, options,
+                                         fresh_ctx(registry2))
+        assert tier == "mem"
+
+    def test_options_partition_the_key(self, tmp_path):
+        cache, registry, disk = make_cache(tmp_path)
+        ctx = fresh_ctx(registry)
+        cache.ensure_compiled(PROGRAM, CompilerOptions(), ctx)
+        _, tier = cache.ensure_compiled(
+            PROGRAM, CompilerOptions(auto_privatize=False), ctx)
+        assert tier == "cold"
+
+    def test_disk_program_runs_bit_identically(self, tmp_path):
+        """The pickle fidelity guarantee: a CompiledProgram rebuilt from the
+        disk tier (data_mem re-keyed via the (directive, plan) pairs)
+        produces outputs, modeled time, and transfer bytes identical to the
+        in-memory original."""
+        cache, registry, disk = make_cache(tmp_path)
+        options = CompilerOptions()
+        original, _ = cache.ensure_compiled(PROGRAM, options,
+                                            fresh_ctx(registry))
+        registry2 = CacheRegistry()
+        cache2 = ServiceCache(registry2, disk)
+        restored, tier = cache2.ensure_compiled(PROGRAM, options,
+                                                fresh_ctx(registry2))
+        assert tier == "disk"
+        assert restored is not original
+        run_a = run_compiled(original, params={"N": 32},
+                             ctx=fresh_ctx(registry))
+        run_b = run_compiled(restored, params={"N": 32},
+                             ctx=fresh_ctx(registry2))
+        assert np.array_equal(run_a.env.load("a"), run_b.env.load("a"))
+        assert run_a.env.load("r") == run_b.env.load("r")
+        assert (run_a.runtime.profiler.total()
+                == run_b.runtime.profiler.total())
+        assert (run_a.runtime.device.total_transferred_bytes()
+                == run_b.runtime.device.total_transferred_bytes())
+
+    def test_unpicklable_disk_entry_recompiles(self, tmp_path):
+        cache, registry, disk = make_cache(tmp_path)
+        options = CompilerOptions()
+        cache.ensure_compiled(PROGRAM, options, fresh_ctx(registry))
+        # Replace the payload with bytes that unpickle to the wrong shape.
+        key_string = _key_string(compile_key(PROGRAM, options))
+        disk.put(key_string, pickle.dumps(("wrong", 1, [])))
+        registry2 = CacheRegistry()
+        cache2 = ServiceCache(registry2, disk)
+        compiled, tier = cache2.ensure_compiled(PROGRAM, options,
+                                                fresh_ctx(registry2))
+        assert tier == "cold"
+        assert compiled.kernels
+
+    def test_warm_repopulates_cleared_disk(self, tmp_path):
+        cache, registry, disk = make_cache(tmp_path)
+        options = CompilerOptions()
+        assert cache.warm(PROGRAM, options, fresh_ctx(registry)) == "cold"
+        disk.clear()
+        # Memory-resident but gone from disk: warm must re-persist it.
+        assert cache.warm(PROGRAM, options, fresh_ctx(registry)) == "mem"
+        assert disk.stats()["entries"] == 1
+
+    def test_clear_tiers_independently(self, tmp_path):
+        cache, registry, disk = make_cache(tmp_path)
+        options = CompilerOptions()
+        cache.ensure_compiled(PROGRAM, options, fresh_ctx(registry))
+        removed = cache.clear("mem")
+        assert removed["mem"] >= 1 and removed["disk"] == 0
+        assert disk.stats()["entries"] == 1
+        removed = cache.clear("disk")
+        assert removed["disk"] == 1
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        cache, registry, disk = make_cache(tmp_path)
+        cache.ensure_compiled(PROGRAM, CompilerOptions(),
+                              fresh_ctx(registry))
+        leftovers = [name for name in os.listdir(disk.root)
+                     if not name.endswith(DiskTier.SUFFIX)]
+        assert leftovers == []
+
+
+class TestMemoryTierBounds:
+    def test_eviction_hook_counts(self, tmp_path):
+        registry = CacheRegistry(max_entries=2)
+        evicted = []
+        registry.on_evict = lambda name, n: evicted.append((name, n))
+        cache = registry.get("compile")
+        for i in range(5):
+            cache.put(("key", i), i)
+        assert len(cache) == 2
+        assert sum(n for _, n in evicted) == 3
+
+    def test_byte_budget(self):
+        registry = CacheRegistry(max_bytes=100)
+        cache = registry.get("compile")
+        cache.put("a", "x", cost=60)
+        cache.put("b", "y", cost=60)
+        assert len(cache) == 1        # 120 > 100: LRU "a" evicted
+        assert cache.peek("b") == "y"
+        assert cache.bytes_held == 60
