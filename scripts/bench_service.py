@@ -44,6 +44,7 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # check_prometheus
 
 from repro.bench import suite                      # noqa: E402
 from repro.service.client import connect           # noqa: E402
@@ -129,10 +130,17 @@ def run_phase(address, items, concurrency):
 
 
 def summarize(results, wall, expect_tiers):
+    from repro.obs.metrics import Histogram
+
     latencies = sorted(ms for _, ms, _, _ in results)
     tiers = [tier for _, _, tier, _ in results]
     hit = (sum(1 for t in tiers if t in expect_tiers) / len(tiers)
            if tiers else 0.0)
+    # The full power-of-two latency distribution, not just three quantiles:
+    # cumulative counts per le-bound, ending at +Inf == requests.
+    hist = Histogram()
+    for ms in latencies:
+        hist.observe(ms)
     return {
         "requests": len(results),
         "wall_s": round(wall, 6),
@@ -141,6 +149,7 @@ def summarize(results, wall, expect_tiers):
         "p50_ms": round(percentile(latencies, 50), 4),
         "p95_ms": round(percentile(latencies, 95), 4),
         "p99_ms": round(percentile(latencies, 99), 4),
+        "latency_buckets_ms": hist.buckets_le(),
         "expected_tier": "|".join(expect_tiers),
         "tier_hit_ratio": round(hit, 4),
         "tiers": {t: tiers.count(t) for t in sorted(set(map(str, tiers)))},
@@ -170,6 +179,12 @@ def run_bench(address, concurrency=4, limit=None, repeat=2, disk_repeat=3):
         address, items * max(1, repeat), concurrency)
     with connect(address) as admin:
         server_stats = admin.stats()
+        # Live-telemetry scrape after the load: the daemon's own rolling
+        # view of what this harness just did (plus the Prometheus text and
+        # the daemon-lifetime flight-recorder tail for the CI artifacts).
+        telemetry = admin.telemetry()
+        prometheus = admin.prometheus()
+        flight = admin.flight()
 
     digests = {}
     stable = True
@@ -208,6 +223,9 @@ def run_bench(address, concurrency=4, limit=None, repeat=2, disk_repeat=3):
         "digests": digests,
         "digests_stable": stable,
         "errors": [list(e) for e in (cold_errors + disk_errors + mem_errors)],
+        "telemetry": telemetry,
+        "prometheus": prometheus,
+        "flight": flight,
         "server": {
             "counters": {k: v for k, v in
                          sorted(server_stats.get("counters", {}).items())
@@ -243,6 +261,27 @@ def check(doc, min_speedup, min_hit_ratio):
             f"server saw only {disk_hits} disk-tier hit(s) for "
             f"{doc['programs']} program(s): the warm_disk phase did not "
             f"actually exercise the persistent tier")
+    # Live telemetry must have watched the load it just served.
+    telemetry = doc.get("telemetry") or {}
+    compile_stats = (telemetry.get("verbs") or {}).get("compile")
+    if not compile_stats:
+        problems.append("daemon telemetry saw no 'compile' requests: the "
+                        "stats verb is not observing the request path")
+    elif not compile_stats.get("p50_ms", 0) > 0:
+        problems.append(f"daemon telemetry compile p50 is "
+                        f"{compile_stats.get('p50_ms')}: latency histograms "
+                        f"are not recording")
+    if telemetry and not telemetry.get("requests", 0) >= doc["programs"]:
+        problems.append(f"daemon telemetry counted "
+                        f"{telemetry.get('requests')} request(s) for a "
+                        f"{doc['programs']}-program workload")
+    from check_prometheus import validate as validate_prometheus
+
+    prom_problems = validate_prometheus(
+        doc.get("prometheus") or "",
+        required_families=("repro_requests_total", "repro_request_latency_ms",
+                           "repro_worker_utilization", "repro_cache_hit_ratio"))
+    problems.extend(f"prometheus: {p}" for p in prom_problems)
     return problems
 
 
@@ -266,8 +305,15 @@ def main(argv=None):
                              "post-restart traffic: first touch per program "
                              "promotes from disk, the rest ride the "
                              "promotion (default: 3)")
-    parser.add_argument("--output", metavar="FILE",
-                        help="write the result document here as JSON")
+    parser.add_argument("--output", "--json", dest="output", metavar="FILE",
+                        help="write the result document here as JSON "
+                             "(--json is an alias)")
+    parser.add_argument("--prom-out", metavar="FILE",
+                        help="write the daemon's Prometheus text exposition "
+                             "here after the load")
+    parser.add_argument("--flight-out", metavar="FILE",
+                        help="write the daemon-lifetime flight-recorder "
+                             "tail here as JSON")
     parser.add_argument("--check", action="store_true",
                         help="fail (exit 1) unless the acceptance criteria "
                              "hold")
@@ -315,6 +361,15 @@ def main(argv=None):
             json.dump(doc, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
+    if args.prom_out:
+        with open(args.prom_out, "w") as handle:
+            handle.write(doc["prometheus"])
+        print(f"wrote {args.prom_out}")
+    if args.flight_out:
+        with open(args.flight_out, "w") as handle:
+            json.dump(doc["flight"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.flight_out}")
 
     if args.check:
         problems = check(doc, args.min_speedup, args.min_hit_ratio)

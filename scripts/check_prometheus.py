@@ -1,0 +1,199 @@
+"""Validator for the Prometheus text exposition format (version 0.0.4).
+
+Checks the daemon's ``/metrics`` output (or any exposition text) for the
+structural rules scrapers rely on:
+
+* every non-blank line is a well-formed ``# HELP``/``# TYPE`` comment or a
+  parseable sample (``name{label="v",...} value [timestamp]``);
+* ``# TYPE`` uses a known metric type and appears at most once per family;
+* every sample belongs to a declared family (histograms own their
+  ``_bucket``/``_count``/``_sum`` suffixes);
+* histogram buckets are cumulative: per label set, counts are monotonically
+  non-decreasing over increasing ``le`` and the ``+Inf`` bucket equals the
+  family's ``_count`` sample.
+
+Importable (``validate(text) -> [problems]``) for tests and the service
+bench; as a CLI it reads a file (or stdin with ``-``) and exits non-zero on
+any problem:
+
+    python scripts/check_prometheus.py metrics.prom \
+        --require repro_requests_total --require repro_request_latency_ms
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) (.*)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) ([a-z]+)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(?:\{{(.*)\}})?\s+(\S+)(?:\s+(-?\d+))?$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+# Suffixes a histogram/summary family implicitly declares.
+_FAMILY_SUFFIXES = {
+    "histogram": ("_bucket", "_count", "_sum"),
+    "summary": ("_count", "_sum"),
+}
+
+
+def _parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text, problems, lineno):
+    """``k="v",...`` → dict; malformed pairs are reported, not raised."""
+    labels = {}
+    matched_len = 0
+    for match in _LABEL_RE.finditer(text):
+        labels[match.group(1)] = match.group(2)
+        matched_len = match.end()
+    remainder = text[matched_len:].strip().strip(",")
+    if remainder:
+        problems.append(f"line {lineno}: unparseable label text {remainder!r}")
+    return labels
+
+
+def _family_of(name, families):
+    """The declared family a sample name belongs to (exact name, or a
+    histogram/summary suffix of a declared family)."""
+    if name in families:
+        return name
+    for family, kind in families.items():
+        for suffix in _FAMILY_SUFFIXES.get(kind, ()):
+            if name == family + suffix:
+                return family
+    return None
+
+
+def validate(text, required_families=()):
+    """Validate one exposition document; returns a list of problem strings
+    (empty = valid)."""
+    problems = []
+    families = {}      # family name -> declared type
+    helped = set()
+    # (family, frozen non-le labels) -> [(le, count, lineno)]
+    buckets = {}
+    counts = {}        # (family, frozen non-le labels) -> _count value
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            if help_match:
+                if help_match.group(1) in helped:
+                    problems.append(
+                        f"line {lineno}: duplicate HELP for "
+                        f"{help_match.group(1)}")
+                helped.add(help_match.group(1))
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                name, kind = type_match.groups()
+                if kind not in METRIC_TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown metric type {kind!r}")
+                if name in families:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                families[name] = kind
+                continue
+            problems.append(f"line {lineno}: malformed comment {line!r}")
+            continue
+        sample = _SAMPLE_RE.match(line)
+        if not sample:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, label_text, value_text, _timestamp = sample.groups()
+        labels = _parse_labels(label_text or "", problems, lineno)
+        try:
+            value = _parse_value(value_text)
+        except ValueError:
+            problems.append(
+                f"line {lineno}: bad sample value {value_text!r}")
+            continue
+        samples += 1
+        family = _family_of(name, families)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name} has no # TYPE declaration")
+            continue
+        if families[family] == "histogram":
+            key = (family,
+                   frozenset((k, v) for k, v in labels.items() if k != "le"))
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without 'le' label")
+                    continue
+                buckets.setdefault(key, []).append(
+                    (_parse_value(le), value, lineno))
+            elif name == family + "_count":
+                counts[key] = value
+
+    for (family, labelset), series in sorted(
+            buckets.items(), key=lambda kv: (kv[0][0], sorted(kv[0][1]))):
+        label_desc = dict(sorted(labelset)) or ""
+        prev = None
+        for le, count, lineno in series:  # exposition order, as scraped
+            if prev is not None and count < prev:
+                problems.append(
+                    f"line {lineno}: {family}{label_desc} bucket le={le} "
+                    f"count {count} < previous bucket {prev} "
+                    f"(buckets must be cumulative)")
+            prev = count
+        les = [le for le, _, _ in series]
+        if not any(math.isinf(le) for le in les):
+            problems.append(f"{family}{label_desc}: no +Inf bucket")
+        elif (family, labelset) in counts:
+            inf_count = next(c for le, c, _ in series if math.isinf(le))
+            total = counts[(family, labelset)]
+            if inf_count != total:
+                problems.append(
+                    f"{family}{label_desc}: +Inf bucket {inf_count} != "
+                    f"_count {total}")
+
+    for family in required_families:
+        if family not in families:
+            problems.append(f"required family {family} is missing")
+    if samples == 0:
+        problems.append("document contains no samples")
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="exposition text file, or - for stdin")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this metric family is present "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    text = (sys.stdin.read() if args.file == "-"
+            else open(args.file).read())
+    problems = validate(text, required_families=args.require)
+    if problems:
+        print(f"{args.file}: INVALID exposition:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    families = len([l for l in text.splitlines() if l.startswith("# TYPE")])
+    print(f"{args.file}: OK ({families} familie(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

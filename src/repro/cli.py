@@ -41,9 +41,13 @@ def _context(args) -> ToolchainContext:
     if (getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
             or getattr(args, "report", None)
             or getattr(args, "trace_enabled", False)):
-        from repro.obs import Tracer
+        from repro.obs import TraceContext, Tracer
 
         ctx.tracer = Tracer()
+        # A traced CLI run mints its own identity, so its exports and
+        # RunReport carry the same trace_id a service request would.
+        ctx.trace_context = TraceContext.mint()
+        ctx.tracer.trace_context = ctx.trace_context
     if getattr(args, "sample", False):
         from repro.sampling import SamplingConfig
 
@@ -591,7 +595,10 @@ def cmd_serve(args, ctx: ToolchainContext) -> int:
                            workers=args.workers, cache_dir=args.cache_dir,
                            cache_disk_bytes=args.cache_disk_bytes,
                            report_dir=args.report_dir,
-                           spool_dir=args.spool_dir)
+                           spool_dir=args.spool_dir,
+                           metrics_addr=args.metrics_addr,
+                           chaos_seed=getattr(args, "chaos_seed", None),
+                           chaos_spec=getattr(args, "chaos_spec", None))
     if args.cache_mem_entries is not None:
         config.cache_mem_entries = args.cache_mem_entries
     if args.cache_mem_bytes is not None:
@@ -602,6 +609,13 @@ def cmd_serve(args, ctx: ToolchainContext) -> int:
     sys.stderr.write(f"repro-serve: listening on {config.address()} "
                      f"({config.workers} workers, disk cache "
                      f"{config.cache_dir or 'off'})\n")
+    if config.metrics_addr:
+        sys.stderr.write(f"repro-serve: Prometheus metrics on "
+                         f"http://{config.metrics_addr}/metrics\n")
+    if config.chaos_seed is not None or config.chaos_spec:
+        sys.stderr.write("repro-serve: operator fault injection armed "
+                         f"(seed={config.chaos_seed or 0}, "
+                         f"spec={config.chaos_spec or 'default'})\n")
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
@@ -611,6 +625,116 @@ def cmd_serve(args, ctx: ToolchainContext) -> int:
         sys.stderr.write(f"repro-serve: exiting after {stats['requests']} "
                          f"request(s), {stats['errors']} error(s)\n")
     return 0
+
+
+def _render_top(snap: Dict) -> str:
+    """The ``repro top`` table: one telemetry snapshot rendered for humans."""
+    lines: List[str] = []
+    util = snap.get("utilization", 0.0) or 0.0
+    lines.append(
+        f"repro top — uptime {snap.get('uptime_s', 0.0):8.1f}s   "
+        f"workers {snap.get('workers', 0)}   util {100.0 * util:5.1f}%   "
+        f"inflight {snap.get('inflight', 0)}   queue {snap.get('queue_depth', 0)}"
+    )
+    lines.append(
+        f"requests {snap.get('requests', 0)} "
+        f"({snap.get('errors', 0)} error(s))   "
+        f"window {snap.get('window_s', 0.0):g}s"
+    )
+    verbs = snap.get("verbs") or {}
+    if verbs:
+        lines.append("")
+        header = (f"  {'verb':10s} {'count':>6s} {'rate/s':>8s} "
+                  f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s} {'max ms':>9s}")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for verb, stats in sorted(verbs.items()):
+            lines.append(
+                f"  {verb:10s} {stats.get('count', 0):6d} "
+                f"{stats.get('rate_rps', 0.0):8.2f} "
+                f"{stats.get('p50_ms', 0.0):9.3f} "
+                f"{stats.get('p95_ms', 0.0):9.3f} "
+                f"{stats.get('p99_ms', 0.0):9.3f} "
+                f"{stats.get('max_ms', 0.0):9.3f}"
+            )
+    cache = snap.get("cache") or {}
+    if cache:
+        lines.append("")
+        lines.append(f"  {'cache':10s} {'hits':>8s} {'misses':>8s} {'ratio':>8s}")
+        for tier in ("mem", "disk"):
+            stats = cache.get(tier)
+            if stats is None:
+                continue
+            ratio = stats.get("hit_ratio")
+            lines.append(
+                f"  {tier:10s} {stats.get('hits', 0):8d} "
+                f"{stats.get('misses', 0):8d} "
+                + (f"{ratio:8.1%}" if ratio is not None else f"{'--':>8s}")
+            )
+    devices = snap.get("devices") or {}
+    if devices:
+        lines.append("")
+        d2d = snap.get("d2d") or {}
+        tail = (f"   d2d {d2d.get('bytes', 0)} bytes / "
+                f"{d2d.get('copies', 0)} copies")
+        imbalance = snap.get("shard_imbalance")
+        if imbalance is not None:
+            tail += f"   imbalance {imbalance:.2f}x"
+        lines.append(f"  {'device':10s} {'busy s':>12s} {'requests':>9s}{tail}")
+        for dev, stats in sorted(devices.items(), key=lambda kv: int(kv[0])):
+            lines.append(f"  dev{dev:7s} {stats.get('busy_s', 0.0):12.6f} "
+                         f"{stats.get('requests', 0):9d}")
+    flight = snap.get("flight") or {}
+    if flight:
+        lines.append("")
+        lines.append(f"  flight recorder: {flight.get('entries', 0)}"
+                     f"/{flight.get('capacity', 0)} entries "
+                     f"({flight.get('dropped', 0)} dropped)")
+    return "\n".join(lines)
+
+
+def cmd_stats(args, ctx: ToolchainContext) -> int:
+    """One-shot daemon statistics: JSON telemetry or Prometheus text."""
+    import json
+
+    from repro.service.client import connect
+
+    with connect(_parse_address(args.connect)) as client:
+        if args.prom:
+            sys.stdout.write(client.prometheus())
+            return 0
+        response = client.request("stats", flight=bool(args.flight))
+    if not response.get("ok"):
+        print(json.dumps(response, indent=2, sort_keys=True, default=repr))
+        return 2
+    doc = {"telemetry": response.get("telemetry")}
+    if args.flight:
+        doc["flight"] = response.get("flight")
+    print(json.dumps(doc, indent=2, sort_keys=True, default=repr))
+    return 0
+
+
+def cmd_top(args, ctx: ToolchainContext) -> int:
+    """Attach to a running daemon and refresh a live statistics table."""
+    import time
+
+    from repro.service.client import connect
+
+    address = _parse_address(args.connect)
+    try:
+        while True:
+            with connect(address) as client:
+                snap = client.telemetry()
+            text = _render_top(snap)
+            if args.once:
+                print(text)
+                return 0
+            # Clear + home keeps the table in place between refreshes.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_cache(args, ctx: ToolchainContext) -> int:
@@ -863,7 +987,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spool-dir", metavar="DIR",
                    help="where inline 'source' programs are spooled "
                         "(default: a fresh temp dir)")
+    p.add_argument("--metrics-addr", metavar="HOST:PORT",
+                   help="also serve the Prometheus text exposition over "
+                        "HTTP at this address (e.g. 127.0.0.1:9100)")
+    add_chaos(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("stats", help="one-shot statistics of a running daemon")
+    p.add_argument("--connect", required=True, metavar="ADDR",
+                   help="daemon address (unix-socket path or host:port)")
+    p.add_argument("--prom", action="store_true",
+                   help="print the Prometheus text exposition instead of JSON")
+    p.add_argument("--flight", action="store_true",
+                   help="include the daemon-lifetime flight-recorder tail")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("top", help="live statistics table of a running daemon")
+    p.add_argument("--connect", required=True, metavar="ADDR",
+                   help="daemon address (unix-socket path or host:port)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="refresh period (default: 2.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no screen clearing)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("cache", help="inspect, clear, or warm the service "
                                      "pass cache")

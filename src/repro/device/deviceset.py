@@ -106,6 +106,11 @@ class DeviceSet:
         self.d2d_sent = [0] * self.ndevices
         self.d2d_recv = [0] * self.ndevices
         self.d2d_log: List[D2DCopy] = []
+        # Modeled busy time per device: kernel seconds each device spent
+        # executing its shard (the whole kernel at N=1).  Telemetry reads
+        # this for per-device utilization and shard-imbalance reporting; it
+        # never feeds back into the modeled clock.
+        self.busy_s = [0.0] * self.ndevices
         # Cross-device coherence findings (repro.runtime.coherence kinds
         # P2P_MISSING / P2P_REDUNDANT / STALE_REPLICA).
         self.findings: List = []
@@ -216,6 +221,7 @@ class DeviceSet:
             "d2d_recv": list(self.d2d_recv),
             "d2d_log": list(self.d2d_log),
             "findings": list(self.findings),
+            "busy_s": list(self.busy_s),
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
@@ -228,3 +234,5 @@ class DeviceSet:
         self.d2d_recv[:] = state["d2d_recv"]
         self.d2d_log[:] = state["d2d_log"]
         self.findings[:] = state["findings"]
+        # Snapshots written before busy accounting existed lack the key.
+        self.busy_s[:] = state.get("busy_s", [0.0] * self.ndevices)

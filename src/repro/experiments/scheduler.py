@@ -127,15 +127,18 @@ def _execute(job, ctx=None):
 
 def _execute_in_worker(config, job):
     """Pool-side job execution: rebuild a context carrying the sweep's
-    result-bearing configuration (picklable ``(sampling, device_config)``)
-    before running the job."""
+    result-bearing configuration (picklable ``(sampling, device_config,
+    trace_context)``) before running the job.  The trace context carries the
+    parent run's identity across the process boundary, so a multi-process
+    sweep stitches into one coherent trace."""
     ctx = None
     if config is not None:
         from repro.toolchain import ToolchainContext
 
-        sampling, device_config = config
+        sampling, device_config, trace_context = config
         ctx = ToolchainContext(device_config=device_config)
         ctx.sampling = sampling
+        ctx.trace_context = trace_context
     return _execute(job, ctx)
 
 
@@ -155,8 +158,10 @@ def run_jobs(jobs: Sequence, jobs_n: int = 1, ctx=None) -> List:
     if ctx is not None:
         sampling = getattr(ctx, "sampling", None)
         device_config = getattr(ctx, "device_config", None)
-        if sampling is not None or device_config is not None:
-            config = (sampling, device_config)
+        trace_context = getattr(ctx, "trace_context", None)
+        if (sampling is not None or device_config is not None
+                or trace_context is not None):
+            config = (sampling, device_config, trace_context)
     worker = functools.partial(_execute_in_worker, config)
     with ProcessPoolExecutor(max_workers=min(jobs_n, len(jobs))) as pool:
         return list(pool.map(worker, jobs))

@@ -11,17 +11,46 @@ because the tracer only *reads* toolchain state.
 Exports: Chrome-trace JSON (``chrome://tracing`` / Perfetto), a JSONL event
 stream, a human tree view (:mod:`repro.obs.export`), and the self-describing
 :mod:`repro.obs.report` RunReport that CI diffs structurally.
+
+The live plane (:mod:`repro.obs.telemetry`) adds trace-context propagation,
+sliding-window daemon statistics with Prometheus exposition, and the crash
+flight recorder.
 """
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    WindowedHistogram,
+    is_registered_counter,
+    register_counter,
+    register_counter_prefix,
+    registered_counter_prefixes,
+    registered_counters,
+)
+from repro.obs.telemetry import (
+    FlightRecorder,
+    Telemetry,
+    TraceContext,
+    render_prometheus,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 
 __all__ = [
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Span",
     "SpanEvent",
+    "Telemetry",
+    "TraceContext",
     "Tracer",
+    "WindowedHistogram",
+    "is_registered_counter",
+    "register_counter",
+    "register_counter_prefix",
+    "registered_counter_prefixes",
+    "registered_counters",
+    "render_prometheus",
 ]

@@ -61,6 +61,20 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, object]]:
     events: List[Dict[str, object]] = []
     device_lanes: Dict[int, int] = {}
 
+    trace_context = getattr(tracer, "trace_context", None)
+    if trace_context is not None:
+        # Identity metadata: lets a viewer (or a cross-process stitcher)
+        # attribute this export to its service request.  Absent entirely
+        # when no trace context is set, so plain traced runs are unchanged.
+        events.append({
+            "name": "trace_context",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": dict(trace_context.to_dict()),
+        })
+
     def _tid(span: Span) -> int:
         dev = span.attrs.get("device")
         if not isinstance(dev, int) or isinstance(dev, bool):
@@ -97,6 +111,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, object]]:
         events.append({
             "name": "thread_name",
             "ph": "M",
+            "ts": 0,
             "pid": pid,
             "tid": tid,
             "args": {"name": f"dev{dev}"},
@@ -124,8 +139,15 @@ def write_chrome_trace(tracer: Tracer, path: str) -> None:
 
 
 def to_jsonl_lines(tracer: Tracer) -> List[str]:
-    """One JSON object per line: spans (with nested events) in start order."""
+    """One JSON object per line: spans (with nested events) in start order,
+    preceded by a ``trace_context`` header record when an identity is set."""
     lines = []
+    trace_context = getattr(tracer, "trace_context", None)
+    if trace_context is not None:
+        lines.append(json.dumps(
+            {"kind": "trace_context", **trace_context.to_dict()},
+            sort_keys=True,
+        ))
     for span in tracer.sorted_spans():
         record = span.to_dict()
         record["kind"] = "span"

@@ -33,11 +33,16 @@ def build_report(ctx, command: Optional[str] = None,
     (and the last runtime it saw, when a run got that far)."""
     runtime = getattr(ctx, "last_runtime", None)
     tracer = getattr(ctx, "tracer", None)
+    trace_context = getattr(ctx, "trace_context", None)
 
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "command": command,
         "program": program,
+        # Trace identity (None for runs outside the service/trace plumbing).
+        # Excluded from the structural projection: ids are minted per run.
+        "trace": (trace_context.to_dict()
+                  if trace_context is not None else None),
         "params": {k: v for k, v in (params or {}).items()
                    if isinstance(v, (int, float, str, bool))},
         "metrics": ctx.metrics.snapshot(),
@@ -225,6 +230,23 @@ def validate_report(report) -> List[str]:
     if error is not None and (not isinstance(error, dict)
                               or not {"type", "stage", "message"} <= set(error)):
         problems.append("error entry malformed")
+
+    trace = report.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict) or not isinstance(
+                trace.get("trace_id"), str):
+            problems.append("trace entry malformed (expected trace_id string)")
+
+    flight = report.get("flight_recorder")
+    if flight is not None:
+        if not isinstance(flight, dict):
+            problems.append("flight_recorder is not an object")
+        else:
+            for ring, entries in flight.items():
+                if not isinstance(entries, list) or not all(
+                        isinstance(e, dict) for e in entries):
+                    problems.append(
+                        f"flight_recorder.{ring} is not a list of entries")
     return problems
 
 

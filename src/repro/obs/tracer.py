@@ -152,6 +152,8 @@ class NullTracer:
 
     enabled = False
     modeled_clock: Optional[Callable[[], float]] = None
+    trace_context = None
+    sinks: tuple = ()
 
     def span(self, name: str, category: str = "run", **attrs) -> _NullSpan:
         return _NULL_SPAN
@@ -177,6 +179,13 @@ class Tracer:
         # Modeled-time source (e.g. ``lambda: profiler.now``); installed by
         # the runtime so spans carry both clocks.  None -> wall only.
         self.modeled_clock: Optional[Callable[[], float]] = None
+        # Identity of the request/run this tracer serves (stamped on exports
+        # and reports); None outside the service/trace plumbing.
+        self.trace_context = None
+        # Live observers (flight-recorder sinks): each gets record_span /
+        # record_event callbacks as spans finish.  Empty by default, so the
+        # common path pays one truth test per closed span.
+        self.sinks: List[object] = []
         self.spans: List[Span] = []          # finished spans, finish order
         self.orphan_events: List[SpanEvent] = []  # events with no open span
         self._lock = threading.Lock()
@@ -222,6 +231,8 @@ class Tracer:
                 break
         with self._lock:
             self.spans.append(span)
+        for sink in self.sinks:
+            sink.record_span(span)
 
     # -- public API ---------------------------------------------------------
     def span(self, name: str, category: str = "run", **attrs) -> Span:
@@ -237,10 +248,11 @@ class Tracer:
         if stack:
             stack[-1].event(name, **attrs)
         else:
+            event = SpanEvent(name, self._wall(), self._modeled_now(), attrs)
             with self._lock:
-                self.orphan_events.append(SpanEvent(
-                    name, self._wall(), self._modeled_now(), attrs
-                ))
+                self.orphan_events.append(event)
+            for sink in self.sinks:
+                sink.record_event(event)
 
     def current(self) -> Optional[Span]:
         stack = self._stack()

@@ -616,6 +616,7 @@ class AccRuntime:
                 )
                 seconds = self.device.config.costs.kernel_time(
                     result.total_steps)
+                self.devset.busy_s[0] += seconds
             sp.set_attr("backend", result.backend)
             sp.set_attr("steps", result.total_steps)
             if queue is not None:
@@ -767,9 +768,11 @@ class AccRuntime:
                         else "interleaved")
         result = LaunchResult(spec.name, total, max_steps, reductions, {},
                               backend=backend_kind, write_sets=merged_writes)
-        seconds = max(self.device.config.costs.kernel_time(r.total_steps)
-                      for r in results)
-        return result, seconds
+        shard_seconds = [self.device.config.costs.kernel_time(r.total_steps)
+                         for r in results]
+        for dev, busy in enumerate(shard_seconds):
+            self.devset.busy_s[dev] += busy
+        return result, max(shard_seconds)
 
     def _note_launch_writes(self, spec: LaunchSpec, result: LaunchResult) -> None:
         """Feed the launch's write footprints into the dirty map.  The

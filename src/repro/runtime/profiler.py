@@ -16,51 +16,20 @@ splitting a metric in two.
 
 from __future__ import annotations
 
-import re
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.metrics import MetricsRegistry
-
-# ---------------------------------------------------------------------------
-# Counter-name registry.  One module-level source of truth for every counter
-# the toolchain may bump; ``Profiler.count`` rejects anything else.
-# ---------------------------------------------------------------------------
-
-_COUNTER_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
-_REGISTERED_COUNTERS: set = set()
-_REGISTERED_PREFIXES: set = set()
-
-
-def register_counter(name: str) -> str:
-    """Declare a counter name (``noun.verb`` dotted lowercase) and return it,
-    so declarations double as the ``CTR_*`` constant definitions."""
-    if not _COUNTER_NAME_RE.match(name):
-        raise ValueError(
-            f"counter name {name!r} does not follow the dotted-lowercase "
-            f"noun.verb convention (e.g. 'launch.retried')")
-    _REGISTERED_COUNTERS.add(name)
-    return name
-
-
-def register_counter_prefix(prefix: str) -> str:
-    """Declare a dynamic counter family (e.g. ``fault.injected.<kind>``);
-    the prefix must itself end with a dot."""
-    if not prefix.endswith(".") or not _COUNTER_NAME_RE.match(prefix[:-1]):
-        raise ValueError(f"counter prefix {prefix!r} must be dotted lowercase "
-                         f"ending in '.'")
-    _REGISTERED_PREFIXES.add(prefix)
-    return prefix
-
-
-def is_registered_counter(name: str) -> bool:
-    if name in _REGISTERED_COUNTERS:
-        return True
-    return any(name.startswith(p) and _COUNTER_NAME_RE.match(name)
-               for p in _REGISTERED_PREFIXES)
-
-
-def registered_counters() -> Tuple[str, ...]:
-    return tuple(sorted(_REGISTERED_COUNTERS))
+# The counter-name registry lives in the obs layer (one source of truth for
+# every layer that mints counter names); re-exported here because the
+# ``CTR_*`` declarations below and the historical import surface
+# (``repro.runtime.profiler.register_counter``) both live in this module.
+from repro.obs.metrics import (
+    MetricsRegistry,
+    is_registered_counter,
+    register_counter,
+    register_counter_prefix,
+    registered_counter_prefixes,
+    registered_counters,
+)
 
 
 # Figure-3 categories.

@@ -3,6 +3,11 @@
 One :class:`ServiceClient` owns one connection; requests on it answer in
 order.  For concurrent load (the harness, the concurrency tests) open one
 client per thread — the daemon interleaves across connections.
+
+Every client mints one trace id at connect time and stamps it on each
+request it sends (callers can override per request with ``trace_id=...``),
+so a session's requests chain into one trace on the daemon side; the daemon
+echoes ``trace_id``/``request_id`` in every response.
 """
 
 from __future__ import annotations
@@ -10,9 +15,10 @@ from __future__ import annotations
 import itertools
 import json
 import socket
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ServiceError, ServiceProtocolError
+from repro.obs.telemetry import TraceContext
 
 __all__ = ["ServiceClient", "connect"]
 
@@ -35,6 +41,9 @@ class ServiceClient:
         self._sock = sock
         self._recv = sock.makefile("rb")
         self._ids = itertools.count(1)
+        # One trace id per connection: the session identity every request
+        # carries unless the caller overrides it.
+        self.trace_id = TraceContext.mint().trace_id
 
     def close(self) -> None:
         try:
@@ -50,7 +59,8 @@ class ServiceClient:
 
     def request(self, op: str, **fields) -> Dict:
         """Send one request, block for its response, check the id echo."""
-        request = {"id": next(self._ids), "op": op}
+        request = {"id": next(self._ids), "op": op,
+                   "trace_id": self.trace_id}
         request.update(fields)
         line = (json.dumps(request, sort_keys=True) + "\n").encode()
         self._sock.sendall(line)
@@ -76,6 +86,18 @@ class ServiceClient:
 
     def clear(self, tier: str = "all") -> Dict:
         return self.request("cache.clear", tier=tier)
+
+    def telemetry(self) -> Dict:
+        """The ``stats`` verb's rolling-telemetry payload."""
+        return self.request("stats")["telemetry"]
+
+    def prometheus(self) -> str:
+        """The daemon's Prometheus text exposition."""
+        return self.request("stats", format="prometheus")["text"]
+
+    def flight(self) -> List[Dict]:
+        """The daemon-lifetime flight-recorder tail."""
+        return self.request("stats", flight=True).get("flight", [])
 
     def shutdown(self) -> Dict:
         return self.request("shutdown")

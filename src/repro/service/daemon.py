@@ -45,7 +45,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, ServiceError, ServiceProtocolError
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, register_counter
+from repro.obs.telemetry import (
+    FlightRecorder,
+    Telemetry,
+    TraceContext,
+    render_prometheus,
+)
 from repro.service import protocol
 from repro.service.cache import DiskTier, ServiceCache
 from repro.toolchain import CacheRegistry, ToolchainContext
@@ -55,6 +61,10 @@ __all__ = ["ServiceConfig", "ToolchainDaemon"]
 # Serving defaults: entries/bytes per named memory-tier cache.
 DEFAULT_MEM_ENTRIES = 512
 DEFAULT_MEM_BYTES = 256 * 1024 * 1024
+
+# Daemon request/error counters (obs counter-name registry).
+CTR_REQUESTS = register_counter("service.requests")
+CTR_ERRORS = register_counter("service.errors")
 
 _PARSER_CACHE = threading.local()
 
@@ -85,11 +95,33 @@ class ServiceConfig:
     cache_disk_bytes: Optional[int] = None
     report_dir: Optional[str] = None    # per-request RunReport artifacts
     spool_dir: Optional[str] = None     # inline-source spool (None = tmpdir)
+    metrics_addr: Optional[str] = None  # Prometheus HTTP endpoint (host:port)
+    flight_capacity: int = 512          # daemon flight-recorder ring size
+    telemetry_window_s: float = 60.0    # sliding statistics window
+    # Operator-side fault injection: every served run executes under this
+    # chaos plan.  Deliberately *not* settable over the wire (the protocol
+    # whitelist rejects chaos flags) — it comes from `repro serve` only.
+    chaos_seed: Optional[int] = None
+    chaos_spec: Optional[str] = None
 
     def address(self) -> str:
         if self.socket:
             return self.socket
         return f"{self.host}:{self.port}"
+
+
+def _parse_metrics_addr(addr: str) -> Tuple[str, int]:
+    """``host:port``, ``:port``, or bare ``port`` → (host, port); port 0
+    binds an ephemeral port (the bound address lands in
+    ``ToolchainDaemon.metrics_address``)."""
+    host, sep, port = addr.rpartition(":")
+    if not sep:
+        host, port = "", addr
+    try:
+        port_n = int(port)
+    except ValueError:
+        raise ServiceError(f"bad metrics address {addr!r} (want host:port)")
+    return (host or "127.0.0.1", port_n)
 
 
 class _StdoutRouter(io.TextIOBase):
@@ -118,12 +150,25 @@ class _StdoutRouter(io.TextIOBase):
         return stack[-1] if stack else self.fallback
 
     def write(self, text):
-        return self._target.write(text)
+        target = self._target
+        try:
+            return target.write(text)
+        except ValueError:
+            # The fallback was snapshotted at daemon start; a host that
+            # closed it since (test harnesses re-wiring stdio) must not
+            # crash daemon-side prints.  Route to the interpreter's
+            # original stdout instead of losing the write.
+            if target is self.fallback and sys.__stdout__ is not None:
+                return sys.__stdout__.write(text)
+            raise
 
     def flush(self):
         target = self._target
         if hasattr(target, "flush"):
-            target.flush()
+            try:
+                target.flush()
+            except ValueError:
+                pass
 
     def writable(self):
         return True
@@ -146,10 +191,18 @@ class ToolchainDaemon:
         disk = (DiskTier(config.cache_dir, max_bytes=config.cache_disk_bytes)
                 if config.cache_dir else None)
         self.cache = ServiceCache(self.registry, disk, metrics=self.metrics)
+        # Live plane: rolling statistics and the daemon-lifetime flight
+        # recorder.  Both only *read* request state — responses stay
+        # byte-identical with telemetry on.
+        self.telemetry = Telemetry(workers=max(1, config.workers),
+                                   window_s=config.telemetry_window_s)
+        self.flight = FlightRecorder(capacity=config.flight_capacity)
+        self.metrics_address: Optional[str] = None  # bound metrics endpoint
         self.started = threading.Event()
         self._stop = threading.Event()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._seq = itertools.count(1)
+        self._rid = itertools.count(1)
         self._spool = config.spool_dir
         self._router: Optional[_StdoutRouter] = None
         self._stdout_prior = None
@@ -214,6 +267,13 @@ class ToolchainDaemon:
                 port=self.config.port)
         else:
             raise ServiceError("daemon needs a unix-socket path or TCP port")
+        metrics_server = None
+        if self.config.metrics_addr:
+            host, port = _parse_metrics_addr(self.config.metrics_addr)
+            metrics_server = await asyncio.start_server(
+                self._serve_metrics_client, host=host, port=port)
+            bound = metrics_server.sockets[0].getsockname()
+            self.metrics_address = f"{bound[0]}:{bound[1]}"
         try:
             async with server:
                 self.started.set()
@@ -234,6 +294,13 @@ class ToolchainDaemon:
                     await asyncio.wait(set(self._client_tasks), timeout=5.0)
         finally:
             self.started.clear()
+            if metrics_server is not None:
+                metrics_server.close()
+                try:
+                    await metrics_server.wait_closed()
+                except Exception:
+                    pass
+                self.metrics_address = None
             if self.config.socket and os.path.exists(self.config.socket):
                 try:
                     os.unlink(self.config.socket)
@@ -281,6 +348,9 @@ class ToolchainDaemon:
                     break
                 if not line.strip():
                     continue
+                # Queue-depth gauge: accepted here, started when a worker
+                # picks the request up in handle_request.
+                self.telemetry.request_submitted()
                 response = await loop.run_in_executor(
                     self._pool, self.handle_line, line)
                 writer.write(protocol.encode_response(response))
@@ -296,6 +366,31 @@ class ToolchainDaemon:
             except Exception:
                 pass
 
+    async def _serve_metrics_client(self, reader: asyncio.StreamReader,
+                                    writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.0 responder for the Prometheus endpoint: any GET
+        gets the full exposition.  Rendering only reads telemetry snapshots,
+        so serving scrapes never perturbs request handling."""
+        try:
+            while True:     # drain the request head; the path is ignored
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = self.prometheus().encode("utf-8")
+            head = ("HTTP/1.0 200 OK\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n")
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except Exception:
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
     # ------------------------------------------------------------------
     # Request handling (worker threads; also callable in-process)
     # ------------------------------------------------------------------
@@ -303,8 +398,12 @@ class ToolchainDaemon:
         try:
             request = protocol.decode_request(line)
         except ServiceProtocolError as err:
-            self.metrics.count("service.requests")
-            self.metrics.count("service.errors")
+            self.metrics.count(CTR_REQUESTS)
+            self.metrics.count(CTR_ERRORS)
+            # Pair the lifecycle hooks so the queue-depth gauge stays exact
+            # even for lines that never become requests.
+            self.telemetry.request_started("invalid")
+            self.telemetry.request_finished("invalid", 0.0, False)
             request_id = None
             try:
                 parsed = json.loads(line.decode("utf-8", "replace"))
@@ -322,35 +421,80 @@ class ToolchainDaemon:
         protocol violation, typed toolchain error, or handler crash — is
         answered with a typed error payload, and (when a report directory
         is configured) leaves a RunReport artifact behind."""
-        self.metrics.count("service.requests")
+        self.metrics.count(CTR_REQUESTS)
         op = request.get("op")
+        verb = op if isinstance(op, str) else "invalid"
+        trace = self._mint_trace(request)
+        self.telemetry.request_started(verb)
         started = time.perf_counter()
         try:
             if op in protocol.ADMIN_OPS:
                 response = self._admin_op(op, request)
             else:
-                response = self._toolchain_op(op, request)
+                response = self._toolchain_op(op, request, trace)
         except ReproError as err:
-            response = self._error_response(request, op, err)
+            response = self._error_response(request, op, err, trace=trace)
         except Exception as err:   # crash path: answer, don't die
-            response = self._error_response(request, op, err)
+            response = self._error_response(request, op, err, trace=trace)
         response.setdefault("id", request.get("id"))
         response.setdefault("op", op)
-        response["elapsed_ms"] = (time.perf_counter() - started) * 1e3
-        if not response.get("ok"):
-            self.metrics.count("service.errors")
+        response["trace_id"] = trace.trace_id
+        response["request_id"] = trace.request_id
+        elapsed = time.perf_counter() - started
+        response["elapsed_ms"] = elapsed * 1e3
+        ok = bool(response.get("ok"))
+        if not ok:
+            self.metrics.count(CTR_ERRORS)
+        self.telemetry.request_finished(verb, elapsed, ok)
+        self.flight.record({
+            "kind": "request", "op": verb, "ok": ok,
+            "elapsed_ms": elapsed * 1e3,
+            "trace_id": trace.trace_id, "request_id": trace.request_id,
+        })
         return response
+
+    def _mint_trace(self, request: Dict) -> TraceContext:
+        """The request's identity: the client's trace id when it sent one
+        (propagation), a fresh one otherwise; the request id is always
+        daemon-minted (one per request served)."""
+        request_id = f"r{next(self._rid):06d}"
+        trace_id = request.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            return TraceContext(trace_id, request_id)
+        return TraceContext.mint(request_id)
 
     def _error_response(self, request: Dict, op, err: BaseException,
                         stdout: str = "", ctx=None,
-                        params=None, program=None) -> Dict:
-        report = self._write_report(op, program, params, ctx=ctx, error=err)
+                        params=None, program=None, trace=None) -> Dict:
+        # Every typed-error exit ships the flight-recorder tail: the
+        # request's own ring (in-flight span context of the failing run)
+        # plus the daemon ring's recent history.
+        flight = self._flight_tail(ctx)
+        if ctx is not None:
+            runtime = getattr(ctx, "last_runtime", None)
+            if runtime is not None:
+                self.telemetry.record_run(runtime)
+        report = self._write_report(op, program, params, ctx=ctx, error=err,
+                                    flight=flight, trace=trace)
         return {"id": request.get("id"), "ok": False, "exit_code": 2,
                 "stdout": stdout, "error": protocol.error_payload(err),
-                "report": report}
+                "flight": flight, "report": report}
+
+    def _flight_tail(self, ctx=None) -> Dict[str, List[Dict]]:
+        """The black box dumped on failure paths: the failing request's own
+        span ring (when a context got far enough to have one) and the tail
+        of the daemon-lifetime ring."""
+        recorder = getattr(ctx, "flight_recorder", None) \
+            if ctx is not None else None
+        return {
+            "request": recorder.tail(64) if recorder is not None else [],
+            "daemon": self.flight.tail(16),
+        }
 
     # -- toolchain ops -------------------------------------------------------
-    def _request_context(self, args) -> ToolchainContext:
+    def _request_context(self, args,
+                         trace: Optional[TraceContext] = None
+                         ) -> ToolchainContext:
         from repro.cli import _context
         from repro.obs.tracer import Tracer
 
@@ -358,9 +502,22 @@ class ToolchainDaemon:
         ctx.caches = self.registry          # shared cross-request mem tier
         ctx.metrics = MetricsRegistry(parent=self.metrics)
         ctx.tracer = Tracer()
+        if trace is not None:
+            ctx.trace_context = trace
+            ctx.tracer.trace_context = trace
+            # Flight recording: every finished span lands in the request's
+            # own bounded ring and the daemon-lifetime ring, tagged with the
+            # request identity.  Ring appends only — never perturbs the run.
+            recorder = FlightRecorder(
+                capacity=min(128, self.config.flight_capacity))
+            ctx.flight_recorder = recorder
+            tag = {"trace_id": trace.trace_id,
+                   "request_id": trace.request_id}
+            ctx.tracer.sinks = [recorder.sink(tag), self.flight.sink(tag)]
         return ctx
 
-    def _toolchain_op(self, op: str, request: Dict) -> Dict:
+    def _toolchain_op(self, op: str, request: Dict,
+                      trace: Optional[TraceContext] = None) -> Dict:
         from repro.cli import _parse_params
         from repro.compiler.driver import CompilerOptions
 
@@ -382,7 +539,16 @@ class ToolchainDaemon:
             raise ServiceProtocolError(
                 f"request maps to invalid CLI arguments {argv!r} "
                 f"(exit {err.code})")
-        ctx = self._request_context(args)
+        # Operator-configured chaos: the wire cannot carry chaos flags (the
+        # protocol whitelist rejects them), so a chaos-serving daemon
+        # injects its own plan into ops that accept one.
+        if ((self.config.chaos_seed is not None or self.config.chaos_spec)
+                and hasattr(args, "chaos_seed")):
+            if self.config.chaos_seed is not None:
+                args.chaos_seed = self.config.chaos_seed
+            if self.config.chaos_spec:
+                args.chaos_spec = self.config.chaos_spec
+        ctx = self._request_context(args, trace)
         params = _parse_params(getattr(args, "param", None))
 
         buffer = io.StringIO()
@@ -394,9 +560,13 @@ class ToolchainDaemon:
             # thread-local capture keeps routing.
             sys.stdout = self._router
         self._router.push(buffer)
+        span_attrs = {"op": op, "program": os.path.basename(path)}
+        if trace is not None:
+            span_attrs["trace_id"] = trace.trace_id
+            span_attrs["request_id"] = trace.request_id
         try:
             with ctx.tracer.span("service.request", category="service",
-                                 op=op, program=os.path.basename(path)) as sp:
+                                 **span_attrs) as sp:
                 if op != "optimize":
                     # optimize re-parses and rewrites its own program; the
                     # other ops all start from the memoized compile.
@@ -412,13 +582,18 @@ class ToolchainDaemon:
         except ReproError as err:
             return self._error_response(request, op, err,
                                         stdout=buffer.getvalue(), ctx=ctx,
-                                        params=params, program=path)
+                                        params=params, program=path,
+                                        trace=trace)
         except Exception as err:
             return self._error_response(request, op, err,
                                         stdout=buffer.getvalue(), ctx=ctx,
-                                        params=params, program=path)
+                                        params=params, program=path,
+                                        trace=trace)
         finally:
             self._router.pop()
+        runtime = getattr(ctx, "last_runtime", None)
+        if runtime is not None:
+            self.telemetry.record_run(runtime)
         report = self._write_report(op, path, params, ctx=ctx)
         return {"id": request.get("id"), "ok": True, "op": op,
                 "exit_code": int(exit_code or 0), "stdout": buffer.getvalue(),
@@ -447,6 +622,19 @@ class ToolchainDaemon:
                     "workers": self.config.workers}
         if op == "cache.stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "stats":
+            fmt = request.get("format", "json")
+            if fmt in ("prom", "prometheus"):
+                return {"ok": True, "format": "prometheus",
+                        "text": self.prometheus()}
+            if fmt != "json":
+                raise ServiceProtocolError(
+                    f"bad stats format {fmt!r} (json or prometheus)")
+            response = {"ok": True, "stats": self.stats(),
+                        "telemetry": self.telemetry_snapshot()}
+            if request.get("flight"):
+                response["flight"] = self.flight.tail()
+            return response
         if op == "cache.clear":
             tier = request.get("tier", "all")
             if tier not in ("mem", "disk", "all"):
@@ -498,7 +686,9 @@ class ToolchainDaemon:
 
     # -- reports -------------------------------------------------------------
     def _write_report(self, op, program, params, ctx=None,
-                      error: Optional[BaseException] = None) -> Optional[str]:
+                      error: Optional[BaseException] = None,
+                      flight: Optional[Dict] = None,
+                      trace: Optional[TraceContext] = None) -> Optional[str]:
         """The per-request RunReport artifact (crash paths included).  A
         failure to *write* the report must never mask the response."""
         if not self.config.report_dir:
@@ -510,12 +700,15 @@ class ToolchainDaemon:
             # unreadable programs): report against an empty context so the
             # artifact still records the typed error.
             ctx = ToolchainContext()
+        if trace is not None and getattr(ctx, "trace_context", None) is None:
+            ctx.trace_context = trace
         seq = next(self._seq)
         name = f"req-{seq:06d}-{(op or 'invalid').replace('.', '_')}.json"
         path = os.path.join(self.config.report_dir, name)
         try:
+            extra = {"flight_recorder": flight} if flight is not None else None
             report = build_report(ctx, command=op, program=program,
-                                  params=params, error=error)
+                                  params=params, error=error, extra=extra)
             tmp = f"{path}.tmp"
             with open(tmp, "w") as handle:
                 json.dump(report, handle, indent=2, sort_keys=True,
@@ -531,8 +724,38 @@ class ToolchainDaemon:
         tiers = self.cache.stats()
         counters = self.metrics.snapshot()["counters"]
         return {
-            "requests": counters.get("service.requests", 0),
-            "errors": counters.get("service.errors", 0),
+            "requests": counters.get(CTR_REQUESTS, 0),
+            "errors": counters.get(CTR_ERRORS, 0),
             "tiers": tiers,
             "counters": counters,
         }
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The ``stats`` verb's telemetry payload: the rolling snapshot plus
+        two-tier cache hit ratios and flight-recorder occupancy."""
+        snap = self.telemetry.snapshot()
+        counters = self.metrics.counters
+        cache: Dict[str, Dict[str, object]] = {}
+        for tier in ("mem", "disk"):
+            hits = counters.get(f"cache.tier.{tier}.hit", 0)
+            misses = counters.get(f"cache.tier.{tier}.miss", 0)
+            total = hits + misses
+            cache[tier] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / total) if total else None,
+            }
+        snap["cache"] = cache
+        snap["flight"] = {
+            "entries": len(self.flight),
+            "capacity": self.flight.capacity,
+            "dropped": self.flight.dropped,
+        }
+        return snap
+
+    def prometheus(self) -> str:
+        """The full Prometheus text exposition (the ``stats`` verb's
+        ``format: prometheus`` answer and the ``--metrics-addr`` body)."""
+        snap = self.telemetry_snapshot()
+        return render_prometheus(snap, counters=dict(self.metrics.counters),
+                                 cache=snap["cache"])

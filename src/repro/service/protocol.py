@@ -10,15 +10,22 @@ Request shape::
     {"id": <any>,              # echoed verbatim in the response (optional)
      "op": "compile" | "run" | "profile" | "verify" | "memcheck"
            | "optimize" | "cache.stats" | "cache.clear" | "cache.warm"
-           | "ping" | "shutdown",
+           | "stats" | "ping" | "shutdown",
+     "trace_id": "<hex>",               # optional client-minted trace id;
+                                        #   the daemon mints one if absent
+                                        #   and echoes trace_id/request_id
      "file": "<daemon-local path>",     # toolchain ops: one of file/source
      "source": "<program text>",        #   (source is spooled to a
                                         #    fingerprint-named file)
      "params": {"N": 64, ...},          # -p NAME=VALUE bindings
+     "devices": 2,                      # run/profile/memcheck: shard across
+                                        #   N simulated devices (--devices)
      "options": "<string>",             # verify: VerificationOptions string
      "outputs": "a,r",                  # optimize: observable outputs
      "args": ["--no-auto-privatize"],   # extra CLI flags (whitelisted)
      "tier": "mem" | "disk" | "all",    # cache.clear (default "all")
+     "format": "json" | "prometheus",   # stats exposition (default json)
+     "flight": true,                    # stats: include flight-recorder tail
      "files": [...], "sources": [...]}  # cache.warm inputs
 
 Toolchain ops are mapped to the *offline CLI's own argument parser and
@@ -57,7 +64,12 @@ __all__ = [
 
 # Toolchain ops are exactly the CLI subcommands the daemon re-serves.
 TOOLCHAIN_OPS = ("compile", "run", "profile", "verify", "memcheck", "optimize")
-ADMIN_OPS = ("cache.stats", "cache.clear", "cache.warm", "ping", "shutdown")
+ADMIN_OPS = ("cache.stats", "cache.clear", "cache.warm", "stats", "ping",
+             "shutdown")
+
+# Toolchain ops that accept multi-device sharding over the wire (compile has
+# no runtime; verify/optimize drive their own runs).
+_DEVICE_OPS = ("run", "profile", "memcheck")
 
 # Per-program flags a client may pass through to the CLI parser.  Anything
 # else (trace/report paths, checkpoint dirs, chaos seeds...) touches the
@@ -88,6 +100,9 @@ def decode_request(line: bytes) -> Dict:
         raise ServiceProtocolError(
             f"unknown op {op!r} (toolchain: {', '.join(TOOLCHAIN_OPS)}; "
             f"admin: {', '.join(ADMIN_OPS)})")
+    trace_id = request.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ServiceProtocolError("'trace_id' must be a string")
     return request
 
 
@@ -121,6 +136,15 @@ def build_argv(request: Dict, program_path: str) -> List[str]:
             raise ServiceProtocolError(
                 f"param {name!r} must be numeric, got {type(value).__name__}")
         argv += ["-p", f"{name}={value}"]
+    devices = request.get("devices")
+    if devices is not None:
+        if op not in _DEVICE_OPS:
+            raise ServiceProtocolError(
+                f"'devices' applies to ops {', '.join(_DEVICE_OPS)} only")
+        if not isinstance(devices, int) or isinstance(devices, bool) \
+                or devices < 1:
+            raise ServiceProtocolError("'devices' must be a positive integer")
+        argv += ["--devices", str(devices)]
     options = request.get("options")
     if options is not None:
         if op != "verify":

@@ -286,6 +286,10 @@ class ToolchainContext:
         self.tracer = NULL_TRACER
         self.metrics = MetricsRegistry()
         self.last_runtime = None
+        # Trace identity (repro.obs.telemetry.TraceContext) of the service
+        # request or traced CLI run this context serves; None otherwise.
+        # Stamped on RunReports/exports and shipped to pool workers.
+        self.trace_context = None
         self._passes = None
 
     @property

@@ -1,0 +1,17 @@
+"""Probe experiment module for scheduler trace-propagation tests.
+
+``compute_row`` reports the trace context (and process id) its worker-side
+context carried, so a test can assert that the scheduler shipped the parent
+run's identity across the ``ProcessPoolExecutor`` boundary.
+"""
+
+import os
+
+
+def compute_row(bench, size, seed, ctx=None, **extra):
+    trace = getattr(ctx, "trace_context", None) if ctx is not None else None
+    return {
+        "bench": bench,
+        "pid": os.getpid(),
+        "trace": None if trace is None else trace.to_dict(),
+    }

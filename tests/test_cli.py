@@ -323,8 +323,10 @@ class TestTraceCommand:
                      "--format", "jsonl"]) == 0
         records = [json.loads(line)
                    for line in capsys.readouterr().out.strip().splitlines()]
-        assert all(r["kind"] in ("span", "event") for r in records)
-        assert any(r["name"] == "kernel.launch" for r in records)
+        # The stream opens with a trace_context identity header record.
+        assert all(r["kind"] in ("span", "event", "trace_context")
+                   for r in records)
+        assert any(r.get("name") == "kernel.launch" for r in records)
 
     def test_output_file(self, good_file, tmp_path, capsys):
         import json
@@ -363,7 +365,8 @@ class TestRunObservabilityArtifacts:
         payload = json.loads(trace.read_text())
         assert {"compile", "kernel.launch"} <= {
             e["name"] for e in payload["traceEvents"]}
-        assert all(json.loads(line)["kind"] in ("span", "event")
+        assert all(json.loads(line)["kind"]
+                   in ("span", "event", "trace_context")
                    for line in jsonl.read_text().strip().splitlines())
         from repro.obs.report import validate_report
 
